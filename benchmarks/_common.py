@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure series),
+writes it as markdown under ``benchmarks/results/``, and times a
+representative kernel with pytest-benchmark. The written files are the
+inputs EXPERIMENTS.md summarizes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, title: str, lines: Iterable[str]) -> str:
+    """Write a result artifact and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.md")
+    with open(path, "w") as f:
+        f.write(f"# {title}\n\n")
+        for line in lines:
+            f.write(line + "\n")
+    return path
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Render a simple markdown table."""
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return lines
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

@@ -1,0 +1,43 @@
+"""A2 — ablation: AES engine count on the FPGA prototype.
+
+Section III-B: "The maximum overhead among the four networks can be
+further reduced to 1.9% by increasing the number of AES engines from
+three to four." Sweeping 1-6 engines shows the overhead cliff when
+engine throughput falls below the accelerator's memory demand.
+"""
+
+import pytest
+
+from repro.analysis.fpga import FpgaConfig, FpgaPrototypeModel
+
+from _common import fmt, markdown_table, write_result
+
+NETWORKS = ["alexnet", "googlenet", "resnet50", "vgg16"]
+ENGINE_COUNTS = [1, 2, 3, 4, 6]
+CONFIG = FpgaConfig(dsps=1024, precision_bits=6)  # the worst-case config
+
+
+def compute_sweep():
+    rows = []
+    for engines in ENGINE_COUNTS:
+        model = FpgaPrototypeModel(aes_engines=engines)
+        overheads = [model.table_row(net, CONFIG)["overhead_pct"] for net in NETWORKS]
+        rows.append((engines, *[fmt(v, 2) for v in overheads], fmt(max(overheads), 2)))
+    return rows
+
+
+def test_aes_engine_sweep(benchmark):
+    rows = benchmark.pedantic(compute_sweep, rounds=1, iterations=1)
+    write_result(
+        "A2_aes_engine_sweep",
+        "Ablation — AES engines vs GuardNN_C overhead (%) at 1024 DSPs / 6-bit",
+        markdown_table(["engines", *NETWORKS, "max"], rows),
+    )
+    by_engines = {r[0]: r for r in rows}
+    # max overhead falls monotonically with engines
+    maxima = [float(by_engines[e][-1]) for e in ENGINE_COUNTS]
+    assert all(a >= b - 1e-9 for a, b in zip(maxima, maxima[1:]))
+    # 1 engine is catastrophic; 4+ engines near-zero (the paper's point)
+    assert maxima[0] > 20
+    assert float(by_engines[4][-1]) < float(by_engines[3][-1]) + 1e-9
+    assert float(by_engines[6][-1]) < 1.0

@@ -1,0 +1,52 @@
+"""A3 — ablation: MAC granularity for GuardNN_CI.
+
+Section II-D: "We customize the size of a memory block that each MAC
+protects to match the data movement granularity of the accelerator."
+Sweeping the protected-chunk size from 64 B (CPU-cacheline style) to
+4 KB shows why 512 B is the right point: smaller chunks balloon MAC
+traffic; larger ones would exceed the accelerator's transfer unit (and
+force read-modify-write of whole chunks).
+"""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.protection.guardnn import GuardNNParams, GuardNNProtection
+from repro.protection.none import NoProtection
+
+from _common import fmt, markdown_table, write_result
+
+CHUNKS = [64, 128, 256, 512, 1024, 4096]
+NETWORKS = ["vgg16", "mobilenet", "bert"]
+
+
+def compute_sweep():
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    rows = []
+    for chunk in CHUNKS:
+        scheme = GuardNNProtection(True, GuardNNParams(chunk_bytes=chunk))
+        cells = []
+        for name in NETWORKS:
+            model = build_model(name)
+            base = accel.run(model, NoProtection())
+            run = accel.run(model, scheme)
+            cells.append((run.traffic_increase, run.normalized_to(base)))
+        rows.append((chunk,
+                     *[f"{fmt(100*t,2)}% / {fmt(s,4)}x" for t, s in cells]))
+    return rows
+
+
+def test_mac_granularity_sweep(benchmark):
+    rows = benchmark.pedantic(compute_sweep, rounds=1, iterations=1)
+    write_result(
+        "A3_mac_granularity",
+        "Ablation — MAC chunk size vs GuardNN_CI traffic/slowdown",
+        markdown_table(["chunk bytes", *[f"{n} (+traffic / slowdown)" for n in NETWORKS]],
+                       rows),
+    )
+    # traffic strictly decreases with chunk size
+    first_net_traffic = [float(r[1].split("%")[0]) for r in rows]
+    assert all(a >= b for a, b in zip(first_net_traffic, first_net_traffic[1:]))
+    # 64-B chunks cost >4x the metadata of 512-B chunks
+    assert first_net_traffic[0] > 4 * first_net_traffic[3]

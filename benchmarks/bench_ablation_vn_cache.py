@@ -1,0 +1,56 @@
+"""A1 — ablation: BP's VN/MAC cache size sweep.
+
+Why does the baseline hurt so much? Its version numbers live off-chip
+behind a small cache. Sweeping the cache from 16 KB to 4 MB shows BP's
+traffic overhead falling toward (but never reaching) GuardNN's — while
+GuardNN needs *no* cache at all because its VNs are a handful of
+on-chip counters. This is the design-space argument of Section II-D.
+"""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE, MeeParams
+
+from _common import fmt, markdown_table, write_result
+
+CACHE_SIZES_KB = [16, 64, 256, 1024, 4096]
+NETWORKS = ["vgg16", "resnet50", "bert"]
+
+
+def compute_sweep():
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    rows = []
+    for kb in CACHE_SIZES_KB:
+        scheme = BaselineMEE(MeeParams(cache_bytes=kb * 1024))
+        increases = []
+        for name in NETWORKS:
+            model = build_model(name)
+            increases.append(accel.run(model, scheme).traffic_increase)
+        rows.append((kb, *[fmt(100 * v, 1) for v in increases]))
+    ci = GuardNNProtection(True)
+    guardnn_row = ["GuardNN_CI (no cache)"]
+    for name in NETWORKS:
+        guardnn_row.append(fmt(100 * accel.run(build_model(name), ci).traffic_increase, 1))
+    rows.append(tuple(guardnn_row))
+    return rows
+
+
+def test_vn_cache_sweep(benchmark):
+    rows = benchmark.pedantic(compute_sweep, rounds=1, iterations=1)
+    write_result(
+        "A1_vn_cache_sweep",
+        "Ablation — BP metadata-cache size vs traffic increase (+%)",
+        markdown_table(["VN/MAC cache (KB)", *NETWORKS], rows),
+    )
+    swept = [r for r in rows if isinstance(r[0], int)]
+    # monotone: larger cache never increases traffic
+    for col in range(1, len(NETWORKS) + 1):
+        values = [float(r[col]) for r in swept]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    # even a 4 MB cache leaves BP well above GuardNN_CI
+    last = swept[-1]
+    guardnn = rows[-1]
+    assert all(float(last[i]) > float(guardnn[i]) for i in range(1, len(NETWORKS) + 1))

@@ -1,0 +1,38 @@
+"""E7 — Section III-C ASIC power/area overhead.
+
+Paper arithmetic: matching TPU-v1's 272 Gbps with 28nm AES engines
+(0.0031 mm^2 / 3.85 mW / 991 Mbps each) takes 344 engines = 0.3% area
+and 1.8% power of TPU-v1 (331 mm^2 / 75 W).
+"""
+
+import pytest
+
+from repro.analysis.area import AsicAreaModel
+
+from _common import fmt, markdown_table, write_result
+
+
+def compute_overhead():
+    model = AsicAreaModel()
+    rows = []
+    for engines in (86, 172, 275, model.engines_needed(), 500):
+        o = model.overhead(engines)
+        rows.append((o["engines"], fmt(o["area_mm2"], 3), fmt(o["area_pct"], 2),
+                     fmt(o["power_w"], 2), fmt(o["power_pct"], 2)))
+    return model, rows
+
+
+def test_asic_overhead(benchmark):
+    model, rows = benchmark.pedantic(compute_overhead, rounds=1, iterations=1)
+    lines = markdown_table(
+        ["AES engines", "area mm^2", "area % of TPU-v1", "power W", "power % of TPU-v1"],
+        rows,
+    )
+    lines += ["", f"bandwidth-matching engine count: {model.engines_needed()} "
+                  "(paper: 344 engines -> 0.3% area, 1.8% power)"]
+    write_result("E7_asic_overhead", "ASIC area/power overhead (Section III-C)", lines)
+
+    assert model.engines_needed() == 344
+    match = model.overhead()
+    assert match["area_pct"] < 0.5
+    assert match["power_pct"] < 2.5

@@ -1,0 +1,38 @@
+"""Microbenchmarks of the functional crypto path.
+
+Not a paper artifact — these time our pure-Python primitives so the
+repository's own performance characteristics are documented (and so
+regressions in the functional path show up).
+"""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.cmac import AesCmac
+from repro.crypto.ctr import AesCtr
+from repro.crypto.sha256 import sha256
+
+KEY = bytes(range(16))
+
+
+def test_aes_block_encrypt(benchmark):
+    aes = AES128(KEY)
+    block = bytes(16)
+    benchmark(aes.encrypt_block, block)
+
+
+def test_ctr_region_1kb(benchmark):
+    ctr = AesCtr(KEY)
+    data = bytes(1024)
+    benchmark(ctr.crypt_region, 0, 1, data)
+
+
+def test_cmac_512b_chunk(benchmark):
+    mac = AesCmac(KEY)
+    chunk = bytes(512)
+    benchmark(mac.mac, chunk)
+
+
+def test_sha256_4kb(benchmark):
+    data = bytes(4096)
+    benchmark(sha256, data)

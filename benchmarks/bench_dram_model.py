@@ -1,0 +1,68 @@
+"""DRAM-model characterization: the event-driven substrate behind the
+bandwidth numbers the analytic pipeline uses.
+
+Validates (and times) that the DDR4 model reproduces the qualitative
+behaviours the protection analysis depends on: streaming near peak,
+random access far below it, and metadata interleaving costing row
+locality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem.controller import MemoryController
+from repro.mem.dram import DDR4_2400
+from repro.mem.trace import MemoryRequest
+from repro.workloads.generators import random_trace, streaming_trace
+
+from _common import fmt, markdown_table, write_result
+
+
+def _interleaved_metadata_trace(nbytes: int):
+    """Data stream with a VN/MAC line fetch every 512 B from a distant
+    region — the BP access pattern."""
+    trace = []
+    meta_base = 1 << 28
+    for i in range(nbytes // 64):
+        trace.append(MemoryRequest(i * 64, 64, False))
+        if i % 8 == 7:
+            trace.append(MemoryRequest(meta_base + (i // 8) * 64, 64, False))
+            trace.append(MemoryRequest(meta_base + (1 << 20) + (i // 8) * 64, 64, False))
+    return trace
+
+
+def compute_characterization():
+    rng = np.random.default_rng(3)
+    rows = []
+    stream = MemoryController().run_trace(streaming_trace(1 << 18))
+    rows.append(("streaming", fmt(stream.bandwidth_gbps(DDR4_2400.freq_mhz), 2)))
+    rand = MemoryController().run_trace(random_trace(4096, 1 << 28, rng))
+    rows.append(("random 64B", fmt(rand.bandwidth_gbps(DDR4_2400.freq_mhz), 2)))
+    meta = MemoryController().run_trace(_interleaved_metadata_trace(1 << 18))
+    rows.append(("stream + BP metadata", fmt(meta.bandwidth_gbps(DDR4_2400.freq_mhz), 2)))
+    return rows, stream, rand, meta
+
+
+def test_dram_characterization(benchmark):
+    rows, stream, rand, meta = benchmark.pedantic(compute_characterization,
+                                                  rounds=1, iterations=1)
+    lines = markdown_table(["pattern", "effective GB/s"], rows)
+    lines += ["", f"peak: {DDR4_2400.peak_bandwidth_gbps} GB/s"]
+    write_result("X1_dram_characterization", "DDR4 model characterization", lines)
+
+    stream_bw = stream.bandwidth_gbps(DDR4_2400.freq_mhz)
+    rand_bw = rand.bandwidth_gbps(DDR4_2400.freq_mhz)
+    meta_bw = meta.bandwidth_gbps(DDR4_2400.freq_mhz)
+    assert stream_bw > 0.85 * DDR4_2400.peak_bandwidth_gbps
+    assert rand_bw < 0.4 * stream_bw
+    # metadata interleaving costs bandwidth but is not catastrophic
+    assert 0.3 * stream_bw < meta_bw < stream_bw
+
+
+def test_streaming_kernel(benchmark):
+    trace = streaming_trace(1 << 14)
+
+    def run():
+        return MemoryController().run_trace(trace)
+
+    benchmark(run)

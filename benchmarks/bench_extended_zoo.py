@@ -1,0 +1,53 @@
+"""X2 — generalization sweep over the extended model zoo.
+
+Section III-A's motivation for cycle-level simulation is to "study the
+overhead for a larger class of DNN models". This bench runs the
+protection comparison over 13 additional architectures (ResNet depths,
+VGG depths, MobileNet widths, ViT sizes, BERT-Large, long-audio
+wav2vec2) and asserts the paper's conclusions hold for every one of
+them: GuardNN ~1-3% traffic, BP tens of percent, the NP<=C<=CI<=BP
+ordering everywhere.
+"""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.zoo_ext import EXTENDED_ZOO, build_extended
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE
+from repro.protection.none import NoProtection
+
+from _common import fmt, markdown_table, write_result
+
+
+def compute_sweep():
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    rows = []
+    for name in sorted(EXTENDED_ZOO):
+        model = build_extended(name)
+        base = accel.run(model, NoProtection())
+        c = accel.run(model, GuardNNProtection(False))
+        ci = accel.run(model, GuardNNProtection(True))
+        bp = accel.run(model, BaselineMEE())
+        rows.append((name, fmt(model.macs(1) / 1e9, 2),
+                     fmt(c.normalized_to(base), 4), fmt(ci.normalized_to(base), 4),
+                     fmt(bp.normalized_to(base), 4),
+                     fmt(100 * ci.traffic_increase, 1), fmt(100 * bp.traffic_increase, 1)))
+    return rows
+
+
+def test_extended_zoo_sweep(benchmark):
+    rows = benchmark.pedantic(compute_sweep, rounds=1, iterations=1)
+    write_result(
+        "X2_extended_zoo",
+        "Generalization — protection overheads across the extended zoo",
+        markdown_table(
+            ["network", "GMACs", "GuardNN_C x", "GuardNN_CI x", "BP x",
+             "CI traffic +%", "BP traffic +%"],
+            rows,
+        ),
+    )
+    for name, _gmacs, c, ci, bp, ci_tr, bp_tr in rows:
+        assert 1.0 <= float(c) <= float(ci) <= float(bp), name
+        assert float(ci_tr) < 4.0, name  # GuardNN stays small everywhere
+        assert float(bp_tr) > 4 * float(ci_tr), name  # BP pays much more

@@ -1,0 +1,51 @@
+"""E5 — Figure 3a: normalized inference execution time per network.
+
+GuardNN_C / GuardNN_CI / BP on the TPU-v1-like simulated ASIC, each
+normalized to no-protection. Paper shape: BP ~1.25x average, both
+GuardNN variants ~1.01x, for all nine networks.
+"""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE
+from repro.protection.none import NoProtection
+
+from _common import fmt, markdown_table, write_result
+
+NETWORKS = ["vgg16", "alexnet", "googlenet", "resnet50", "mobilenet",
+            "vit", "bert", "dlrm", "wav2vec2"]
+
+
+def compute_series():
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    schemes = [GuardNNProtection(False), GuardNNProtection(True), BaselineMEE()]
+    rows = []
+    for name in NETWORKS:
+        model = build_model(name)
+        base = accel.run(model, NoProtection())
+        normalized = [accel.run(model, s).normalized_to(base) for s in schemes]
+        rows.append((name, *[fmt(v, 4) for v in normalized]))
+    return rows
+
+
+def test_fig3a_inference_normalized_time(benchmark):
+    rows = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+    lines = markdown_table(["network", "GuardNN_C", "GuardNN_CI", "BP"], rows)
+    c = [float(r[1]) for r in rows]
+    ci = [float(r[2]) for r in rows]
+    bp = [float(r[3]) for r in rows]
+    n = len(rows)
+    lines += ["", f"**averages** — GuardNN_C {fmt(sum(c)/n, 4)} (paper 1.0104), "
+                  f"GuardNN_CI {fmt(sum(ci)/n, 4)} (paper 1.0105), "
+                  f"BP {fmt(sum(bp)/n, 4)} (paper ~1.25)"]
+    write_result("E5_fig3a_inference", "Figure 3a — normalized inference time", lines)
+
+    # shape: ordering holds per network, magnitudes in paper range
+    for c_v, ci_v, bp_v in zip(c, ci, bp):
+        assert 1.0 <= c_v <= ci_v <= bp_v
+    assert sum(c) / n < 1.02
+    assert sum(ci) / n < 1.05
+    assert 1.10 < sum(bp) / n < 1.45

@@ -1,0 +1,53 @@
+"""E6 — Figure 3b: normalized training execution time per network.
+
+Same protection points as Figure 3a, over one fwd+bwd+update iteration.
+Paper shape: BP ~1.29x average (worse than inference: more writes,
+more VN/MAC cache pressure), GuardNN ~1.01x. DLRM is excluded, as in
+the paper's Figure 3b.
+"""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE
+from repro.protection.none import NoProtection
+
+from _common import fmt, markdown_table, write_result
+
+NETWORKS = ["vgg16", "alexnet", "googlenet", "resnet50", "mobilenet",
+            "vit", "bert", "wav2vec2"]
+BATCH = 4
+
+
+def compute_series():
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    schemes = [GuardNNProtection(False), GuardNNProtection(True), BaselineMEE()]
+    rows = []
+    for name in NETWORKS:
+        model = build_model(name)
+        base = accel.run(model, NoProtection(), training=True, batch=BATCH)
+        normalized = [accel.run(model, s, training=True, batch=BATCH).normalized_to(base)
+                      for s in schemes]
+        rows.append((name, *[fmt(v, 4) for v in normalized]))
+    return rows
+
+
+def test_fig3b_training_normalized_time(benchmark):
+    rows = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+    lines = markdown_table(["network", "GuardNN_C", "GuardNN_CI", "BP"], rows)
+    c = [float(r[1]) for r in rows]
+    ci = [float(r[2]) for r in rows]
+    bp = [float(r[3]) for r in rows]
+    n = len(rows)
+    lines += ["", f"**averages** — GuardNN_C {fmt(sum(c)/n, 4)} (paper 1.0105), "
+                  f"GuardNN_CI {fmt(sum(ci)/n, 4)} (paper 1.0107), "
+                  f"BP {fmt(sum(bp)/n, 4)} (paper ~1.29)"]
+    write_result("E6_fig3b_training", "Figure 3b — normalized training time", lines)
+
+    for c_v, ci_v, bp_v in zip(c, ci, bp):
+        assert 1.0 <= c_v <= ci_v <= bp_v
+    assert sum(c) / n < 1.02
+    assert sum(ci) / n < 1.05
+    assert 1.10 < sum(bp) / n < 1.50

@@ -1,0 +1,56 @@
+"""E2 — Section III-B GuardNN instruction latencies.
+
+Paper (MicroBlaze, VGG example): GetPK+InitSession 23.1 ms; SetWeight
+19.5 / 2.2 / 8.0 / 43.3 ms for AlexNet / GoogleNet / ResNet / VGG;
+SetInput 0.1 ms; ExportOutput 0.01 ms; SignOutput 4.8 ms.
+"""
+
+import pytest
+
+from repro.accel.models import build_model
+from repro.analysis.microcontroller import InstructionLatencyModel, MicrocontrollerModel
+
+from _common import fmt, markdown_table, write_result
+
+PAPER_SET_WEIGHT = {"alexnet": 19.5, "googlenet": 2.2, "resnet50": 8.0, "vgg16": 43.3}
+
+
+def compute_latencies():
+    lat = InstructionLatencyModel()
+    vgg = build_model("vgg16")
+    report = lat.report(vgg)
+    set_weight = {name: lat.set_weight_seconds(build_model(name)) * 1e3
+                  for name in PAPER_SET_WEIGHT}
+    return report, set_weight
+
+
+def test_instruction_latencies(benchmark):
+    report, set_weight = benchmark.pedantic(compute_latencies, rounds=1, iterations=1)
+    rows = [
+        ("GetPK + InitSession (ECDHE-ECDSA)", fmt(report["key_exchange_ms"], 1), 23.1),
+        ("SetInput (one image)", fmt(report["set_input_ms"], 3), 0.1),
+        ("ExportOutput (1000-class)", fmt(report["export_output_ms"], 3), 0.01),
+        ("SignOutput (ECDSA)", fmt(report["sign_output_ms"], 1), 4.8),
+    ]
+    rows += [(f"SetWeight ({name})", fmt(ms, 1), PAPER_SET_WEIGHT[name])
+             for name, ms in sorted(set_weight.items())]
+    write_result(
+        "E2_instruction_latency",
+        "GuardNN instruction latencies (Section III-B)",
+        markdown_table(["instruction", "ours (ms)", "paper (ms)"], rows),
+    )
+    # shape: key exchange tens of ms; SetWeight proportional to weights
+    assert 15 < report["key_exchange_ms"] < 35
+    assert set_weight["googlenet"] < set_weight["resnet50"] < set_weight["alexnet"] < set_weight["vgg16"]
+    ratio = set_weight["vgg16"] / set_weight["alexnet"]
+    assert ratio == pytest.approx(43.3 / 19.5, rel=0.15)
+    assert report["set_input_ms"] < 0.5
+    assert report["export_output_ms"] < 0.1
+
+
+def test_scalar_mult_kernel(benchmark):
+    """The microbenchmark under it all: one P-256 scalar multiplication
+    of our pure-Python implementation."""
+    from repro.crypto.ec import base_mult
+
+    benchmark(base_mult, 0xDEADBEEFCAFE1234567890)

@@ -1,0 +1,62 @@
+"""E8 — Table III: privacy-preserving ML approaches compared.
+
+CPU TEE (simulated), DELPHI MPC, CrypTFlow2 MPC, GuardNN_CI (simulated
+ASIC), GuardNN_C (FPGA model): throughput, overhead, power, energy
+efficiency, TCB size. The GuardNN columns are *measured* through our
+simulation pipeline; the alternatives are analytic models with the
+published overheads. Paper shape: GuardNN ~3 orders of magnitude above
+CPU/MPC in both GOPs and GOPs/W.
+"""
+
+import pytest
+
+from repro.analysis.comparison import ComparisonTable
+
+from _common import fmt, markdown_table, write_result
+
+PAPER = {
+    "CPU TEE (simulated)": (0.81, 1.61, 60, 0.01),
+    "DELPHI MPC": (0.02, 1000, 130, 0.002),
+    "CrypTFLOW2 MPC": (0.18, 100, 130, 0.0001),
+    "GuardNN_CI (simulated)": (3221.57, 1.05, 40, 80.5),
+    "GuardNN_C (FPGA)": (139.23, 1.01, 15, 9.3),
+}
+
+
+def compute_table():
+    return ComparisonTable().as_dicts()
+
+
+def test_table3_comparison(benchmark):
+    rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    table_rows = []
+    for r in rows:
+        paper_gops, paper_ovh, paper_w, paper_eff = PAPER[r["name"]]
+        table_rows.append((
+            r["name"], r["hardware"], f"{r['network']}/{r['dataset']}",
+            fmt(r["throughput_gops"], 2), paper_gops,
+            fmt(r["overhead_factor"], 2), paper_ovh,
+            fmt(r["power_w"], 0), fmt(r["efficiency_gops_per_w"], 3), paper_eff,
+            r["tcb_loc"],
+        ))
+    write_result(
+        "E8_table3_comparison",
+        "Table III — privacy-preserving ML approaches",
+        markdown_table(
+            ["approach", "hardware", "workload", "GOPs (ours)", "GOPs (paper)",
+             "ovh x (ours)", "ovh x (paper)", "W", "GOPs/W (ours)", "GOPs/W (paper)",
+             "TCB LoC"],
+            table_rows,
+        ),
+    )
+    by_name = {r["name"]: r for r in rows}
+    guardnn = by_name["GuardNN_CI (simulated)"]
+    cpu = by_name["CPU TEE (simulated)"]
+    delphi = by_name["DELPHI MPC"]
+    # three orders of magnitude, as the paper claims
+    assert guardnn["throughput_gops"] / cpu["throughput_gops"] > 1000
+    assert guardnn["throughput_gops"] / delphi["throughput_gops"] > 10000
+    assert guardnn["efficiency_gops_per_w"] / cpu["efficiency_gops_per_w"] > 1000
+    # GuardNN overheads tiny; MPC overheads huge
+    assert guardnn["overhead_factor"] < 1.10
+    assert delphi["overhead_factor"] >= 100

@@ -1,0 +1,62 @@
+"""E4 — Section III-C memory-traffic increase.
+
+"BP increases memory accesses by 35.3% on average for inference and by
+37.8% for training ... GuardNN_CI increases the memory traffic by 2.4%
+and 2.3% on average for inference and training."
+"""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE
+
+from _common import fmt, markdown_table, write_result
+
+INFERENCE_NETS = ["vgg16", "alexnet", "googlenet", "resnet50", "mobilenet",
+                  "vit", "bert", "dlrm", "wav2vec2"]
+TRAINING_NETS = [n for n in INFERENCE_NETS if n != "dlrm"]
+
+
+def compute_traffic():
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    bp, ci = BaselineMEE(), GuardNNProtection(True)
+    rows = []
+    averages = {}
+    for training, nets in ((False, INFERENCE_NETS), (True, TRAINING_NETS)):
+        mode = "training" if training else "inference"
+        bp_vals, ci_vals = [], []
+        for name in nets:
+            model = build_model(name)
+            batch = 4 if training else 1
+            r_bp = accel.run(model, bp, training=training, batch=batch)
+            r_ci = accel.run(model, ci, training=training, batch=batch)
+            bp_vals.append(r_bp.traffic_increase)
+            ci_vals.append(r_ci.traffic_increase)
+            rows.append((mode, name, fmt(100 * r_bp.traffic_increase, 1),
+                         fmt(100 * r_ci.traffic_increase, 1)))
+        averages[mode] = (sum(bp_vals) / len(bp_vals), sum(ci_vals) / len(ci_vals))
+    return rows, averages
+
+
+def test_memory_traffic_increase(benchmark):
+    rows, averages = benchmark.pedantic(compute_traffic, rounds=1, iterations=1)
+    lines = markdown_table(["mode", "network", "BP +%", "GuardNN_CI +%"], rows)
+    inf_bp, inf_ci = averages["inference"]
+    tr_bp, tr_ci = averages["training"]
+    lines += [
+        "",
+        f"**inference averages** — BP +{fmt(100*inf_bp,1)}% (paper +35.3%), "
+        f"GuardNN_CI +{fmt(100*inf_ci,1)}% (paper +2.4%)",
+        f"**training averages** — BP +{fmt(100*tr_bp,1)}% (paper +37.8%), "
+        f"GuardNN_CI +{fmt(100*tr_ci,1)}% (paper +2.3%)",
+    ]
+    write_result("E4_traffic", "Memory traffic increase (Section III-C)", lines)
+
+    # paper shape: BP an order of magnitude above GuardNN_CI; training
+    # worse than inference for BP
+    assert 0.20 < inf_bp < 0.50
+    assert 0.015 < inf_ci < 0.035
+    assert tr_bp > inf_bp
+    assert inf_bp > 8 * inf_ci

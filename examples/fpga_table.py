@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Table II interactively: FPGA prototype
+throughput (fps) and GuardNN_C overhead for all DSP/precision configs.
+
+Run:  python examples/fpga_table.py
+"""
+
+from repro.analysis.fpga import FpgaConfig, FpgaPrototypeModel, FpgaResourceModel
+
+NETWORKS = ["alexnet", "googlenet", "resnet50", "vgg16"]
+DSPS = [128, 256, 512, 1024]
+
+
+def main():
+    model = FpgaPrototypeModel(aes_engines=3)
+    for bits in (8, 6):
+        print(f"\nGuardNN_C ({bits}-bit) — throughput in fps (overhead %)")
+        header = f"{'# DSPs':>8s}" + "".join(f"{n:>18s}" for n in NETWORKS)
+        print(header)
+        for dsps in DSPS:
+            cells = []
+            for net in NETWORKS:
+                row = model.table_row(net, FpgaConfig(dsps, bits))
+                cells.append(f"{row['guardnn_fps']:8.1f} (+{row['overhead_pct']:.2f})")
+            print(f"{dsps:>8d}" + "".join(f"{c:>18s}" for c in cells))
+
+    print("\nresource overhead at 512 DSPs / 8-bit (Section III-B):")
+    resources = FpgaResourceModel()
+    luts_pct, ffs_pct = resources.aes_overhead_pct()
+    print(f"  one AES-128 core: {resources.aes_luts} LUTs ({luts_pct:.1f}%), "
+          f"{resources.aes_ffs} FFs ({ffs_pct:.1f}%)")
+    total = resources.total_overhead(aes_engines=3)
+    print(f"  3 AES engines + MicroBlaze: {total['luts']} LUTs ({total['luts_pct']:.1f}%), "
+          f"{total['brams']} BRAMs ({total['brams_pct']:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

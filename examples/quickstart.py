@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: secure inference on a GuardNN device in ~60 lines.
+
+The cast (paper Section II-A):
+  * a trusted manufacturer that provisions the accelerator,
+  * the GuardNN device (the only trusted component at run time),
+  * an untrusted host CPU that schedules everything,
+  * a remote user who owns the model and the input.
+
+The user authenticates the device, establishes an encrypted session,
+ships an int8 MLP and an input through the hostile host, and gets back
+a signed, verifiable result — while the host and DRAM see only
+ciphertext.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.device import GuardNNDevice
+from repro.core.host import HonestHost, MlpSpec
+from repro.core.session import UserSession
+from repro.crypto.pki import ManufacturerCA
+from repro.crypto.rng import HmacDrbg
+
+
+def main():
+    # --- provisioning (happens once, at the factory) ---
+    manufacturer = ManufacturerCA(HmacDrbg(b"example-manufacturer"))
+    device = GuardNNDevice(b"accel-0", manufacturer, seed=b"example-device",
+                           dram_bytes=1 << 20)
+
+    # --- the remote user prepares a model and an input ---
+    rng = np.random.default_rng(7)
+    model = MlpSpec(weights=[
+        rng.integers(-20, 20, size=(64, 32), dtype=np.int8),
+        rng.integers(-20, 20, size=(32, 10), dtype=np.int8),
+    ])
+    x = rng.integers(-20, 20, size=(4, 64), dtype=np.int8)
+
+    # --- session setup through the untrusted host ---
+    host = HonestHost(device)
+    user = UserSession(manufacturer.root_public, HmacDrbg(b"example-user"))
+    user.authenticate_device(host.fetch_device_info())  # GetPK + cert check
+    host.establish_session(user, enable_integrity=True)  # InitSession (ECDHE)
+    print("session established: device authenticated via manufacturer cert")
+
+    # --- encrypted inference ---
+    output, attested = host.compile_and_run(user, model, x)
+    reference = model.reference_forward(x)
+
+    print(f"device output matches local reference: {np.array_equal(output, reference)}")
+    print(f"attestation report verified:           {attested}")
+
+    # --- what the adversary saw ---
+    dram = bytes(device.untrusted_memory.data)
+    print(f"weights visible in DRAM:               {model.weights[0].tobytes() in dram}")
+    print(f"input visible in DRAM:                 {x.tobytes() in dram}")
+    print(f"instructions issued by the host:       {len(host.instruction_log)}")
+
+
+if __name__ == "__main__":
+    main()

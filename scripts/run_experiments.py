@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact in one go (without pytest-benchmark's
+timing machinery) and print where each result landed.
+
+Usage:  python scripts/run_experiments.py
+"""
+
+import importlib.util
+import os
+import sys
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+EXPERIMENTS = [
+    ("E1  Table II (FPGA throughput)", "bench_table2_fpga", "compute_table"),
+    ("E2  instruction latencies", "bench_instruction_latency", "compute_latencies"),
+    ("E3  FPGA resources", "bench_resource_overhead", "compute_resources"),
+    ("E4  memory traffic", "bench_traffic", "compute_traffic"),
+    ("E5  Figure 3a (inference)", "bench_fig3_inference", "compute_series"),
+    ("E6  Figure 3b (training)", "bench_fig3_training", "compute_series"),
+    ("E7  ASIC overhead", "bench_asic_overhead", "compute_overhead"),
+    ("E8  Table III (comparison)", "bench_table3_comparison", "compute_table"),
+    ("A1  VN-cache ablation", "bench_ablation_vn_cache", "compute_sweep"),
+    ("A2  AES-engine ablation", "bench_ablation_aes_engines", "compute_sweep"),
+    ("A3  MAC-granularity ablation", "bench_ablation_mac_granularity", "compute_sweep"),
+    ("X1  DRAM characterization", "bench_dram_model", "compute_characterization"),
+    ("X2  extended-zoo sweep", "bench_extended_zoo", "compute_sweep"),
+    ("X3  TCB decomposition", "bench_tcb_size", "compute_report"),
+]
+
+
+def load(module_name):
+    path = os.path.join(BENCH_DIR, module_name + ".py")
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main():
+    print("regenerating all paper artifacts (see benchmarks/results/)\n")
+    for label, module_name, fn_name in EXPERIMENTS:
+        module = load(module_name)
+        getattr(module, fn_name)()
+        print(f"  computed {label}")
+    print("\ndone. Run `pytest benchmarks/ --benchmark-only` for the full "
+          "harness with shape assertions and result files.")
+
+
+if __name__ == "__main__":
+    main()

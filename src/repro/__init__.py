@@ -1,0 +1,18 @@
+"""GuardNN reproduction — secure DNN accelerator architecture (DAC 2022).
+
+Top-level package. Subpackages:
+
+* :mod:`repro.crypto` — cryptographic primitives and PKI.
+* :mod:`repro.mem` — DDR4 DRAM timing model, controller, caches.
+* :mod:`repro.accel` — systolic-array DNN accelerator model and model zoo.
+* :mod:`repro.protection` — off-chip memory protection schemes
+  (no-protection, baseline MEE, GuardNN confidentiality-only and
+  confidentiality+integrity).
+* :mod:`repro.core` — the GuardNN device: ISA, sessions, attestation,
+  untrusted host runtime.
+* :mod:`repro.analysis` — FPGA/ASIC resource, energy, and
+  cross-approach comparison models.
+* :mod:`repro.workloads` — workload/trace generators for experiments.
+"""
+
+__version__ = "1.0.0"

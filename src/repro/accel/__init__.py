@@ -1,0 +1,62 @@
+"""DNN accelerator substrate.
+
+The paper evaluates GuardNN on SCALE-Sim (an analytical systolic-array
+simulator from ARM) configured like Google TPU-v1, plus the CHaiDNN FPGA
+accelerator. This package rebuilds that substrate:
+
+* :mod:`repro.accel.layers` — layer descriptions (conv / GEMM / depthwise
+  / pooling / embedding / elementwise) that reduce to GEMM workloads.
+* :mod:`repro.accel.models` — the nine-network model zoo of the paper's
+  evaluation (AlexNet, VGG-16, GoogleNet, ResNet-50, MobileNet, ViT,
+  BERT, DLRM, wav2vec2).
+* :mod:`repro.accel.systolic` — analytical systolic-array timing
+  (SCALE-Sim style) for weight/output/input-stationary dataflows.
+* :mod:`repro.accel.scheduler` — on-chip buffer tiling and the resulting
+  DRAM traffic per layer.
+* :mod:`repro.accel.dfg` — static data-flow graphs for inference and
+  training (Figure 2 of the paper), including tensor memory regions.
+* :mod:`repro.accel.accelerator` — the combined performance model
+  (compute/memory overlap) parameterized by a protection scheme.
+"""
+
+from repro.accel.layers import (
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    PoolLayer,
+    EmbeddingLayer,
+    ElementwiseLayer,
+    GemmShape,
+)
+from repro.accel.systolic import SystolicArray, Dataflow
+from repro.accel.models import MODEL_ZOO, build_model, list_models, NetworkModel
+from repro.accel.scheduler import TilingScheduler, LayerTraffic
+from repro.accel.dfg import DataFlowGraph, TensorRegion, build_inference_dfg, build_training_dfg
+from repro.accel.accelerator import AcceleratorConfig, AcceleratorModel, LayerTiming, RunResult, TPU_V1_CONFIG
+
+__all__ = [
+    "ConvLayer",
+    "DenseLayer",
+    "DepthwiseConvLayer",
+    "PoolLayer",
+    "EmbeddingLayer",
+    "ElementwiseLayer",
+    "GemmShape",
+    "SystolicArray",
+    "Dataflow",
+    "MODEL_ZOO",
+    "build_model",
+    "list_models",
+    "NetworkModel",
+    "TilingScheduler",
+    "LayerTraffic",
+    "DataFlowGraph",
+    "TensorRegion",
+    "build_inference_dfg",
+    "build_training_dfg",
+    "AcceleratorConfig",
+    "AcceleratorModel",
+    "LayerTiming",
+    "RunResult",
+    "TPU_V1_CONFIG",
+]

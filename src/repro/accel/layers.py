@@ -1,0 +1,310 @@
+"""Layer descriptions that reduce to GEMM workloads.
+
+DNN accelerators execute essentially GEMMs ("the DNN operations can be
+boiled down to scalar, vector, matrix additions and multiplications and a
+limited number of non-linear functions", Section II-B). Every layer type
+here knows how to express itself as one or more :class:`GemmShape`
+workloads (convolution via im2col) plus its tensor footprints, which is
+all the systolic-array timing model and the memory-protection schemes
+need.
+
+Shapes use batch ``n``; counts are per *batch* (multiply by images for
+throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """An M x K by K x N matrix multiply (C[M,N] += A[M,K] @ B[K,N]).
+
+    ``m`` indexes output pixels / sequence positions, ``n`` output
+    channels, ``k`` the reduction dimension.
+    """
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    def operand_elements(self):
+        """(A elements, B elements, C elements)."""
+        return self.m * self.k, self.k * self.n, self.m * self.n
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+@dataclass(frozen=True)
+class LayerBase:
+    """Common layer fields. ``name`` must be unique within a network."""
+
+    name: str
+
+    # --- interface every concrete layer implements ---
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        raise NotImplementedError
+
+    def macs(self, batch: int = 1) -> int:
+        return sum(g.macs for g in self.gemms(batch))
+
+    def input_elements(self, batch: int = 1) -> int:
+        raise NotImplementedError
+
+    def output_elements(self, batch: int = 1) -> int:
+        raise NotImplementedError
+
+    def weight_elements(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def has_weights(self) -> bool:
+        return self.weight_elements() > 0
+
+
+@dataclass(frozen=True)
+class ConvLayer(LayerBase):
+    """2-D convolution, NCHW. im2col GEMM: M = out_h*out_w, K = c_in/groups
+    * kh * kw, N = c_out/groups, one GEMM per group (groups>1 models
+    grouped conv, e.g. AlexNet's two towers)."""
+
+    c_in: int = 1
+    c_out: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self):
+        if self.c_in % self.groups or self.c_out % self.groups:
+            raise ValueError(f"{self.name}: channels not divisible by groups")
+
+    @property
+    def out_h(self) -> int:
+        return _conv_out(self.in_h, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        return _conv_out(self.in_w, self.kernel, self.stride, self.padding)
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        m = batch * self.out_h * self.out_w
+        k = (self.c_in // self.groups) * self.kernel * self.kernel
+        n = self.c_out // self.groups
+        return [GemmShape(m, k, n)] * self.groups
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.c_in * self.in_h * self.in_w
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.c_out * self.out_h * self.out_w
+
+    def weight_elements(self) -> int:
+        return (self.c_in // self.groups) * self.c_out * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class Conv1DLayer(LayerBase):
+    """1-D temporal convolution (wav2vec2 feature encoder). im2col GEMM:
+    M = output frames, K = c_in * kernel, N = c_out."""
+
+    c_in: int = 1
+    c_out: int = 1
+    length: int = 1
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+
+    @property
+    def out_length(self) -> int:
+        return _conv_out(self.length, self.kernel, self.stride, self.padding)
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        return [GemmShape(batch * self.out_length, self.c_in * self.kernel, self.c_out)]
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.c_in * self.length
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.c_out * self.out_length
+
+    def weight_elements(self) -> int:
+        return self.c_in * self.c_out * self.kernel
+
+
+@dataclass(frozen=True)
+class DepthwiseConvLayer(LayerBase):
+    """Depthwise conv (MobileNet): one small GEMM per channel; the array
+    maps it poorly, which is exactly why MobileNet behaves differently in
+    the evaluation (memory-bound, low PE utilization)."""
+
+    channels: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+
+    @property
+    def out_h(self) -> int:
+        return _conv_out(self.in_h, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        return _conv_out(self.in_w, self.kernel, self.stride, self.padding)
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        # Per channel: M = out pixels, K = kh*kw, N = 1. Grouped into one
+        # shape with n=channels but k only kernel^2 — the systolic model
+        # treats the reduction correctly via the K dimension.
+        m = batch * self.out_h * self.out_w
+        return [GemmShape(m, self.kernel * self.kernel, 1)] * self.channels
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.channels * self.in_h * self.in_w
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.channels * self.out_h * self.out_w
+
+    def weight_elements(self) -> int:
+        return self.channels * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class DenseLayer(LayerBase):
+    """Fully-connected / linear / projection: GEMM with M = batch * seq."""
+
+    in_features: int = 1
+    out_features: int = 1
+    seq: int = 1  # sequence length multiplier (transformers)
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        return [GemmShape(batch * self.seq, self.in_features, self.out_features)]
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.seq * self.in_features
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.seq * self.out_features
+
+    def weight_elements(self) -> int:
+        return self.in_features * self.out_features
+
+
+@dataclass(frozen=True)
+class MatmulLayer(LayerBase):
+    """Activation x activation matmul (attention scores / context) — has
+    no weights; both operands are features. ``count`` repeats the GEMM
+    (e.g. one per attention head)."""
+
+    m: int = 1
+    k: int = 1
+    n: int = 1
+    count: int = 1
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        return [GemmShape(batch * self.m, self.k, self.n)] * self.count
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.count * (self.m * self.k + self.k * self.n)
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.count * self.m * self.n
+
+    def weight_elements(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class PoolLayer(LayerBase):
+    """Pooling / downsampling: no MACs on the PE array (handled by the
+    vector unit), but it moves features."""
+
+    channels: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+
+    @property
+    def out_h(self) -> int:
+        return _conv_out(self.in_h, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        return _conv_out(self.in_w, self.kernel, self.stride, self.padding)
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        return []
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.channels * self.in_h * self.in_w
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.channels * self.out_h * self.out_w
+
+    def weight_elements(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class EmbeddingLayer(LayerBase):
+    """Embedding table gather (DLRM / BERT token embeddings): pure memory
+    traffic, essentially zero MACs. ``lookups_per_sample`` rows of
+    ``dim`` elements are gathered from a table of ``rows`` rows."""
+
+    rows: int = 1
+    dim: int = 1
+    lookups_per_sample: int = 1
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        return []
+
+    def input_elements(self, batch: int = 1) -> int:
+        # the gathered rows are the "input" the layer reads
+        return batch * self.lookups_per_sample * self.dim
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.lookups_per_sample * self.dim
+
+    def weight_elements(self) -> int:
+        # the table is the layer's parameter store
+        return self.rows * self.dim
+
+
+@dataclass(frozen=True)
+class ElementwiseLayer(LayerBase):
+    """Vector ops: residual adds, layernorm, activations, softmax. Small
+    compute (vector unit), real feature traffic. ``operands`` counts how
+    many same-sized inputs are read."""
+
+    elements: int = 1
+    operands: int = 1
+
+    def gemms(self, batch: int = 1) -> List[GemmShape]:
+        return []
+
+    def input_elements(self, batch: int = 1) -> int:
+        return batch * self.elements * self.operands
+
+    def output_elements(self, batch: int = 1) -> int:
+        return batch * self.elements
+
+    def weight_elements(self) -> int:
+        return 0

@@ -1,0 +1,385 @@
+"""The paper's nine-network model zoo (Section III-A, Benchmarks).
+
+"We evaluate GuardNN on a variety of DNN architectures — AlexNet, VGG,
+GoogleNet, ResNet, MobileNet, Vision Transformer (ViT) for image
+classification, BERT for pretraining language models, DLRM for
+personalized recommendation, and wav2vec2 for learning speech
+representation."
+
+Each builder returns a :class:`NetworkModel`: an ordered list of layers
+with standard published dimensions. The layer tables follow the original
+papers (AlexNet one-tower variant, VGG-16, GoogLeNet/Inception-v1,
+ResNet-50, MobileNetV1, ViT-Base/16, BERT-Base, MLPerf-style DLRM,
+wav2vec2-Base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.accel.layers import (
+    Conv1DLayer,
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    ElementwiseLayer,
+    EmbeddingLayer,
+    LayerBase,
+    MatmulLayer,
+    PoolLayer,
+)
+
+
+@dataclass
+class NetworkModel:
+    """An ordered DNN description."""
+
+    name: str
+    layers: List[LayerBase]
+    input_elements: int  # size of one network input sample (elements)
+    output_elements: int  # size of one final output (elements)
+    family: str = "cnn"  # cnn | transformer | recommendation | speech
+
+    def macs(self, batch: int = 1) -> int:
+        return sum(layer.macs(batch) for layer in self.layers)
+
+    def weight_elements(self) -> int:
+        return sum(layer.weight_elements() for layer in self.layers)
+
+    def weight_bytes(self, bytes_per_element: int = 1) -> int:
+        return self.weight_elements() * bytes_per_element
+
+    def compute_layers(self) -> List[LayerBase]:
+        """Layers with MACs (the ones the PE array executes)."""
+        return [layer for layer in self.layers if layer.macs(1) > 0]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self):
+        return len(self.layers)
+
+
+# ---------------------------------------------------------------------------
+# CNN builders
+# ---------------------------------------------------------------------------
+
+
+def build_alexnet() -> NetworkModel:
+    """AlexNet (one-tower), 224x224x3 ImageNet input."""
+    layers = [
+        ConvLayer("conv1", c_in=3, c_out=96, in_h=224, in_w=224, kernel=11, stride=4, padding=2),
+        PoolLayer("pool1", channels=96, in_h=55, in_w=55, kernel=3, stride=2),
+        ConvLayer("conv2", c_in=96, c_out=256, in_h=27, in_w=27, kernel=5, stride=1, padding=2),
+        PoolLayer("pool2", channels=256, in_h=27, in_w=27, kernel=3, stride=2),
+        ConvLayer("conv3", c_in=256, c_out=384, in_h=13, in_w=13, kernel=3, stride=1, padding=1),
+        ConvLayer("conv4", c_in=384, c_out=384, in_h=13, in_w=13, kernel=3, stride=1, padding=1),
+        ConvLayer("conv5", c_in=384, c_out=256, in_h=13, in_w=13, kernel=3, stride=1, padding=1),
+        PoolLayer("pool5", channels=256, in_h=13, in_w=13, kernel=3, stride=2),
+        DenseLayer("fc6", in_features=256 * 6 * 6, out_features=4096),
+        DenseLayer("fc7", in_features=4096, out_features=4096),
+        DenseLayer("fc8", in_features=4096, out_features=1000),
+    ]
+    return NetworkModel("alexnet", layers, input_elements=3 * 224 * 224, output_elements=1000)
+
+
+def _vgg_block(prefix: str, c_in: int, c_out: int, size: int, convs: int) -> List[LayerBase]:
+    layers: List[LayerBase] = []
+    for i in range(convs):
+        layers.append(
+            ConvLayer(
+                f"{prefix}_conv{i + 1}",
+                c_in=c_in if i == 0 else c_out,
+                c_out=c_out,
+                in_h=size,
+                in_w=size,
+                kernel=3,
+                stride=1,
+                padding=1,
+            )
+        )
+    layers.append(PoolLayer(f"{prefix}_pool", channels=c_out, in_h=size, in_w=size))
+    return layers
+
+
+def build_vgg16() -> NetworkModel:
+    """VGG-16 (configuration D)."""
+    layers: List[LayerBase] = []
+    layers += _vgg_block("b1", 3, 64, 224, 2)
+    layers += _vgg_block("b2", 64, 128, 112, 2)
+    layers += _vgg_block("b3", 128, 256, 56, 3)
+    layers += _vgg_block("b4", 256, 512, 28, 3)
+    layers += _vgg_block("b5", 512, 512, 14, 3)
+    layers += [
+        DenseLayer("fc6", in_features=512 * 7 * 7, out_features=4096),
+        DenseLayer("fc7", in_features=4096, out_features=4096),
+        DenseLayer("fc8", in_features=4096, out_features=1000),
+    ]
+    return NetworkModel("vgg16", layers, input_elements=3 * 224 * 224, output_elements=1000)
+
+
+def _inception(prefix: str, size: int, c_in: int, b1: int, b2r: int, b2: int,
+               b3r: int, b3: int, b4: int) -> List[LayerBase]:
+    """One Inception-v1 module: 1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1."""
+    return [
+        ConvLayer(f"{prefix}_1x1", c_in=c_in, c_out=b1, in_h=size, in_w=size, kernel=1),
+        ConvLayer(f"{prefix}_3x3r", c_in=c_in, c_out=b2r, in_h=size, in_w=size, kernel=1),
+        ConvLayer(f"{prefix}_3x3", c_in=b2r, c_out=b2, in_h=size, in_w=size, kernel=3, padding=1),
+        ConvLayer(f"{prefix}_5x5r", c_in=c_in, c_out=b3r, in_h=size, in_w=size, kernel=1),
+        ConvLayer(f"{prefix}_5x5", c_in=b3r, c_out=b3, in_h=size, in_w=size, kernel=5, padding=2),
+        PoolLayer(f"{prefix}_pool", channels=c_in, in_h=size, in_w=size, kernel=3, stride=1, padding=1),
+        ConvLayer(f"{prefix}_poolproj", c_in=c_in, c_out=b4, in_h=size, in_w=size, kernel=1),
+    ]
+
+
+def build_googlenet() -> NetworkModel:
+    """GoogLeNet / Inception-v1, published module configuration."""
+    layers: List[LayerBase] = [
+        ConvLayer("stem_conv1", c_in=3, c_out=64, in_h=224, in_w=224, kernel=7, stride=2, padding=3),
+        PoolLayer("stem_pool1", channels=64, in_h=112, in_w=112, kernel=3, stride=2, padding=1),
+        ConvLayer("stem_conv2r", c_in=64, c_out=64, in_h=56, in_w=56, kernel=1),
+        ConvLayer("stem_conv2", c_in=64, c_out=192, in_h=56, in_w=56, kernel=3, padding=1),
+        PoolLayer("stem_pool2", channels=192, in_h=56, in_w=56, kernel=3, stride=2, padding=1),
+    ]
+    layers += _inception("inc3a", 28, 192, 64, 96, 128, 16, 32, 32)
+    layers += _inception("inc3b", 28, 256, 128, 128, 192, 32, 96, 64)
+    layers.append(PoolLayer("pool3", channels=480, in_h=28, in_w=28, kernel=3, stride=2, padding=1))
+    layers += _inception("inc4a", 14, 480, 192, 96, 208, 16, 48, 64)
+    layers += _inception("inc4b", 14, 512, 160, 112, 224, 24, 64, 64)
+    layers += _inception("inc4c", 14, 512, 128, 128, 256, 24, 64, 64)
+    layers += _inception("inc4d", 14, 512, 112, 144, 288, 32, 64, 64)
+    layers += _inception("inc4e", 14, 528, 256, 160, 320, 32, 128, 128)
+    layers.append(PoolLayer("pool4", channels=832, in_h=14, in_w=14, kernel=3, stride=2, padding=1))
+    layers += _inception("inc5a", 7, 832, 256, 160, 320, 32, 128, 128)
+    layers += _inception("inc5b", 7, 832, 384, 192, 384, 48, 128, 128)
+    layers += [
+        PoolLayer("avgpool", channels=1024, in_h=7, in_w=7, kernel=7, stride=1),
+        DenseLayer("fc", in_features=1024, out_features=1000),
+    ]
+    return NetworkModel("googlenet", layers, input_elements=3 * 224 * 224, output_elements=1000)
+
+
+def _bottleneck(prefix: str, size: int, c_in: int, width: int, stride: int) -> List[LayerBase]:
+    """ResNet-50 bottleneck: 1x1 width, 3x3 width (stride), 1x1 4*width,
+    plus the residual add. A projection conv is added when shapes change."""
+    out_size = size // stride
+    c_out = width * 4
+    layers: List[LayerBase] = [
+        ConvLayer(f"{prefix}_1x1a", c_in=c_in, c_out=width, in_h=size, in_w=size, kernel=1),
+        ConvLayer(f"{prefix}_3x3", c_in=width, c_out=width, in_h=size, in_w=size, kernel=3,
+                  stride=stride, padding=1),
+        ConvLayer(f"{prefix}_1x1b", c_in=width, c_out=c_out, in_h=out_size, in_w=out_size, kernel=1),
+    ]
+    if stride != 1 or c_in != c_out:
+        layers.append(
+            ConvLayer(f"{prefix}_proj", c_in=c_in, c_out=c_out, in_h=size, in_w=size,
+                      kernel=1, stride=stride)
+        )
+    layers.append(
+        ElementwiseLayer(f"{prefix}_add", elements=c_out * out_size * out_size, operands=2)
+    )
+    return layers
+
+
+def build_resnet50() -> NetworkModel:
+    """ResNet-50 ([3, 4, 6, 3] bottleneck stages)."""
+    layers: List[LayerBase] = [
+        ConvLayer("stem_conv", c_in=3, c_out=64, in_h=224, in_w=224, kernel=7, stride=2, padding=3),
+        PoolLayer("stem_pool", channels=64, in_h=112, in_w=112, kernel=3, stride=2, padding=1),
+    ]
+    spec = [(64, 3, 56), (128, 4, 28), (256, 6, 14), (512, 3, 7)]
+    c_in = 64
+    size = 56
+    for stage_idx, (width, blocks, out_size) in enumerate(spec):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage_idx > 0) else 1
+            layers += _bottleneck(f"s{stage_idx + 1}b{block + 1}", size, c_in, width, stride)
+            c_in = width * 4
+            size = size // stride
+        assert size == out_size, f"stage {stage_idx}: {size} != {out_size}"
+    layers += [
+        PoolLayer("avgpool", channels=2048, in_h=7, in_w=7, kernel=7, stride=1),
+        DenseLayer("fc", in_features=2048, out_features=1000),
+    ]
+    return NetworkModel("resnet50", layers, input_elements=3 * 224 * 224, output_elements=1000)
+
+
+def build_mobilenet() -> NetworkModel:
+    """MobileNetV1 (1.0x, 224). Depthwise-separable blocks with the
+    published (channels, stride) schedule."""
+    layers: List[LayerBase] = [
+        ConvLayer("stem", c_in=3, c_out=32, in_h=224, in_w=224, kernel=3, stride=2, padding=1),
+    ]
+    # (in_channels, out_channels, stride, input size)
+    schedule = [
+        (32, 64, 1, 112),
+        (64, 128, 2, 112),
+        (128, 128, 1, 56),
+        (128, 256, 2, 56),
+        (256, 256, 1, 28),
+        (256, 512, 2, 28),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 1024, 2, 14),
+        (1024, 1024, 1, 7),
+    ]
+    for i, (c_in, c_out, stride, size) in enumerate(schedule):
+        out_size = size // stride
+        layers.append(
+            DepthwiseConvLayer(f"dw{i + 1}", channels=c_in, in_h=size, in_w=size,
+                               kernel=3, stride=stride, padding=1)
+        )
+        layers.append(
+            ConvLayer(f"pw{i + 1}", c_in=c_in, c_out=c_out, in_h=out_size, in_w=out_size, kernel=1)
+        )
+    layers += [
+        PoolLayer("avgpool", channels=1024, in_h=7, in_w=7, kernel=7, stride=1),
+        DenseLayer("fc", in_features=1024, out_features=1000),
+    ]
+    return NetworkModel("mobilenet", layers, input_elements=3 * 224 * 224, output_elements=1000)
+
+
+# ---------------------------------------------------------------------------
+# Transformer builders
+# ---------------------------------------------------------------------------
+
+
+def _transformer_encoder(prefix: str, seq: int, d_model: int, heads: int,
+                         d_ff: int) -> List[LayerBase]:
+    """One encoder layer: QKV, attention (per-head score + context
+    matmuls), output projection, 2-layer MLP, norms and residuals."""
+    d_head = d_model // heads
+    return [
+        DenseLayer(f"{prefix}_qkv", in_features=d_model, out_features=3 * d_model, seq=seq),
+        MatmulLayer(f"{prefix}_scores", m=seq, k=d_head, n=seq, count=heads),
+        ElementwiseLayer(f"{prefix}_softmax", elements=heads * seq * seq),
+        MatmulLayer(f"{prefix}_context", m=seq, k=seq, n=d_head, count=heads),
+        DenseLayer(f"{prefix}_proj", in_features=d_model, out_features=d_model, seq=seq),
+        ElementwiseLayer(f"{prefix}_norm1", elements=seq * d_model, operands=2),
+        DenseLayer(f"{prefix}_ff1", in_features=d_model, out_features=d_ff, seq=seq),
+        DenseLayer(f"{prefix}_ff2", in_features=d_ff, out_features=d_model, seq=seq),
+        ElementwiseLayer(f"{prefix}_norm2", elements=seq * d_model, operands=2),
+    ]
+
+
+def build_vit_base() -> NetworkModel:
+    """ViT-Base/16: 224x224 image -> 196 patches + CLS (seq 197), 12
+    encoder layers, d=768, 12 heads, MLP 3072."""
+    seq, d_model, heads, d_ff = 197, 768, 12, 3072
+    layers: List[LayerBase] = [
+        # patch embedding = 16x16 stride-16 conv, 3->768
+        ConvLayer("patch_embed", c_in=3, c_out=768, in_h=224, in_w=224, kernel=16, stride=16),
+    ]
+    for i in range(12):
+        layers += _transformer_encoder(f"enc{i + 1}", seq, d_model, heads, d_ff)
+    layers.append(DenseLayer("head", in_features=768, out_features=1000))
+    return NetworkModel("vit", layers, input_elements=3 * 224 * 224, output_elements=1000,
+                        family="transformer")
+
+
+def build_bert_base() -> NetworkModel:
+    """BERT-Base pretraining: seq 512, 12 layers, d=768, vocab 30522.
+    Includes the embedding gather and the MLM output projection (tied
+    weights; we count the GEMM, not extra parameters)."""
+    seq, d_model, heads, d_ff, vocab = 512, 768, 12, 3072, 30522
+    layers: List[LayerBase] = [
+        EmbeddingLayer("embed", rows=vocab, dim=d_model, lookups_per_sample=seq),
+    ]
+    for i in range(12):
+        layers += _transformer_encoder(f"enc{i + 1}", seq, d_model, heads, d_ff)
+    layers.append(DenseLayer("mlm_head", in_features=d_model, out_features=vocab, seq=seq))
+    return NetworkModel("bert", layers, input_elements=seq, output_elements=seq * vocab,
+                        family="transformer")
+
+
+# ---------------------------------------------------------------------------
+# Recommendation / speech
+# ---------------------------------------------------------------------------
+
+
+def build_dlrm() -> NetworkModel:
+    """DLRM (MLPerf-style): 26 categorical features with 128-dim embedding
+    tables, bottom MLP 13-512-256-128, pairwise interactions, top MLP
+    479-1024-1024-512-256-1. Embedding-gather dominated — the paper
+    includes it as the memory-bound extreme."""
+    emb_dim = 128
+    num_tables = 26
+    layers: List[LayerBase] = []
+    for t in range(num_tables):
+        # production tables are huge; 1M rows each keeps the gather
+        # behaviour (random single-row reads) without absurd footprints
+        layers.append(EmbeddingLayer(f"emb{t}", rows=1_000_000, dim=emb_dim, lookups_per_sample=1))
+    for i, (fin, fout) in enumerate([(13, 512), (512, 256), (256, 128)]):
+        layers.append(DenseLayer(f"bot_mlp{i + 1}", in_features=fin, out_features=fout))
+    # pairwise dot interactions of 27 vectors (26 tables + bottom output)
+    layers.append(ElementwiseLayer("interact", elements=27 * 27 // 2))
+    for i, (fin, fout) in enumerate(
+        [(479, 1024), (1024, 1024), (1024, 512), (512, 256), (256, 1)]
+    ):
+        layers.append(DenseLayer(f"top_mlp{i + 1}", in_features=fin, out_features=fout))
+    return NetworkModel("dlrm", layers, input_elements=13 + num_tables, output_elements=1,
+                        family="recommendation")
+
+
+def build_wav2vec2() -> NetworkModel:
+    """wav2vec2-Base on 1 s of 16 kHz audio: 7-layer temporal conv feature
+    encoder (512 ch) then 12 transformer layers (d=768) over ~49 frames."""
+    layers: List[LayerBase] = []
+    # (kernel, stride) schedule of the published feature encoder
+    schedule = [(10, 5), (3, 2), (3, 2), (3, 2), (3, 2), (2, 2), (2, 2)]
+    length = 16000
+    c_in = 1
+    for i, (kernel, stride) in enumerate(schedule):
+        layer = Conv1DLayer(f"feat{i + 1}", c_in=c_in, c_out=512, length=length,
+                            kernel=kernel, stride=stride, padding=0)
+        layers.append(layer)
+        c_in = 512
+        length = layer.out_length
+    seq = length  # ~49
+    layers.append(DenseLayer("feat_proj", in_features=512, out_features=768, seq=seq))
+    for i in range(12):
+        layers += _transformer_encoder(f"enc{i + 1}", seq, 768, 12, 3072)
+    return NetworkModel("wav2vec2", layers, input_elements=16000, output_elements=seq * 768,
+                        family="speech")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+MODEL_ZOO: Dict[str, Callable[[], NetworkModel]] = {
+    "alexnet": build_alexnet,
+    "vgg16": build_vgg16,
+    "googlenet": build_googlenet,
+    "resnet50": build_resnet50,
+    "mobilenet": build_mobilenet,
+    "vit": build_vit_base,
+    "bert": build_bert_base,
+    "dlrm": build_dlrm,
+    "wav2vec2": build_wav2vec2,
+}
+
+#: aliases used by the paper's tables/figures
+ALIASES = {
+    "vgg": "vgg16",
+    "resnet": "resnet50",
+    "alexnet": "alexnet",
+    "wave2vec2": "wav2vec2",
+}
+
+
+def list_models() -> List[str]:
+    return sorted(MODEL_ZOO)
+
+
+def build_model(name: str) -> NetworkModel:
+    """Build a network by name (paper aliases accepted)."""
+    key = name.lower()
+    key = ALIASES.get(key, key)
+    if key not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; known: {', '.join(list_models())}")
+    return MODEL_ZOO[key]()

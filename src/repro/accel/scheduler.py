@@ -1,0 +1,148 @@
+"""On-chip buffer tiling and per-layer DRAM traffic.
+
+DNN accelerators stage tiles of weights/features through an on-chip
+buffer. Whether a tensor must be re-fetched depends on whether the layer's
+working set fits; this is what makes CHaiDNN (3 MB SRAM) memory-hungry
+and the TPU-like ASIC config (24 MB) mostly fetch-once, and it determines
+the *data* traffic that the protection schemes then add metadata to.
+
+The model: for each GEMM (M,K,N), if all three operands fit on chip, each
+is moved exactly once. Otherwise the output is tiled into T x T blocks
+(T chosen so two operand panels and the output tile fit), and the
+standard blocked-GEMM traffic applies: A is re-read ceil(N/T) times, B is
+re-read ceil(M/T) times, C is written once.
+
+This matches the paper's Section II-D premise that an accelerator
+"typically reads/writes the output features of a layer from/to DRAM the
+same number of times" — outputs are written once; it is *inputs* that may
+be re-streamed, which is why GuardNN's read counter (CTR_F,R) is supplied
+by the host rather than tracked on chip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.accel.layers import GemmShape, LayerBase
+
+
+@dataclass
+class LayerTraffic:
+    """DRAM traffic of one layer execution, in bytes, split by tensor
+    class. ``*_reads``/``*_writes`` count total bytes moved (including
+    re-reads); ``*_size`` is the tensor footprint (for protection-scheme
+    region bookkeeping)."""
+
+    layer_name: str
+    weight_reads: int = 0
+    input_reads: int = 0
+    output_writes: int = 0
+    weight_size: int = 0
+    input_size: int = 0
+    output_size: int = 0
+    # how many times each input/output region is streamed (>= 1); used by
+    # the GuardNN counter scheme to set read counters
+    input_passes: int = 1
+    output_passes: int = 1
+
+    @property
+    def read_bytes(self) -> int:
+        return self.weight_reads + self.input_reads
+
+    @property
+    def write_bytes(self) -> int:
+        return self.output_writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+
+class TilingScheduler:
+    """Produces :class:`LayerTraffic` for each layer of a network."""
+
+    def __init__(self, sram_bytes: int, bytes_per_element: int = 1):
+        if sram_bytes <= 0:
+            raise ValueError("sram_bytes must be positive")
+        if bytes_per_element <= 0:
+            raise ValueError("bytes_per_element must be positive")
+        self.sram_bytes = sram_bytes
+        self.bpe = bytes_per_element
+
+    def _gemm_traffic(self, gemm: GemmShape):
+        """Return (a_reads, b_reads, c_writes, a_passes) in elements."""
+        a_elems, b_elems, c_elems = gemm.operand_elements()
+        total = a_elems + b_elems + c_elems
+        budget = self.sram_bytes // self.bpe
+        if total <= budget:
+            return a_elems, b_elems, c_elems, 1
+
+        # Blocked GEMM with T x T output tiles: buffer holds an A panel
+        # (T x K), a B panel (K x T) and the C tile (T x T).
+        k = gemm.k
+        # solve T^2 + 2*K*T - budget = 0 for T
+        t = int((-2 * k + math.sqrt(4 * k * k + 4 * budget)) / 2)
+        t = max(1, t)
+        n_tiles_n = math.ceil(gemm.n / t)
+        n_tiles_m = math.ceil(gemm.m / t)
+        a_reads = a_elems * n_tiles_n
+        b_reads = b_elems * n_tiles_m
+        return a_reads, b_reads, c_elems, n_tiles_n
+
+    def layer_traffic(self, layer: LayerBase, batch: int = 1) -> LayerTraffic:
+        """Traffic for one layer. Non-GEMM layers stream input and output
+        once; GEMM layers get the blocked-GEMM model."""
+        traffic = LayerTraffic(
+            layer_name=layer.name,
+            weight_size=layer.weight_elements() * self.bpe,
+            input_size=layer.input_elements(batch) * self.bpe,
+            output_size=layer.output_elements(batch) * self.bpe,
+        )
+        gemms = layer.gemms(batch)
+        if not gemms:
+            traffic.input_reads = traffic.input_size
+            traffic.output_writes = traffic.output_size
+            return traffic
+
+        # Distribute the layer's tensor footprints across its GEMMs
+        # proportionally to the per-GEMM operand sizes (a grouped conv's
+        # groups each own a slice of the tensors).
+        a_total = 0
+        b_total = 0
+        c_total = 0
+        passes = 1
+        groups = {}
+        for g in gemms:
+            groups[g] = groups.get(g, 0) + 1
+        for gemm, count in groups.items():
+            a_r, b_r, c_w, a_p = self._gemm_traffic(gemm)
+            a_total += a_r * count
+            b_total += b_r * count
+            c_total += c_w * count
+            passes = max(passes, a_p)
+
+        # A-operand re-reads apply to the layer input; B to the weights.
+        # im2col replication is a modelling choice: accelerators with line
+        # buffers fetch each input element roughly once, so we charge the
+        # *tensor* size per pass, not the K-expanded GEMM operand.
+        input_elems = layer.input_elements(batch)
+        weight_elems = layer.weight_elements()
+        a_gemm_elems = sum(g.operand_elements()[0] * c for g, c in groups.items())
+        b_gemm_elems = sum(g.operand_elements()[1] * c for g, c in groups.items())
+        a_factor = a_total / a_gemm_elems if a_gemm_elems else 1
+        b_factor = b_total / b_gemm_elems if b_gemm_elems else 1
+
+        if weight_elems:
+            traffic.weight_reads = int(weight_elems * b_factor) * self.bpe
+            traffic.input_reads = int(input_elems * a_factor) * self.bpe
+        else:
+            # activation-activation matmul: both operands are features
+            traffic.input_reads = int(input_elems * max(a_factor, b_factor)) * self.bpe
+        traffic.output_writes = layer.output_elements(batch) * self.bpe
+        traffic.input_passes = max(1, int(round(a_factor)))
+        return traffic
+
+    def network_traffic(self, layers, batch: int = 1) -> List[LayerTraffic]:
+        return [self.layer_traffic(layer, batch) for layer in layers]

@@ -1,0 +1,242 @@
+"""Extended model zoo: parameterized families beyond the paper's nine.
+
+Section III-A motivates cycle-level simulation partly to "study the
+overhead for a larger class of DNN models". These builders generalize
+the zoo so experiments can sweep depth/width/sequence-length and check
+that GuardNN's advantage is not an artifact of the nine headline
+networks:
+
+* ResNet-18/34/101/152 (basic and bottleneck blocks),
+* VGG-11/13/19,
+* MobileNetV1 width multipliers (0.25x-1.0x),
+* ViT-Small/Base/Large,
+* BERT with arbitrary depth/width/sequence length,
+* wav2vec2 over arbitrary audio durations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.accel.layers import (
+    Conv1DLayer,
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    ElementwiseLayer,
+    LayerBase,
+    PoolLayer,
+)
+from repro.accel.models import (
+    NetworkModel,
+    _bottleneck,
+    _inception,
+    _transformer_encoder,
+    _vgg_block,
+)
+
+
+def _basic_block(prefix: str, size: int, c_in: int, width: int, stride: int) -> List[LayerBase]:
+    """ResNet basic block (two 3x3 convs) for ResNet-18/34."""
+    out_size = size // stride
+    layers: List[LayerBase] = [
+        ConvLayer(f"{prefix}_3x3a", c_in=c_in, c_out=width, in_h=size, in_w=size,
+                  kernel=3, stride=stride, padding=1),
+        ConvLayer(f"{prefix}_3x3b", c_in=width, c_out=width, in_h=out_size,
+                  in_w=out_size, kernel=3, stride=1, padding=1),
+    ]
+    if stride != 1 or c_in != width:
+        layers.append(ConvLayer(f"{prefix}_proj", c_in=c_in, c_out=width, in_h=size,
+                                in_w=size, kernel=1, stride=stride))
+    layers.append(ElementwiseLayer(f"{prefix}_add", elements=width * out_size * out_size,
+                                   operands=2))
+    return layers
+
+
+_RESNET_SPECS: Dict[int, tuple] = {
+    # depth: (block builder, stage block counts, uses bottleneck)
+    18: ([2, 2, 2, 2], False),
+    34: ([3, 4, 6, 3], False),
+    50: ([3, 4, 6, 3], True),
+    101: ([3, 4, 23, 3], True),
+    152: ([3, 8, 36, 3], True),
+}
+
+
+def build_resnet(depth: int = 50) -> NetworkModel:
+    """Any standard ResNet depth."""
+    if depth not in _RESNET_SPECS:
+        raise KeyError(f"unsupported ResNet depth {depth}; known: {sorted(_RESNET_SPECS)}")
+    blocks_per_stage, bottleneck = _RESNET_SPECS[depth]
+    layers: List[LayerBase] = [
+        ConvLayer("stem_conv", c_in=3, c_out=64, in_h=224, in_w=224, kernel=7,
+                  stride=2, padding=3),
+        PoolLayer("stem_pool", channels=64, in_h=112, in_w=112, kernel=3, stride=2,
+                  padding=1),
+    ]
+    widths = [64, 128, 256, 512]
+    c_in = 64
+    size = 56
+    for stage, (width, blocks) in enumerate(zip(widths, blocks_per_stage)):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            prefix = f"s{stage + 1}b{block + 1}"
+            if bottleneck:
+                layers += _bottleneck(prefix, size, c_in, width, stride)
+                c_in = width * 4
+            else:
+                layers += _basic_block(prefix, size, c_in, width, stride)
+                c_in = width
+            size //= stride
+    final_c = widths[-1] * (4 if bottleneck else 1)
+    layers += [
+        PoolLayer("avgpool", channels=final_c, in_h=7, in_w=7, kernel=7, stride=1),
+        DenseLayer("fc", in_features=final_c, out_features=1000),
+    ]
+    return NetworkModel(f"resnet{depth}", layers, input_elements=3 * 224 * 224,
+                        output_elements=1000)
+
+
+_VGG_CONV_COUNTS = {11: [1, 1, 2, 2, 2], 13: [2, 2, 2, 2, 2],
+                    16: [2, 2, 3, 3, 3], 19: [2, 2, 4, 4, 4]}
+
+
+def build_vgg(depth: int = 16) -> NetworkModel:
+    """VGG-11/13/16/19 (configurations A/B/D/E)."""
+    if depth not in _VGG_CONV_COUNTS:
+        raise KeyError(f"unsupported VGG depth {depth}")
+    counts = _VGG_CONV_COUNTS[depth]
+    channels = [64, 128, 256, 512, 512]
+    sizes = [224, 112, 56, 28, 14]
+    layers: List[LayerBase] = []
+    c_in = 3
+    for i, (c_out, size, convs) in enumerate(zip(channels, sizes, counts)):
+        layers += _vgg_block(f"b{i + 1}", c_in, c_out, size, convs)
+        c_in = c_out
+    layers += [
+        DenseLayer("fc6", in_features=512 * 7 * 7, out_features=4096),
+        DenseLayer("fc7", in_features=4096, out_features=4096),
+        DenseLayer("fc8", in_features=4096, out_features=1000),
+    ]
+    return NetworkModel(f"vgg{depth}", layers, input_elements=3 * 224 * 224,
+                        output_elements=1000)
+
+
+def build_mobilenet_width(multiplier: float = 1.0) -> NetworkModel:
+    """MobileNetV1 with a width multiplier (0.25 / 0.5 / 0.75 / 1.0)."""
+    if not 0.1 <= multiplier <= 1.0:
+        raise ValueError("width multiplier must be in [0.1, 1.0]")
+
+    def c(channels: int) -> int:
+        return max(8, int(channels * multiplier))
+
+    layers: List[LayerBase] = [
+        ConvLayer("stem", c_in=3, c_out=c(32), in_h=224, in_w=224, kernel=3,
+                  stride=2, padding=1),
+    ]
+    schedule = [
+        (32, 64, 1, 112), (64, 128, 2, 112), (128, 128, 1, 56), (128, 256, 2, 56),
+        (256, 256, 1, 28), (256, 512, 2, 28), (512, 512, 1, 14), (512, 512, 1, 14),
+        (512, 512, 1, 14), (512, 512, 1, 14), (512, 512, 1, 14), (512, 1024, 2, 14),
+        (1024, 1024, 1, 7),
+    ]
+    for i, (cin, cout, stride, size) in enumerate(schedule):
+        out_size = size // stride
+        layers.append(DepthwiseConvLayer(f"dw{i + 1}", channels=c(cin), in_h=size,
+                                         in_w=size, kernel=3, stride=stride, padding=1))
+        layers.append(ConvLayer(f"pw{i + 1}", c_in=c(cin), c_out=c(cout),
+                                in_h=out_size, in_w=out_size, kernel=1))
+    layers += [
+        PoolLayer("avgpool", channels=c(1024), in_h=7, in_w=7, kernel=7, stride=1),
+        DenseLayer("fc", in_features=c(1024), out_features=1000),
+    ]
+    name = f"mobilenet-{multiplier:g}x"
+    return NetworkModel(name, layers, input_elements=3 * 224 * 224, output_elements=1000)
+
+
+_VIT_SPECS = {
+    "small": (384, 6, 6, 1536),
+    "base": (768, 12, 12, 3072),
+    "large": (1024, 24, 16, 4096),
+}
+
+
+def build_vit(variant: str = "base", image: int = 224, patch: int = 16) -> NetworkModel:
+    """ViT-Small/Base/Large at any square image/patch size."""
+    if variant not in _VIT_SPECS:
+        raise KeyError(f"unsupported ViT variant {variant!r}")
+    d_model, depth, heads, d_ff = _VIT_SPECS[variant]
+    if image % patch:
+        raise ValueError("image size must be a multiple of the patch size")
+    seq = (image // patch) ** 2 + 1
+    layers: List[LayerBase] = [
+        ConvLayer("patch_embed", c_in=3, c_out=d_model, in_h=image, in_w=image,
+                  kernel=patch, stride=patch),
+    ]
+    for i in range(depth):
+        layers += _transformer_encoder(f"enc{i + 1}", seq, d_model, heads, d_ff)
+    layers.append(DenseLayer("head", in_features=d_model, out_features=1000))
+    return NetworkModel(f"vit-{variant}", layers, input_elements=3 * image * image,
+                        output_elements=1000, family="transformer")
+
+
+def build_bert_custom(seq: int = 512, d_model: int = 768, depth: int = 12,
+                      heads: int = 12, vocab: int = 30522) -> NetworkModel:
+    """BERT with arbitrary geometry (BERT-Large = 1024/24/16)."""
+    from repro.accel.layers import EmbeddingLayer
+
+    layers: List[LayerBase] = [
+        EmbeddingLayer("embed", rows=vocab, dim=d_model, lookups_per_sample=seq),
+    ]
+    for i in range(depth):
+        layers += _transformer_encoder(f"enc{i + 1}", seq, d_model, heads, 4 * d_model)
+    layers.append(DenseLayer("mlm_head", in_features=d_model, out_features=vocab, seq=seq))
+    name = f"bert-{depth}L-{d_model}d-{seq}s"
+    return NetworkModel(name, layers, input_elements=seq,
+                        output_elements=seq * vocab, family="transformer")
+
+
+def build_wav2vec2_duration(seconds: float = 1.0) -> NetworkModel:
+    """wav2vec2-Base over ``seconds`` of 16 kHz audio."""
+    if seconds <= 0:
+        raise ValueError("duration must be positive")
+    layers: List[LayerBase] = []
+    schedule = [(10, 5), (3, 2), (3, 2), (3, 2), (3, 2), (2, 2), (2, 2)]
+    length = int(16000 * seconds)
+    c_in = 1
+    for i, (kernel, stride) in enumerate(schedule):
+        layer = Conv1DLayer(f"feat{i + 1}", c_in=c_in, c_out=512, length=length,
+                            kernel=kernel, stride=stride)
+        layers.append(layer)
+        c_in = 512
+        length = layer.out_length
+    seq = length
+    layers.append(DenseLayer("feat_proj", in_features=512, out_features=768, seq=seq))
+    for i in range(12):
+        layers += _transformer_encoder(f"enc{i + 1}", seq, 768, 12, 3072)
+    return NetworkModel(f"wav2vec2-{seconds:g}s", layers,
+                        input_elements=int(16000 * seconds),
+                        output_elements=seq * 768, family="speech")
+
+
+EXTENDED_ZOO = {
+    "resnet18": lambda: build_resnet(18),
+    "resnet34": lambda: build_resnet(34),
+    "resnet101": lambda: build_resnet(101),
+    "resnet152": lambda: build_resnet(152),
+    "vgg11": lambda: build_vgg(11),
+    "vgg13": lambda: build_vgg(13),
+    "vgg19": lambda: build_vgg(19),
+    "mobilenet-0.25x": lambda: build_mobilenet_width(0.25),
+    "mobilenet-0.5x": lambda: build_mobilenet_width(0.5),
+    "vit-small": lambda: build_vit("small"),
+    "vit-large": lambda: build_vit("large"),
+    "bert-large": lambda: build_bert_custom(d_model=1024, depth=24, heads=16),
+    "wav2vec2-10s": lambda: build_wav2vec2_duration(10.0),
+}
+
+
+def build_extended(name: str) -> NetworkModel:
+    if name not in EXTENDED_ZOO:
+        raise KeyError(f"unknown extended model {name!r}; known: {sorted(EXTENDED_ZOO)}")
+    return EXTENDED_ZOO[name]()

@@ -1,0 +1,28 @@
+"""Analysis models: FPGA prototype, microcontroller latency, ASIC
+area/power, energy, and the cross-approach comparison of Table III.
+
+These are the analytic halves of the paper's evaluation — the parts that
+in the original were measured on an FPGA board or estimated from
+published component numbers (TPU-v1, the 28nm AES core of Shan et al.).
+"""
+
+from repro.analysis.fpga import FpgaConfig, FpgaPrototypeModel, FpgaResourceModel, CHAIDNN_PLATFORM
+from repro.analysis.microcontroller import MicrocontrollerModel, InstructionLatencyModel
+from repro.analysis.area import AsicAreaModel, TPU_V1_AREA, AES_CORE_28NM
+from repro.analysis.energy import EnergyModel
+from repro.analysis.comparison import ComparisonTable, APPROACHES
+
+__all__ = [
+    "FpgaConfig",
+    "FpgaPrototypeModel",
+    "FpgaResourceModel",
+    "CHAIDNN_PLATFORM",
+    "MicrocontrollerModel",
+    "InstructionLatencyModel",
+    "AsicAreaModel",
+    "TPU_V1_AREA",
+    "AES_CORE_28NM",
+    "EnergyModel",
+    "ComparisonTable",
+    "APPROACHES",
+]

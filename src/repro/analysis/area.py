@@ -1,0 +1,91 @@
+"""ASIC area/power overhead model (Section III-C).
+
+The paper's arithmetic: a 28nm low-power AES engine (Shan et al., VLSI
+2019) is 0.0031 mm^2 / 3.85 mW / 991 Mbps at 875 MHz; TPU-v1 (28nm) is
+331 mm^2 / 75 W with 272 Gbps peak memory bandwidth. Matching the
+bandwidth takes ceil(272/0.991) = 275... the paper says 344 engines
+(they derate the engine to its sustained rate); either way the overhead
+is fractions of a percent. We expose the model so the bench can sweep
+engine counts and AES-core variants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class AesCoreSpec:
+    """One published AES core operating point."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+    throughput_gbps: float
+    freq_mhz: float
+
+
+#: Shan et al., VLSI 2019 (28nm, 2-Sbox energy-efficient core)
+AES_CORE_28NM = AesCoreSpec(
+    name="shan-vlsi19-28nm",
+    area_mm2=0.0031,
+    power_mw=3.85,
+    throughput_gbps=0.991,
+    freq_mhz=875.0,
+)
+
+
+@dataclass(frozen=True)
+class AcceleratorAreaSpec:
+    """The host accelerator the engines are added to."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+    mem_bandwidth_gbps: float
+
+
+#: TPU-v1, 28nm (Jouppi et al., ISCA 2017)
+TPU_V1_AREA = AcceleratorAreaSpec(
+    name="tpu-v1",
+    area_mm2=331.0,
+    power_w=75.0,
+    mem_bandwidth_gbps=272.0,
+)
+
+
+class AsicAreaModel:
+    """Computes how many AES engines a bandwidth target needs and the
+    resulting area/power overhead."""
+
+    def __init__(self, core: AesCoreSpec = AES_CORE_28NM,
+                 accelerator: AcceleratorAreaSpec = TPU_V1_AREA,
+                 derate: float = 0.8):
+        """``derate``: sustained/peak throughput ratio of one engine
+        (covers pipeline bubbles and key-switch overhead; the paper's 344
+        engines correspond to ~0.8 derating of the 991 Mbps core)."""
+        if not 0 < derate <= 1:
+            raise ValueError("derate must be in (0, 1]")
+        self.core = core
+        self.accelerator = accelerator
+        self.derate = derate
+
+    def engines_needed(self) -> int:
+        sustained = self.core.throughput_gbps * self.derate
+        return math.ceil(self.accelerator.mem_bandwidth_gbps / sustained)
+
+    def overhead(self, engines: int = None) -> Dict[str, float]:
+        """Area/power overhead of ``engines`` AES cores (default: enough
+        to match the accelerator's memory bandwidth)."""
+        n = engines if engines is not None else self.engines_needed()
+        area = n * self.core.area_mm2
+        power_w = n * self.core.power_mw / 1e3
+        return {
+            "engines": n,
+            "area_mm2": area,
+            "area_pct": 100.0 * area / self.accelerator.area_mm2,
+            "power_w": power_w,
+            "power_pct": 100.0 * power_w / self.accelerator.power_w,
+        }

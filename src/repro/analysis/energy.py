@@ -1,0 +1,43 @@
+"""Energy-efficiency model: GOPs and GOPs/W for Table III.
+
+Throughput in Table III is "giga operations per second" counting each
+MAC as 2 ops (the usual convention); power combines the accelerator's
+estimated draw with the AES engines' contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.accelerator import RunResult
+from repro.accel.models import NetworkModel
+from repro.analysis.area import AsicAreaModel
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Maps a simulated run to the Table III metrics."""
+
+    accelerator_power_w: float
+
+    def ops(self, network: NetworkModel, batch: int = 1) -> float:
+        return 2.0 * network.macs(batch)
+
+    def throughput_gops(self, network: NetworkModel, result: RunResult) -> float:
+        if result.seconds <= 0:
+            return 0.0
+        return self.ops(network, result.batch) / result.seconds / 1e9
+
+    def total_power_w(self, aes_engines: int = 0,
+                      area_model: AsicAreaModel = None) -> float:
+        power = self.accelerator_power_w
+        if aes_engines and area_model is not None:
+            power += area_model.overhead(aes_engines)["power_w"]
+        return power
+
+    def efficiency_gops_per_w(self, network: NetworkModel, result: RunResult,
+                              power_w: float = None) -> float:
+        power = power_w if power_w is not None else self.accelerator_power_w
+        if power <= 0:
+            return 0.0
+        return self.throughput_gops(network, result) / power

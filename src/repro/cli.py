@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's experiments without writing code:
+
+* ``simulate`` — one network under one protection scheme (Figure 3 cell);
+* ``figure3`` — the full normalized-time series;
+* ``fpga-table`` — Table II;
+* ``traffic`` — the Section III-C traffic-increase numbers;
+* ``compile`` — compile a network's DFG to GuardNN instructions and
+  verify the read-counter schedule;
+* ``demo`` — the functional end-to-end secure inference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model, list_models
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE
+from repro.protection.none import NoProtection
+
+SCHEMES = {
+    "np": NoProtection,
+    "bp": BaselineMEE,
+    "guardnn-c": lambda: GuardNNProtection(integrity=False),
+    "guardnn-ci": lambda: GuardNNProtection(integrity=True),
+}
+
+
+def _scheme(name: str):
+    try:
+        return SCHEMES[name]()
+    except KeyError:
+        raise SystemExit(f"unknown scheme {name!r}; choose from {', '.join(SCHEMES)}")
+
+
+def cmd_simulate(args) -> int:
+    model = build_model(args.network)
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    base = accel.run(model, NoProtection(), training=args.training, batch=args.batch)
+    run = accel.run(model, _scheme(args.scheme), training=args.training, batch=args.batch)
+    print(f"network:            {model.name} ({'training' if args.training else 'inference'})")
+    print(f"scheme:             {run.scheme}")
+    print(f"total cycles:       {run.total_cycles:,}")
+    print(f"normalized time:    {run.normalized_to(base):.4f}x vs no protection")
+    print(f"traffic increase:   +{100*run.traffic_increase:.2f}%")
+    print(f"throughput:         {run.throughput_samples_per_s():.2f} samples/s")
+    return 0
+
+
+def cmd_figure3(args) -> int:
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    networks = list_models() if args.network == "all" else [args.network]
+    schemes = [GuardNNProtection(False), GuardNNProtection(True), BaselineMEE()]
+    print(f"{'network':12s} {'GuardNN_C':>10s} {'GuardNN_CI':>11s} {'BP':>8s}")
+    for name in networks:
+        if args.training and name == "dlrm":
+            continue  # as in the paper's Figure 3b
+        model = build_model(name)
+        base = accel.run(model, NoProtection(), training=args.training, batch=args.batch)
+        cells = [accel.run(model, s, training=args.training, batch=args.batch)
+                 .normalized_to(base) for s in schemes]
+        print(f"{name:12s} {cells[0]:>10.4f} {cells[1]:>11.4f} {cells[2]:>8.4f}")
+    return 0
+
+
+def cmd_fpga_table(args) -> int:
+    from repro.analysis.fpga import FpgaConfig, FpgaPrototypeModel
+
+    model = FpgaPrototypeModel(aes_engines=args.engines)
+    networks = ["alexnet", "googlenet", "resnet50", "vgg16"]
+    print(f"GuardNN_C ({args.precision}-bit), {args.engines} AES engines — fps (+overhead %)")
+    print(f"{'DSPs':>6s}" + "".join(f"{n:>20s}" for n in networks))
+    for dsps in (128, 256, 512, 1024):
+        cells = []
+        for net in networks:
+            row = model.table_row(net, FpgaConfig(dsps, args.precision))
+            cells.append(f"{row['guardnn_fps']:9.1f} (+{row['overhead_pct']:.2f}%)")
+        print(f"{dsps:>6d}" + "".join(f"{c:>20s}" for c in cells))
+    return 0
+
+
+def cmd_traffic(args) -> int:
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    bp, ci = BaselineMEE(), GuardNNProtection(True)
+    print(f"{'network':12s} {'BP +%':>8s} {'GuardNN_CI +%':>14s}")
+    for name in list_models():
+        model = build_model(name)
+        r_bp = accel.run(model, bp, training=args.training, batch=args.batch)
+        r_ci = accel.run(model, ci, training=args.training, batch=args.batch)
+        print(f"{name:12s} {100*r_bp.traffic_increase:>8.1f} {100*r_ci.traffic_increase:>14.1f}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from repro.core.compiler import DfgCompiler, verify_schedule
+
+    model = build_model(args.network)
+    program = DfgCompiler(model, batch=args.batch).compile(training=args.training)
+    report = verify_schedule(program)
+    print(f"compiled {model.name} ({'training' if args.training else 'inference'}):")
+    for kind, count in sorted(program.instruction_counts().items()):
+        print(f"  {kind:14s} x {count}")
+    print(f"schedule: VN-unique={report.vn_unique} "
+          f"read-consistent={report.reads_consistent} "
+          f"({report.writes} writes, {report.declared_reads} declared reads)")
+    return 0 if report.ok else 1
+
+
+def cmd_demo(args) -> int:
+    import numpy as np
+
+    from repro.core.device import GuardNNDevice
+    from repro.core.host import HonestHost, MlpSpec
+    from repro.core.session import UserSession
+    from repro.crypto.pki import ManufacturerCA
+    from repro.crypto.rng import HmacDrbg
+
+    ca = ManufacturerCA(HmacDrbg(b"cli-ca"))
+    device = GuardNNDevice(b"cli-dev", ca, seed=b"cli-seed", dram_bytes=1 << 20)
+    host = HonestHost(device)
+    user = UserSession(ca.root_public, HmacDrbg(b"cli-user"))
+    user.authenticate_device(host.fetch_device_info())
+    host.establish_session(user, enable_integrity=not args.no_integrity)
+    rng = np.random.default_rng(args.seed)
+    spec = MlpSpec([rng.integers(-20, 20, size=(64, 32), dtype=np.int8),
+                    rng.integers(-20, 20, size=(32, 10), dtype=np.int8)])
+    x = rng.integers(-20, 20, size=(4, 64), dtype=np.int8)
+    out, attested = host.compile_and_run(user, spec, x)
+    ok = (out == spec.reference_forward(x)).all()
+    print(f"result correct: {bool(ok)}; attested: {attested}; "
+          f"plaintext in DRAM: {spec.weights[0].tobytes() in bytes(device.untrusted_memory.data)}")
+    return 0 if ok and attested else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, network_default="vgg16"):
+        p.add_argument("--network", default=network_default,
+                       help=f"one of: {', '.join(list_models())}")
+        p.add_argument("--batch", type=int, default=1)
+        p.add_argument("--training", action="store_true")
+
+    p = sub.add_parser("simulate", help="run one network under one scheme")
+    common(p)
+    p.add_argument("--scheme", default="guardnn-ci", choices=sorted(SCHEMES))
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("figure3", help="normalized-time series (Figure 3)")
+    common(p, network_default="all")
+    p.set_defaults(func=cmd_figure3)
+
+    p = sub.add_parser("fpga-table", help="Table II")
+    p.add_argument("--precision", type=int, default=8, choices=(6, 8))
+    p.add_argument("--engines", type=int, default=3)
+    p.set_defaults(func=cmd_fpga_table)
+
+    p = sub.add_parser("traffic", help="memory-traffic increases")
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--training", action="store_true")
+    p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser("compile", help="compile a DFG to GuardNN instructions")
+    common(p, network_default="alexnet")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("demo", help="functional end-to-end secure inference")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-integrity", action="store_true")
+    p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

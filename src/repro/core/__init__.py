@@ -1,0 +1,63 @@
+"""The GuardNN device: the paper's primary contribution.
+
+* :mod:`repro.core.isa` — the GuardNN instruction set (Section II-E).
+* :mod:`repro.core.device` — a *functional* model of the secure
+  accelerator: it really encrypts/decrypts/MACs/signs every byte with the
+  :mod:`repro.crypto` primitives and enforces the restricted-ISA
+  confidentiality property.
+* :mod:`repro.core.mpu` — the memory protection unit (Enc/IV engines +
+  on-chip counters) guarding the simulated DRAM.
+* :mod:`repro.core.attestation` — hash chains and the SignOutput report.
+* :mod:`repro.core.session` — the remote user's side of the protocol.
+* :mod:`repro.core.host` — the untrusted host: an honest scheduler that
+  compiles DFGs into instructions, and adversarial variants for tests.
+* :mod:`repro.core.channel` — the encrypt-then-MAC transport format.
+* :mod:`repro.core.compute` — the int8 arithmetic the functional device
+  executes (GEMM + requantization + activations).
+"""
+
+from repro.core.errors import GuardNNError, IntegrityError, SessionError, ProtocolError
+from repro.core.isa import (
+    GetPK,
+    InitSession,
+    SetWeight,
+    SetInput,
+    Forward,
+    UpdateWeight,
+    ExportOutput,
+    SignOutput,
+    SetReadCTR,
+    Instruction,
+)
+from repro.core.device import GuardNNDevice, DeviceInfo
+from repro.core.session import UserSession
+from repro.core.host import HonestHost, AdversarialHost, TrainingHost
+from repro.core.attestation import AttestationReport, verify_report
+from repro.core.channel import SecureChannel, SealedMessage
+
+__all__ = [
+    "GuardNNError",
+    "IntegrityError",
+    "SessionError",
+    "ProtocolError",
+    "GetPK",
+    "InitSession",
+    "SetWeight",
+    "SetInput",
+    "Forward",
+    "UpdateWeight",
+    "ExportOutput",
+    "SignOutput",
+    "SetReadCTR",
+    "Instruction",
+    "GuardNNDevice",
+    "DeviceInfo",
+    "UserSession",
+    "HonestHost",
+    "AdversarialHost",
+    "TrainingHost",
+    "AttestationReport",
+    "verify_report",
+    "SecureChannel",
+    "SealedMessage",
+]

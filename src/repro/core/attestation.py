@@ -1,0 +1,120 @@
+"""Remote attestation: hash chains and the SignOutput report.
+
+Section II-C: "GuardNN computes the hashes of inputs and weights when
+they are imported, and keeps the hash of the sequence of executed
+instructions and their input arguments ... an instruction that signs the
+hashes of each output with the DNN data and instructions using the
+accelerator's private key so that a user can verify the initial state
+and the execution."
+
+The hash chains live on the device; the verification half runs at the
+remote user, who recomputes the expected digests from what they sent,
+what they received, and the instruction stream the host claims to have
+executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.crypto.ec import ECPoint
+from repro.crypto.ecdsa import ecdsa_sign, ecdsa_verify, encode_signature, decode_signature
+from repro.crypto.sha256 import Sha256, sha256
+
+_REPORT_CONTEXT = b"guardnn-attestation-v1"
+
+
+class AttestationState:
+    """The device-resident hash engines."""
+
+    def __init__(self, session_binding: bytes):
+        # binds the report to this session's key exchange transcript
+        self.session_binding = session_binding
+        self._h_weights = Sha256()
+        self._h_input = Sha256()
+        self._h_instr = Sha256()
+        self._h_output = Sha256()
+
+    def record_weights(self, plaintext: bytes) -> None:
+        self._h_weights.update(plaintext)
+
+    def record_input(self, plaintext: bytes) -> None:
+        self._h_input.update(plaintext)
+
+    def record_instruction(self, encoded: bytes) -> None:
+        self._h_instr.update(encoded)
+
+    def record_output(self, plaintext: bytes) -> None:
+        self._h_output.update(plaintext)
+
+    def digests(self) -> Tuple[bytes, bytes, bytes, bytes]:
+        return (
+            self._h_input.digest(),
+            self._h_output.digest(),
+            self._h_weights.digest(),
+            self._h_instr.digest(),
+        )
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """What SignOutput returns."""
+
+    input_digest: bytes
+    output_digest: bytes
+    weights_digest: bytes
+    instruction_digest: bytes
+    session_binding: bytes
+    signature: bytes
+
+    def tbs(self) -> bytes:
+        return (
+            _REPORT_CONTEXT
+            + self.input_digest
+            + self.output_digest
+            + self.weights_digest
+            + self.instruction_digest
+            + self.session_binding
+        )
+
+
+def sign_report(state: AttestationState, device_private: int) -> AttestationReport:
+    """SignOutput's core: sign the current digests with SK_Accel."""
+    h_in, h_out, h_w, h_i = state.digests()
+    unsigned = AttestationReport(h_in, h_out, h_w, h_i, state.session_binding, b"")
+    signature = encode_signature(ecdsa_sign(device_private, unsigned.tbs()))
+    return AttestationReport(h_in, h_out, h_w, h_i, state.session_binding, signature)
+
+
+def verify_report(report: AttestationReport, device_public: ECPoint) -> bool:
+    """Signature check only; use :func:`expected_digests` to check the
+    content against what the user believes happened."""
+    try:
+        signature = decode_signature(report.signature)
+    except ValueError:
+        return False
+    return ecdsa_verify(device_public, report.tbs(), signature)
+
+
+def expected_digests(weights: Iterable[bytes], inputs: Iterable[bytes],
+                     outputs: Iterable[bytes],
+                     instructions: Iterable[bytes]):
+    """Recompute, user-side, the digests an honest execution produces.
+
+    Arguments are the plaintext byte strings in import/export order and
+    the canonical instruction encodings in execution order.
+    """
+    h_w = Sha256()
+    for chunk in weights:
+        h_w.update(chunk)
+    h_in = Sha256()
+    for chunk in inputs:
+        h_in.update(chunk)
+    h_out = Sha256()
+    for chunk in outputs:
+        h_out.update(chunk)
+    h_i = Sha256()
+    for encoded in instructions:
+        h_i.update(encoded)
+    return h_in.digest(), h_out.digest(), h_w.digest(), h_i.digest()

@@ -1,0 +1,95 @@
+"""The user<->accelerator transport format: encrypt-then-MAC.
+
+Weights, inputs and outputs travel between the remote user and the
+device "through the secure communication channel" (Section II-C) as
+:class:`SealedMessage`: AES-CTR under K_Session with a fresh random
+nonce, authenticated by HMAC-SHA256 under the transport-MAC key. The
+MAC also covers a direction label and a sequence number so messages
+cannot be reflected or reordered between the two endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ProtocolError
+from repro.crypto.ctr import AesCtr
+from repro.crypto.hmac import hmac_sha256, hmac_verify
+from repro.crypto.keys import SessionKeys
+from repro.crypto.rng import HmacDrbg
+
+_NONCE_LEN = 16
+_TAG_LEN = 32
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """Wire format: nonce || ciphertext || tag."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def encode(self) -> bytes:
+        return self.nonce + self.ciphertext + self.tag
+
+    @staticmethod
+    def decode(data: bytes) -> "SealedMessage":
+        if len(data) < _NONCE_LEN + _TAG_LEN:
+            raise ProtocolError("sealed message too short")
+        return SealedMessage(
+            nonce=data[:_NONCE_LEN],
+            ciphertext=data[_NONCE_LEN:-_TAG_LEN],
+            tag=data[-_TAG_LEN:],
+        )
+
+
+class SecureChannel:
+    """One endpoint's view of the session transport.
+
+    ``label`` distinguishes directions ("user->device" vs
+    "device->user"); each endpoint seals with its own label and opens
+    with the peer's, preventing reflection.
+    """
+
+    def __init__(self, keys: SessionKeys, drbg: HmacDrbg, send_label: bytes,
+                 recv_label: bytes):
+        self._keys = keys
+        self._drbg = drbg
+        self._send_label = send_label
+        self._recv_label = recv_label
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def _aad(self, label: bytes, seq: int, nonce: bytes) -> bytes:
+        return label + seq.to_bytes(8, "big") + nonce
+
+    def seal(self, plaintext: bytes) -> SealedMessage:
+        """Encrypt + authenticate one message."""
+        nonce = self._drbg.generate(_NONCE_LEN)
+        ciphertext = AesCtr(self._keys.k_session).crypt(nonce, plaintext)
+        aad = self._aad(self._send_label, self._send_seq, nonce)
+        tag = hmac_sha256(self._keys.k_transport_mac, aad + ciphertext)
+        self._send_seq += 1
+        return SealedMessage(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+    def open(self, message: SealedMessage) -> bytes:
+        """Verify + decrypt one message; raises :class:`ProtocolError`
+        on any authentication failure."""
+        aad = self._aad(self._recv_label, self._recv_seq, message.nonce)
+        if not hmac_verify(self._keys.k_transport_mac, aad + message.ciphertext, message.tag):
+            raise ProtocolError("transport MAC verification failed")
+        self._recv_seq += 1
+        return AesCtr(self._keys.k_session).crypt(message.nonce, message.ciphertext)
+
+
+USER_TO_DEVICE = b"guardnn:user->device"
+DEVICE_TO_USER = b"guardnn:device->user"
+
+
+def user_channel(keys: SessionKeys, drbg: HmacDrbg) -> SecureChannel:
+    return SecureChannel(keys, drbg, USER_TO_DEVICE, DEVICE_TO_USER)
+
+
+def device_channel(keys: SessionKeys, drbg: HmacDrbg) -> SecureChannel:
+    return SecureChannel(keys, drbg, DEVICE_TO_USER, USER_TO_DEVICE)

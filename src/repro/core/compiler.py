@@ -1,0 +1,254 @@
+"""The host-side DFG compiler: any zoo network -> GuardNN instructions.
+
+The paper's division of labour (Section II-B): "run the ML software on
+an untrusted host, while restricting the host interface to a limited
+set". This module is that ML software — the part that takes a static
+data-flow graph (:mod:`repro.accel.dfg`), lays tensors out in device
+memory, and emits the GuardNN instruction stream, *including the
+SetReadCTR schedule*: for every feature edge the host reconstructs which
+(CTR_IN, CTR_F,W) the producing node wrote with, exactly as Section
+II-D2 describes ("the host CPU can easily reconstruct the VN used to
+write features").
+
+The compiler is used two ways:
+
+* **schedule verification** — :func:`verify_schedule` replays a compiled
+  stream against a :class:`~repro.protection.counters.CounterState`
+  model and checks (a) every read's declared VN matches what the
+  producer wrote and (b) no (address, VN) pair is ever reused. The test
+  suite runs this over every network in the zoo, inference and training.
+* **instruction-level workloads** — benchmark/example code can inspect
+  realistic whole-network instruction streams (sizes, counts, ordering)
+  without the functional device executing them (zoo layers are far too
+  big for int8-GEMM execution in Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.accel.dfg import DataFlowGraph, DfgNode, TensorRegion, build_inference_dfg, build_training_dfg
+from repro.accel.models import NetworkModel
+from repro.core.isa import (
+    ExportOutput,
+    Forward,
+    Instruction,
+    SetInput,
+    SetReadCTR,
+    SetWeight,
+    SignOutput,
+    UpdateWeight,
+)
+from repro.protection.counters import CounterState, VersionNumber
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled instruction stream plus the metadata the host keeps."""
+
+    network: str
+    training: bool
+    instructions: List[Instruction]
+    #: region name -> (base, size)
+    regions: Dict[str, Tuple[int, int]]
+    #: for every Forward, the (ctr_in, ctr_fw) its output was written with
+    write_schedule: Dict[int, Tuple[int, int]]  # output_base -> counters
+
+    @property
+    def forwards(self) -> List[Forward]:
+        return [i for i in self.instructions if isinstance(i, Forward)]
+
+    def instruction_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for instr in self.instructions:
+            name = type(instr).__name__
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+class DfgCompiler:
+    """Compiles a :class:`DataFlowGraph` into GuardNN instructions.
+
+    Every DFG node becomes one compute instruction (``Forward`` for
+    forward/dgrad/wgrad — the latter two with transpose flags — and
+    ``UpdateWeight`` for updates). Blob-carrying imports (SetWeight /
+    SetInput) are emitted with empty placeholder blobs: this compiler
+    produces *schedules*; the functional path (``HonestHost`` /
+    ``TrainingHost``) seals real data.
+    """
+
+    def __init__(self, model: NetworkModel, batch: int = 1,
+                 bytes_per_element: int = 1):
+        self.model = model
+        self.batch = batch
+        self.bpe = bytes_per_element
+
+    def _gemm_dims(self, node: DfgNode) -> Tuple[int, int, int]:
+        """Collapse a node's layer into one logical (m, k, n). Layers
+        whose GEMM list is empty (pool/elementwise/embedding) get a
+        degenerate 1x1xN vector op — the device's vector unit."""
+        layer = self.model.layers[node.layer_index]
+        gemms = layer.gemms(self.batch)
+        if not gemms:
+            return 1, 1, max(1, layer.output_elements(self.batch))
+        m = gemms[0].m
+        k = gemms[0].k
+        n = sum(g.n for g in gemms)
+        return m, k, n
+
+    def compile(self, training: bool = False) -> CompiledProgram:
+        dfg = build_training_dfg(self.model, self.batch, self.bpe) if training \
+            else build_inference_dfg(self.model, self.batch, self.bpe)
+        return self.compile_dfg(dfg)
+
+    def compile_dfg(self, dfg: DataFlowGraph) -> CompiledProgram:
+        instructions: List[Instruction] = []
+        counters = CounterState()  # the host's *model* of device counters
+        write_schedule: Dict[int, Tuple[int, int]] = {}
+        region_table = {name: (r.base, r.size) for name, r in dfg.regions.items()}
+        import_kinds: Dict[int, str] = {}  # base -> "weight" | "input"
+
+        # --- imports: all weights, then the input ---
+        for name, region in dfg.regions.items():
+            if region.kind == "weight":
+                instructions.append(SetWeight(base=region.base, blob=b""))
+                counters.on_set_weight()
+                import_kinds[region.base] = "weight"
+        input_region = dfg.regions["input"]
+        instructions.append(SetInput(base=input_region.base, blob=b""))
+        counters.on_set_input()
+        import_kinds[input_region.base] = "input"
+
+        # --- compute nodes in DFG order ---
+        for node in dfg.nodes:
+            m, k, n = self._gemm_dims(node)
+            reads = [r for r in node.reads]
+            writes = node.writes[0]
+            if node.op == "update":
+                weight_region = node.reads[0]
+                grad_region = node.reads[1]
+                self._declare_read(instructions, counters, write_schedule,
+                                   import_kinds, grad_region)
+                instructions.append(UpdateWeight(weight_base=weight_region.base,
+                                                 grad_base=grad_region.base,
+                                                 k=k, n=n))
+                counters.on_set_weight()
+                continue
+
+            # declare read counters for every feature/gradient operand
+            for region in reads:
+                self._declare_read(instructions, counters, write_schedule,
+                                   import_kinds, region)
+            weight_base = reads[1].base if len(reads) > 1 else reads[0].base
+            instructions.append(
+                Forward(input_base=reads[0].base, weight_base=weight_base,
+                        output_base=writes.base, m=m, k=k, n=n,
+                        transpose_a=node.op == "wgrad",
+                        transpose_b=node.op == "dgrad")
+            )
+            vn = counters.next_forward_vn()
+            write_schedule[writes.base] = (counters.ctr_in, counters.ctr_fw)
+            import_kinds.pop(writes.base, None)
+
+        # --- epilogue: export + attest ---
+        final = dfg.nodes[-1].writes[0]
+        self._declare_read(instructions, counters, write_schedule, import_kinds, final)
+        instructions.append(ExportOutput(base=final.base, size=final.size))
+        instructions.append(SignOutput())
+        return CompiledProgram(network=dfg.network, training=dfg.training,
+                               instructions=instructions, regions=region_table,
+                               write_schedule=write_schedule)
+
+    def _declare_read(self, instructions, counters: CounterState, write_schedule,
+                      import_kinds, region: TensorRegion) -> None:
+        """Emit SetReadCTR for a feature/gradient region previously
+        written by a Forward; import regions use on-chip VN tables and
+        need no declaration."""
+        if region.base in import_kinds:
+            return
+        if region.base not in write_schedule:
+            return  # e.g. weights read by dgrad — on-chip table
+        ctr_in, ctr_fw = write_schedule[region.base]
+        instructions.append(SetReadCTR(base=region.base, size=region.size,
+                                       ctr_fw=ctr_fw, ctr_in=ctr_in))
+
+
+# ---------------------------------------------------------------------------
+# schedule verification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of replaying a compiled program against the counter model."""
+
+    vn_unique: bool
+    reads_consistent: bool
+    writes: int
+    declared_reads: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.vn_unique and self.reads_consistent
+
+
+def verify_schedule(program: CompiledProgram) -> ScheduleReport:
+    """Replay the instruction stream against a fresh counter model.
+
+    Checks the two properties the paper's protection rests on:
+
+    * **VN uniqueness** — across all SetWeight/SetInput/Forward/
+      UpdateWeight writes, no (region base, VN) pair repeats;
+    * **read consistency** — every SetReadCTR declares exactly the
+      counters the covered region was last written with (an honest
+      host's schedule decrypts correctly).
+    """
+    counters = CounterState()
+    written_vns: Dict[int, int] = {}  # base -> VN value of last write
+    seen_pairs = set()
+    violations: List[str] = []
+    declared_reads = 0
+    writes = 0
+
+    def record_write(base: int, vn: VersionNumber):
+        nonlocal writes
+        writes += 1
+        pair = (base, vn.value)
+        if pair in seen_pairs:
+            violations.append(f"VN reuse at base {base:#x} vn {vn.value:#x}")
+        seen_pairs.add(pair)
+        written_vns[base] = vn.value
+
+    for instr in program.instructions:
+        if isinstance(instr, SetWeight):
+            counters.on_set_weight()
+            record_write(instr.base, counters.weight_vn())
+        elif isinstance(instr, SetInput):
+            counters.on_set_input()
+            record_write(instr.base, counters.input_vn())
+        elif isinstance(instr, Forward):
+            record_write(instr.output_base, counters.next_forward_vn())
+        elif isinstance(instr, UpdateWeight):
+            counters.on_set_weight()
+            record_write(instr.weight_base, counters.weight_vn())
+        elif isinstance(instr, SetReadCTR):
+            declared_reads += 1
+            declared = VersionNumber.for_feature(
+                instr.ctr_in if instr.ctr_in is not None else counters.ctr_in,
+                instr.ctr_fw,
+            )
+            actual = written_vns.get(instr.base)
+            if actual is None:
+                violations.append(f"read of never-written base {instr.base:#x}")
+            elif actual != declared.value:
+                violations.append(
+                    f"read VN mismatch at base {instr.base:#x}: "
+                    f"declared {declared.value:#x}, written {actual:#x}"
+                )
+    vn_unique = not any(v.startswith("VN reuse") for v in violations)
+    reads_ok = not any("read" in v for v in violations)
+    return ScheduleReport(vn_unique=vn_unique, reads_consistent=reads_ok,
+                          writes=writes, declared_reads=declared_reads,
+                          violations=violations)

@@ -1,0 +1,274 @@
+"""The GuardNN secure accelerator — functional model.
+
+:class:`GuardNNDevice` is the trusted boundary (the green box of the
+paper's Figure 1): device keys, TRNG/DRBG, counters, Enc/IV engines,
+attestation hash engines, and the PE array (int8 GEMM). Everything else
+— the host that calls :meth:`execute`, the DRAM behind the MPU, the
+network between device and user — is untrusted.
+
+The central design property, enforced structurally here, is that **no
+instruction returns plaintext secrets**: every byte leaving
+:meth:`execute` is either public (PK, certificate, ECDHE offer,
+attestation report) or sealed under a session/memory key. The
+adversarial-host test suite hammers this with arbitrary instruction
+sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.attestation import AttestationState, AttestationReport, sign_report
+from repro.core.channel import SealedMessage, device_channel
+from repro.core.compute import gemm_int8, sgd_update_int8, tensor_from_bytes, tensor_to_bytes
+from repro.core.errors import ProtocolError, SessionError
+from repro.core.isa import (
+    ExportOutput,
+    Forward,
+    GetPK,
+    InitSession,
+    Instruction,
+    SetInput,
+    SetReadCTR,
+    SetWeight,
+    SignOutput,
+    UpdateWeight,
+)
+from repro.core.mpu import MemoryProtectionUnit, SimulatedDram
+from repro.crypto.ec import ECPoint
+from repro.crypto.ecdh import EcdheExchange, SignedEphemeral
+from repro.crypto.keys import DeviceKeys, SessionKeys
+from repro.crypto.pki import DeviceCertificate, ManufacturerCA
+from repro.crypto.rng import device_drbg
+from repro.crypto.sha256 import sha256
+from repro.protection.counters import VersionNumber
+
+
+@dataclass(frozen=True)
+class DeviceInfo:
+    """GetPK's response: all public."""
+
+    public_key: bytes  # SEC1-encoded PK_Accel
+    certificate: DeviceCertificate
+
+
+@dataclass(frozen=True)
+class SessionAck:
+    """InitSession's response: the device's signed ephemeral key (public
+    by construction) and the negotiated protection mode."""
+
+    device_offer: bytes
+    integrity_enabled: bool
+
+
+class GuardNNDevice:
+    """One accelerator instance.
+
+    ``device.untrusted_memory`` exposes the simulated DRAM so tests can
+    play the physical attacker; nothing else about the device's internal
+    state is reachable from outside the TCB in a real deployment.
+    """
+
+    def __init__(self, device_id: bytes, manufacturer: ManufacturerCA,
+                 seed: bytes, dram_bytes: int = 1 << 22,
+                 debug_log_vns: bool = False):
+        self._drbg = device_drbg(seed)
+        self._keys = DeviceKeys.provision(self._drbg)
+        self._certificate = manufacturer.issue(device_id, self._keys.public)
+        self.device_id = device_id
+        self._dram = SimulatedDram(dram_bytes)
+        self._mpu = MemoryProtectionUnit(self._dram, debug_log_vns=debug_log_vns)
+        self._session: Optional[SessionKeys] = None
+        self._channel = None
+        self._attestation: Optional[AttestationState] = None
+        self._integrity = False
+        # on-chip region VN tables: {base: counter value at import}.
+        # Weight and input regions are few (one per layer / one per
+        # input), so these are trivially on-chip state — they never touch
+        # DRAM. Feature reads, by contrast, use host-declared counters
+        # (SetReadCTR), exactly as the paper prescribes.
+        self._weight_vns: Dict[int, int] = {}
+        self._input_vns: Dict[int, int] = {}
+        # geometry of imported/written regions, needed to re-read them
+        self._region_sizes: Dict[int, int] = {}
+        self.instruction_count = 0
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+
+    @property
+    def untrusted_memory(self) -> SimulatedDram:
+        return self._dram
+
+    @property
+    def mpu(self) -> MemoryProtectionUnit:
+        """Exposed for white-box tests (VN logs); not part of the
+        untrusted surface."""
+        return self._mpu
+
+    def execute(self, instruction: Instruction):
+        """The sole entry point for the (untrusted) host."""
+        self.instruction_count += 1
+        if isinstance(instruction, GetPK):
+            return self._get_pk()
+        if isinstance(instruction, InitSession):
+            return self._init_session(instruction)
+        # everything else needs a live session
+        if self._session is None:
+            raise SessionError("no active session — run InitSession first")
+        self._record(instruction)
+        if isinstance(instruction, SetWeight):
+            return self._set_weight(instruction)
+        if isinstance(instruction, SetInput):
+            return self._set_input(instruction)
+        if isinstance(instruction, SetReadCTR):
+            return self._set_read_ctr(instruction)
+        if isinstance(instruction, Forward):
+            return self._forward(instruction)
+        if isinstance(instruction, UpdateWeight):
+            return self._update_weight(instruction)
+        if isinstance(instruction, ExportOutput):
+            return self._export_output(instruction)
+        if isinstance(instruction, SignOutput):
+            return self._sign_output(instruction)
+        raise ProtocolError(f"unknown instruction {type(instruction).__name__}")
+
+    # ------------------------------------------------------------------
+    # instruction implementations
+    # ------------------------------------------------------------------
+
+    def _get_pk(self) -> DeviceInfo:
+        return DeviceInfo(
+            public_key=self._keys.public.encode(),
+            certificate=self._certificate,
+        )
+
+    def _init_session(self, instruction: InitSession) -> SessionAck:
+        try:
+            user_offer = SignedEphemeral(
+                ephemeral_public=ECPoint.decode(instruction.user_offer[:65]),
+                signature=instruction.user_offer[65:],
+            )
+            user_identity = ECPoint.decode(instruction.user_identity)
+        except ValueError as exc:
+            raise ProtocolError(f"malformed InitSession operands: {exc}") from exc
+
+        exchange = EcdheExchange(self._keys.identity, self._drbg)
+        shared = exchange.derive(user_offer, user_identity)
+        self._session = SessionKeys.derive_device_side(shared, self._drbg)
+        self._channel = device_channel(self._session, self._drbg)
+        self._integrity = instruction.enable_integrity
+        # "clears all states (keys, data, and hashes), sets a new memory
+        # encryption key, resets all counters to zero, and enables memory
+        # protection"
+        self._mpu.enable(self._session.k_mem_enc, self._session.k_mem_mac,
+                         instruction.enable_integrity)
+        self._weight_vns.clear()
+        self._input_vns.clear()
+        self._region_sizes.clear()
+        my_offer = exchange.offer()
+        binding = sha256(instruction.user_offer + my_offer.encode())
+        self._attestation = AttestationState(session_binding=binding)
+        self._attestation.record_instruction(instruction.encode())
+        return SessionAck(device_offer=my_offer.encode(),
+                          integrity_enabled=instruction.enable_integrity)
+
+    def _record(self, instruction: Instruction) -> None:
+        if self._attestation is not None:
+            self._attestation.record_instruction(instruction.encode())
+
+    def _open_blob(self, blob: bytes) -> bytes:
+        return self._channel.open(SealedMessage.decode(blob))
+
+    def _set_weight(self, instruction: SetWeight) -> None:
+        plaintext = self._open_blob(instruction.blob)
+        self._mpu.counters.on_set_weight()
+        vn = self._mpu.counters.weight_vn()
+        self._mpu.write_protected(instruction.base, plaintext, vn)
+        self._weight_vns[instruction.base] = self._mpu.counters.ctr_w
+        self._input_vns.pop(instruction.base, None)
+        self._region_sizes[instruction.base] = len(plaintext)
+        self._attestation.record_weights(plaintext)
+
+    def _set_input(self, instruction: SetInput) -> None:
+        plaintext = self._open_blob(instruction.blob)
+        self._mpu.counters.on_set_input()
+        vn = self._mpu.counters.input_vn()
+        self._mpu.write_protected(instruction.base, plaintext, vn)
+        self._input_vns[instruction.base] = self._mpu.counters.ctr_in
+        self._weight_vns.pop(instruction.base, None)
+        self._region_sizes[instruction.base] = len(plaintext)
+        self._attestation.record_input(plaintext)
+
+    def _set_read_ctr(self, instruction: SetReadCTR) -> None:
+        self._mpu.counters.set_read_ctr(
+            instruction.base, instruction.size, instruction.ctr_fw, instruction.ctr_in
+        )
+
+    def _read_vn_for(self, base: int):
+        """Reads of weight/input regions use the on-chip tables; feature
+        reads use the host-declared read counters (SetReadCTR). Wrong or
+        missing host counters yield garbage plaintext, never a leak."""
+        if base in self._weight_vns:
+            return VersionNumber.for_weight(self._weight_vns[base])
+        if base in self._input_vns:
+            return VersionNumber.for_input(self._input_vns[base])
+        return self._mpu.counters.read_vn_for(base)
+
+    def _forward(self, instruction: Forward) -> None:
+        m, k, n = instruction.m, instruction.k, instruction.n
+        a_shape = (k, m) if instruction.transpose_a else (m, k)
+        b_shape = (n, k) if instruction.transpose_b else (k, n)
+        a_bytes = self._mpu.read_protected(
+            instruction.input_base, m * k, self._read_vn_for(instruction.input_base)
+        )
+        b_bytes = self._mpu.read_protected(
+            instruction.weight_base, k * n, self._read_vn_for(instruction.weight_base)
+        )
+        a = tensor_from_bytes(a_bytes, a_shape)
+        b = tensor_from_bytes(b_bytes, b_shape)
+        if instruction.transpose_a:
+            a = np.ascontiguousarray(a.T)
+        if instruction.transpose_b:
+            b = np.ascontiguousarray(b.T)
+        c = gemm_int8(a, b, shift=instruction.shift, relu=instruction.relu)
+        vn = self._mpu.counters.next_forward_vn()
+        self._mpu.write_protected(instruction.output_base, tensor_to_bytes(c), vn)
+        # a feature write invalidates any import-table entry at this base
+        self._weight_vns.pop(instruction.output_base, None)
+        self._input_vns.pop(instruction.output_base, None)
+        self._region_sizes[instruction.output_base] = m * n
+
+    def _update_weight(self, instruction: UpdateWeight) -> None:
+        """On-device SGD step; the only instruction besides SetWeight
+        that advances CTR_W."""
+        k, n = instruction.k, instruction.n
+        if instruction.weight_base not in self._weight_vns:
+            raise ProtocolError("UpdateWeight target is not an imported weight region")
+        w_bytes = self._mpu.read_protected(
+            instruction.weight_base, k * n, self._read_vn_for(instruction.weight_base)
+        )
+        g_bytes = self._mpu.read_protected(
+            instruction.grad_base, k * n, self._read_vn_for(instruction.grad_base)
+        )
+        weights = tensor_from_bytes(w_bytes, (k, n))
+        grad = tensor_from_bytes(g_bytes, (k, n))
+        updated = sgd_update_int8(weights, grad, lr_shift=instruction.lr_shift)
+        self._mpu.counters.on_set_weight()
+        vn = self._mpu.counters.weight_vn()
+        self._mpu.write_protected(instruction.weight_base, tensor_to_bytes(updated), vn)
+        self._weight_vns[instruction.weight_base] = self._mpu.counters.ctr_w
+        self._region_sizes[instruction.weight_base] = k * n
+
+    def _export_output(self, instruction: ExportOutput) -> SealedMessage:
+        vn = self._read_vn_for(instruction.base)
+        plaintext = self._mpu.read_protected(instruction.base, instruction.size, vn)
+        self._attestation.record_output(plaintext)
+        return self._channel.seal(plaintext)
+
+    def _sign_output(self, instruction: SignOutput) -> AttestationReport:
+        return sign_report(self._attestation, self._keys.identity.private)

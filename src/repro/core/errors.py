@@ -1,0 +1,20 @@
+"""Exception hierarchy for the GuardNN device and protocol."""
+
+
+class GuardNNError(Exception):
+    """Base class for all reproduction-specific errors."""
+
+
+class SessionError(GuardNNError):
+    """No active session, stale keys, or a key-exchange failure."""
+
+
+class IntegrityError(GuardNNError):
+    """Off-chip integrity verification failed (tamper/replay/splice
+    detected by the IV engine), or an attestation hash/signature
+    mismatch."""
+
+
+class ProtocolError(GuardNNError):
+    """Malformed instruction or transport message (wrong sizes, unknown
+    regions, MAC failure on the session channel)."""

@@ -1,0 +1,351 @@
+"""The untrusted host CPU: scheduler and instruction compiler.
+
+"A scheduler runs on a host CPU and coordinates compute and data
+movement by communicating with a remote user and issuing commands to the
+DNN accelerator" (Section II-A). The host owns the DFG, the memory map,
+and the read counters — *none* of which are trusted for
+confidentiality.
+
+* :class:`HonestHost` — the well-behaved scheduler: lays out regions,
+  relays the user's sealed blobs, compiles an MLP into Forward chains
+  with correct SetReadCTR values, and collects the output/attestation.
+* :class:`AdversarialHost` — issues arbitrary/hostile instruction
+  sequences and tampers with DRAM; used by the security test suite to
+  check that nothing it ever observes is plaintext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compute import gemm_int8, sgd_update_int8
+from repro.core.device import GuardNNDevice
+from repro.core.errors import GuardNNError
+from repro.core.isa import (
+    ExportOutput,
+    Forward,
+    GetPK,
+    InitSession,
+    Instruction,
+    SetInput,
+    SetReadCTR,
+    SetWeight,
+    SignOutput,
+    UpdateWeight,
+)
+from repro.core.session import UserSession
+
+_ALIGN = 512
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass
+class MlpSpec:
+    """A small quantized MLP: the functional workload of the end-to-end
+    path. ``weights[i]`` is an int8 (k x n) matrix; layer i applies
+    GEMM -> shift -> (ReLU except last layer)."""
+
+    weights: List[np.ndarray]
+    shift: int = 7
+
+    def __post_init__(self):
+        if not self.weights:
+            raise ValueError("MLP needs at least one layer")
+        for i in range(len(self.weights) - 1):
+            if self.weights[i].shape[1] != self.weights[i + 1].shape[0]:
+                raise ValueError(f"layer {i}->{i + 1} shape mismatch")
+
+    def reference_forward(self, x: np.ndarray) -> np.ndarray:
+        """What the user computes locally to check the device's answer."""
+        out = x
+        for i, w in enumerate(self.weights):
+            relu = i < len(self.weights) - 1
+            out = gemm_int8(out, w, shift=self.shift, relu=relu)
+        return out
+
+    def reference_train_step(self, x: np.ndarray, g_out: np.ndarray,
+                             lr_shift: int = 4) -> List[np.ndarray]:
+        """The exact int8 arithmetic one device-side training step
+        performs (simplified straight-through backward: the ReLU mask is
+        not applied to gradients — the device does the same; this is a
+        fixed-point training *demonstration*, not an SOTA recipe).
+        Returns the updated weight list (also applied in place)."""
+        activations = [x]
+        for i, w in enumerate(self.weights):
+            relu = i < len(self.weights) - 1
+            activations.append(gemm_int8(activations[-1], w, shift=self.shift, relu=relu))
+        grad = g_out
+        for i in range(len(self.weights) - 1, -1, -1):
+            w = self.weights[i]
+            d_w = gemm_int8(np.ascontiguousarray(activations[i].T), grad, shift=self.shift)
+            if i > 0:
+                grad = gemm_int8(grad, np.ascontiguousarray(w.T), shift=self.shift)
+            self.weights[i] = sgd_update_int8(w, d_w, lr_shift=lr_shift)
+        return self.weights
+
+
+class HonestHost:
+    """Compiles and runs an MLP inference session end to end.
+
+    The host sees only: sealed blobs, ciphertext DRAM, instruction
+    acknowledgements, and the (public) attestation report. The method
+    names mirror the paper's session flow.
+    """
+
+    def __init__(self, device: GuardNNDevice):
+        self.device = device
+        self.instruction_log: List[Instruction] = []
+        self._weight_bases: List[int] = []
+        self._input_base: Optional[int] = None
+        self._next_free = 0
+
+    def _alloc(self, size: int) -> int:
+        base = self._next_free
+        self._next_free += _aligned(size)
+        return base
+
+    def _issue(self, instruction: Instruction):
+        response = self.device.execute(instruction)
+        if not isinstance(instruction, GetPK):
+            self.instruction_log.append(instruction)
+        return response
+
+    # --- session setup (relaying between user and device) ---
+
+    def fetch_device_info(self):
+        return self.device.execute(GetPK())
+
+    def establish_session(self, user: UserSession, enable_integrity: bool = True) -> None:
+        init = user.build_init_session(enable_integrity)
+        ack = self._issue(init)
+        user.complete_init_session(ack)
+
+    # --- data plane ---
+
+    def load_weights(self, user: UserSession, spec: MlpSpec) -> None:
+        """One SetWeight per layer, user-sealed."""
+        self._weight_bases = []
+        for w in spec.weights:
+            base = self._alloc(w.size)
+            blob = user.seal_weights(w)
+            self._issue(SetWeight(base=base, blob=blob))
+            self._weight_bases.append(base)
+
+    def load_input(self, user: UserSession, x: np.ndarray) -> None:
+        self._input_base = self._alloc(x.size)
+        blob = user.seal_input(x)
+        self._issue(SetInput(base=self._input_base, blob=blob))
+
+    def run_inference(self, spec: MlpSpec, batch: int) -> Tuple[int, int]:
+        """Compile the MLP into Forward instructions with correct read
+        counters; returns (output_base, output_size).
+
+        Read-counter bookkeeping (this is the host reconstructing VNs
+        from its schedule, Section II-D2): layer 1 reads the input region
+        (device-resident VN, nothing to declare); layer i>1 reads the
+        features Forward i-1 wrote, i.e. CTR_F,W == i-1.
+        """
+        if self._input_base is None or not self._weight_bases:
+            raise GuardNNError("load weights and input first")
+        current_base = self._input_base
+        current_ctr_fw = None  # None -> import region, on-chip VN
+        out_base = current_base
+        m = batch
+        n = 0
+        for i, w_base in enumerate(self._weight_bases):
+            k, n = self._layer_shapes[i]
+            out_base = self._alloc(m * n)
+            if current_ctr_fw is not None:
+                self._issue(SetReadCTR(base=current_base, size=m * k, ctr_fw=current_ctr_fw))
+            self._issue(
+                Forward(
+                    input_base=current_base,
+                    weight_base=w_base,
+                    output_base=out_base,
+                    m=m,
+                    k=k,
+                    n=n,
+                    relu=i < len(self._weight_bases) - 1,
+                    shift=self._shift,
+                )
+            )
+            current_base = out_base
+            current_ctr_fw = i + 1  # Forward i+1 wrote with CTR_F,W == i+1
+        return out_base, m * n
+
+    def compile_and_run(self, user: UserSession, spec: MlpSpec,
+                        x: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """Full flow: weights, input, forwards, export, attest.
+        Returns (output tensor at the user, attestation verdict)."""
+        self._layer_shapes = [w.shape for w in spec.weights]
+        self._shift = spec.shift
+        self.load_weights(user, spec)
+        self.load_input(user, x)
+        batch = x.shape[0]
+        out_base, out_size = self.run_inference(spec, batch)
+        # declare the read counter for the export (last Forward's write)
+        self._issue(SetReadCTR(base=out_base, size=out_size,
+                               ctr_fw=len(spec.weights)))
+        sealed = self._issue(ExportOutput(base=out_base, size=out_size))
+        report = self._issue(SignOutput())
+        n_out = spec.weights[-1].shape[1]
+        output = user.open_output(sealed, (batch, n_out))
+        ok = user.verify_attestation(report, self.instruction_log)
+        return output, ok
+
+
+class TrainingHost(HonestHost):
+    """Compiles one training iteration onto the device.
+
+    The schedule (all GEMMs are Forward with transpose flags; the weight
+    update is the dedicated UpdateWeight instruction that advances
+    CTR_W):
+
+    1. forward pass, keeping every activation a_0..a_L in its own region
+       (written under CTR_IN = 1, CTR_F,W = layer index);
+    2. export the output; the *user* computes the loss gradient locally
+       and seals it back (gradients are secrets too) — imported via
+       SetInput, which advances CTR_IN;
+    3. backward sweep: wgrad = a_{i-1}^T @ g_i and dgrad = g_i @ W_i^T,
+       with SetReadCTR declaring the *old* CTR_IN for activation reads
+       (the host reconstructs every VN from its own schedule, exactly
+       the paper's Section II-D2 argument);
+    4. UpdateWeight per layer.
+    """
+
+    def train_step(self, user: UserSession, spec: MlpSpec, x: np.ndarray,
+                   make_output_grad, lr_shift: int = 4):
+        """Run one iteration; ``make_output_grad(output) -> int8 array``
+        is the user's loss-gradient function. Returns the updated weights
+        as exported to (and decrypted by) the user."""
+        self._layer_shapes = [w.shape for w in spec.weights]
+        self._shift = spec.shift
+        batch = x.shape[0]
+        num_layers = len(spec.weights)
+
+        # --- forward, keeping activation regions ---
+        self.load_weights(user, spec)
+        self.load_input(user, x)
+        input_ctr_in = 1  # first SetInput of the session
+        act_bases = [self._input_base]
+        act_shapes = [(batch, spec.weights[0].shape[0])]
+        current = self._input_base
+        for i, w in enumerate(spec.weights):
+            k, n = w.shape
+            out = self._alloc(batch * n)
+            if i > 0:
+                self._issue(SetReadCTR(base=current, size=batch * k, ctr_fw=i,
+                                       ctr_in=input_ctr_in))
+            self._issue(Forward(input_base=current, weight_base=self._weight_bases[i],
+                                output_base=out, m=batch, k=k, n=n,
+                                relu=i < num_layers - 1, shift=spec.shift))
+            act_bases.append(out)
+            act_shapes.append((batch, n))
+            current = out
+
+        # --- user computes the output gradient ---
+        n_out = spec.weights[-1].shape[1]
+        self._issue(SetReadCTR(base=current, size=batch * n_out, ctr_fw=num_layers,
+                               ctr_in=input_ctr_in))
+        sealed = self._issue(ExportOutput(base=current, size=batch * n_out))
+        output = user.open_output(sealed, (batch, n_out))
+        g_out = make_output_grad(output)
+        grad_base = self._alloc(g_out.size)
+        self._issue(SetInput(base=grad_base, blob=user.seal_input(g_out)))
+        grad_ctr_in = input_ctr_in + 1
+
+        # --- backward sweep ---
+        backward_fw = 0  # CTR_F,W under the new CTR_IN
+        grad_current = grad_base
+        grad_is_import = True
+        for i in range(num_layers - 1, -1, -1):
+            k, n = spec.weights[i].shape
+            # wgrad: a_{i-1}^T (k x batch stored as batch x k) @ g_i
+            dw_base = self._alloc(k * n)
+            self._issue(SetReadCTR(base=act_bases[i], size=batch * k, ctr_fw=i,
+                                   ctr_in=input_ctr_in))
+            if not grad_is_import:
+                self._issue(SetReadCTR(base=grad_current, size=batch * n,
+                                       ctr_fw=backward_fw, ctr_in=grad_ctr_in))
+            self._issue(Forward(input_base=act_bases[i], weight_base=grad_current,
+                                output_base=dw_base, m=k, k=batch, n=n,
+                                transpose_a=True, shift=spec.shift))
+            backward_fw += 1
+            dw_fw = backward_fw
+            if i > 0:
+                # dgrad: g_i @ W_i^T
+                g_prev = self._alloc(batch * k)
+                if not grad_is_import:
+                    self._issue(SetReadCTR(base=grad_current, size=batch * n,
+                                           ctr_fw=backward_fw - 1, ctr_in=grad_ctr_in))
+                self._issue(Forward(input_base=grad_current,
+                                    weight_base=self._weight_bases[i],
+                                    output_base=g_prev, m=batch, k=n, n=k,
+                                    transpose_b=True, shift=spec.shift))
+                backward_fw += 1
+                grad_current = g_prev
+                grad_is_import = False
+            # weight update reads dW with its write counter
+            self._issue(SetReadCTR(base=dw_base, size=k * n, ctr_fw=dw_fw,
+                                   ctr_in=grad_ctr_in))
+            self._issue(UpdateWeight(weight_base=self._weight_bases[i],
+                                     grad_base=dw_base, k=k, n=n, lr_shift=lr_shift))
+
+        # --- export updated weights back to the user ---
+        updated = []
+        for i, w in enumerate(spec.weights):
+            k, n = w.shape
+            sealed_w = self._issue(ExportOutput(base=self._weight_bases[i], size=k * n))
+            updated.append(user.open_output(sealed_w, (k, n)))
+        return updated
+
+
+class AdversarialHost:
+    """A hostile scheduler: replays, reorders, scrambles operands, and
+    tampers with DRAM between instructions. It records everything the
+    device ever hands back so tests can assert none of it is plaintext."""
+
+    def __init__(self, device: GuardNNDevice, rng: np.random.Generator):
+        self.device = device
+        self.rng = rng
+        self.observed: List[bytes] = []
+
+    def observe(self, response) -> None:
+        """Flatten any response into observed bytes."""
+        if response is None:
+            return
+        for attr in ("encode",):
+            if hasattr(response, attr):
+                try:
+                    self.observed.append(response.encode())
+                    return
+                except Exception:  # noqa: BLE001 - observation is best-effort
+                    pass
+        if isinstance(response, (bytes, bytearray)):
+            self.observed.append(bytes(response))
+
+    def try_execute(self, instruction: Instruction):
+        """Run an instruction; errors are fine (a hostile host sees
+        them too) — only leaks matter."""
+        try:
+            response = self.device.execute(instruction)
+        except GuardNNError:
+            return None
+        self.observe(response)
+        return response
+
+    def tamper_dram(self, n_flips: int = 8) -> None:
+        """Flip random bits in the untrusted memory."""
+        dram = self.device.untrusted_memory
+        for _ in range(n_flips):
+            index = int(self.rng.integers(0, dram.size))
+            dram.data[index] ^= 1 << int(self.rng.integers(0, 8))
+
+    def snapshot_dram(self) -> bytes:
+        return bytes(self.device.untrusted_memory.data)

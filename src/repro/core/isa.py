@@ -1,0 +1,208 @@
+"""The GuardNN instruction set (Section II-E).
+
+The ISA is an *extension* to a DNN accelerator's base instructions. Its
+design carries the paper's central security argument: no instruction —
+in any sequence, with any operands — can cause plaintext secrets to
+leave the accelerator. The host composes these freely; confidentiality
+never depends on the host being honest.
+
+Every instruction provides :meth:`encode` — a canonical byte encoding —
+because GuardNN "keeps the hash of the sequence of executed instructions
+and their input arguments" for remote attestation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; concrete instructions define ``OPCODE``."""
+
+    OPCODE = 0x00
+
+    def _encode_fields(self) -> bytes:
+        return b""
+
+    def encode(self) -> bytes:
+        body = self._encode_fields()
+        return bytes([self.OPCODE]) + len(body).to_bytes(4, "big") + body
+
+
+@dataclass(frozen=True)
+class GetPK(Instruction):
+    """Return the device public key and manufacturer certificate.
+    Carries no secrets; always allowed, even without a session."""
+
+    OPCODE = 0x01
+
+
+@dataclass(frozen=True)
+class InitSession(Instruction):
+    """Key exchange + full state reset.
+
+    ``user_offer`` is the remote user's signed ephemeral key (encoded);
+    ``user_identity`` the user's long-term public key (encoded) used to
+    authenticate the offer. ``enable_integrity`` selects GuardNN_CI vs
+    GuardNN_C for this session ("a user can choose if integrity
+    protection is needed when initiating a session").
+    """
+
+    OPCODE = 0x02
+    user_offer: bytes = b""
+    user_identity: bytes = b""
+    enable_integrity: bool = True
+
+    def _encode_fields(self) -> bytes:
+        return (
+            bytes([1 if self.enable_integrity else 0])
+            + len(self.user_offer).to_bytes(4, "big")
+            + self.user_offer
+            + len(self.user_identity).to_bytes(4, "big")
+            + self.user_identity
+        )
+
+
+@dataclass(frozen=True)
+class SetWeight(Instruction):
+    """Import session-encrypted weights into protected memory at
+    ``base``; increments CTR_W and (in CI mode) extends the weight hash."""
+
+    OPCODE = 0x03
+    base: int = 0
+    blob: bytes = b""  # SealedMessage encoding
+
+    def _encode_fields(self) -> bytes:
+        return self.base.to_bytes(8, "big") + self.blob
+
+
+@dataclass(frozen=True)
+class SetInput(Instruction):
+    """Import a session-encrypted input; increments CTR_IN and resets
+    CTR_F,W."""
+
+    OPCODE = 0x04
+    base: int = 0
+    blob: bytes = b""
+
+    def _encode_fields(self) -> bytes:
+        return self.base.to_bytes(8, "big") + self.blob
+
+
+@dataclass(frozen=True)
+class Forward(Instruction):
+    """One compute step (the base accelerator's DNN instruction).
+
+    The functional device executes an int8 GEMM + optional ReLU +
+    requantize: reads an (m x k) operand A at ``input_base`` and a
+    (k x n) operand B at ``weight_base``, writes the (m x n) output at
+    ``output_base`` encrypted under the current feature-write VN, then
+    increments CTR_F,W.
+
+    ``transpose_a`` / ``transpose_b`` select transposed operand reads
+    (stored shapes (k x m) / (n x k) respectively) — the backward-pass
+    GEMMs of training are exactly forward GEMMs with transposes
+    (dgrad = g_out @ W^T, wgrad = f_in^T @ g_out), so training needs no
+    new compute instruction, matching the paper's premise that the DNN
+    ISA stays tiny.
+    """
+
+    OPCODE = 0x05
+    input_base: int = 0
+    weight_base: int = 0
+    output_base: int = 0
+    m: int = 1
+    k: int = 1
+    n: int = 1
+    relu: bool = False
+    shift: int = 7  # right-shift requantization
+    transpose_a: bool = False
+    transpose_b: bool = False
+
+    def _encode_fields(self) -> bytes:
+        flags = (
+            (1 if self.relu else 0)
+            | (2 if self.transpose_a else 0)
+            | (4 if self.transpose_b else 0)
+        )
+        return b"".join(
+            value.to_bytes(8, "big")
+            for value in (self.input_base, self.weight_base, self.output_base)
+        ) + b"".join(value.to_bytes(4, "big") for value in (self.m, self.k, self.n)) + bytes(
+            [flags, self.shift]
+        )
+
+
+@dataclass(frozen=True)
+class ExportOutput(Instruction):
+    """Re-encrypt ``size`` bytes at ``base`` under K_Session and return
+    the sealed blob to the host (who forwards it to the user)."""
+
+    OPCODE = 0x06
+    base: int = 0
+    size: int = 0
+
+    def _encode_fields(self) -> bytes:
+        return self.base.to_bytes(8, "big") + self.size.to_bytes(8, "big")
+
+
+@dataclass(frozen=True)
+class SignOutput(Instruction):
+    """Sign the attestation hashes (input, output, weights, instruction
+    sequence) with SK_Accel; returns the report."""
+
+    OPCODE = 0x07
+
+
+@dataclass(frozen=True)
+class UpdateWeight(Instruction):
+    """On-device SGD step: w <- clip(w - (dW >> lr_shift)).
+
+    Reads the (k x n) weights at ``weight_base`` (on-chip weight VN) and
+    the (k x n) gradient at ``grad_base`` (host-declared read counter),
+    increments CTR_W, and re-encrypts the updated weights under the new
+    weight VN — Section II-D2: "To allow updating weights during
+    training, GuardNN keeps CTR_W in the accelerator state and keeps
+    track of the number of updates to the weights."
+    """
+
+    OPCODE = 0x09
+    weight_base: int = 0
+    grad_base: int = 0
+    k: int = 1
+    n: int = 1
+    lr_shift: int = 4
+
+    def _encode_fields(self) -> bytes:
+        return (
+            self.weight_base.to_bytes(8, "big")
+            + self.grad_base.to_bytes(8, "big")
+            + self.k.to_bytes(4, "big")
+            + self.n.to_bytes(4, "big")
+            + bytes([self.lr_shift])
+        )
+
+
+@dataclass(frozen=True)
+class SetReadCTR(Instruction):
+    """Host-supplied read counter for an address range (Section II-E:
+    "host CPU sets the CTR_F,R value for an address range"). Only
+    affects decryption; wrong values produce garbage, not leaks."""
+
+    OPCODE = 0x08
+    base: int = 0
+    size: int = 0
+    ctr_fw: int = 0
+    ctr_in: Optional[int] = None
+
+    def _encode_fields(self) -> bytes:
+        has_in = self.ctr_in is not None
+        return (
+            self.base.to_bytes(8, "big")
+            + self.size.to_bytes(8, "big")
+            + self.ctr_fw.to_bytes(8, "big")
+            + bytes([1 if has_in else 0])
+            + (self.ctr_in or 0).to_bytes(8, "big")
+        )

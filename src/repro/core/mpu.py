@@ -1,0 +1,151 @@
+"""The memory protection unit: functional Enc/IV engines + simulated DRAM.
+
+Everything outside :class:`MemoryProtectionUnit` sees only ciphertext.
+:class:`SimulatedDram` *is* the untrusted world: tests and attack demos
+mutate ``dram.data`` and ``dram.mac_store`` directly to model bus/memory
+tampering, splicing, and replay.
+
+Encryption is AES-CTR with counter blocks ``(block address || VN)``
+(Section II-D); integrity is a truncated AES-CMAC per 512-B chunk over
+``ciphertext || chunk address || VN``. Binding the VN into the MAC is
+what makes GuardNN tree-free: a replayed (ciphertext, MAC) pair fails
+verification because the *current on-chip* VN differs from the stale one
+the MAC was computed with, and the attacker cannot forge a MAC for the
+new VN without the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import IntegrityError, ProtocolError, SessionError
+from repro.crypto.cmac import AesCmac
+from repro.crypto.ctr import AesCtr
+from repro.protection.counters import CounterState, VersionNumber
+
+CHUNK_BYTES = 512  # the prototype's data-movement granularity
+_BLOCK = 16
+
+
+class SimulatedDram:
+    """Untrusted off-chip memory: a flat byte array plus the MAC store.
+
+    The MAC store models the DRAM region where the IV engine keeps its
+    per-chunk tags; an adversary can overwrite both.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0 or size % CHUNK_BYTES:
+            raise ValueError("DRAM size must be a positive multiple of 512")
+        self.size = size
+        self.data = bytearray(size)
+        self.mac_store: Dict[int, bytes] = {}
+
+    def snapshot(self, base: int, size: int) -> Tuple[bytes, Dict[int, bytes]]:
+        """Capture ciphertext + MACs of a region (a replay attacker's
+        recording step)."""
+        macs = {
+            addr: tag
+            for addr, tag in self.mac_store.items()
+            if base <= addr < base + size
+        }
+        return bytes(self.data[base : base + size]), macs
+
+    def restore(self, base: int, blob: bytes, macs: Dict[int, bytes]) -> None:
+        """Write a recorded region back (the replay itself)."""
+        self.data[base : base + len(blob)] = blob
+        self.mac_store.update(macs)
+
+
+@dataclass
+class VnLogEntry:
+    """One (address, VN) pair fed to AES-CTR — recorded for the
+    uniqueness property tests when ``debug_log_vns`` is on."""
+
+    block_address: int
+    vn: int
+
+
+class MemoryProtectionUnit:
+    """The trusted boundary around :class:`SimulatedDram`."""
+
+    def __init__(self, dram: SimulatedDram, debug_log_vns: bool = False):
+        self.dram = dram
+        self.counters = CounterState()
+        self._enc: Optional[AesCtr] = None
+        self._mac: Optional[AesCmac] = None
+        self.integrity_enabled = False
+        self.debug_log_vns = debug_log_vns
+        self.vn_log: List[VnLogEntry] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enc is not None
+
+    def enable(self, k_mem_enc: bytes, k_mem_mac: bytes, integrity: bool) -> None:
+        """InitSession: fresh keys, counters to zero, memory cleared."""
+        self._enc = AesCtr(k_mem_enc)
+        self._mac = AesCmac(k_mem_mac) if integrity else None
+        self.integrity_enabled = integrity
+        self.counters.on_init_session()
+        self.dram.data[:] = bytes(self.dram.size)
+        self.dram.mac_store.clear()
+        self.vn_log.clear()
+
+    def _require_enabled(self) -> None:
+        if not self.enabled:
+            raise SessionError("memory protection not enabled (no session)")
+
+    def _check_range(self, base: int, size: int) -> None:
+        if base % CHUNK_BYTES:
+            raise ProtocolError("region base must be 512-byte aligned")
+        if size <= 0:
+            raise ProtocolError("region size must be positive")
+        if base + size > self.dram.size:
+            raise ProtocolError("region exceeds DRAM")
+
+    def _mac_message(self, chunk_ct: bytes, chunk_addr: int, vn: VersionNumber) -> bytes:
+        return chunk_ct + chunk_addr.to_bytes(8, "big") + vn.value.to_bytes(8, "big")
+
+    # ------------------------------------------------------------------
+
+    def write_protected(self, base: int, plaintext: bytes, vn: VersionNumber) -> None:
+        """Encrypt ``plaintext`` at ``base`` under ``vn`` and store the
+        per-chunk MACs (CI mode)."""
+        self._require_enabled()
+        self._check_range(base, len(plaintext))
+        padded = plaintext + bytes(-len(plaintext) % _BLOCK)
+        ciphertext = self._enc.crypt_region(base // _BLOCK, vn.value, padded)
+        self.dram.data[base : base + len(ciphertext)] = ciphertext
+        if self.debug_log_vns:
+            for i in range(0, len(ciphertext), _BLOCK):
+                self.vn_log.append(VnLogEntry(base // _BLOCK + i // _BLOCK, vn.value))
+        if self._mac is not None:
+            for offset in range(0, len(ciphertext), CHUNK_BYTES):
+                chunk_addr = base + offset
+                chunk = ciphertext[offset : offset + CHUNK_BYTES]
+                self.dram.mac_store[chunk_addr] = self._mac.mac(
+                    self._mac_message(bytes(chunk), chunk_addr, vn)
+                )
+
+    def read_protected(self, base: int, size: int, vn: VersionNumber) -> bytes:
+        """Decrypt ``size`` bytes at ``base`` with ``vn``; in CI mode,
+        verify every covering chunk MAC first and raise
+        :class:`IntegrityError` on mismatch."""
+        self._require_enabled()
+        self._check_range(base, size)
+        padded_size = size + (-size % _BLOCK)
+        ciphertext = bytes(self.dram.data[base : base + padded_size])
+        if self._mac is not None:
+            for offset in range(0, padded_size, CHUNK_BYTES):
+                chunk_addr = base + offset
+                chunk = ciphertext[offset : offset + CHUNK_BYTES]
+                stored = self.dram.mac_store.get(chunk_addr)
+                expected = self._mac.mac(self._mac_message(chunk, chunk_addr, vn))
+                if stored != expected:
+                    raise IntegrityError(
+                        f"integrity verification failed for chunk @{chunk_addr:#x}"
+                    )
+        plaintext = self._enc.crypt_region(base // _BLOCK, vn.value, ciphertext)
+        return plaintext[:size]

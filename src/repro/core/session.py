@@ -1,0 +1,143 @@
+"""The remote user's side of the GuardNN protocol.
+
+The user: (1) obtains PK_Accel + certificate via ``GetPK`` and verifies
+the manufacturer chain; (2) runs the ECDHE exchange of ``InitSession``;
+(3) seals weights/inputs for the device and opens exported outputs;
+(4) verifies ``SignOutput`` attestation reports against what they believe
+was executed. The user never talks to the device directly — blobs and
+instructions travel through the untrusted host, which is the point: the
+host can drop or reorder things (denial of service) but can never read
+or undetectably alter them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.attestation import AttestationReport, expected_digests, verify_report
+from repro.core.channel import SealedMessage, user_channel
+from repro.core.compute import tensor_from_bytes, tensor_to_bytes
+from repro.core.device import DeviceInfo, SessionAck
+from repro.core.errors import SessionError
+from repro.core.isa import InitSession, Instruction
+from repro.crypto.ec import ECPoint
+from repro.crypto.ecdh import EcdheExchange, SignedEphemeral
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.crypto.keys import SessionKeys
+from repro.crypto.pki import verify_certificate
+from repro.crypto.rng import HmacDrbg
+
+
+class UserSession:
+    """One remote user's state across a session."""
+
+    def __init__(self, ca_root_public: ECPoint, drbg: HmacDrbg,
+                 identity: Optional[EcdsaKeyPair] = None):
+        self._ca_root = ca_root_public
+        self._drbg = drbg
+        self.identity = identity or EcdsaKeyPair.generate(drbg)
+        self.device_public: Optional[ECPoint] = None
+        self._exchange: Optional[EcdheExchange] = None
+        self._keys: Optional[SessionKeys] = None
+        self._channel = None
+        self._init_instruction: Optional[InitSession] = None
+        # transcript the user keeps for attestation verification
+        self.sent_weights: List[bytes] = []
+        self.sent_inputs: List[bytes] = []
+        self.received_outputs: List[bytes] = []
+
+    # --- step 1: authenticate the device ---
+
+    def authenticate_device(self, info: DeviceInfo) -> None:
+        """Verify the manufacturer certificate and pin PK_Accel.
+        Raises :class:`SessionError` if the chain does not verify."""
+        if not verify_certificate(info.certificate, self._ca_root):
+            raise SessionError("device certificate does not verify against the CA root")
+        device_public = ECPoint.decode(info.public_key)
+        if device_public != info.certificate.device_public:
+            raise SessionError("GetPK public key differs from the certified key")
+        self.device_public = device_public
+
+    # --- step 2: key exchange ---
+
+    def build_init_session(self, enable_integrity: bool = True) -> InitSession:
+        """Produce the InitSession instruction carrying our signed
+        ephemeral key."""
+        if self.device_public is None:
+            raise SessionError("authenticate the device before starting a session")
+        self._exchange = EcdheExchange(self.identity, self._drbg)
+        offer = self._exchange.offer()
+        self._init_instruction = InitSession(
+            user_offer=offer.encode(),
+            user_identity=self.identity.public.encode(),
+            enable_integrity=enable_integrity,
+        )
+        return self._init_instruction
+
+    def complete_init_session(self, ack: SessionAck) -> None:
+        """Consume the device's offer and derive the session keys."""
+        if self._exchange is None:
+            raise SessionError("build_init_session must run first")
+        device_offer = SignedEphemeral(
+            ephemeral_public=ECPoint.decode(ack.device_offer[:65]),
+            signature=ack.device_offer[65:],
+        )
+        shared = self._exchange.derive(device_offer, self.device_public)
+        self._keys = SessionKeys.derive_user_side(shared)
+        self._channel = user_channel(self._keys, self._drbg)
+
+    @property
+    def established(self) -> bool:
+        return self._channel is not None
+
+    # --- step 3: data plane ---
+
+    def _require_session(self) -> None:
+        if not self.established:
+            raise SessionError("session not established")
+
+    def seal_weights(self, weights: np.ndarray) -> bytes:
+        """Encrypt a weight tensor for SetWeight (and remember its
+        plaintext for attestation verification)."""
+        self._require_session()
+        plaintext = tensor_to_bytes(weights)
+        self.sent_weights.append(plaintext)
+        return self._channel.seal(plaintext).encode()
+
+    def seal_input(self, tensor: np.ndarray) -> bytes:
+        self._require_session()
+        plaintext = tensor_to_bytes(tensor)
+        self.sent_inputs.append(plaintext)
+        return self._channel.seal(plaintext).encode()
+
+    def open_output(self, sealed: SealedMessage, shape) -> np.ndarray:
+        """Decrypt an ExportOutput blob."""
+        self._require_session()
+        plaintext = self._channel.open(sealed)
+        self.received_outputs.append(plaintext)
+        return tensor_from_bytes(plaintext, shape)
+
+    # --- step 4: attestation ---
+
+    def verify_attestation(self, report: AttestationReport,
+                           instruction_stream: List[Instruction]) -> bool:
+        """Check that the report is (a) signed by the authenticated
+        device and (b) consistent with the data we sent/received and the
+        claimed instruction stream (which must start with our
+        InitSession)."""
+        self._require_session()
+        if not verify_report(report, self.device_public):
+            return False
+        encodings = [instr.encode() for instr in instruction_stream]
+        h_in, h_out, h_w, h_i = expected_digests(
+            self.sent_weights, self.sent_inputs, self.received_outputs, encodings
+        )
+        return (
+            report.input_digest == h_in
+            and report.output_digest == h_out
+            and report.weights_digest == h_w
+            and report.instruction_digest == h_i
+        )

@@ -1,0 +1,68 @@
+"""Cryptographic substrate for the GuardNN reproduction.
+
+Everything a real GuardNN device would implement in hardware or
+microcontroller firmware is implemented here from scratch in pure Python:
+
+* :mod:`repro.crypto.aes` — AES-128 block cipher (FIPS-197).
+* :mod:`repro.crypto.ctr` — AES counter mode (SP 800-38A) used by the
+  off-chip memory encryption engine.
+* :mod:`repro.crypto.gf128` — GF(2^128) arithmetic for GHASH-style MACs.
+* :mod:`repro.crypto.cmac` — AES-CMAC (RFC 4493) used for memory MACs.
+* :mod:`repro.crypto.sha256` — SHA-256 (FIPS 180-4) for attestation hashes.
+* :mod:`repro.crypto.hmac` — HMAC (RFC 2104).
+* :mod:`repro.crypto.kdf` — HKDF (RFC 5869) for session-key derivation.
+* :mod:`repro.crypto.rng` — HMAC-DRBG (SP 800-90A) seeded by a simulated TRNG.
+* :mod:`repro.crypto.ec` — NIST P-256 elliptic-curve arithmetic.
+* :mod:`repro.crypto.ecdsa` / :mod:`repro.crypto.ecdh` — signatures and
+  ephemeral key agreement (the paper's ECDHE–ECDSA exchange).
+* :mod:`repro.crypto.keys` / :mod:`repro.crypto.pki` — device keys,
+  manufacturer certificates, and the certificate chain a remote user
+  verifies before trusting an accelerator.
+
+These are *reference* implementations: correct (validated against published
+test vectors in the test suite) and readable, not constant-time or fast.
+The performance-simulation path never bulk-encrypts through them; only the
+functional-security path does.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import AesCtr, ctr_keystream
+from repro.crypto.cmac import AesCmac, cmac
+from repro.crypto.gmac import AesGmac
+from repro.crypto.sha256 import sha256, Sha256
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.kdf import hkdf_extract, hkdf_expand, hkdf
+from repro.crypto.rng import HmacDrbg, SimulatedTrng
+from repro.crypto.ec import P256, ECPoint
+from repro.crypto.ecdsa import ecdsa_sign, ecdsa_verify, EcdsaKeyPair
+from repro.crypto.ecdh import ecdh_shared_secret, EcdheExchange
+from repro.crypto.keys import DeviceKeys, SessionKeys
+from repro.crypto.pki import ManufacturerCA, DeviceCertificate
+
+__all__ = [
+    "AES128",
+    "AesCtr",
+    "ctr_keystream",
+    "AesCmac",
+    "cmac",
+    "AesGmac",
+    "sha256",
+    "Sha256",
+    "hmac_sha256",
+    "hkdf_extract",
+    "hkdf_expand",
+    "hkdf",
+    "HmacDrbg",
+    "SimulatedTrng",
+    "P256",
+    "ECPoint",
+    "ecdsa_sign",
+    "ecdsa_verify",
+    "EcdsaKeyPair",
+    "ecdh_shared_secret",
+    "EcdheExchange",
+    "DeviceKeys",
+    "SessionKeys",
+    "ManufacturerCA",
+    "DeviceCertificate",
+]

@@ -1,0 +1,72 @@
+"""AES-CMAC (RFC 4493 / NIST SP 800-38B).
+
+GuardNN's integrity-verification (IV) engine stores one MAC per
+data-movement chunk (512 B in the prototype) computed over
+``value || address || VN`` (Section II-D1). We use AES-CMAC as that MAC:
+it needs no second primitive beyond the AES core the Enc engine already
+has, matching how a small hardware IV engine would be built.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+
+
+def _left_shift_one(block: int) -> int:
+    return (block << 1) & ((1 << 128) - 1)
+
+
+def _generate_subkeys(aes: AES128):
+    """RFC 4493 subkey generation (K1 for full final block, K2 for
+    padded final block)."""
+    const_rb = 0x87
+    l = int.from_bytes(aes.encrypt_block(bytes(16)), "big")
+    k1 = _left_shift_one(l)
+    if l >> 127:
+        k1 ^= const_rb
+    k2 = _left_shift_one(k1)
+    if k1 >> 127:
+        k2 ^= const_rb
+    return k1.to_bytes(16, "big"), k2.to_bytes(16, "big")
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class AesCmac:
+    """CMAC under a fixed AES-128 key; reusable across many messages, as
+    the IV engine reuses one integrity key for a whole session."""
+
+    def __init__(self, key: bytes):
+        self._aes = AES128(key)
+        self._k1, self._k2 = _generate_subkeys(self._aes)
+
+    def mac(self, message: bytes) -> bytes:
+        """Compute the 16-byte CMAC tag of ``message``."""
+        n = (len(message) + BLOCK_SIZE - 1) // BLOCK_SIZE
+        if n == 0:
+            n = 1
+            complete = False
+        else:
+            complete = len(message) % BLOCK_SIZE == 0
+        if complete:
+            last = _xor(message[(n - 1) * 16 : n * 16], self._k1)
+        else:
+            tail = message[(n - 1) * 16 :]
+            padded = tail + b"\x80" + bytes(15 - len(tail))
+            last = _xor(padded, self._k2)
+        x = bytes(16)
+        for i in range(n - 1):
+            x = self._aes.encrypt_block(_xor(x, message[i * 16 : (i + 1) * 16]))
+        return self._aes.encrypt_block(_xor(x, last))
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Check a tag; returns False rather than raising so the IV engine
+        can count/flag integrity violations."""
+        return self.mac(message) == tag
+
+
+def cmac(key: bytes, message: bytes) -> bytes:
+    """One-shot convenience wrapper around :class:`AesCmac`."""
+    return AesCmac(key).mac(message)

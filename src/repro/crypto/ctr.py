@@ -1,0 +1,91 @@
+"""AES counter mode (NIST SP 800-38A) — GuardNN's memory encryption mode.
+
+GuardNN (Section II-D) encrypts off-chip memory with AES-CTR where each
+128-bit counter block is ``(physical_address || version_number)``. Counter
+blocks must never repeat under one key; the GuardNN counter scheme in
+:mod:`repro.protection.counters` is responsible for that invariant, which
+the property tests check.
+
+Two interfaces are provided:
+
+* :func:`ctr_keystream` / :class:`AesCtr` — generic SP 800-38A CTR with a
+  big-endian incrementing counter, validated against NIST vectors.
+* :meth:`AesCtr.crypt_block_with_counter` — the memory-protection form
+  where the caller supplies the *entire* counter block explicitly (address
+  and VN), exactly how the Enc engine in the paper forms its pad.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def make_counter_block(address: int, version_number: int) -> bytes:
+    """Form a GuardNN counter block from a 64-bit block address and a
+    64-bit version number (Section II-D: "each counter value ... includes
+    the address of the 128-bit memory block ... and a 64-bit VN").
+    """
+    if not 0 <= address < (1 << 64):
+        raise ValueError("address must fit in 64 bits")
+    if not 0 <= version_number < (1 << 64):
+        raise ValueError("version number must fit in 64 bits")
+    return address.to_bytes(8, "big") + version_number.to_bytes(8, "big")
+
+
+def ctr_keystream(aes: AES128, initial_counter: bytes, nbytes: int) -> bytes:
+    """Generate ``nbytes`` of CTR keystream starting from a 16-byte
+    counter block, incrementing the counter big-endian per block."""
+    if len(initial_counter) != BLOCK_SIZE:
+        raise ValueError("initial counter must be 16 bytes")
+    counter = int.from_bytes(initial_counter, "big")
+    out = bytearray()
+    blocks = (nbytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+    for _ in range(blocks):
+        out.extend(aes.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big")))
+        counter = (counter + 1) % (1 << 128)
+    return bytes(out[:nbytes])
+
+
+class AesCtr:
+    """AES-128 in counter mode.
+
+    CTR is an involution: encryption and decryption are the same XOR with
+    the keystream, so a single :meth:`crypt` method serves both.
+    """
+
+    def __init__(self, key: bytes):
+        self._aes = AES128(key)
+
+    def crypt(self, initial_counter: bytes, data: bytes) -> bytes:
+        """Encrypt or decrypt ``data`` with the keystream starting at
+        ``initial_counter`` (incrementing across blocks)."""
+        stream = ctr_keystream(self._aes, initial_counter, len(data))
+        return _xor_bytes(data, stream)
+
+    def crypt_block_with_counter(self, address: int, version_number: int, data: bytes) -> bytes:
+        """Encrypt/decrypt one 16-byte memory block using the GuardNN
+        counter block ``(address || VN)``. This is the unit operation of
+        the memory encryption engine."""
+        if len(data) != BLOCK_SIZE:
+            raise ValueError("memory encryption operates on 16-byte blocks")
+        pad = self._aes.encrypt_block(make_counter_block(address, version_number))
+        return _xor_bytes(data, pad)
+
+    def crypt_region(self, base_address: int, version_number: int, data: bytes) -> bytes:
+        """Encrypt/decrypt a contiguous region block-by-block. Each
+        16-byte block at ``base_address + i`` gets its own counter block
+        ``(base_address + i || VN)`` so identical plaintext blocks at
+        different addresses produce unrelated ciphertext."""
+        if len(data) % BLOCK_SIZE != 0:
+            raise ValueError("region length must be a multiple of 16 bytes")
+        out = bytearray()
+        for i in range(0, len(data), BLOCK_SIZE):
+            block_addr = base_address + i // BLOCK_SIZE
+            out.extend(
+                self.crypt_block_with_counter(block_addr, version_number, data[i : i + BLOCK_SIZE])
+            )
+        return bytes(out)

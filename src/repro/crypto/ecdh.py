@@ -1,0 +1,85 @@
+"""Ephemeral ECDH over P-256 — the key-exchange half of ``InitSession``.
+
+The paper (Table I) lists "DHE key-exchange protocol" as the mechanism
+against an untrusted host/network; the prototype implements ECDHE–ECDSA.
+:class:`EcdheExchange` packages one side of that handshake: generate an
+ephemeral key, sign the ephemeral public key with a long-term identity
+key, verify the peer's signature, and derive the shared secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ec import ECPoint, base_mult, scalar_mult
+from repro.crypto.ecdsa import EcdsaKeyPair, ecdsa_sign, ecdsa_verify, encode_signature, decode_signature
+from repro.crypto.kdf import hkdf
+from repro.crypto.rng import HmacDrbg
+
+
+def ecdh_shared_secret(private: int, peer_public: ECPoint) -> bytes:
+    """Raw ECDH: x-coordinate of private * peer_public."""
+    if peer_public.infinity:
+        raise ValueError("peer public key is the identity")
+    shared = scalar_mult(private, peer_public)
+    if shared.infinity:
+        raise ValueError("derived shared point is the identity")
+    return shared.x.to_bytes(32, "big")
+
+
+@dataclass
+class SignedEphemeral:
+    """An ephemeral public key signed by a long-term identity key — the
+    wire message each side of the ECDHE exchange sends."""
+
+    ephemeral_public: ECPoint
+    signature: bytes
+
+    def encode(self) -> bytes:
+        return self.ephemeral_public.encode() + self.signature
+
+
+class EcdheExchange:
+    """One participant in a mutually-authenticated ECDHE handshake.
+
+    Usage::
+
+        alice = EcdheExchange(alice_identity, drbg_a)
+        bob = EcdheExchange(bob_identity, drbg_b)
+        ka = alice.derive(bob.offer(), bob_identity.public)
+        kb = bob.derive(alice.offer(), alice_identity.public)
+        assert ka == kb
+    """
+
+    CONTEXT = b"guardnn-ecdhe-v1"
+
+    def __init__(self, identity: EcdsaKeyPair, drbg: HmacDrbg):
+        self._identity = identity
+        self._ephemeral = EcdsaKeyPair.generate(drbg)
+        self._offer_msg = None
+
+    def offer(self) -> SignedEphemeral:
+        """Produce this side's signed ephemeral key (idempotent)."""
+        if self._offer_msg is None:
+            payload = self.CONTEXT + self._ephemeral.public.encode()
+            sig = encode_signature(ecdsa_sign(self._identity.private, payload))
+            self._offer_msg = SignedEphemeral(self._ephemeral.public, sig)
+        return self._offer_msg
+
+    def derive(self, peer_offer: SignedEphemeral, peer_identity_public: ECPoint,
+               key_length: int = 32, info: bytes = b"guardnn-session") -> bytes:
+        """Verify the peer's signature and derive the session secret.
+
+        Raises ``ValueError`` if the peer's offer is not signed by
+        ``peer_identity_public`` — the MITM-rejection the tests exercise.
+        """
+        payload = self.CONTEXT + peer_offer.ephemeral_public.encode()
+        if not ecdsa_verify(peer_identity_public, payload, decode_signature(peer_offer.signature)):
+            raise ValueError("peer ephemeral key signature verification failed")
+        raw = ecdh_shared_secret(self._ephemeral.private, peer_offer.ephemeral_public)
+        # Salt with both ephemeral publics (sorted for symmetry) so the
+        # derived key binds the whole handshake transcript.
+        mine = self.offer().ephemeral_public.encode()
+        theirs = peer_offer.ephemeral_public.encode()
+        salt = min(mine, theirs) + max(mine, theirs)
+        return hkdf(raw, salt, info, key_length)

@@ -1,0 +1,109 @@
+"""ECDSA over P-256 with SHA-256 (FIPS 186-4).
+
+Signing backs two paper mechanisms: the manufacturer certificate over the
+device public key, and the ``SignOutput`` instruction that signs the
+attestation hashes with the device private key SK_Accel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto.ec import P256, ECPoint, base_mult, scalar_mult, point_add, is_on_curve
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.sha256 import sha256
+from repro.crypto.hmac import hmac_sha256
+
+
+@dataclass
+class EcdsaKeyPair:
+    """A P-256 key pair. ``private`` is an int in [1, n-1]; ``public`` the
+    corresponding curve point."""
+
+    private: int
+    public: ECPoint
+
+    @staticmethod
+    def generate(drbg: HmacDrbg) -> "EcdsaKeyPair":
+        d = 0
+        while d == 0:
+            d = drbg.random_int_below(P256.n)
+        return EcdsaKeyPair(private=d, public=base_mult(d))
+
+
+def _hash_to_int(message: bytes) -> int:
+    digest = sha256(message)
+    return int.from_bytes(digest, "big") % P256.n
+
+
+def _rfc6979_nonce(private: int, message_hash: bytes) -> int:
+    """Deterministic nonce (RFC 6979, simplified: full HMAC-DRBG loop
+    with the standard K/V ratchet). Deterministic nonces remove the
+    catastrophic nonce-reuse failure mode and make tests reproducible."""
+    n = P256.n
+    holen = 32
+    x = private.to_bytes(32, "big")
+    h1 = message_hash
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    k = hmac_sha256(k, v + b"\x00" + x + h1)
+    v = hmac_sha256(k, v)
+    k = hmac_sha256(k, v + b"\x01" + x + h1)
+    v = hmac_sha256(k, v)
+    while True:
+        v = hmac_sha256(k, v)
+        candidate = int.from_bytes(v, "big")
+        if 1 <= candidate < n:
+            return candidate
+        k = hmac_sha256(k, v + b"\x00")
+        v = hmac_sha256(k, v)
+
+
+def ecdsa_sign(private: int, message: bytes) -> Tuple[int, int]:
+    """Sign ``message`` (hashed internally with SHA-256); returns (r, s)."""
+    n = P256.n
+    e = _hash_to_int(message)
+    h1 = sha256(message)
+    while True:
+        k = _rfc6979_nonce(private, h1)
+        point = base_mult(k)
+        r = point.x % n
+        if r == 0:
+            h1 = sha256(h1)  # perturb and retry (never happens in practice)
+            continue
+        s = pow(k, -1, n) * (e + r * private) % n
+        if s == 0:
+            h1 = sha256(h1)
+            continue
+        return r, s
+
+
+def ecdsa_verify(public: ECPoint, message: bytes, signature: Tuple[int, int]) -> bool:
+    """Verify an (r, s) signature; returns False on any malformation."""
+    n = P256.n
+    r, s = signature
+    if not (1 <= r < n and 1 <= s < n):
+        return False
+    if public.infinity or not is_on_curve(public):
+        return False
+    e = _hash_to_int(message)
+    w = pow(s, -1, n)
+    u1 = e * w % n
+    u2 = r * w % n
+    point = point_add(base_mult(u1), scalar_mult(u2, public))
+    if point.infinity:
+        return False
+    return point.x % n == r
+
+
+def encode_signature(signature: Tuple[int, int]) -> bytes:
+    """Fixed-width 64-byte encoding (r || s)."""
+    r, s = signature
+    return r.to_bytes(32, "big") + s.to_bytes(32, "big")
+
+
+def decode_signature(data: bytes) -> Tuple[int, int]:
+    if len(data) != 64:
+        raise ValueError("signature must be 64 bytes")
+    return int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big")

@@ -1,0 +1,58 @@
+"""GF(2^128) arithmetic in the GHASH (NIST SP 800-38D) representation.
+
+Used by the polynomial MAC option of the integrity-verification engine.
+GHASH's field uses the reduction polynomial
+``x^128 + x^7 + x^2 + x + 1`` with a *reflected* bit ordering: bit 0 of
+byte 0 is the coefficient of x^0... NIST instead defines the leftmost bit
+as x^0. We follow the NIST convention so our GHASH matches the standard.
+"""
+
+from __future__ import annotations
+
+# x^128 reduction: in the NIST bit order the polynomial is represented by
+# R = 0xE1 followed by 15 zero bytes.
+_R = 0xE1000000000000000000000000000000
+
+
+def gf128_mul(x: int, y: int) -> int:
+    """Multiply two field elements (given as 128-bit ints in NIST/GHASH
+    bit order, i.e. the MSB of the integer is the x^0 coefficient)."""
+    if not (0 <= x < (1 << 128) and 0 <= y < (1 << 128)):
+        raise ValueError("operands must be 128-bit")
+    z = 0
+    v = y
+    for i in range(127, -1, -1):
+        if (x >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def gf128_pow(x: int, e: int) -> int:
+    """Exponentiation by squaring in GF(2^128)."""
+    # The multiplicative identity in GHASH bit order is the element with
+    # only the x^0 coefficient set, i.e. MSB of the integer.
+    result = 1 << 127
+    base = x
+    while e:
+        if e & 1:
+            result = gf128_mul(result, base)
+        base = gf128_mul(base, base)
+        e >>= 1
+    return result
+
+
+def ghash(h: int, data: bytes) -> bytes:
+    """GHASH universal hash of ``data`` under hash key ``h`` (a 128-bit
+    int). Data is zero-padded to a multiple of 16 bytes; no length block
+    is appended (callers that need GCM framing add it themselves)."""
+    if len(data) % 16:
+        data = data + bytes(16 - len(data) % 16)
+    y = 0
+    for i in range(0, len(data), 16):
+        block = int.from_bytes(data[i : i + 16], "big")
+        y = gf128_mul(y ^ block, h)
+    return y.to_bytes(16, "big")

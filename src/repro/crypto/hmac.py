@@ -1,0 +1,34 @@
+"""HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+
+Used by the key-derivation (HKDF) and DRBG constructions, and available
+as the session-transport MAC for user<->accelerator messages.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import Sha256, sha256
+
+_BLOCK = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Compute HMAC-SHA256(key, message)."""
+    if len(key) > _BLOCK:
+        key = sha256(key)
+    key = key + bytes(_BLOCK - len(key))
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = Sha256(ipad).update(message).digest()
+    return Sha256(opad).update(inner).digest()
+
+
+def hmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time-ish tag comparison (full scan regardless of
+    mismatch position)."""
+    expected = hmac_sha256(key, message)
+    if len(tag) != len(expected):
+        return False
+    diff = 0
+    for x, y in zip(expected, tag):
+        diff |= x ^ y
+    return diff == 0

@@ -1,0 +1,40 @@
+"""HKDF (RFC 5869) over HMAC-SHA256.
+
+``InitSession`` derives the working keys — the session transport key
+(K_Session), the memory-encryption key (K_MEnc), and the integrity key —
+from the ECDHE shared secret. Deriving all of them through HKDF with
+distinct ``info`` labels gives key separation: compromising one derived
+key says nothing about the others.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract step: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand step producing ``length`` bytes of output key material."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    okm = b""
+    t = b""
+    counter = 1
+    while len(okm) < length:
+        t = hmac_sha256(prk, t + info + bytes([counter]))
+        okm += t
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes, info: bytes, length: int) -> bytes:
+    """Extract-then-expand in one call."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,85 @@
+"""Key material containers for devices and sessions.
+
+Section II-C: "a GuardNN accelerator includes a unique private key
+(SK_Accel), a true random number generator, and a microcontroller", and
+``InitSession`` "sets a new memory encryption key (K_MEnc)". This module
+defines those key bundles and the HKDF labels used to derive the working
+keys from an ECDHE shared secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.ec import ECPoint
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.crypto.kdf import hkdf_expand, hkdf_extract
+from repro.crypto.rng import HmacDrbg
+
+LABEL_SESSION = b"guardnn/k-session"
+LABEL_MEM_ENC = b"guardnn/k-menc"
+LABEL_MEM_MAC = b"guardnn/k-mmac"
+LABEL_TRANSPORT_MAC = b"guardnn/k-tmac"
+
+
+@dataclass
+class DeviceKeys:
+    """The long-term identity of one accelerator instance.
+
+    ``identity`` is SK_Accel / PK_Accel; the manufacturer certifies
+    ``identity.public`` at provisioning (see :mod:`repro.crypto.pki`).
+    """
+
+    identity: EcdsaKeyPair
+
+    @staticmethod
+    def provision(drbg: HmacDrbg) -> "DeviceKeys":
+        """Generate fresh device keys, as the trusted manufacturer does
+        once per accelerator instance."""
+        return DeviceKeys(identity=EcdsaKeyPair.generate(drbg))
+
+    @property
+    def public(self) -> ECPoint:
+        return self.identity.public
+
+
+@dataclass
+class SessionKeys:
+    """Working keys for one user<->accelerator session.
+
+    * ``k_session`` — transport encryption key for user data in flight
+      (weights/inputs/outputs on SetWeight/SetInput/ExportOutput).
+    * ``k_transport_mac`` — MAC key for transport messages.
+    * ``k_mem_enc`` — K_MEnc, the off-chip memory encryption key; *never*
+      leaves the device (the user side leaves it unset).
+    * ``k_mem_mac`` — integrity key for off-chip MACs; device-only too.
+    """
+
+    k_session: bytes
+    k_transport_mac: bytes
+    k_mem_enc: bytes = field(default=b"", repr=False)
+    k_mem_mac: bytes = field(default=b"", repr=False)
+
+    @staticmethod
+    def derive_user_side(shared_secret: bytes) -> "SessionKeys":
+        """The remote user derives only the transport keys."""
+        prk = hkdf_extract(b"guardnn-session-v1", shared_secret)
+        return SessionKeys(
+            k_session=hkdf_expand(prk, LABEL_SESSION, 16),
+            k_transport_mac=hkdf_expand(prk, LABEL_TRANSPORT_MAC, 32),
+        )
+
+    @staticmethod
+    def derive_device_side(shared_secret: bytes, drbg: HmacDrbg) -> "SessionKeys":
+        """The device derives transport keys from the shared secret and
+        draws *fresh random* memory keys from its DRBG. Memory keys are
+        deliberately not derived from the shared secret: the user has no
+        business knowing them, and a fresh K_MEnc per session is what
+        resets the VN space safely (InitSession resets all counters)."""
+        user_side = SessionKeys.derive_user_side(shared_secret)
+        return SessionKeys(
+            k_session=user_side.k_session,
+            k_transport_mac=user_side.k_transport_mac,
+            k_mem_enc=drbg.generate(16),
+            k_mem_mac=drbg.generate(16),
+        )

@@ -1,0 +1,90 @@
+"""Minimal public-key infrastructure for device authentication.
+
+Threat model (Section II-A): "The DNN accelerator is trusted and
+authenticated by the remote user using a unique private key ... The
+manufacturer also needs to securely embed a private key specific to each
+accelerator instance, and provide a certificate." ``GetPK`` returns the
+public key and that certificate.
+
+We model a single manufacturer CA signing per-device certificates — the
+same trust shape as SGX/TPM endorsement without the ASN.1 baggage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ec import ECPoint
+from repro.crypto.ecdsa import (
+    EcdsaKeyPair,
+    ecdsa_sign,
+    ecdsa_verify,
+    encode_signature,
+    decode_signature,
+)
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.sha256 import sha256
+
+_CERT_CONTEXT = b"guardnn-device-cert-v1"
+
+
+@dataclass(frozen=True)
+class DeviceCertificate:
+    """A manufacturer-signed binding of (device_id, device public key,
+    security_version)."""
+
+    device_id: bytes
+    device_public: ECPoint
+    security_version: int
+    signature: bytes
+
+    def tbs(self) -> bytes:
+        """The to-be-signed byte string."""
+        return (
+            _CERT_CONTEXT
+            + len(self.device_id).to_bytes(2, "big")
+            + self.device_id
+            + self.device_public.encode()
+            + self.security_version.to_bytes(4, "big")
+        )
+
+    def fingerprint(self) -> bytes:
+        return sha256(self.tbs() + self.signature)
+
+
+class ManufacturerCA:
+    """The trusted manufacturer root that provisions devices.
+
+    A remote user is assumed to know ``root_public`` out of band (the
+    "public key infrastructure as in Intel SGX or TPMs" of Section II-C).
+    """
+
+    def __init__(self, drbg: HmacDrbg):
+        self._root = EcdsaKeyPair.generate(drbg)
+        self._issued = {}
+
+    @property
+    def root_public(self) -> ECPoint:
+        return self._root.public
+
+    def issue(self, device_id: bytes, device_public: ECPoint,
+              security_version: int = 1) -> DeviceCertificate:
+        """Sign a certificate for a freshly provisioned device."""
+        if not device_id:
+            raise ValueError("device_id must be non-empty")
+        unsigned = DeviceCertificate(device_id, device_public, security_version, b"")
+        sig = encode_signature(ecdsa_sign(self._root.private, unsigned.tbs()))
+        cert = DeviceCertificate(device_id, device_public, security_version, sig)
+        self._issued[bytes(device_id)] = cert
+        return cert
+
+
+def verify_certificate(cert: DeviceCertificate, root_public: ECPoint) -> bool:
+    """Verify a device certificate against the manufacturer root. This is
+    what the remote user does with the output of ``GetPK`` before sending
+    any secret."""
+    try:
+        signature = decode_signature(cert.signature)
+    except ValueError:
+        return False
+    return ecdsa_verify(root_public, cert.tbs(), signature)

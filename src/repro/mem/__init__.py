@@ -1,0 +1,34 @@
+"""Off-chip memory substrate.
+
+The paper simulates memory with Ramulator (16 GB DDR4). We rebuild the
+pieces the evaluation needs:
+
+* :mod:`repro.mem.trace` — memory request / trace-statistics types shared
+  by the accelerator, protection schemes, and DRAM model.
+* :mod:`repro.mem.layout` — physical address mapping (channel/bank/row/
+  column interleaving).
+* :mod:`repro.mem.dram` — DDR4 bank-state timing model.
+* :mod:`repro.mem.controller` — FR-FCFS memory controller that schedules
+  a request trace onto the DRAM model and reports cycles/bandwidth.
+* :mod:`repro.mem.cache` — set-associative write-back cache used for the
+  baseline protection's VN/MAC metadata cache.
+"""
+
+from repro.mem.trace import MemoryRequest, RequestKind, TraceStats
+from repro.mem.layout import AddressLayout
+from repro.mem.dram import DramTiming, DramChip, DDR4_2400
+from repro.mem.controller import MemoryController
+from repro.mem.cache import SetAssociativeCache, CacheStats
+
+__all__ = [
+    "MemoryRequest",
+    "RequestKind",
+    "TraceStats",
+    "AddressLayout",
+    "DramTiming",
+    "DramChip",
+    "DDR4_2400",
+    "MemoryController",
+    "SetAssociativeCache",
+    "CacheStats",
+]

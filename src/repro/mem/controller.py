@@ -1,0 +1,111 @@
+"""FR-FCFS memory controller.
+
+Schedules a request stream onto :class:`repro.mem.dram.DramChip` with the
+classic First-Ready, First-Come-First-Served policy: among queued
+requests, prefer row-buffer hits; break ties by age. Requests larger than
+one burst are split into per-burst sub-requests.
+
+The controller is used two ways:
+
+* **event-driven**: :meth:`run_trace` times an explicit request list —
+  used by tests, microbenches, and bandwidth characterization;
+* **characterization**: :meth:`effective_bandwidth_gbps` measures
+  sustainable bandwidth for a synthetic streaming mix, which the
+  analytical layer-performance model uses as its bandwidth input
+  (see :mod:`repro.accel.accelerator`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.mem.dram import DramChip, DDR4_2400, DramTiming
+from repro.mem.layout import AddressLayout
+from repro.mem.trace import MemoryRequest, TraceStats
+
+
+@dataclass
+class ControllerResult:
+    """Outcome of timing one trace."""
+
+    cycles: int
+    requests: int
+    bursts: int
+    stats: TraceStats
+
+    def bandwidth_gbps(self, freq_mhz: float, burst_bytes: int = 64) -> float:
+        if self.cycles == 0:
+            return 0.0
+        bytes_moved = self.bursts * burst_bytes
+        seconds = self.cycles / (freq_mhz * 1e6)
+        return bytes_moved / seconds / 1e9
+
+
+class MemoryController:
+    """FR-FCFS over a single channel."""
+
+    def __init__(self, timing: DramTiming = DDR4_2400, layout: AddressLayout = None,
+                 queue_depth: int = 32):
+        self.layout = layout or AddressLayout()
+        self.dram = DramChip(timing, self.layout)
+        self.queue_depth = queue_depth
+
+    def _split_bursts(self, request: MemoryRequest) -> Iterable[tuple]:
+        """Yield (address, is_write) per burst covering the request."""
+        burst = self.layout.burst_bytes
+        start = (request.address // burst) * burst
+        end = request.address + request.size
+        addr = start
+        while addr < end:
+            yield (addr, request.is_write)
+            addr += burst
+
+    def run_trace(self, trace: List[MemoryRequest]) -> ControllerResult:
+        """Time an entire trace; returns total cycles and statistics."""
+        stats = TraceStats()
+        pending = deque()
+        for req in trace:
+            stats.add(req)
+            for burst in self._split_bursts(req):
+                pending.append(burst)
+
+        cycle = 0
+        last_data_end = 0
+        bursts = 0
+        window = deque()
+        while pending or window:
+            while pending and len(window) < self.queue_depth:
+                window.append(pending.popleft())
+            # FR-FCFS: first row hit in the window, else the oldest
+            chosen = None
+            for i, (addr, _w) in enumerate(window):
+                bank, row, _col = self.layout.decompose(addr)
+                if self.dram.open_row_of(bank) == row:
+                    chosen = i
+                    break
+            if chosen is None:
+                chosen = 0
+            addr, is_write = window[chosen]
+            del window[chosen]
+            cycle, data_end = self.dram.access(addr, is_write, cycle)
+            last_data_end = max(last_data_end, data_end)
+            bursts += 1
+        total = max(cycle, last_data_end)
+        return ControllerResult(cycles=total, requests=len(trace), bursts=bursts, stats=stats)
+
+    def effective_bandwidth_gbps(self, nbytes: int = 1 << 20, write_fraction: float = 0.3,
+                                 stride: int = 64) -> float:
+        """Measure sustainable bandwidth with a streaming read/write mix
+        (the access shape of a DNN accelerator fetching tiles)."""
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        trace = []
+        writes_every = int(1 / write_fraction) if write_fraction > 0 else 0
+        n = nbytes // stride
+        for i in range(n):
+            is_write = writes_every > 0 and (i % writes_every == 0)
+            trace.append(MemoryRequest(address=i * stride, size=stride, is_write=is_write))
+        result = self.run_trace(trace)
+        return result.bandwidth_gbps(self.dram.timing.freq_mhz, self.layout.burst_bytes)

@@ -1,0 +1,157 @@
+"""DDR4 bank-state timing model (Ramulator-style, simplified).
+
+The paper times memory with Ramulator configured as 16 GB DDR4. We model
+the subset of DDR4 state that determines DNN-accelerator memory behaviour:
+
+* per-bank open row (row-buffer hits vs. conflicts),
+* the core timing constraints tRCD / tRP / tCL / tCWL / tBL / tCCD /
+  tRAS / tRC / tWR,
+* data-bus occupancy (one burst per max(tBL, tCCD)), with column commands
+  pipelined the way a real device overlaps CAS latency with transfers,
+* periodic refresh (tREFI / tRFC) as a bandwidth tax.
+
+Omitted: tFAW/tRRD rank-level constraints, read-write turnaround bubbles,
+power-down modes — negligible for the streaming access patterns at issue,
+and their omission shifts absolute cycles only, not the ratios between
+protection schemes (see DESIGN.md fidelity notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.layout import AddressLayout
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing parameters in memory-clock cycles, plus clock frequency."""
+
+    name: str
+    freq_mhz: float  # I/O bus clock in MHz (data rate is 2x, DDR)
+    tCL: int  # CAS latency (read)
+    tCWL: int  # CAS write latency
+    tRCD: int  # activate to column command
+    tRP: int  # precharge latency
+    tRAS: int  # activate to precharge minimum
+    tBL: int  # burst length in bus cycles (BL8 -> 4 clock cycles)
+    tCCD: int  # column-to-column minimum
+    tWR: int  # write recovery
+    tRTP: int  # read to precharge
+    tREFI: int  # refresh interval
+    tRFC: int  # refresh cycle time
+
+    @property
+    def tRC(self) -> int:
+        return self.tRAS + self.tRP
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak data-bus bandwidth in GB/s for a 64-bit channel."""
+        return self.freq_mhz * 2 * 8 / 1000.0
+
+
+#: DDR4-2400, 64-bit channel: the class of device the paper's 16 GB DDR4
+#: Ramulator config represents. Timings are standard -CL17 values.
+DDR4_2400 = DramTiming(
+    name="DDR4-2400",
+    freq_mhz=1200.0,
+    tCL=17,
+    tCWL=12,
+    tRCD=17,
+    tRP=17,
+    tRAS=39,
+    tBL=4,
+    tCCD=4,
+    tWR=18,
+    tRTP=9,
+    tREFI=9360,
+    tRFC=420,
+)
+
+
+class _BankState:
+    __slots__ = ("open_row", "activated_at", "last_data_end", "last_was_write")
+
+    def __init__(self):
+        self.open_row = None
+        self.activated_at = -(10**9)
+        self.last_data_end = 0
+        self.last_was_write = False
+
+
+class DramChip:
+    """One DRAM channel with per-bank row state.
+
+    :meth:`access` issues one burst access at/after command cycle
+    ``cycle`` and returns ``(next_command_cycle, data_end_cycle)``.
+    Column commands pipeline: consecutive row hits are spaced by the data
+    bus (max(tBL, tCCD)), not by full CAS latency, which is how a real
+    controller sustains near-peak streaming bandwidth.
+    """
+
+    def __init__(self, timing: DramTiming = DDR4_2400, layout: AddressLayout = None):
+        self.timing = timing
+        self.layout = layout or AddressLayout()
+        self._banks = [_BankState() for _ in range(self.layout.banks)]
+        self._bus_free_at = 0
+        self._next_refresh = timing.tREFI
+        self.stats = {"row_hits": 0, "row_misses": 0, "row_conflicts": 0, "refreshes": 0}
+
+    def _refresh_if_due(self, cycle: int) -> int:
+        """All-bank refresh: close all rows and stall for tRFC."""
+        while cycle >= self._next_refresh:
+            end = self._next_refresh + self.timing.tRFC
+            for bank in self._banks:
+                bank.open_row = None
+                bank.last_data_end = max(bank.last_data_end, end)
+            self._bus_free_at = max(self._bus_free_at, end)
+            self._next_refresh += self.timing.tREFI
+            self.stats["refreshes"] += 1
+            cycle = max(cycle, end)
+        return cycle
+
+    def access(self, address: int, is_write: bool, cycle: int):
+        """Time one burst access; returns (next_command_cycle, data_end)."""
+        t = self.timing
+        cycle = self._refresh_if_due(cycle)
+        bank_idx, row, _col = self.layout.decompose(address)
+        bank = self._banks[bank_idx]
+
+        if bank.open_row == row:
+            self.stats["row_hits"] += 1
+            col_issue = max(cycle, bank.activated_at + t.tRCD)
+        else:
+            if bank.open_row is None:
+                self.stats["row_misses"] += 1
+                activate_at = max(cycle, bank.activated_at + t.tRC)
+            else:
+                self.stats["row_conflicts"] += 1
+                recovery = t.tWR if bank.last_was_write else t.tRTP
+                precharge_at = max(
+                    cycle,
+                    bank.activated_at + t.tRAS,
+                    bank.last_data_end + recovery - t.tBL,
+                )
+                activate_at = max(precharge_at + t.tRP, bank.activated_at + t.tRC)
+            bank.activated_at = activate_at
+            bank.open_row = row
+            col_issue = activate_at + t.tRCD
+
+        cas = t.tCWL if is_write else t.tCL
+        data_start = max(col_issue + cas, self._bus_free_at)
+        data_end = data_start + t.tBL
+        self._bus_free_at = data_start + max(t.tBL, t.tCCD)
+
+        bank.last_data_end = data_end
+        bank.last_was_write = is_write
+
+        # The command bus can issue the next command one cycle later.
+        # Keep the command pointer loosely coupled to the data bus so the
+        # model cannot run unboundedly ahead of the transfers it scheduled
+        # (a real controller's queue provides the same back-pressure).
+        next_command = max(cycle + 1, data_start - 32)
+        return next_command, data_end
+
+    def open_row_of(self, bank_index: int):
+        return self._banks[bank_index].open_row

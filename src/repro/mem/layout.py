@@ -1,0 +1,56 @@
+"""Physical address layout: how byte addresses map to DRAM coordinates.
+
+We use the common row-interleaved mapping
+``row : bank : column : offset`` (high to low), which maximizes row-buffer
+locality for streaming accesses — appropriate because DNN accelerators
+stream large contiguous tensors (the very property GuardNN's protection
+exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Bit-sliced address decomposition.
+
+    Defaults model one channel of a 16 GB DDR4 device: 16 banks,
+    8 KB rows, 64-byte bursts.
+    """
+
+    burst_bytes: int = 64
+    columns_per_row: int = 128  # 128 bursts x 64 B = 8 KB row
+    banks: int = 16
+
+    def __post_init__(self):
+        for name in ("burst_bytes", "columns_per_row", "banks"):
+            if not _is_pow2(getattr(self, name)):
+                raise ValueError(f"{name} must be a power of two")
+
+    @property
+    def row_bytes(self) -> int:
+        return self.burst_bytes * self.columns_per_row
+
+    def decompose(self, address: int):
+        """Return (bank, row, column) for a byte address."""
+        burst_index = address // self.burst_bytes
+        column = burst_index % self.columns_per_row
+        rest = burst_index // self.columns_per_row
+        bank = rest % self.banks
+        row = rest // self.banks
+        return bank, row, column
+
+    def compose(self, bank: int, row: int, column: int) -> int:
+        """Inverse of :meth:`decompose` (byte address of the burst)."""
+        if not 0 <= bank < self.banks:
+            raise ValueError("bank out of range")
+        if not 0 <= column < self.columns_per_row:
+            raise ValueError("column out of range")
+        burst_index = (row * self.banks + bank) * self.columns_per_row + column
+        return burst_index * self.burst_bytes

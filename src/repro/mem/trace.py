@@ -1,0 +1,99 @@
+"""Memory request and trace-statistics types.
+
+Every layer of the stack speaks in these terms: the accelerator model
+emits *data* requests; a protection scheme rewrites the stream, adding
+*metadata* requests (version numbers, MACs, integrity-tree nodes); the
+DRAM model times the combined stream. Tagging each request with a
+:class:`RequestKind` lets experiments report exactly where the extra
+traffic of each scheme comes from (the paper's "memory traffic increase"
+metric, Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class RequestKind(Enum):
+    """What a memory request carries."""
+
+    DATA = "data"  # features / weights / gradients
+    VN = "vn"  # version-number (counter) metadata — baseline only
+    MAC = "mac"  # integrity MACs
+    TREE = "tree"  # integrity-tree (Merkle) nodes — baseline only
+
+    def is_metadata(self) -> bool:
+        return self is not RequestKind.DATA
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One off-chip access.
+
+    ``address`` is a byte address; ``size`` a byte count (the DRAM model
+    splits anything larger than one burst into multiple column accesses).
+    """
+
+    address: int
+    size: int
+    is_write: bool
+    kind: RequestKind = RequestKind.DATA
+
+    def __post_init__(self):
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+
+@dataclass
+class TraceStats:
+    """Byte counts per request kind, split by direction."""
+
+    read_bytes: dict = field(default_factory=dict)
+    write_bytes: dict = field(default_factory=dict)
+
+    def add(self, request: MemoryRequest) -> None:
+        bucket = self.write_bytes if request.is_write else self.read_bytes
+        bucket[request.kind] = bucket.get(request.kind, 0) + request.size
+
+    def add_bytes(self, kind: RequestKind, nbytes: int, is_write: bool) -> None:
+        """Account traffic without materializing request objects (the
+        analytical path uses this)."""
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        bucket = self.write_bytes if is_write else self.read_bytes
+        bucket[kind] = bucket.get(kind, 0) + nbytes
+
+    def merge(self, other: "TraceStats") -> None:
+        for kind, nbytes in other.read_bytes.items():
+            self.read_bytes[kind] = self.read_bytes.get(kind, 0) + nbytes
+        for kind, nbytes in other.write_bytes.items():
+            self.write_bytes[kind] = self.write_bytes.get(kind, 0) + nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.read_bytes.values()) + sum(self.write_bytes.values())
+
+    @property
+    def data_bytes(self) -> int:
+        return self.read_bytes.get(RequestKind.DATA, 0) + self.write_bytes.get(
+            RequestKind.DATA, 0
+        )
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.total_bytes - self.data_bytes
+
+    def traffic_increase(self) -> float:
+        """The paper's metric: (protected traffic / unprotected traffic) - 1.
+
+        For the unprotected baseline this is 0 by construction.
+        """
+        if self.data_bytes == 0:
+            return 0.0
+        return self.metadata_bytes / self.data_bytes
+
+    def kind_bytes(self, kind: RequestKind) -> int:
+        return self.read_bytes.get(kind, 0) + self.write_bytes.get(kind, 0)

@@ -1,0 +1,54 @@
+"""Off-chip memory protection schemes.
+
+The paper evaluates four protection points (Section III-C):
+
+* **NP** — no protection (:class:`repro.protection.none.NoProtection`).
+* **BP** — "today's baseline memory protection", an Intel-MEE-style
+  engine with off-chip version numbers, per-cacheline MACs, a counter
+  tree, and a VN/MAC cache (:class:`repro.protection.mee.BaselineMEE`).
+* **GuardNN_C** — confidentiality only: AES-CTR with on-chip-counter
+  version numbers, zero metadata traffic
+  (:class:`repro.protection.guardnn.GuardNNProtection` with
+  ``integrity=False``).
+* **GuardNN_CI** — confidentiality + integrity: adds one truncated MAC
+  per 512-B data-movement chunk, still no off-chip VNs and no tree.
+
+Each scheme provides the *timing/traffic* contract consumed by
+:class:`repro.accel.accelerator.AcceleratorModel`, and the GuardNN
+counter machinery (:mod:`repro.protection.counters`) is shared with the
+functional device in :mod:`repro.core`.
+"""
+
+from repro.protection.scheme import ProtectionOverhead, ProtectionScheme
+from repro.protection.engine import AesEngineModel
+from repro.protection.none import NoProtection
+from repro.protection.mee import BaselineMEE, MeeParams
+from repro.protection.guardnn import GuardNNProtection, GuardNNParams
+from repro.protection.counters import (
+    CounterState,
+    VersionNumber,
+    DOMAIN_FEATURE,
+    DOMAIN_WEIGHT,
+    DOMAIN_INPUT,
+)
+from repro.protection.merkle import MerkleTree
+from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewriter
+
+__all__ = [
+    "ProtectionOverhead",
+    "ProtectionScheme",
+    "AesEngineModel",
+    "NoProtection",
+    "BaselineMEE",
+    "MeeParams",
+    "GuardNNProtection",
+    "GuardNNParams",
+    "CounterState",
+    "VersionNumber",
+    "DOMAIN_FEATURE",
+    "DOMAIN_WEIGHT",
+    "DOMAIN_INPUT",
+    "MerkleTree",
+    "GuardNNTraceRewriter",
+    "MeeTraceRewriter",
+]

@@ -1,0 +1,44 @@
+"""AES encryption-engine throughput/latency model.
+
+The FPGA prototype pipelines AES-128 engines with a 12-cycle latency and
+needs three of them to match the memory bandwidth CHaiDNN uses
+(Section III-A/III-B); the ASIC analysis instantiates enough engines to
+match TPU-v1's 272 Gbps (Section III-C). One pipelined AES-128 engine
+accepts one 16-byte block per cycle once full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AesEngineModel:
+    """A bank of pipelined AES engines clocked at the accelerator clock."""
+
+    engines: int = 3
+    block_bytes: int = 16
+    pipeline_latency_cycles: int = 12  # paper: "pipelined with a 12-cycle latency"
+
+    def __post_init__(self):
+        if self.engines <= 0:
+            raise ValueError("need at least one engine")
+
+    def bytes_per_cycle(self, freq_mhz: float) -> float:
+        """Aggregate steady-state throughput in bytes per accelerator
+        cycle (frequency cancels; kept for interface symmetry)."""
+        return self.engines * self.block_bytes
+
+    def throughput_gbps(self, freq_mhz: float) -> float:
+        return self.engines * self.block_bytes * freq_mhz * 1e6 / 1e9
+
+    @staticmethod
+    def engines_to_match_bandwidth(bandwidth_gbps: float, freq_mhz: float,
+                                   block_bytes: int = 16) -> int:
+        """How many engines are needed so encryption never throttles the
+        memory system (the paper's 344-engine TPU-v1 arithmetic uses the
+        same relation with a slower AES core)."""
+        per_engine = block_bytes * freq_mhz * 1e6 / 1e9
+        import math
+
+        return max(1, math.ceil(bandwidth_gbps / per_engine))

@@ -1,0 +1,66 @@
+"""GuardNN's DNN-specific memory protection (Section II-D).
+
+The key idea: a DNN accelerator's access pattern is so regular that the
+per-block version numbers of counter-mode encryption never need to be
+stored in DRAM — they are *reconstructed* from a handful of on-chip
+counters (CTR_IN, CTR_F,W, CTR_W, and the host-supplied CTR_F,R). That
+removes all VN traffic and, because VNs can never be replayed from
+memory, the counter tree as well.
+
+* **GuardNN_C** (confidentiality only): AES-CTR with reconstructed VNs;
+  *zero* metadata traffic.
+* **GuardNN_CI** (+integrity): one truncated MAC per data-movement chunk
+  ("we customize the size of a memory block that each MAC protects to
+  match the data movement granularity of the accelerator ... 512-B
+  chunk"). MACs bind (value, address, VN), so stale-data replay fails
+  MAC verification without any tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.scheduler import LayerTraffic
+from repro.mem.trace import RequestKind
+from repro.protection.engine import AesEngineModel
+from repro.protection.scheme import ProtectionOverhead, ProtectionScheme
+
+
+@dataclass(frozen=True)
+class GuardNNParams:
+    """Geometry of GuardNN's protection."""
+
+    chunk_bytes: int = 512  # data-movement granularity the MAC covers
+    mac_bytes: int = 12  # truncated CMAC tag per chunk (96-bit)
+    engines: int = 4
+
+
+class GuardNNProtection(ProtectionScheme):
+    """Timing/traffic model for GuardNN_C / GuardNN_CI."""
+
+    provides_confidentiality = True
+
+    def __init__(self, integrity: bool, params: GuardNNParams = GuardNNParams()):
+        self.params = params
+        self.integrity = integrity
+        self.provides_integrity = integrity
+        self.name = "GuardNN_CI" if integrity else "GuardNN_C"
+        self.engine = AesEngineModel(engines=params.engines)
+
+    def _mac_bytes_for(self, stream_bytes: int) -> int:
+        if stream_bytes <= 0:
+            return 0
+        chunks = math.ceil(stream_bytes / self.params.chunk_bytes)
+        return chunks * self.params.mac_bytes
+
+    def layer_overhead(self, traffic: LayerTraffic, op: str, training: bool) -> ProtectionOverhead:
+        overhead = ProtectionOverhead()
+        if not self.integrity:
+            return overhead  # VNs are on-chip: literally nothing extra
+        # every read verifies the chunk MAC; every write emits a new one.
+        # MACs are packed contiguously, so a stream of N chunks moves
+        # ceil(N * mac_bytes) of metadata in the same direction.
+        overhead.add(RequestKind.MAC, self._mac_bytes_for(traffic.read_bytes), is_write=False)
+        overhead.add(RequestKind.MAC, self._mac_bytes_for(traffic.write_bytes), is_write=True)
+        return overhead

@@ -1,0 +1,132 @@
+"""Baseline protection (BP): an Intel-MEE-style memory encryption engine.
+
+"For the baseline memory encryption, we implement the recent memory
+encryption engine (MEE) design from Intel as the state-of-the-art"
+(Section III-C). The MEE layout, following Gueron (S&P 2016):
+
+* data protected at 64-B cacheline granularity;
+* one 8-B version counter per data line, packed 8 to a 64-B *VN line*
+  (one VN line covers 512 B of data);
+* one 8-B MAC per data line, packed 8 to a 64-B *MAC line*;
+* an 8-ary counter tree over the VN lines (level-1 node covers 4 KB of
+  data, level-2 32 KB, ...), root on chip;
+* a small on-chip metadata cache holding VN/MAC/tree lines.
+
+Traffic model: DNN tensors are streamed. For each pass over a region we
+charge, per metadata kind, one line transfer per covered span — *unless*
+the layer's whole metadata working set fits in the metadata cache and
+this is not the first pass (re-streamed inputs then hit). Writes dirty VN
+and MAC lines, which stream back out (read-modify-write), and update the
+level-1 tree nodes. Upper tree levels are assumed cached (they are tiny),
+except when the metadata working set overflows the cache, in which case
+level-2 traffic appears too — the cache-thrash effect the paper points to
+for training ("more frequent cache evictions in the VN/MAC cache").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accel.scheduler import LayerTraffic
+from repro.mem.trace import RequestKind
+from repro.protection.engine import AesEngineModel
+from repro.protection.scheme import ProtectionOverhead, ProtectionScheme
+
+
+@dataclass(frozen=True)
+class MeeParams:
+    """Geometry of the baseline engine."""
+
+    line_bytes: int = 64  # metadata line size
+    data_per_vn_line: int = 512  # 8 x 64-B data lines per VN line
+    data_per_mac_line: int = 512
+    tree_arity: int = 8
+    cache_bytes: int = 64 * 1024  # shared VN/MAC/tree cache
+    engines: int = 4  # enough AES throughput; BP's pain is traffic
+
+
+class BaselineMEE(ProtectionScheme):
+    """Timing/traffic model of the baseline protection."""
+
+    name = "BP"
+    provides_integrity = True
+    provides_confidentiality = True
+
+    def __init__(self, params: MeeParams = MeeParams()):
+        self.params = params
+        self.engine = AesEngineModel(engines=params.engines)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _lines(self, region_bytes: int, coverage: int) -> int:
+        """Metadata lines touched by one pass over ``region_bytes``."""
+        if region_bytes <= 0:
+            return 0
+        return math.ceil(region_bytes / coverage)
+
+    def _metadata_working_set(self, region_bytes: int) -> int:
+        """Bytes of metadata covering a region (VN + MAC + level-1)."""
+        p = self.params
+        vn = self._lines(region_bytes, p.data_per_vn_line)
+        mac = self._lines(region_bytes, p.data_per_mac_line)
+        l1 = self._lines(region_bytes, p.data_per_vn_line * p.tree_arity)
+        return (vn + mac + l1) * p.line_bytes
+
+    def _stream(self, overhead: ProtectionOverhead, stream_bytes: int,
+                region_bytes: int, is_write: bool, passes: int, cached: bool) -> None:
+        """Account metadata traffic for streaming ``stream_bytes`` over a
+        region of ``region_bytes`` (stream may be multiple passes)."""
+        p = self.params
+        if stream_bytes <= 0:
+            return
+        passes = max(1, passes)
+        # per-pass metadata touches; if the region's metadata fits in the
+        # cache, only the first pass misses
+        effective_passes = 1 if cached else passes
+        vn_lines = self._lines(region_bytes, p.data_per_vn_line) * effective_passes
+        mac_lines = self._lines(region_bytes, p.data_per_mac_line) * effective_passes
+        l1_lines = self._lines(region_bytes, p.data_per_vn_line * p.tree_arity) * effective_passes
+
+        lb = p.line_bytes
+        # reads: fetch VN line (decrypt pad), MAC line (verify), and the
+        # level-1 tree node that authenticates the VN line
+        overhead.add(RequestKind.VN, vn_lines * lb, is_write=False)
+        overhead.add(RequestKind.MAC, mac_lines * lb, is_write=False)
+        overhead.add(RequestKind.TREE, l1_lines * lb, is_write=False)
+        if not cached:
+            # thrashing also spills level-2 traffic
+            l2 = self._lines(region_bytes, p.data_per_vn_line * p.tree_arity ** 2)
+            overhead.add(RequestKind.TREE, l2 * lb * effective_passes, is_write=False)
+        if is_write:
+            # dirty VN/MAC/L1 lines stream back out
+            overhead.add(RequestKind.VN, vn_lines * lb, is_write=True)
+            overhead.add(RequestKind.MAC, mac_lines * lb, is_write=True)
+            overhead.add(RequestKind.TREE, l1_lines * lb, is_write=True)
+
+    # -- scheme contract ---------------------------------------------------
+
+    def layer_overhead(self, traffic: LayerTraffic, op: str, training: bool) -> ProtectionOverhead:
+        overhead = ProtectionOverhead()
+        p = self.params
+        working_set = (
+            self._metadata_working_set(traffic.weight_size)
+            + self._metadata_working_set(traffic.input_size)
+            + self._metadata_working_set(traffic.output_size)
+        )
+        cached = working_set <= p.cache_bytes
+
+        # weights: streamed reads (region = weight_size, possibly many passes)
+        if traffic.weight_reads:
+            passes = max(1, round(traffic.weight_reads / max(1, traffic.weight_size)))
+            self._stream(overhead, traffic.weight_reads, traffic.weight_size,
+                         is_write=False, passes=passes, cached=cached)
+        # input features
+        if traffic.input_reads:
+            self._stream(overhead, traffic.input_reads, traffic.input_size,
+                         is_write=False, passes=traffic.input_passes, cached=cached)
+        # output features: written once per pass
+        if traffic.output_writes:
+            self._stream(overhead, traffic.output_writes, traffic.output_size,
+                         is_write=True, passes=traffic.output_passes, cached=cached)
+        return overhead

@@ -1,0 +1,86 @@
+"""Merkle (hash) tree for the baseline's replay protection.
+
+Section II-D1: "to defeat the replay attack, a Merkle tree is used to
+verify the MACs hierarchically in a way that the root of the tree is
+stored on-chip". GuardNN itself needs no tree (its VNs never leave the
+chip); the tree is part of the BP baseline and of the test suite's
+replay-attack demonstrations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.crypto.sha256 import sha256
+
+
+class MerkleTree:
+    """Fixed-leaf-count binary hash tree with incremental updates.
+
+    Leaves are byte strings (e.g. per-block MACs). The root models the
+    on-chip register; everything else lives in (untrusted) memory, which
+    is why :meth:`verify_leaf` recomputes the path and compares against
+    the root only.
+    """
+
+    def __init__(self, num_leaves: int):
+        if num_leaves <= 0:
+            raise ValueError("tree needs at least one leaf")
+        self.num_leaves = num_leaves
+        self._padded = 1 << math.ceil(math.log2(num_leaves)) if num_leaves > 1 else 1
+        empty = sha256(b"guardnn-merkle-empty-leaf")
+        # levels[0] = leaf hashes, levels[-1] = [root]
+        self._levels: List[List[bytes]] = [[empty] * self._padded]
+        while len(self._levels[-1]) > 1:
+            below = self._levels[-1]
+            self._levels.append(
+                [sha256(below[2 * i] + below[2 * i + 1]) for i in range(len(below) // 2)]
+            )
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def update_leaf(self, index: int, leaf_data: bytes) -> None:
+        """Set a leaf and update the path to the root (what the engine
+        does on a protected write)."""
+        if not 0 <= index < self.num_leaves:
+            raise IndexError("leaf index out of range")
+        node = sha256(leaf_data)
+        self._levels[0][index] = node
+        i = index
+        for level in range(1, len(self._levels)):
+            i //= 2
+            left = self._levels[level - 1][2 * i]
+            right = self._levels[level - 1][2 * i + 1]
+            self._levels[level][i] = sha256(left + right)
+
+    def proof(self, index: int) -> List[bytes]:
+        """Sibling path for a leaf (what a verifier fetches from DRAM)."""
+        if not 0 <= index < self.num_leaves:
+            raise IndexError("leaf index out of range")
+        path = []
+        i = index
+        for level in range(len(self._levels) - 1):
+            sibling = i ^ 1
+            path.append(self._levels[level][sibling])
+            i //= 2
+        return path
+
+    def verify_leaf(self, index: int, leaf_data: bytes, proof: List[bytes]) -> bool:
+        """Check ``leaf_data`` at ``index`` against the on-chip root using
+        an (untrusted) sibling path."""
+        if not 0 <= index < self.num_leaves:
+            return False
+        if len(proof) != len(self._levels) - 1:
+            return False
+        node = sha256(leaf_data)
+        i = index
+        for sibling in proof:
+            if i % 2 == 0:
+                node = sha256(node + sibling)
+            else:
+                node = sha256(sibling + node)
+            i //= 2
+        return node == self.root

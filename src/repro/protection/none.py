@@ -1,0 +1,18 @@
+"""No protection (the paper's NP baseline): zero overhead, no engine."""
+
+from __future__ import annotations
+
+from repro.accel.scheduler import LayerTraffic
+from repro.protection.scheme import ProtectionOverhead, ProtectionScheme
+
+
+class NoProtection(ProtectionScheme):
+    """Plain accelerator: data in DRAM in plaintext, nothing verified."""
+
+    name = "NP"
+    engine = None
+    provides_integrity = False
+    provides_confidentiality = False
+
+    def layer_overhead(self, traffic: LayerTraffic, op: str, training: bool) -> ProtectionOverhead:
+        return ProtectionOverhead()

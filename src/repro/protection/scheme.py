@@ -1,0 +1,58 @@
+"""Protection-scheme timing contract.
+
+A scheme turns a layer's *data* traffic into *metadata* traffic (plus any
+fixed latency), and optionally carries an AES engine model that bounds
+how fast bytes can cross the chip boundary. The accelerator model
+(:mod:`repro.accel.accelerator`) consumes this contract; benchmark
+harnesses report the per-kind byte breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.accel.scheduler import LayerTraffic
+from repro.mem.trace import RequestKind
+from repro.protection.engine import AesEngineModel
+
+
+@dataclass
+class ProtectionOverhead:
+    """Extra traffic and latency one layer incurs under a scheme."""
+
+    extra_read_bytes: int = 0
+    extra_write_bytes: int = 0
+    fixed_cycles: int = 0
+    breakdown: Dict[RequestKind, int] = field(default_factory=dict)
+
+    def add(self, kind: RequestKind, nbytes: int, is_write: bool) -> None:
+        if nbytes < 0:
+            raise ValueError("metadata bytes must be non-negative")
+        if is_write:
+            self.extra_write_bytes += nbytes
+        else:
+            self.extra_read_bytes += nbytes
+        self.breakdown[kind] = self.breakdown.get(kind, 0) + nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.extra_read_bytes + self.extra_write_bytes
+
+
+class ProtectionScheme:
+    """Base class; concrete schemes override :meth:`layer_overhead`."""
+
+    name = "abstract"
+    #: AES engine model, or None when the scheme does no encryption
+    engine: Optional[AesEngineModel] = None
+    #: whether the scheme detects integrity violations
+    provides_integrity = False
+    #: whether the scheme encrypts off-chip data
+    provides_confidentiality = False
+
+    def layer_overhead(self, traffic: LayerTraffic, op: str, training: bool) -> ProtectionOverhead:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,17 @@
+"""Workload and trace generators for experiments and tests."""
+
+from repro.workloads.generators import (
+    streaming_trace,
+    random_trace,
+    strided_trace,
+    tensor_stream_trace,
+    random_mlp_spec,
+)
+
+__all__ = [
+    "streaming_trace",
+    "random_trace",
+    "strided_trace",
+    "tensor_stream_trace",
+    "random_mlp_spec",
+]

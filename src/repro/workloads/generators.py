@@ -1,0 +1,75 @@
+"""Synthetic memory traces and functional workloads.
+
+Trace generators feed the DRAM microbenchmarks and the event-driven
+validation runs; :func:`random_mlp_spec` builds the quantized MLPs the
+functional (encrypt -> compute -> decrypt) tests execute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.host import MlpSpec
+from repro.mem.trace import MemoryRequest, RequestKind
+
+
+def streaming_trace(nbytes: int, base: int = 0, write_fraction: float = 0.3,
+                    stride: int = 64) -> List[MemoryRequest]:
+    """Sequential tensor streaming — a DNN accelerator's dominant
+    pattern. Interleaves writes every 1/write_fraction requests."""
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction in [0, 1]")
+    every = int(1 / write_fraction) if write_fraction > 0 else 0
+    trace = []
+    for i in range(nbytes // stride):
+        is_write = every > 0 and i % every == 0
+        trace.append(MemoryRequest(base + i * stride, stride, is_write))
+    return trace
+
+
+def random_trace(n_requests: int, span_bytes: int, rng: np.random.Generator,
+                 write_fraction: float = 0.3, stride: int = 64) -> List[MemoryRequest]:
+    """Uniformly random accesses — the DLRM embedding-gather extreme."""
+    trace = []
+    for _ in range(n_requests):
+        addr = int(rng.integers(0, span_bytes // stride)) * stride
+        is_write = bool(rng.random() < write_fraction)
+        trace.append(MemoryRequest(addr, stride, is_write))
+    return trace
+
+
+def strided_trace(n_requests: int, stride: int, base: int = 0,
+                  size: int = 64) -> List[MemoryRequest]:
+    """Fixed-stride reads (im2col column walks, tiled tensor edges)."""
+    return [MemoryRequest(base + i * stride, size, False) for i in range(n_requests)]
+
+
+def tensor_stream_trace(tensor_bytes: Sequence[int], base: int = 0,
+                        writes_last: bool = True) -> List[MemoryRequest]:
+    """One layer's movement: stream each input tensor, then write the
+    last one (the output). Returns requests tagged as DATA."""
+    trace = []
+    addr = base
+    for index, size in enumerate(tensor_bytes):
+        is_write = writes_last and index == len(tensor_bytes) - 1
+        for offset in range(0, size, 64):
+            chunk = min(64, size - offset)
+            trace.append(MemoryRequest(addr + offset, chunk, is_write, RequestKind.DATA))
+        addr += size
+    return trace
+
+
+def random_mlp_spec(layer_sizes: Sequence[int], rng: np.random.Generator,
+                    shift: int = 7) -> MlpSpec:
+    """A random int8 MLP: ``layer_sizes`` like [64, 32, 16] builds two
+    GEMM layers (64x32, 32x16) with small weights (to avoid saturating
+    everything to the clip rails)."""
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least input and output sizes")
+    weights = [
+        rng.integers(-20, 20, size=(layer_sizes[i], layer_sizes[i + 1]), dtype=np.int8)
+        for i in range(len(layer_sizes) - 1)
+    ]
+    return MlpSpec(weights=weights, shift=shift)

@@ -1,0 +1,89 @@
+"""The combined accelerator performance model."""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorConfig, AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE
+from repro.protection.none import NoProtection
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return build_model("alexnet")
+
+
+@pytest.fixture(scope="module")
+def accel():
+    return AcceleratorModel(TPU_V1_CONFIG)
+
+
+class TestConfig:
+    def test_tpu_config_matches_paper(self):
+        assert TPU_V1_CONFIG.num_pes == 64 * 1024
+        assert TPU_V1_CONFIG.sram_bytes == 24 * 1024 * 1024
+        assert TPU_V1_CONFIG.freq_mhz == 700.0
+
+    def test_dram_bytes_per_cycle(self):
+        cfg = AcceleratorConfig("x", 16, 16, 1 << 20, 1000.0, 16.0)
+        assert cfg.dram_bytes_per_cycle == pytest.approx(16.0)
+
+
+class TestRuns:
+    def test_np_has_zero_metadata(self, accel, alexnet):
+        result = accel.run(alexnet, NoProtection())
+        assert result.total_metadata_bytes == 0
+        assert result.traffic_increase == 0.0
+
+    def test_one_timing_per_layer(self, accel, alexnet):
+        result = accel.run(alexnet, NoProtection())
+        assert len(result.layers) == len(alexnet.layers)
+
+    def test_layer_total_is_max_of_parts(self, accel, alexnet):
+        result = accel.run(alexnet, NoProtection())
+        for lt in result.layers:
+            assert lt.total_cycles >= max(lt.compute_cycles, lt.memory_cycles)
+
+    def test_training_slower_than_inference(self, accel, alexnet):
+        inf = accel.run(alexnet, NoProtection(), training=False)
+        train = accel.run(alexnet, NoProtection(), training=True)
+        assert train.total_cycles > 2 * inf.total_cycles
+
+    def test_normalized_to_self_is_one(self, accel, alexnet):
+        result = accel.run(alexnet, NoProtection())
+        assert result.normalized_to(result) == 1.0
+
+    def test_throughput_positive(self, accel, alexnet):
+        result = accel.run(alexnet, NoProtection())
+        assert result.throughput_samples_per_s() > 0
+
+    def test_batch_scales_data(self, accel, alexnet):
+        b1 = accel.run(alexnet, NoProtection(), batch=1)
+        b4 = accel.run(alexnet, NoProtection(), batch=4)
+        assert b4.total_data_bytes > b1.total_data_bytes
+        # batching amortizes weight reads: less than linear growth
+        assert b4.total_data_bytes < 4 * b1.total_data_bytes
+
+
+class TestProtectionOrdering:
+    """The paper's headline ordering must hold for every network."""
+
+    @pytest.mark.parametrize("name", ["alexnet", "mobilenet", "vit"])
+    def test_np_le_c_le_ci_le_bp(self, accel, name):
+        model = build_model(name)
+        np_t = accel.run(model, NoProtection()).total_cycles
+        c_t = accel.run(model, GuardNNProtection(integrity=False)).total_cycles
+        ci_t = accel.run(model, GuardNNProtection(integrity=True)).total_cycles
+        bp_t = accel.run(model, BaselineMEE()).total_cycles
+        assert np_t <= c_t <= ci_t <= bp_t
+
+    def test_guardnn_overhead_small(self, accel, alexnet):
+        base = accel.run(alexnet, NoProtection())
+        ci = accel.run(alexnet, GuardNNProtection(integrity=True))
+        assert ci.normalized_to(base) < 1.05  # paper: ~1.01
+
+    def test_bp_overhead_substantial(self, accel, alexnet):
+        base = accel.run(alexnet, NoProtection())
+        bp = accel.run(alexnet, BaselineMEE())
+        assert bp.normalized_to(base) > 1.10  # paper: ~1.25x

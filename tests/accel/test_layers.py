@@ -1,0 +1,123 @@
+"""Layer shape/MAC arithmetic."""
+
+import pytest
+
+from repro.accel.layers import (
+    Conv1DLayer,
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    ElementwiseLayer,
+    EmbeddingLayer,
+    GemmShape,
+    MatmulLayer,
+    PoolLayer,
+)
+
+
+class TestGemmShape:
+    def test_macs(self):
+        assert GemmShape(2, 3, 4).macs == 24
+
+    def test_operand_elements(self):
+        assert GemmShape(2, 3, 4).operand_elements() == (6, 12, 8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemmShape(0, 1, 1)
+
+
+class TestConvLayer:
+    def test_output_spatial_dims(self):
+        conv = ConvLayer("c", c_in=3, c_out=96, in_h=224, in_w=224, kernel=11,
+                         stride=4, padding=2)
+        assert conv.out_h == 55 and conv.out_w == 55
+
+    def test_im2col_gemm(self):
+        conv = ConvLayer("c", c_in=64, c_out=128, in_h=56, in_w=56, kernel=3,
+                         stride=1, padding=1)
+        (g,) = conv.gemms()
+        assert g.m == 56 * 56
+        assert g.k == 64 * 9
+        assert g.n == 128
+
+    def test_macs_match_closed_form(self):
+        conv = ConvLayer("c", c_in=64, c_out=128, in_h=56, in_w=56, kernel=3,
+                         stride=1, padding=1)
+        assert conv.macs() == 56 * 56 * 64 * 9 * 128
+
+    def test_grouped_conv_splits(self):
+        conv = ConvLayer("c", c_in=96, c_out=256, in_h=27, in_w=27, kernel=5,
+                         padding=2, groups=2)
+        gemms = conv.gemms()
+        assert len(gemms) == 2
+        assert gemms[0].k == 48 * 25
+        assert gemms[0].n == 128
+        assert conv.weight_elements() == 48 * 256 * 25
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError):
+            ConvLayer("c", c_in=10, c_out=8, in_h=8, in_w=8, kernel=3, groups=3)
+
+    def test_batch_scales_m(self):
+        conv = ConvLayer("c", c_in=3, c_out=8, in_h=8, in_w=8, kernel=3, padding=1)
+        assert conv.gemms(4)[0].m == 4 * conv.gemms(1)[0].m
+
+
+class TestConv1D:
+    def test_wav2vec_first_layer(self):
+        conv = Conv1DLayer("f", c_in=1, c_out=512, length=16000, kernel=10, stride=5)
+        assert conv.out_length == (16000 - 10) // 5 + 1
+        (g,) = conv.gemms()
+        assert g.k == 10 and g.n == 512
+
+    def test_weights(self):
+        conv = Conv1DLayer("f", c_in=512, c_out=512, length=100, kernel=3, stride=2)
+        assert conv.weight_elements() == 512 * 512 * 3
+
+
+class TestDepthwise:
+    def test_one_gemm_per_channel(self):
+        layer = DepthwiseConvLayer("dw", channels=32, in_h=112, in_w=112)
+        gemms = layer.gemms()
+        assert len(gemms) == 32
+        assert gemms[0].n == 1 and gemms[0].k == 9
+
+    def test_macs(self):
+        layer = DepthwiseConvLayer("dw", channels=32, in_h=112, in_w=112)
+        assert layer.macs() == 32 * 112 * 112 * 9
+
+
+class TestDense:
+    def test_gemm(self):
+        layer = DenseLayer("fc", in_features=2048, out_features=1000)
+        (g,) = layer.gemms(batch=8)
+        assert (g.m, g.k, g.n) == (8, 2048, 1000)
+
+    def test_seq_multiplier(self):
+        layer = DenseLayer("proj", in_features=768, out_features=768, seq=197)
+        assert layer.gemms()[0].m == 197
+
+
+class TestOthers:
+    def test_matmul_no_weights(self):
+        layer = MatmulLayer("scores", m=197, k=64, n=197, count=12)
+        assert layer.weight_elements() == 0
+        assert len(layer.gemms()) == 12
+        assert not layer.has_weights
+
+    def test_pool_moves_data_no_macs(self):
+        layer = PoolLayer("p", channels=64, in_h=112, in_w=112)
+        assert layer.macs() == 0
+        assert layer.output_elements() == 64 * 56 * 56
+
+    def test_embedding_traffic_only(self):
+        layer = EmbeddingLayer("emb", rows=1000, dim=128, lookups_per_sample=4)
+        assert layer.macs() == 0
+        assert layer.output_elements(2) == 2 * 4 * 128
+        assert layer.weight_elements() == 1000 * 128
+
+    def test_elementwise_operands(self):
+        layer = ElementwiseLayer("add", elements=100, operands=2)
+        assert layer.input_elements() == 200
+        assert layer.output_elements() == 100

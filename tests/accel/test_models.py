@@ -1,0 +1,93 @@
+"""Model zoo: layer tables must match the published architectures."""
+
+import pytest
+
+from repro.accel.models import ALIASES, MODEL_ZOO, build_model, list_models
+
+
+class TestZoo:
+    def test_all_nine_networks_present(self):
+        assert set(list_models()) == {
+            "alexnet", "vgg16", "googlenet", "resnet50", "mobilenet",
+            "vit", "bert", "dlrm", "wav2vec2",
+        }
+
+    def test_paper_aliases(self):
+        assert build_model("vgg").name == "vgg16"
+        assert build_model("resnet").name == "resnet50"
+        assert build_model("wave2vec2").name == "wav2vec2"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("lenet")
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_layer_names_unique(self, name):
+        model = build_model(name)
+        names = [layer.name for layer in model.layers]
+        assert len(names) == len(set(names))
+
+
+class TestPublishedNumbers:
+    """MAC and parameter counts against the original papers (±5%)."""
+
+    CASES = {
+        # name: (GMACs batch-1, Mparams)
+        "alexnet": (1.13, 62.4),
+        "vgg16": (15.5, 138.3),
+        "googlenet": (1.58, 7.0),
+        "resnet50": (4.09, 25.5),
+        "mobilenet": (0.57, 4.2),
+        "vit": (17.6, 86.3),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_macs_and_params(self, name):
+        gmacs, mparams = self.CASES[name]
+        model = build_model(name)
+        assert model.macs(1) / 1e9 == pytest.approx(gmacs, rel=0.05)
+        assert model.weight_elements() / 1e6 == pytest.approx(mparams, rel=0.05)
+
+    def test_bert_scale(self):
+        model = build_model("bert")
+        # ~22.5 GMACs per 512-token sequence in the encoder stack alone
+        assert model.macs(1) / 1e9 > 40  # with MLM head
+        assert model.weight_elements() / 1e6 > 100
+
+    def test_dlrm_embedding_dominated(self):
+        model = build_model("dlrm")
+        emb = sum(l.weight_elements() for l in model.layers if l.name.startswith("emb"))
+        assert emb / model.weight_elements() > 0.99
+        assert model.macs(1) < 10e6  # MLPs only
+
+    def test_wav2vec2_transformer_dominates_compute(self):
+        model = build_model("wav2vec2")
+        enc = sum(l.macs(1) for l in model.layers if l.name.startswith("enc"))
+        assert enc / model.macs(1) > 0.3
+
+
+class TestStructure:
+    def test_vgg_conv_counts(self):
+        model = build_model("vgg16")
+        convs = [l for l in model.layers if l.name.endswith(tuple(f"conv{i}" for i in range(1, 4)))]
+        assert len(convs) == 13
+
+    def test_resnet_block_structure(self):
+        model = build_model("resnet50")
+        projections = [l for l in model.layers if l.name.endswith("_proj")]
+        assert len(projections) == 4  # one per stage
+
+    def test_mobilenet_alternates_dw_pw(self):
+        model = build_model("mobilenet")
+        dw = [l for l in model.layers if l.name.startswith("dw")]
+        pw = [l for l in model.layers if l.name.startswith("pw")]
+        assert len(dw) == len(pw) == 13
+
+    def test_compute_layers_excludes_pools(self):
+        model = build_model("alexnet")
+        names = [l.name for l in model.compute_layers()]
+        assert all(not n.startswith("pool") for n in names)
+
+    def test_model_iteration(self):
+        model = build_model("alexnet")
+        assert len(list(model)) == len(model)

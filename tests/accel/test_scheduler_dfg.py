@@ -1,0 +1,124 @@
+"""Tiling scheduler traffic and DFG construction."""
+
+import pytest
+
+from repro.accel.dfg import build_inference_dfg, build_training_dfg
+from repro.accel.layers import ConvLayer, DenseLayer, PoolLayer
+from repro.accel.models import build_model
+from repro.accel.scheduler import TilingScheduler
+
+
+class TestSchedulerTraffic:
+    def test_fits_on_chip_moves_once(self):
+        scheduler = TilingScheduler(sram_bytes=1 << 24)
+        layer = DenseLayer("fc", in_features=256, out_features=128)
+        t = scheduler.layer_traffic(layer)
+        assert t.weight_reads == 256 * 128
+        assert t.input_reads == 256
+        assert t.output_writes == 128
+        assert t.input_passes == 1
+
+    def test_oversized_gemm_rereads(self):
+        scheduler = TilingScheduler(sram_bytes=1 << 14)  # 16 KB
+        layer = DenseLayer("fc", in_features=4096, out_features=4096, seq=64)
+        t = scheduler.layer_traffic(layer)
+        assert t.weight_reads > t.weight_size or t.input_reads > t.input_size
+        assert t.output_writes == t.output_size  # outputs written once
+
+    def test_outputs_always_written_once(self):
+        """Section II-D's premise: output features go to DRAM once."""
+        scheduler = TilingScheduler(sram_bytes=1 << 12)
+        for layer in build_model("vgg16").layers:
+            t = scheduler.layer_traffic(layer)
+            assert t.output_writes == t.output_size
+
+    def test_pool_streams_through(self):
+        scheduler = TilingScheduler(sram_bytes=1 << 20)
+        layer = PoolLayer("p", channels=64, in_h=56, in_w=56)
+        t = scheduler.layer_traffic(layer)
+        assert t.input_reads == t.input_size
+        assert t.weight_reads == 0
+
+    def test_bytes_per_element_scales(self):
+        layer = DenseLayer("fc", in_features=128, out_features=64)
+        t1 = TilingScheduler(1 << 24, bytes_per_element=1).layer_traffic(layer)
+        t2 = TilingScheduler(1 << 24, bytes_per_element=2).layer_traffic(layer)
+        assert t2.weight_reads == 2 * t1.weight_reads
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TilingScheduler(0)
+        with pytest.raises(ValueError):
+            TilingScheduler(1024, bytes_per_element=0)
+
+    def test_network_traffic_length(self):
+        model = build_model("alexnet")
+        scheduler = TilingScheduler(1 << 22)
+        assert len(scheduler.network_traffic(model.layers)) == len(model.layers)
+
+
+class TestInferenceDfg:
+    def test_one_node_per_layer(self):
+        model = build_model("alexnet")
+        dfg = build_inference_dfg(model)
+        assert len(dfg.nodes) == len(model.layers)
+        assert all(n.op == "forward" for n in dfg.nodes)
+
+    def test_features_chain(self):
+        model = build_model("alexnet")
+        dfg = build_inference_dfg(model)
+        for prev, node in zip(dfg.nodes, dfg.nodes[1:]):
+            assert prev.writes[0] in node.reads
+
+    def test_regions_do_not_overlap(self):
+        model = build_model("googlenet")
+        dfg = build_inference_dfg(model)
+        dfg.validate_no_overlap()
+
+    def test_weight_regions_per_weighted_layer(self):
+        model = build_model("vgg16")
+        dfg = build_inference_dfg(model)
+        weighted = sum(1 for l in model.layers if l.has_weights)
+        assert len(dfg.weight_regions()) == weighted
+
+    def test_regions_aligned(self):
+        dfg = build_inference_dfg(build_model("alexnet"))
+        assert all(r.base % 512 == 0 for r in dfg.regions.values())
+
+
+class TestTrainingDfg:
+    def test_contains_backward_ops(self):
+        model = build_model("alexnet")
+        dfg = build_training_dfg(model)
+        ops = {n.op for n in dfg.nodes}
+        assert ops == {"forward", "dgrad", "wgrad", "update"}
+
+    def test_wgrad_and_update_only_for_weighted(self):
+        model = build_model("alexnet")
+        dfg = build_training_dfg(model)
+        weighted = sum(1 for l in model.layers if l.has_weights)
+        assert sum(1 for n in dfg.nodes if n.op == "wgrad") == weighted
+        assert sum(1 for n in dfg.nodes if n.op == "update") == weighted
+
+    def test_gradients_live_in_distinct_regions(self):
+        """Section II-D2: "the gradients and the features are stored in
+        different memory locations"."""
+        model = build_model("alexnet")
+        dfg = build_training_dfg(model)
+        dfg.validate_no_overlap()
+        grads = [r for r in dfg.regions.values() if r.kind == "gradient"]
+        feats = [r for r in dfg.regions.values() if r.kind == "feature"]
+        assert grads and feats
+        for g in grads:
+            assert all(not g.overlaps(f) for f in feats)
+
+    def test_backward_reverses_layer_order(self):
+        model = build_model("alexnet")
+        dfg = build_training_dfg(model)
+        dgrad_indices = [n.layer_index for n in dfg.nodes if n.op == "dgrad"]
+        assert dgrad_indices == sorted(dgrad_indices, reverse=True)
+
+    def test_training_flag(self):
+        model = build_model("alexnet")
+        assert build_training_dfg(model).training
+        assert not build_inference_dfg(model).training

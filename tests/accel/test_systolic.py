@@ -1,0 +1,102 @@
+"""Systolic-array timing model."""
+
+import pytest
+
+from repro.accel.layers import GemmShape
+from repro.accel.systolic import Dataflow, SystolicArray
+
+
+class TestBasics:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 16)
+
+    def test_num_pes(self):
+        assert SystolicArray(256, 256).num_pes == 65536
+
+    def test_utilization_bounded(self):
+        array = SystolicArray(32, 32)
+        for gemm in (GemmShape(1, 1, 1), GemmShape(1000, 1000, 1000), GemmShape(7, 3, 5)):
+            for df in Dataflow:
+                t = array.gemm_cycles(gemm, df)
+                assert 0.0 < t.utilization <= 1.0
+
+    def test_cycles_at_least_ideal(self):
+        array = SystolicArray(16, 16)
+        gemm = GemmShape(512, 512, 512)
+        ideal = gemm.macs / array.num_pes
+        for df in Dataflow:
+            assert array.gemm_cycles(gemm, df).cycles >= ideal
+
+
+class TestWeightStationary:
+    def test_perfectly_mapped_gemm_near_full_util(self):
+        array = SystolicArray(32, 32)
+        gemm = GemmShape(4096, 32, 32)  # one fold, long stream
+        t = array.gemm_cycles(gemm, Dataflow.WEIGHT_STATIONARY)
+        assert t.folds == 1
+        assert t.utilization > 0.95
+
+    def test_fold_count(self):
+        array = SystolicArray(32, 32)
+        gemm = GemmShape(1024, 96, 64)
+        t = array.gemm_cycles(gemm, Dataflow.WEIGHT_STATIONARY)
+        assert t.folds == 3 * 2
+
+    def test_matrix_vector_mode_for_skinny_m(self):
+        """Batch-1 FC: flattened mapping beats naive folding by orders
+        of magnitude (this is what lets CHaiDNN run AlexNet FCs)."""
+        array = SystolicArray(32, 32)
+        fc = GemmShape(1, 9216, 4096)
+        t = array.gemm_cycles(fc, Dataflow.WEIGHT_STATIONARY)
+        ideal = fc.macs / array.num_pes
+        assert t.cycles < 2 * ideal
+
+    def test_wide_m_uses_fold_mode(self):
+        array = SystolicArray(32, 32)
+        gemm = GemmShape(64, 64, 64)
+        t = array.gemm_cycles(gemm, Dataflow.WEIGHT_STATIONARY)
+        assert t.folds == 4
+
+    def test_underfilled_array_wastes_cycles(self):
+        """K smaller than rows -> low utilization (VGG's first conv on a
+        256x256 TPU is the canonical example)."""
+        array = SystolicArray(256, 256)
+        gemm = GemmShape(50176, 27, 64)
+        t = array.gemm_cycles(gemm, Dataflow.WEIGHT_STATIONARY)
+        assert t.utilization < 0.05
+
+
+class TestOtherDataflows:
+    def test_output_stationary_folds(self):
+        array = SystolicArray(16, 16)
+        gemm = GemmShape(64, 1000, 32)
+        t = array.gemm_cycles(gemm, Dataflow.OUTPUT_STATIONARY)
+        assert t.folds == 4 * 2
+        assert t.cycles == 8 * 1000 + 30
+
+    def test_input_stationary_folds(self):
+        array = SystolicArray(16, 16)
+        gemm = GemmShape(64, 32, 1000)
+        t = array.gemm_cycles(gemm, Dataflow.INPUT_STATIONARY)
+        assert t.folds == 2 * 4
+        assert t.cycles == 8 * 1000 + 30
+
+
+class TestGemmList:
+    def test_groups_identical_shapes(self):
+        array = SystolicArray(8, 8)
+        gemms = [GemmShape(100, 9, 1)] * 50
+        t = array.gemm_list_cycles(gemms)
+        single = array.gemm_cycles(GemmShape(100, 9, 1))
+        assert t.cycles == 50 * single.cycles
+
+    def test_empty_list(self):
+        t = SystolicArray(8, 8).gemm_list_cycles([])
+        assert t.cycles == 0 and t.utilization == 0.0
+
+    def test_mixed_shapes_sum(self):
+        array = SystolicArray(8, 8)
+        a, b = GemmShape(64, 8, 8), GemmShape(128, 16, 16)
+        combined = array.gemm_list_cycles([a, b]).cycles
+        assert combined == array.gemm_cycles(a).cycles + array.gemm_cycles(b).cycles

@@ -1,0 +1,83 @@
+"""Workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.host import MlpSpec
+from repro.mem.trace import RequestKind
+from repro.workloads.generators import (
+    random_mlp_spec,
+    random_trace,
+    streaming_trace,
+    strided_trace,
+    tensor_stream_trace,
+)
+
+
+class TestStreaming:
+    def test_request_count(self):
+        trace = streaming_trace(64 * 100)
+        assert len(trace) == 100
+
+    def test_write_fraction(self):
+        trace = streaming_trace(64 * 1000, write_fraction=0.25)
+        writes = sum(1 for r in trace if r.is_write)
+        assert writes == pytest.approx(250, abs=1)
+
+    def test_pure_reads(self):
+        trace = streaming_trace(64 * 100, write_fraction=0.0)
+        assert not any(r.is_write for r in trace)
+
+    def test_addresses_sequential(self):
+        trace = streaming_trace(64 * 10, base=4096)
+        assert [r.address for r in trace] == [4096 + i * 64 for i in range(10)]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            streaming_trace(1024, write_fraction=2.0)
+
+
+class TestRandomAndStrided:
+    def test_random_within_span(self):
+        rng = np.random.default_rng(0)
+        trace = random_trace(500, 1 << 20, rng)
+        assert all(0 <= r.address < (1 << 20) for r in trace)
+        assert all(r.address % 64 == 0 for r in trace)
+
+    def test_strided_spacing(self):
+        trace = strided_trace(10, stride=4096, base=64)
+        assert [r.address for r in trace] == [64 + i * 4096 for i in range(10)]
+        assert not any(r.is_write for r in trace)
+
+
+class TestTensorStream:
+    def test_last_tensor_written(self):
+        trace = tensor_stream_trace([128, 256, 64])
+        writes = [r for r in trace if r.is_write]
+        assert len(writes) == 1
+        assert writes[0].address == 128 + 256
+
+    def test_all_data_kind(self):
+        trace = tensor_stream_trace([128, 64])
+        assert all(r.kind is RequestKind.DATA for r in trace)
+
+    def test_partial_final_chunk(self):
+        trace = tensor_stream_trace([100])
+        assert sum(r.size for r in trace) == 100
+
+
+class TestRandomMlp:
+    def test_shapes_chain(self):
+        rng = np.random.default_rng(1)
+        spec = random_mlp_spec([64, 32, 16, 8], rng)
+        assert isinstance(spec, MlpSpec)
+        assert [w.shape for w in spec.weights] == [(64, 32), (32, 16), (16, 8)]
+
+    def test_values_bounded(self):
+        rng = np.random.default_rng(1)
+        spec = random_mlp_spec([16, 8], rng)
+        assert spec.weights[0].min() >= -20 and spec.weights[0].max() < 20
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            random_mlp_spec([16], np.random.default_rng(0))

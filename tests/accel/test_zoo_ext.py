@@ -1,0 +1,129 @@
+"""Extended zoo: parameterized families match published numbers."""
+
+import pytest
+
+from repro.accel.zoo_ext import (
+    EXTENDED_ZOO,
+    build_bert_custom,
+    build_extended,
+    build_mobilenet_width,
+    build_resnet,
+    build_vgg,
+    build_vit,
+    build_wav2vec2_duration,
+)
+
+
+class TestResNets:
+    # published (GMACs, Mparams) for 224x224
+    CASES = {18: (1.82, 11.7), 34: (3.67, 21.8), 50: (4.09, 25.5),
+             101: (7.8, 44.5), 152: (11.5, 60.2)}
+
+    @pytest.mark.parametrize("depth", sorted(CASES))
+    def test_macs_params(self, depth):
+        gmacs, mparams = self.CASES[depth]
+        model = build_resnet(depth)
+        assert model.macs(1) / 1e9 == pytest.approx(gmacs, rel=0.07)
+        assert model.weight_elements() / 1e6 == pytest.approx(mparams, rel=0.07)
+
+    def test_unknown_depth(self):
+        with pytest.raises(KeyError):
+            build_resnet(77)
+
+
+class TestVggs:
+    CASES = {11: (7.6, 132.9), 13: (11.3, 133.0), 16: (15.5, 138.3), 19: (19.6, 143.7)}
+
+    @pytest.mark.parametrize("depth", sorted(CASES))
+    def test_macs_params(self, depth):
+        gmacs, mparams = self.CASES[depth]
+        model = build_vgg(depth)
+        assert model.macs(1) / 1e9 == pytest.approx(gmacs, rel=0.07)
+        assert model.weight_elements() / 1e6 == pytest.approx(mparams, rel=0.05)
+
+
+class TestMobileNetWidths:
+    def test_monotone_in_width(self):
+        macs = [build_mobilenet_width(w).macs(1) for w in (0.25, 0.5, 0.75, 1.0)]
+        assert macs == sorted(macs)
+
+    def test_quarter_width_much_smaller(self):
+        full = build_mobilenet_width(1.0)
+        quarter = build_mobilenet_width(0.25)
+        assert quarter.macs(1) < full.macs(1) / 8
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            build_mobilenet_width(2.0)
+
+
+class TestVits:
+    def test_base_matches_primary_zoo(self):
+        from repro.accel.models import build_model
+
+        ext = build_vit("base")
+        primary = build_model("vit")
+        assert ext.macs(1) == primary.macs(1)
+        assert ext.weight_elements() == primary.weight_elements()
+
+    def test_large_params(self):
+        model = build_vit("large")
+        assert model.weight_elements() / 1e6 == pytest.approx(304, rel=0.07)
+
+    def test_patch_divisibility(self):
+        with pytest.raises(ValueError):
+            build_vit("base", image=225)
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            build_vit("huge-ish")
+
+
+class TestBertAndWav2vec:
+    def test_bert_large_params(self):
+        model = build_bert_custom(d_model=1024, depth=24, heads=16)
+        # BERT-Large encoder ~304M + embeddings ~31M
+        assert model.weight_elements() / 1e6 == pytest.approx(335, rel=0.1)
+
+    def test_bert_seq_scales_attention_quadratically(self):
+        short = build_bert_custom(seq=128)
+        long = build_bert_custom(seq=512)
+        # attention scores scale ~16x; projections ~4x; total in between
+        assert 4 < long.macs(1) / short.macs(1) < 16
+
+    def test_wav2vec_duration_scales_compute(self):
+        one = build_wav2vec2_duration(1.0)
+        ten = build_wav2vec2_duration(10.0)
+        assert ten.macs(1) > 5 * one.macs(1)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            build_wav2vec2_duration(0)
+
+
+class TestRegistry:
+    def test_all_entries_build(self):
+        for name in EXTENDED_ZOO:
+            model = build_extended(name)
+            assert model.macs(1) > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_extended("lenet-5")
+
+    def test_protection_shape_holds_across_extended_zoo(self):
+        """The paper's headline ordering survives the larger class of
+        models: NP <= GuardNN_C <= GuardNN_CI <= BP everywhere."""
+        from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+        from repro.protection.guardnn import GuardNNProtection
+        from repro.protection.mee import BaselineMEE
+        from repro.protection.none import NoProtection
+
+        accel = AcceleratorModel(TPU_V1_CONFIG)
+        for name in ("resnet18", "vgg19", "mobilenet-0.25x", "vit-small"):
+            model = build_extended(name)
+            np_t = accel.run(model, NoProtection()).total_cycles
+            c_t = accel.run(model, GuardNNProtection(False)).total_cycles
+            ci_t = accel.run(model, GuardNNProtection(True)).total_cycles
+            bp_t = accel.run(model, BaselineMEE()).total_cycles
+            assert np_t <= c_t <= ci_t <= bp_t, name

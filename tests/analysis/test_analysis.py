@@ -1,0 +1,171 @@
+"""Analysis models: FPGA prototype, microcontroller, ASIC area,
+energy, and the comparison table."""
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.analysis.area import AES_CORE_28NM, AsicAreaModel, TPU_V1_AREA
+from repro.analysis.comparison import ComparisonTable
+from repro.analysis.energy import EnergyModel
+from repro.analysis.fpga import (
+    CHAIDNN_PLATFORM,
+    FpgaConfig,
+    FpgaPrototypeModel,
+    FpgaResourceModel,
+)
+from repro.analysis.microcontroller import InstructionLatencyModel, MicrocontrollerModel
+from repro.protection.none import NoProtection
+
+
+class TestFpgaPrototype:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FpgaConfig(512, 7)
+        with pytest.raises(ValueError):
+            FpgaConfig(0, 8)
+
+    def test_macs_per_cycle(self):
+        assert FpgaConfig(512, 8).macs_per_cycle == 1024
+        assert FpgaConfig(512, 6).macs_per_cycle == 2048
+
+    def test_array_shape_covers_macs(self):
+        for dsps in (128, 256, 512, 1024):
+            for bits in (6, 8):
+                rows, cols = FpgaConfig(dsps, bits).array_shape()
+                assert rows * cols == FpgaConfig(dsps, bits).macs_per_cycle
+
+    def test_throughput_scales_with_dsps(self):
+        model = FpgaPrototypeModel()
+        fps = [model.table_row("alexnet", FpgaConfig(d, 8))["baseline_fps"]
+               for d in (128, 256, 512)]
+        assert fps[0] < fps[1] < fps[2]
+
+    def test_6bit_faster_than_8bit(self):
+        model = FpgaPrototypeModel()
+        f8 = model.table_row("vgg16", FpgaConfig(512, 8))["baseline_fps"]
+        f6 = model.table_row("vgg16", FpgaConfig(512, 6))["baseline_fps"]
+        assert 1.4 < f6 / f8 < 2.2  # paper shows ~1.8-1.9x
+
+    def test_overhead_below_paper_bound(self):
+        """Table II: every configuration's GuardNN_C overhead < 3.5%."""
+        model = FpgaPrototypeModel()
+        for net in ("alexnet", "googlenet", "resnet50", "vgg16"):
+            for dsps in (128, 1024):
+                row = model.table_row(net, FpgaConfig(dsps, 8))
+                assert 0 <= row["overhead_pct"] < 3.5
+
+    def test_four_engines_reduce_overhead(self):
+        """Section III-B: adding a fourth AES engine reduces the max
+        overhead."""
+        worst_cfg = FpgaConfig(1024, 6)
+        three = FpgaPrototypeModel(aes_engines=3).table_row("resnet50", worst_cfg)
+        four = FpgaPrototypeModel(aes_engines=4).table_row("resnet50", worst_cfg)
+        assert four["overhead_pct"] < three["overhead_pct"]
+
+    def test_network_ordering(self):
+        """AlexNet > GoogleNet > ResNet > VGG in fps (Table II order)."""
+        model = FpgaPrototypeModel()
+        cfg = FpgaConfig(512, 8)
+        fps = {net: model.table_row(net, cfg)["baseline_fps"]
+               for net in ("alexnet", "googlenet", "resnet50", "vgg16")}
+        assert fps["alexnet"] > fps["googlenet"] > fps["resnet50"] > fps["vgg16"]
+
+
+class TestFpgaResources:
+    def test_aes_overhead_matches_paper(self):
+        luts_pct, ffs_pct = FpgaResourceModel().aes_overhead_pct()
+        assert luts_pct == pytest.approx(8.2, abs=0.3)
+        assert ffs_pct == pytest.approx(2.6, abs=0.2)
+
+    def test_total_includes_mcu(self):
+        total = FpgaResourceModel().total_overhead(aes_engines=3)
+        assert total["luts"] == 3 * 9000 + 2700
+        assert total["brams"] == 64
+        assert total["brams_pct"] == pytest.approx(11.0, abs=0.1)
+
+
+class TestMicrocontroller:
+    def test_key_exchange_latency_near_paper(self):
+        ms = MicrocontrollerModel().key_exchange_seconds() * 1e3
+        assert 15 < ms < 35  # paper: 23.1 ms
+
+    def test_sign_latency_near_paper(self):
+        ms = MicrocontrollerModel().sign_seconds() * 1e3
+        assert 3 < ms < 9  # paper: 4.8 ms
+
+    def test_set_weight_ordering_follows_weight_size(self):
+        lat = InstructionLatencyModel()
+        ms = {n: lat.set_weight_seconds(build_model(n)) * 1e3
+              for n in ("googlenet", "resnet50", "alexnet", "vgg16")}
+        assert ms["googlenet"] < ms["resnet50"] < ms["alexnet"] < ms["vgg16"]
+
+    def test_set_weight_vgg_magnitude(self):
+        ms = InstructionLatencyModel().set_weight_seconds(build_model("vgg16")) * 1e3
+        assert 30 < ms < 60  # paper: 43.3 ms
+
+    def test_small_instructions_sub_millisecond(self):
+        lat = InstructionLatencyModel()
+        vgg = build_model("vgg16")
+        assert lat.set_input_seconds(vgg) * 1e3 < 0.5  # paper: 0.1 ms
+        assert lat.export_output_seconds(vgg) * 1e3 < 0.1  # paper: 0.01 ms
+
+    def test_report_keys(self):
+        report = InstructionLatencyModel().report(build_model("vgg16"))
+        assert set(report) == {"key_exchange_ms", "set_weight_ms", "set_input_ms",
+                               "export_output_ms", "sign_output_ms"}
+
+
+class TestAsicArea:
+    def test_engines_match_paper(self):
+        model = AsicAreaModel()
+        assert model.engines_needed() == 344
+
+    def test_overhead_fractions(self):
+        overhead = AsicAreaModel().overhead()
+        assert overhead["area_pct"] == pytest.approx(0.32, abs=0.05)
+        assert overhead["power_pct"] == pytest.approx(1.8, abs=0.2)
+
+    def test_derate_validated(self):
+        with pytest.raises(ValueError):
+            AsicAreaModel(derate=0.0)
+
+    def test_explicit_engine_count(self):
+        overhead = AsicAreaModel().overhead(engines=10)
+        assert overhead["engines"] == 10
+        assert overhead["area_mm2"] == pytest.approx(10 * AES_CORE_28NM.area_mm2)
+
+
+class TestEnergyAndComparison:
+    def test_throughput_gops(self):
+        model = build_model("alexnet")
+        accel = AcceleratorModel(TPU_V1_CONFIG)
+        result = accel.run(model, NoProtection())
+        energy = EnergyModel(accelerator_power_w=40.0)
+        gops = energy.throughput_gops(model, result)
+        assert gops > 100  # a TPU-class device does >> 100 GOPs
+
+    def test_comparison_table_structure(self):
+        rows = ComparisonTable().as_dicts()
+        assert len(rows) == 5
+        names = [r["name"] for r in rows]
+        assert names[0].startswith("CPU TEE")
+        assert any("DELPHI" in n for n in names)
+
+    def test_guardnn_dominates_alternatives(self):
+        """The paper's three-orders-of-magnitude claim."""
+        rows = {r["name"]: r for r in ComparisonTable().as_dicts()}
+        guardnn = rows["GuardNN_CI (simulated)"]
+        cpu = rows["CPU TEE (simulated)"]
+        assert guardnn["throughput_gops"] > 1000 * cpu["throughput_gops"]
+        assert guardnn["efficiency_gops_per_w"] > 1000 * cpu["efficiency_gops_per_w"]
+
+    def test_guardnn_overhead_small_in_table(self):
+        rows = {r["name"]: r for r in ComparisonTable().as_dicts()}
+        assert rows["GuardNN_CI (simulated)"]["overhead_factor"] < 1.1
+        assert rows["GuardNN_C (FPGA)"]["overhead_factor"] < 1.05
+
+    def test_mpc_overhead_orders_of_magnitude(self):
+        rows = {r["name"]: r for r in ComparisonTable().as_dicts()}
+        assert rows["DELPHI MPC"]["overhead_factor"] == 1000.0
+        assert rows["CrypTFLOW2 MPC"]["overhead_factor"] == 100.0

@@ -1,0 +1,70 @@
+"""Energy model details and user-session error paths."""
+
+import numpy as np
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.analysis.area import AsicAreaModel
+from repro.analysis.energy import EnergyModel
+from repro.core.errors import SessionError
+from repro.core.session import UserSession
+from repro.crypto.pki import ManufacturerCA
+from repro.crypto.rng import HmacDrbg
+from repro.protection.none import NoProtection
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def run(self):
+        accel = AcceleratorModel(TPU_V1_CONFIG)
+        model = build_model("alexnet")
+        return model, accel.run(model, NoProtection())
+
+    def test_ops_counts_two_per_mac(self, run):
+        model, _ = run
+        energy = EnergyModel(accelerator_power_w=40.0)
+        assert energy.ops(model, batch=1) == 2 * model.macs(1)
+
+    def test_efficiency_uses_power(self, run):
+        model, result = run
+        energy = EnergyModel(accelerator_power_w=40.0)
+        eff40 = energy.efficiency_gops_per_w(model, result)
+        eff80 = energy.efficiency_gops_per_w(model, result, power_w=80.0)
+        assert eff40 == pytest.approx(2 * eff80)
+
+    def test_total_power_includes_engines(self):
+        energy = EnergyModel(accelerator_power_w=40.0)
+        with_engines = energy.total_power_w(aes_engines=344, area_model=AsicAreaModel())
+        assert with_engines == pytest.approx(40.0 + 344 * 3.85e-3, rel=0.01)
+
+    def test_zero_power_guard(self, run):
+        model, result = run
+        energy = EnergyModel(accelerator_power_w=0.0)
+        assert energy.efficiency_gops_per_w(model, result) == 0.0
+
+
+class TestSessionErrorPaths:
+    @pytest.fixture
+    def user(self):
+        ca = ManufacturerCA(HmacDrbg(b"sess-ca"))
+        return UserSession(ca.root_public, HmacDrbg(b"sess-user"))
+
+    def test_init_before_authenticate(self, user):
+        with pytest.raises(SessionError):
+            user.build_init_session()
+
+    def test_complete_before_build(self, user):
+        from repro.core.device import SessionAck
+
+        with pytest.raises(SessionError):
+            user.complete_init_session(SessionAck(device_offer=b"x", integrity_enabled=True))
+
+    def test_data_plane_before_session(self, user):
+        with pytest.raises(SessionError):
+            user.seal_weights(np.zeros((2, 2), dtype=np.int8))
+        with pytest.raises(SessionError):
+            user.seal_input(np.zeros((2, 2), dtype=np.int8))
+
+    def test_not_established_flag(self, user):
+        assert not user.established

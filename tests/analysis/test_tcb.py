@@ -1,0 +1,39 @@
+"""TCB accounting."""
+
+import os
+
+import pytest
+
+from repro.analysis.tcb import TcbReport, count_loc, measure_tcb
+
+
+class TestCountLoc:
+    def test_skips_blanks_and_comments(self, tmp_path):
+        f = tmp_path / "x.py"
+        f.write_text("# comment\n\nx = 1\n  # indented comment\ny = 2\n")
+        assert count_loc(str(f)) == 2
+
+
+class TestMeasure:
+    def test_categories_present(self):
+        report = measure_tcb()
+        labels = set(report.categories)
+        assert any("crypto" in l for l in labels)
+        assert any("memory protection" in l for l in labels)
+        assert any("firmware" in l for l in labels)
+        assert any("accelerator" in l for l in labels)
+
+    def test_untrusted_majority_excluded(self):
+        """Host software, performance models and analysis stay outside
+        the TCB — the paper's small-TCB argument."""
+        report = measure_tcb()
+        assert report.untrusted_loc > 0
+        assert 0.0 < report.tcb_fraction < 1.0
+
+    def test_totals_consistent(self):
+        report = measure_tcb()
+        assert report.total_loc == report.tcb_loc + report.untrusted_loc
+
+    def test_empty_report(self):
+        report = TcbReport(categories={}, untrusted_loc=0)
+        assert report.tcb_fraction == 0.0

@@ -1,0 +1,47 @@
+"""Shared fixtures: a provisioned device, its manufacturer, a remote
+user, and an honest host — the full cast of the paper's threat model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.device import GuardNNDevice
+from repro.core.host import HonestHost
+from repro.core.session import UserSession
+from repro.crypto.pki import ManufacturerCA
+from repro.crypto.rng import HmacDrbg
+
+
+@pytest.fixture
+def manufacturer() -> ManufacturerCA:
+    return ManufacturerCA(HmacDrbg(b"test-manufacturer-seed"))
+
+
+@pytest.fixture
+def device(manufacturer) -> GuardNNDevice:
+    return GuardNNDevice(b"accel-under-test", manufacturer, seed=b"test-device-seed",
+                         dram_bytes=1 << 20, debug_log_vns=True)
+
+
+@pytest.fixture
+def user(manufacturer) -> UserSession:
+    return UserSession(manufacturer.root_public, HmacDrbg(b"test-user-seed"))
+
+
+@pytest.fixture
+def host(device) -> HonestHost:
+    return HonestHost(device)
+
+
+@pytest.fixture
+def established(device, user, host):
+    """A ready session (integrity on): returns (device, user, host)."""
+    user.authenticate_device(host.fetch_device_info())
+    host.establish_session(user, enable_integrity=True)
+    return device, user, host
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

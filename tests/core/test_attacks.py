@@ -1,0 +1,120 @@
+"""Attack scenarios from the threat model (Section II-A / Table I):
+physical tampering, replay, splicing, hostile read counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import IntegrityError
+from repro.core.host import HonestHost, MlpSpec
+from repro.core.isa import ExportOutput, Forward, SetReadCTR
+from repro.core.mpu import CHUNK_BYTES
+
+
+@pytest.fixture
+def loaded(established, rng):
+    """Session with weights and input imported, one Forward executed."""
+    device, user, host = established
+    spec = MlpSpec([rng.integers(-15, 15, size=(64, 32), dtype=np.int8)])
+    x = rng.integers(-15, 15, size=(8, 64), dtype=np.int8)
+    host._layer_shapes = [w.shape for w in spec.weights]
+    host._shift = spec.shift
+    host.load_weights(user, spec)
+    host.load_input(user, x)
+    out_base, out_size = host.run_inference(spec, batch=8)
+    return device, user, host, spec, x, out_base, out_size
+
+
+class TestPhysicalTampering:
+    def test_weight_bitflip_detected_on_use(self, loaded):
+        device, user, host, spec, x, out_base, out_size = loaded
+        # corrupt the weight region in DRAM, then force a re-run
+        device.untrusted_memory.data[0] ^= 0x01
+        with pytest.raises(IntegrityError):
+            device.execute(
+                Forward(input_base=host._input_base, weight_base=0,
+                        output_base=out_base + 4096, m=8, k=64, n=32)
+            )
+
+    def test_output_tamper_detected_on_export(self, loaded):
+        device, user, host, spec, x, out_base, out_size = loaded
+        device.untrusted_memory.data[out_base] ^= 0x80
+        device.execute(SetReadCTR(base=out_base, size=out_size, ctr_fw=1))
+        with pytest.raises(IntegrityError):
+            device.execute(ExportOutput(base=out_base, size=out_size))
+
+
+class TestReplay:
+    def test_stale_feature_replay_detected(self, established, rng):
+        """Record the features Forward #1 wrote, let Forward #2
+        overwrite them, replay the stale bytes, read with the *current*
+        counter: MAC mismatch, no tree required."""
+        device, user, host = established
+        spec = MlpSpec([rng.integers(-15, 15, size=(64, 64), dtype=np.int8),
+                        rng.integers(-15, 15, size=(64, 64), dtype=np.int8)])
+        x = rng.integers(-15, 15, size=(8, 64), dtype=np.int8)
+        host._layer_shapes = [w.shape for w in spec.weights]
+        host._shift = spec.shift
+        host.load_weights(user, spec)
+        host.load_input(user, x)
+
+        # Forward 1 writes features at some base; snapshot them
+        out1 = host._alloc(8 * 64)
+        device.execute(Forward(input_base=host._input_base, weight_base=host._weight_bases[0],
+                               output_base=out1, m=8, k=64, n=64, relu=True))
+        stale = device.untrusted_memory.snapshot(out1, CHUNK_BYTES)
+
+        # Forward 2 overwrites the same region (ping-pong reuse)
+        device.execute(SetReadCTR(base=out1, size=8 * 64, ctr_fw=1))
+        device.execute(Forward(input_base=out1, weight_base=host._weight_bases[1],
+                               output_base=out1, m=8, k=64, n=64))
+
+        # replay the stale snapshot and try to read as the new version
+        device.untrusted_memory.restore(out1, *stale)
+        device.execute(SetReadCTR(base=out1, size=8 * 64, ctr_fw=2))
+        with pytest.raises(IntegrityError):
+            device.execute(ExportOutput(base=out1, size=8 * 64))
+
+
+class TestSplicing:
+    def test_relocated_ciphertext_detected(self, loaded):
+        device, user, host, spec, x, out_base, out_size = loaded
+        dram = device.untrusted_memory
+        # copy the (valid) weight chunk over the output chunk, MAC too
+        blob, macs = dram.snapshot(0, CHUNK_BYTES)
+        dram.data[out_base : out_base + CHUNK_BYTES] = blob
+        dram.mac_store[out_base] = macs[0]
+        device.execute(SetReadCTR(base=out_base, size=out_size, ctr_fw=1))
+        with pytest.raises(IntegrityError):
+            device.execute(ExportOutput(base=out_base, size=out_size))
+
+
+class TestHostileReadCounters:
+    def test_wrong_read_ctr_exports_garbage_not_secrets(self, established, rng):
+        """Section II-E: CTR_F,R 'does not need to be trusted for
+        confidentiality, as it only affects decryption'. In C-only mode
+        the wrong counter yields garbage — never the plaintext of any
+        other tensor."""
+        device, user, host = established
+        # re-establish confidentiality-only so nothing raises
+        fresh = type(user)(user._ca_root, __import__("repro.crypto.rng", fromlist=["HmacDrbg"]).HmacDrbg(b"fresh2"))
+        fresh.authenticate_device(host.fetch_device_info())
+        host.establish_session(fresh, enable_integrity=False)
+
+        spec = MlpSpec([rng.integers(-15, 15, size=(64, 32), dtype=np.int8)])
+        x = rng.integers(-15, 15, size=(8, 64), dtype=np.int8)
+        host._layer_shapes = [w.shape for w in spec.weights]
+        host._shift = spec.shift
+        host.load_weights(fresh, spec)
+        host.load_input(fresh, x)
+        out_base, out_size = host.run_inference(spec, batch=8)
+
+        # hostile host declares a bogus read counter and exports
+        device.execute(SetReadCTR(base=out_base, size=out_size, ctr_fw=777))
+        sealed = device.execute(ExportOutput(base=out_base, size=out_size))
+        garbage = fresh.open_output(sealed, (8, 32))
+
+        correct = spec.reference_forward(x)
+        assert not np.array_equal(garbage, correct)
+        # and the garbage is not any secret tensor either
+        assert garbage.tobytes() != x.tobytes()[: garbage.nbytes]
+        assert garbage.tobytes() != spec.weights[0].tobytes()[: garbage.nbytes]

@@ -1,0 +1,94 @@
+"""Attestation hash chains and reports (module-level)."""
+
+import pytest
+
+from repro.core.attestation import (
+    AttestationReport,
+    AttestationState,
+    expected_digests,
+    sign_report,
+    verify_report,
+)
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.sha256 import sha256
+
+
+@pytest.fixture
+def device_key():
+    return EcdsaKeyPair.generate(HmacDrbg(b"attest-dev"))
+
+
+def _state():
+    state = AttestationState(session_binding=sha256(b"session"))
+    state.record_weights(b"W1")
+    state.record_weights(b"W2")
+    state.record_input(b"X")
+    state.record_instruction(b"\x05instr")
+    state.record_output(b"Y")
+    return state
+
+
+class TestState:
+    def test_digests_match_expected(self):
+        state = _state()
+        h_in, h_out, h_w, h_i = state.digests()
+        e_in, e_out, e_w, e_i = expected_digests([b"W1", b"W2"], [b"X"], [b"Y"],
+                                                 [b"\x05instr"])
+        assert (h_in, h_out, h_w, h_i) == (e_in, e_out, e_w, e_i)
+
+    def test_digests_sampling_does_not_finalize(self):
+        state = _state()
+        first = state.digests()
+        state.record_instruction(b"more")
+        second = state.digests()
+        assert first[0] == second[0]  # input unchanged
+        assert first[3] != second[3]  # instruction chain advanced
+
+    def test_order_matters(self):
+        a = AttestationState(sha256(b"s"))
+        a.record_weights(b"AB")
+        b = AttestationState(sha256(b"s"))
+        b.record_weights(b"A")
+        b.record_weights(b"B")
+        # streaming hash: same concatenation, same digest
+        assert a.digests()[2] == b.digests()[2]
+
+
+class TestReport:
+    def test_sign_and_verify(self, device_key):
+        report = sign_report(_state(), device_key.private)
+        assert verify_report(report, device_key.public)
+
+    def test_tampered_digest_rejected(self, device_key):
+        report = sign_report(_state(), device_key.private)
+        forged = AttestationReport(
+            input_digest=sha256(b"other"),
+            output_digest=report.output_digest,
+            weights_digest=report.weights_digest,
+            instruction_digest=report.instruction_digest,
+            session_binding=report.session_binding,
+            signature=report.signature,
+        )
+        assert not verify_report(forged, device_key.public)
+
+    def test_session_binding_matters(self, device_key):
+        report = sign_report(_state(), device_key.private)
+        forged = AttestationReport(
+            report.input_digest, report.output_digest, report.weights_digest,
+            report.instruction_digest, sha256(b"other-session"), report.signature,
+        )
+        assert not verify_report(forged, device_key.public)
+
+    def test_wrong_device_key_rejected(self, device_key):
+        other = EcdsaKeyPair.generate(HmacDrbg(b"other-dev"))
+        report = sign_report(_state(), device_key.private)
+        assert not verify_report(report, other.public)
+
+    def test_garbage_signature_rejected(self, device_key):
+        report = sign_report(_state(), device_key.private)
+        forged = AttestationReport(
+            report.input_digest, report.output_digest, report.weights_digest,
+            report.instruction_digest, report.session_binding, b"nonsense",
+        )
+        assert not verify_report(forged, device_key.public)

@@ -1,0 +1,56 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheme", "rot13"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--network", "alexnet", "--scheme", "guardnn-ci"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized time" in out
+        assert "GuardNN_CI" in out
+
+    def test_simulate_training(self, capsys):
+        assert main(["simulate", "--network", "alexnet", "--scheme", "np",
+                     "--training", "--batch", "2"]) == 0
+        assert "training" in capsys.readouterr().out
+
+    def test_figure3_single_network(self, capsys):
+        assert main(["figure3", "--network", "mobilenet"]) == 0
+        out = capsys.readouterr().out
+        assert "mobilenet" in out and "BP" in out
+
+    def test_fpga_table(self, capsys):
+        assert main(["fpga-table", "--precision", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "1024" in out
+
+    def test_compile_ok(self, capsys):
+        assert main(["compile", "--network", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "VN-unique=True" in out
+
+    def test_compile_training(self, capsys):
+        assert main(["compile", "--network", "mobilenet", "--training"]) == 0
+        assert "UpdateWeight" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "result correct: True" in capsys.readouterr().out
+
+    def test_traffic(self, capsys):
+        assert main(["traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "dlrm" in out

@@ -1,0 +1,135 @@
+"""The GuardNN device + user session protocol flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import GuardNNDevice
+from repro.core.errors import ProtocolError, SessionError
+from repro.core.host import HonestHost, MlpSpec
+from repro.core.isa import (
+    ExportOutput,
+    Forward,
+    GetPK,
+    SetInput,
+    SetReadCTR,
+    SetWeight,
+    SignOutput,
+)
+from repro.core.session import UserSession
+from repro.crypto.pki import ManufacturerCA
+from repro.crypto.rng import HmacDrbg
+
+
+class TestGetPk:
+    def test_works_without_session(self, device):
+        info = device.execute(GetPK())
+        assert info.public_key[0] == 0x04
+        assert info.certificate.device_id == b"accel-under-test"
+
+    def test_certificate_verifies(self, device, user, host):
+        user.authenticate_device(host.fetch_device_info())
+        assert user.device_public is not None
+
+    def test_wrong_ca_rejected(self, device, host):
+        evil = ManufacturerCA(HmacDrbg(b"evil"))
+        stranger = UserSession(evil.root_public, HmacDrbg(b"u"))
+        with pytest.raises(SessionError):
+            stranger.authenticate_device(host.fetch_device_info())
+
+
+class TestSessionLifecycle:
+    def test_instructions_require_session(self, device):
+        for instr in (SetWeight(), SetInput(), Forward(), ExportOutput(),
+                      SignOutput(), SetReadCTR()):
+            with pytest.raises(SessionError):
+                device.execute(instr)
+
+    def test_establish(self, established):
+        device, user, host = established
+        assert user.established
+
+    def test_malformed_init_session(self, device):
+        from repro.core.isa import InitSession
+
+        with pytest.raises(ProtocolError):
+            device.execute(InitSession(user_offer=b"junk", user_identity=b"junk"))
+
+    def test_new_session_resets_counters(self, established, user):
+        device, _, host = established
+        device.mpu.counters.on_set_input()
+        fresh_user = UserSession(user._ca_root, HmacDrbg(b"fresh"))
+        fresh_user.authenticate_device(host.fetch_device_info())
+        host.establish_session(fresh_user)
+        assert device.mpu.counters.ctr_in == 0
+
+    def test_session_supports_both_modes(self, device, user, host):
+        user.authenticate_device(host.fetch_device_info())
+        host.establish_session(user, enable_integrity=False)
+        assert not device.mpu.integrity_enabled
+
+
+class TestFunctionalInference:
+    def _run(self, established, rng, sizes, batch=2):
+        device, user, host = established
+        spec = MlpSpec([rng.integers(-15, 15, size=(sizes[i], sizes[i + 1]), dtype=np.int8)
+                        for i in range(len(sizes) - 1)])
+        x = rng.integers(-15, 15, size=(batch, sizes[0]), dtype=np.int8)
+        out, attested = host.compile_and_run(user, spec, x)
+        return out, attested, spec, x
+
+    def test_matches_reference(self, established, rng):
+        out, attested, spec, x = self._run(established, rng, [32, 16, 8])
+        assert np.array_equal(out, spec.reference_forward(x))
+
+    def test_attestation_verifies(self, established, rng):
+        _, attested, _, _ = self._run(established, rng, [32, 16, 8])
+        assert attested
+
+    def test_single_layer(self, established, rng):
+        out, attested, spec, x = self._run(established, rng, [16, 4], batch=1)
+        assert np.array_equal(out, spec.reference_forward(x))
+        assert attested
+
+    def test_deep_network(self, established, rng):
+        out, _, spec, x = self._run(established, rng, [64, 48, 32, 24, 16, 8])
+        assert np.array_equal(out, spec.reference_forward(x))
+
+    def test_dram_never_holds_plaintext(self, established, rng):
+        device, user, host = established
+        out, _, spec, x = self._run(established, rng, [64, 32, 8], batch=4)
+        dram = bytes(device.untrusted_memory.data)
+        for w in spec.weights:
+            assert w.tobytes() not in dram
+        assert x.tobytes() not in dram
+        # intermediate activations are also secrets
+        hidden = None
+        from repro.core.compute import gemm_int8
+
+        hidden = gemm_int8(x, spec.weights[0], relu=True)
+        assert hidden.tobytes() not in dram
+
+
+class TestAttestationDetectsLies:
+    def test_wrong_instruction_stream_fails(self, established, rng):
+        device, user, host = established
+        spec = MlpSpec([rng.integers(-15, 15, size=(16, 8), dtype=np.int8)])
+        x = rng.integers(-15, 15, size=(1, 16), dtype=np.int8)
+        _, ok = host.compile_and_run(user, spec, x)
+        assert ok
+        # the host now lies about what it ran: drops one instruction
+        report = device.execute(SignOutput())
+        assert not user.verify_attestation(report, host.instruction_log[:-1])
+
+    def test_report_from_other_device_fails(self, manufacturer, established, rng):
+        device, user, host = established
+        spec = MlpSpec([rng.integers(-15, 15, size=(16, 8), dtype=np.int8)])
+        x = rng.integers(-15, 15, size=(1, 16), dtype=np.int8)
+        host.compile_and_run(user, spec, x)
+
+        other = GuardNNDevice(b"other", manufacturer, seed=b"other-seed", dram_bytes=1 << 20)
+        other_host = HonestHost(other)
+        other_user = UserSession(manufacturer.root_public, HmacDrbg(b"ou"))
+        other_user.authenticate_device(other_host.fetch_device_info())
+        other_host.establish_session(other_user)
+        foreign_report = other.execute(SignOutput())
+        assert not user.verify_attestation(foreign_report, host.instruction_log)

@@ -1,0 +1,79 @@
+"""Instruction encodings (the attestation hash input)."""
+
+import pytest
+
+from repro.core.isa import (
+    ExportOutput,
+    Forward,
+    GetPK,
+    InitSession,
+    SetInput,
+    SetReadCTR,
+    SetWeight,
+    SignOutput,
+    UpdateWeight,
+)
+
+ALL = [GetPK(), InitSession(user_offer=b"o", user_identity=b"i"),
+       SetWeight(base=512, blob=b"b"), SetInput(base=1024, blob=b"c"),
+       Forward(input_base=0, weight_base=512, output_base=1024, m=2, k=3, n=4),
+       ExportOutput(base=1024, size=8), SignOutput(),
+       SetReadCTR(base=0, size=512, ctr_fw=3),
+       UpdateWeight(weight_base=512, grad_base=2048, k=3, n=4)]
+
+
+class TestEncoding:
+    def test_opcodes_unique(self):
+        opcodes = {type(i).OPCODE for i in ALL}
+        assert len(opcodes) == len(ALL)
+
+    def test_encodings_distinct(self):
+        encodings = {i.encode() for i in ALL}
+        assert len(encodings) == len(ALL)
+
+    def test_encoding_starts_with_opcode(self):
+        for instr in ALL:
+            assert instr.encode()[0] == type(instr).OPCODE
+
+    def test_length_field_consistent(self):
+        for instr in ALL:
+            encoded = instr.encode()
+            body_len = int.from_bytes(encoded[1:5], "big")
+            assert len(encoded) == 5 + body_len
+
+    def test_operand_change_changes_encoding(self):
+        a = Forward(input_base=0, weight_base=512, output_base=1024, m=2, k=3, n=4)
+        b = Forward(input_base=0, weight_base=512, output_base=1024, m=2, k=3, n=5)
+        assert a.encode() != b.encode()
+
+    def test_relu_flag_encoded(self):
+        a = Forward(m=1, k=1, n=1, relu=False)
+        b = Forward(m=1, k=1, n=1, relu=True)
+        assert a.encode() != b.encode()
+
+    def test_transpose_flags_encoded(self):
+        base = Forward(m=1, k=1, n=1)
+        ta = Forward(m=1, k=1, n=1, transpose_a=True)
+        tb = Forward(m=1, k=1, n=1, transpose_b=True)
+        assert len({base.encode(), ta.encode(), tb.encode()}) == 3
+
+    def test_update_weight_fields_encoded(self):
+        a = UpdateWeight(weight_base=0, grad_base=512, k=2, n=2, lr_shift=3)
+        b = UpdateWeight(weight_base=0, grad_base=512, k=2, n=2, lr_shift=4)
+        assert a.encode() != b.encode()
+
+    def test_integrity_flag_encoded(self):
+        a = InitSession(user_offer=b"o", user_identity=b"i", enable_integrity=True)
+        b = InitSession(user_offer=b"o", user_identity=b"i", enable_integrity=False)
+        assert a.encode() != b.encode()
+
+    def test_read_ctr_optional_ctr_in(self):
+        a = SetReadCTR(base=0, size=512, ctr_fw=3)
+        b = SetReadCTR(base=0, size=512, ctr_fw=3, ctr_in=0)
+        assert a.encode() != b.encode()
+
+    def test_instructions_hashable_and_frozen(self):
+        s = {GetPK(), GetPK(), SignOutput()}
+        assert len(s) == 2
+        with pytest.raises(Exception):
+            GetPK().OPCODE2 = 1  # frozen dataclass rejects new attrs

@@ -1,0 +1,145 @@
+"""Memory protection unit: the Enc/IV engines over simulated DRAM."""
+
+import pytest
+
+from repro.core.errors import IntegrityError, ProtocolError, SessionError
+from repro.core.mpu import CHUNK_BYTES, MemoryProtectionUnit, SimulatedDram
+from repro.protection.counters import VersionNumber
+
+
+@pytest.fixture
+def mpu():
+    unit = MemoryProtectionUnit(SimulatedDram(1 << 16))
+    unit.enable(b"\x01" * 16, b"\x02" * 16, integrity=True)
+    return unit
+
+
+@pytest.fixture
+def mpu_c_only():
+    unit = MemoryProtectionUnit(SimulatedDram(1 << 16))
+    unit.enable(b"\x01" * 16, b"\x02" * 16, integrity=False)
+    return unit
+
+
+VN1 = VersionNumber.for_feature(1, 1)
+VN2 = VersionNumber.for_feature(1, 2)
+
+
+class TestRoundTrip:
+    def test_write_read(self, mpu):
+        data = bytes(range(256)) * 4
+        mpu.write_protected(0, data, VN1)
+        assert mpu.read_protected(0, len(data), VN1) == data
+
+    def test_ciphertext_differs_from_plaintext(self, mpu):
+        data = b"\xAA" * 1024
+        mpu.write_protected(0, data, VN1)
+        assert bytes(mpu.dram.data[:1024]) != data
+
+    def test_unaligned_length_padded(self, mpu):
+        data = b"hello guardnn"
+        mpu.write_protected(512, data, VN1)
+        assert mpu.read_protected(512, len(data), VN1) == data
+
+    def test_wrong_vn_gives_garbage_in_c_mode(self, mpu_c_only):
+        data = b"\x55" * 512
+        mpu_c_only.write_protected(0, data, VN1)
+        assert mpu_c_only.read_protected(0, 512, VN2) != data
+
+    def test_disabled_mpu_refuses(self):
+        unit = MemoryProtectionUnit(SimulatedDram(1 << 12))
+        with pytest.raises(SessionError):
+            unit.write_protected(0, b"x" * 16, VN1)
+
+    def test_alignment_enforced(self, mpu):
+        with pytest.raises(ProtocolError):
+            mpu.write_protected(100, b"x" * 16, VN1)
+
+    def test_out_of_bounds(self, mpu):
+        with pytest.raises(ProtocolError):
+            mpu.write_protected(0, b"x" * (1 << 17), VN1)
+
+
+class TestIntegrity:
+    def test_bitflip_detected(self, mpu):
+        mpu.write_protected(0, b"\x11" * 1024, VN1)
+        mpu.dram.data[100] ^= 0x01
+        with pytest.raises(IntegrityError):
+            mpu.read_protected(0, 1024, VN1)
+
+    def test_mac_store_tamper_detected(self, mpu):
+        mpu.write_protected(0, b"\x11" * 1024, VN1)
+        tag = mpu.dram.mac_store[0]
+        mpu.dram.mac_store[0] = tag[:-1] + bytes([tag[-1] ^ 1])
+        with pytest.raises(IntegrityError):
+            mpu.read_protected(0, 1024, VN1)
+
+    def test_splice_detected(self, mpu):
+        """Move valid ciphertext+MAC to a different address: the MAC
+        binds the address, so relocation fails."""
+        mpu.write_protected(0, b"\x11" * CHUNK_BYTES, VN1)
+        mpu.write_protected(1024, b"\x22" * CHUNK_BYTES, VN1)
+        blob, macs = mpu.dram.snapshot(0, CHUNK_BYTES)
+        mpu.dram.data[1024 : 1024 + CHUNK_BYTES] = blob
+        mpu.dram.mac_store[1024] = macs[0]
+        with pytest.raises(IntegrityError):
+            mpu.read_protected(1024, CHUNK_BYTES, VN1)
+
+    def test_replay_detected_without_tree(self, mpu):
+        """GuardNN's headline integrity property: replaying a stale
+        (ciphertext, MAC) snapshot at the same address is caught because
+        the *current* VN (on chip) differs — no Merkle tree involved."""
+        mpu.write_protected(0, b"old secret state", VN1)
+        stale = mpu.dram.snapshot(0, CHUNK_BYTES)
+        mpu.write_protected(0, b"new secret state", VN2)
+        mpu.dram.restore(0, *stale)
+        with pytest.raises(IntegrityError):
+            mpu.read_protected(0, 16, VN2)
+
+    def test_c_mode_does_not_detect_but_never_leaks(self, mpu_c_only):
+        """Confidentiality-only mode: tampering silently corrupts (by
+        design), but what comes back is never the attacker's choice of
+        plaintext, and DRAM still holds ciphertext only."""
+        secret = b"\x42" * 512
+        mpu_c_only.write_protected(0, secret, VN1)
+        mpu_c_only.dram.data[0] ^= 0xFF
+        corrupted = mpu_c_only.read_protected(0, 512, VN1)
+        assert corrupted != secret
+        # the flip only affects the flipped byte (CTR is a stream mode)
+        assert corrupted[1:] == secret[1:]
+
+    def test_wrong_vn_detected_in_ci_mode(self, mpu):
+        mpu.write_protected(0, b"\x11" * 512, VN1)
+        with pytest.raises(IntegrityError):
+            mpu.read_protected(0, 512, VN2)
+
+
+class TestStateReset:
+    def test_enable_clears_dram(self, mpu):
+        mpu.write_protected(0, b"\x99" * 512, VN1)
+        mpu.enable(b"\x03" * 16, b"\x04" * 16, integrity=True)
+        assert bytes(mpu.dram.data[:512]) == bytes(512)
+        assert not mpu.dram.mac_store
+
+    def test_fresh_keys_change_ciphertext(self):
+        unit = MemoryProtectionUnit(SimulatedDram(1 << 12))
+        unit.enable(b"\x01" * 16, b"\x02" * 16, integrity=False)
+        unit.write_protected(0, b"\x77" * 512, VN1)
+        ct1 = bytes(unit.dram.data[:512])
+        unit.enable(b"\x0A" * 16, b"\x0B" * 16, integrity=False)
+        unit.write_protected(0, b"\x77" * 512, VN1)
+        assert bytes(unit.dram.data[:512]) != ct1
+
+
+class TestVnLog:
+    def test_log_records_writes(self):
+        unit = MemoryProtectionUnit(SimulatedDram(1 << 12), debug_log_vns=True)
+        unit.enable(b"\x01" * 16, b"\x02" * 16, integrity=False)
+        unit.write_protected(0, b"x" * 32, VN1)
+        assert len(unit.vn_log) == 2  # two 16-B blocks
+        assert unit.vn_log[0].vn == VN1.value
+
+
+def test_dram_geometry_validated():
+    with pytest.raises(ValueError):
+        SimulatedDram(100)

@@ -1,0 +1,151 @@
+"""On-device training: transposed Forwards, UpdateWeight, CTR_W flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.compute import gemm_int8, sgd_update_int8
+from repro.core.device import GuardNNDevice
+from repro.core.errors import IntegrityError, ProtocolError
+from repro.core.host import MlpSpec, TrainingHost
+from repro.core.isa import Forward, UpdateWeight
+from repro.core.session import UserSession
+from repro.crypto.rng import HmacDrbg
+
+
+@pytest.fixture
+def training_stack(manufacturer, rng):
+    device = GuardNNDevice(b"train-dev", manufacturer, seed=b"train-seed",
+                           dram_bytes=1 << 20, debug_log_vns=True)
+    host = TrainingHost(device)
+    user = UserSession(manufacturer.root_public, HmacDrbg(b"train-user"))
+    user.authenticate_device(host.fetch_device_info())
+    host.establish_session(user, enable_integrity=True)
+    return device, host, user
+
+
+def _specs(rng, sizes):
+    w = [rng.integers(-15, 15, size=(sizes[i], sizes[i + 1]), dtype=np.int8)
+         for i in range(len(sizes) - 1)]
+    return MlpSpec([a.copy() for a in w]), MlpSpec([a.copy() for a in w])
+
+
+class TestComputePrimitives:
+    def test_sgd_update_arithmetic(self):
+        w = np.array([[100, -100], [0, 5]], dtype=np.int8)
+        g = np.array([[64, -64], [16, -128]], dtype=np.int8)
+        out = sgd_update_int8(w, g, lr_shift=4)
+        assert out[0, 0] == 96  # 100 - (64>>4)
+        assert out[0, 1] == -96
+        assert out[1, 0] == -1  # 0 - (16>>4)=... 16>>4=1
+        assert out[1, 1] == 13  # 5 - (-128>>4 = -8) = 13
+
+    def test_sgd_update_validations(self):
+        w = np.zeros((2, 2), dtype=np.int8)
+        with pytest.raises(ValueError):
+            sgd_update_int8(w, np.zeros((2, 3), dtype=np.int8))
+        with pytest.raises(TypeError):
+            sgd_update_int8(w.astype(np.int16), w)
+        with pytest.raises(ValueError):
+            sgd_update_int8(w, w, lr_shift=99)
+
+
+class TestTransposedForward:
+    def test_transpose_b_matches_numpy(self, training_stack, rng):
+        """g @ W^T through the device equals the local reference."""
+        device, host, user = training_stack
+        spec, _ = _specs(rng, [16, 8])
+        host._layer_shapes = [w.shape for w in spec.weights]
+        host._shift = spec.shift
+        host.load_weights(user, spec)
+        g = rng.integers(-15, 15, size=(4, 8), dtype=np.int8)
+        host.load_input(user, g)
+        out_base = host._alloc(4 * 16)
+        device.execute(Forward(input_base=host._input_base,
+                               weight_base=host._weight_bases[0],
+                               output_base=out_base, m=4, k=8, n=16,
+                               transpose_b=True, shift=spec.shift))
+        from repro.core.isa import ExportOutput, SetReadCTR
+
+        device.execute(SetReadCTR(base=out_base, size=4 * 16, ctr_fw=1))
+        sealed = device.execute(ExportOutput(base=out_base, size=4 * 16))
+        got = user.open_output(sealed, (4, 16))
+        expected = gemm_int8(g, np.ascontiguousarray(spec.weights[0].T), shift=spec.shift)
+        assert np.array_equal(got, expected)
+
+
+class TestTrainStep:
+    def _grad_fn(self, target):
+        def fn(output):
+            return np.clip(output.astype(np.int32) - target, -128, 127).astype(np.int8)
+        return fn
+
+    @pytest.mark.parametrize("sizes", [[32, 8], [32, 16, 8], [24, 16, 12, 8]])
+    def test_updated_weights_match_reference(self, training_stack, rng, sizes):
+        device, host, user = training_stack
+        spec, ref = _specs(rng, sizes)
+        x = rng.integers(-15, 15, size=(4, sizes[0]), dtype=np.int8)
+        target = rng.integers(-15, 15, size=(4, sizes[-1]), dtype=np.int8)
+        updated = host.train_step(user, spec, x, self._grad_fn(target))
+        out_ref = ref.reference_forward(x)
+        ref_updated = ref.reference_train_step(x, self._grad_fn(target)(out_ref))
+        for got, want in zip(updated, ref_updated):
+            assert np.array_equal(got, want)
+
+    def test_ctr_w_advances_per_update(self, training_stack, rng):
+        device, host, user = training_stack
+        spec, _ = _specs(rng, [32, 16, 8])
+        x = rng.integers(-15, 15, size=(4, 32), dtype=np.int8)
+        target = rng.integers(-15, 15, size=(4, 8), dtype=np.int8)
+        host.train_step(user, spec, x, self._grad_fn(target))
+        # 2 SetWeight imports + 2 UpdateWeights
+        assert device.mpu.counters.ctr_w == 4
+
+    def test_training_vns_unique(self, training_stack, rng):
+        """The central invariant survives a whole training iteration."""
+        device, host, user = training_stack
+        spec, _ = _specs(rng, [32, 16, 8])
+        x = rng.integers(-15, 15, size=(4, 32), dtype=np.int8)
+        target = rng.integers(-15, 15, size=(4, 8), dtype=np.int8)
+        host.train_step(user, spec, x, self._grad_fn(target))
+        log = [(e.block_address, e.vn) for e in device.mpu.vn_log]
+        assert len(log) == len(set(log))
+
+    def test_gradients_never_plaintext_in_dram(self, training_stack, rng):
+        device, host, user = training_stack
+        spec, ref = _specs(rng, [32, 8])
+        x = rng.integers(-15, 15, size=(4, 32), dtype=np.int8)
+        target = rng.integers(-15, 15, size=(4, 8), dtype=np.int8)
+        grad_fn = self._grad_fn(target)
+        host.train_step(user, spec, x, grad_fn)
+        out_ref = ref.reference_forward(x)
+        g = grad_fn(out_ref)
+        dram = bytes(device.untrusted_memory.data)
+        assert g.tobytes() not in dram
+        assert x.tobytes() not in dram
+
+    def test_tampered_gradient_detected(self, training_stack, rng):
+        """Flipping bits in the stored weight-gradient region breaks the
+        UpdateWeight read in CI mode."""
+        device, host, user = training_stack
+        spec, _ = _specs(rng, [32, 8])
+        host._layer_shapes = [w.shape for w in spec.weights]
+        host._shift = spec.shift
+        host.load_weights(user, spec)
+        g = rng.integers(-15, 15, size=(32, 8), dtype=np.int8)
+        grad_base = host._alloc(g.size)
+        from repro.core.isa import SetInput
+
+        device.execute(SetInput(base=grad_base, blob=user.seal_input(g)))
+        device.untrusted_memory.data[grad_base] ^= 0x40
+        with pytest.raises(IntegrityError):
+            device.execute(UpdateWeight(weight_base=host._weight_bases[0],
+                                        grad_base=grad_base, k=32, n=8))
+
+    def test_update_requires_weight_region(self, training_stack, rng):
+        device, host, user = training_stack
+        spec, _ = _specs(rng, [32, 8])
+        host._layer_shapes = [w.shape for w in spec.weights]
+        host._shift = spec.shift
+        host.load_weights(user, spec)
+        with pytest.raises(ProtocolError):
+            device.execute(UpdateWeight(weight_base=4096 * 7, grad_base=0, k=32, n=8))

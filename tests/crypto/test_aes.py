@@ -1,0 +1,79 @@
+"""AES-128 against FIPS-197 and SP 800-38A known-answer vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES128, _SBOX, _INV_SBOX
+
+
+# FIPS-197 Appendix C.1
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# SP 800-38A F.1.1 ECB-AES128 (first two blocks)
+NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_BLOCKS = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+class TestKnownAnswers:
+    def test_fips197_encrypt(self):
+        assert AES128(FIPS_KEY).encrypt_block(FIPS_PT) == FIPS_CT
+
+    def test_fips197_decrypt(self):
+        assert AES128(FIPS_KEY).decrypt_block(FIPS_CT) == FIPS_PT
+
+    @pytest.mark.parametrize("pt_hex,ct_hex", NIST_BLOCKS)
+    def test_sp800_38a_ecb_encrypt(self, pt_hex, ct_hex):
+        aes = AES128(NIST_KEY)
+        assert aes.encrypt_block(bytes.fromhex(pt_hex)).hex() == ct_hex
+
+    @pytest.mark.parametrize("pt_hex,ct_hex", NIST_BLOCKS)
+    def test_sp800_38a_ecb_decrypt(self, pt_hex, ct_hex):
+        aes = AES128(NIST_KEY)
+        assert aes.decrypt_block(bytes.fromhex(ct_hex)).hex() == pt_hex
+
+
+class TestSbox:
+    def test_sbox_spot_values(self):
+        # canonical spot checks from the FIPS-197 table
+        assert _SBOX[0x00] == 0x63
+        assert _SBOX[0x53] == 0xED
+        assert _SBOX[0xFF] == 0x16
+
+    def test_sbox_is_permutation(self):
+        assert sorted(_SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        assert all(_INV_SBOX[_SBOX[i]] == i for i in range(256))
+
+
+class TestRoundTripAndErrors:
+    def test_round_trip_many_keys(self):
+        for seed in range(8):
+            key = bytes([(seed * 17 + i) % 256 for i in range(16)])
+            block = bytes([(seed * 31 + i * 7) % 256 for i in range(16)])
+            aes = AES128(key)
+            assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        a = AES128(bytes(16)).encrypt_block(block)
+        b = AES128(bytes([1] + [0] * 15)).encrypt_block(block)
+        assert a != b
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(b"tiny")
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).decrypt_block(bytes(17))

@@ -1,0 +1,87 @@
+"""AES-CMAC (RFC 4493) vectors and GF(2^128) algebra."""
+
+import pytest
+
+from repro.crypto.cmac import AesCmac, cmac
+from repro.crypto.gf128 import gf128_mul, gf128_pow, ghash
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+MSG = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+RFC4493 = [
+    (0, "bb1d6929e95937287fa37d129b756746"),
+    (16, "070a16b46b4d4144f79bdd9dd04a287c"),
+    (40, "dfa66747de9ae63030ca32611497c827"),
+    (64, "51f0bebf7e3b9d92fc49741779363cfe"),
+]
+
+
+@pytest.mark.parametrize("length,tag_hex", RFC4493)
+def test_rfc4493_vectors(length, tag_hex):
+    assert cmac(KEY, MSG[:length]).hex() == tag_hex
+
+
+class TestCmacBehaviour:
+    def test_verify_accepts_and_rejects(self):
+        mac = AesCmac(KEY)
+        tag = mac.mac(b"guardnn chunk")
+        assert mac.verify(b"guardnn chunk", tag)
+        assert not mac.verify(b"guardnn chunk!", tag)
+        assert not mac.verify(b"guardnn chunk", tag[:-1] + bytes([tag[-1] ^ 1]))
+
+    def test_reusable_across_messages(self):
+        mac = AesCmac(KEY)
+        tags = {mac.mac(bytes([i]) * 24) for i in range(16)}
+        assert len(tags) == 16
+
+    def test_key_separation(self):
+        other = bytes(reversed(KEY))
+        assert cmac(KEY, b"x") != cmac(other, b"x")
+
+
+ONE = 1 << 127  # multiplicative identity in GHASH bit order
+
+
+class TestGf128:
+    def test_identity(self):
+        for x in (1, 0xDEADBEEF << 64, (1 << 128) - 1):
+            assert gf128_mul(ONE, x) == x
+
+    def test_zero_annihilates(self):
+        assert gf128_mul(0, 123456) == 0
+
+    def test_commutative(self):
+        a, b = 0x1234567890ABCDEF << 32, 0xFEDCBA0987654321
+        assert gf128_mul(a, b) == gf128_mul(b, a)
+
+    def test_associative(self):
+        a, b, c = 3 << 100, 7 << 50, 11 << 20
+        assert gf128_mul(gf128_mul(a, b), c) == gf128_mul(a, gf128_mul(b, c))
+
+    def test_distributes_over_xor(self):
+        a, b, c = 5 << 90, 9 << 60, 2 << 30
+        assert gf128_mul(a, b ^ c) == gf128_mul(a, b) ^ gf128_mul(a, c)
+
+    def test_pow_matches_repeated_mul(self):
+        h = 0xAA55 << 64
+        assert gf128_pow(h, 1) == h
+        assert gf128_pow(h, 3) == gf128_mul(gf128_mul(h, h), h)
+        assert gf128_pow(h, 0) == ONE
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            gf128_mul(1 << 128, 1)
+
+    def test_ghash_linearity_in_blocks(self):
+        """GHASH of (A || 0-block) = GHASH(A) * H  — the defining
+        Horner recurrence."""
+        h = 0x66E94BD4EF8A2C3B884CFA59CA342B2E  # any field element
+        block = bytes(range(16))
+        y1 = int.from_bytes(ghash(h, block), "big")
+        y2 = int.from_bytes(ghash(h, block + bytes(16)), "big")
+        assert y2 == gf128_mul(y1, h)

@@ -1,0 +1,93 @@
+"""AES-CTR: NIST vectors, involution, and the memory-encryption forms."""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import AesCtr, ctr_keystream, make_counter_block
+
+NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_IC = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+# SP 800-38A F.5.1 CTR-AES128.Encrypt: 4 blocks
+NIST_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+NIST_CT = bytes.fromhex(
+    "874d6191b620e3261bef6864990db6ce"
+    "9806f66b7970fdff8617187bb9fffdff"
+    "5ae4df3edbd5d35e5b4f09020db03eab"
+    "1e031dda2fbe03d1792170a0f3009cee"
+)
+
+
+class TestNistVectors:
+    def test_ctr_encrypt_four_blocks(self):
+        assert AesCtr(NIST_KEY).crypt(NIST_IC, NIST_PT) == NIST_CT
+
+    def test_ctr_decrypt_is_involution(self):
+        assert AesCtr(NIST_KEY).crypt(NIST_IC, NIST_CT) == NIST_PT
+
+    def test_partial_block(self):
+        out = AesCtr(NIST_KEY).crypt(NIST_IC, NIST_PT[:7])
+        assert out == NIST_CT[:7]
+
+
+class TestKeystream:
+    def test_counter_wraps_modulo_2_128(self):
+        aes = AES128(NIST_KEY)
+        ic = bytes([0xFF] * 16)
+        stream = ctr_keystream(aes, ic, 32)
+        expected = aes.encrypt_block(ic) + aes.encrypt_block(bytes(16))
+        assert stream == expected
+
+    def test_bad_counter_length(self):
+        with pytest.raises(ValueError):
+            ctr_keystream(AES128(bytes(16)), b"short", 16)
+
+
+class TestMemoryEncryptionForm:
+    def test_counter_block_layout(self):
+        block = make_counter_block(0x1122334455667788, 0x99AABBCCDDEEFF00)
+        assert block == bytes.fromhex("112233445566778899aabbccddeeff00")
+
+    def test_counter_block_bounds(self):
+        with pytest.raises(ValueError):
+            make_counter_block(1 << 64, 0)
+        with pytest.raises(ValueError):
+            make_counter_block(0, 1 << 64)
+
+    def test_same_plaintext_different_addresses_differ(self):
+        ctr = AesCtr(NIST_KEY)
+        data = bytes(32)
+        a = ctr.crypt_region(0, 5, data)
+        b = ctr.crypt_region(100, 5, data)
+        assert a != b
+        # and even the two halves within one region differ
+        assert a[:16] != a[16:]
+
+    def test_same_address_different_vn_differ(self):
+        ctr = AesCtr(NIST_KEY)
+        data = bytes(16)
+        assert ctr.crypt_block_with_counter(7, 1, data) != ctr.crypt_block_with_counter(7, 2, data)
+
+    def test_region_round_trip(self):
+        ctr = AesCtr(NIST_KEY)
+        data = bytes(range(64))
+        ct = ctr.crypt_region(12, 42, bytes(data))
+        assert ctr.crypt_region(12, 42, ct) == data
+
+    def test_region_wrong_vn_garbage(self):
+        ctr = AesCtr(NIST_KEY)
+        data = bytes(range(64))
+        ct = ctr.crypt_region(12, 42, bytes(data))
+        assert ctr.crypt_region(12, 43, ct) != data
+
+    def test_region_requires_block_multiple(self):
+        with pytest.raises(ValueError):
+            AesCtr(NIST_KEY).crypt_region(0, 0, bytes(15))
+
+    def test_block_form_requires_16_bytes(self):
+        with pytest.raises(ValueError):
+            AesCtr(NIST_KEY).crypt_block_with_counter(0, 0, bytes(8))

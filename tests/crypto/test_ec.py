@@ -1,0 +1,97 @@
+"""P-256 group law: standard parameters, Jacobian/affine agreement,
+encode/decode, and group axioms."""
+
+import pytest
+
+from repro.crypto.ec import (
+    ECPoint,
+    P256,
+    base_mult,
+    is_on_curve,
+    point_add,
+    point_double,
+    scalar_mult,
+)
+
+G = ECPoint(P256.gx, P256.gy)
+
+
+class TestParameters:
+    def test_generator_on_curve(self):
+        assert is_on_curve(G)
+
+    def test_curve_order_annihilates_generator(self):
+        assert base_mult(P256.n).infinity
+
+    def test_a_is_minus_three(self):
+        assert P256.a == P256.p - 3
+
+    def test_known_2g(self):
+        # 2G for P-256 (public test vector)
+        two_g = point_double(G)
+        assert two_g.x == 0x7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978
+        assert two_g.y == 0x07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1
+
+    def test_known_5g_via_scalar_mult(self):
+        five_g = base_mult(5)
+        assert five_g.x == 0x51590B7A515140D2D784C85608668FDFEF8C82FD1F5BE52421554A0DC3D033ED
+        assert is_on_curve(five_g)
+
+
+class TestGroupLaw:
+    def test_identity_element(self):
+        o = ECPoint.identity()
+        assert point_add(G, o) == G
+        assert point_add(o, G) == G
+
+    def test_inverse_sums_to_identity(self):
+        neg = ECPoint(G.x, (-G.y) % P256.p)
+        assert point_add(G, neg).infinity
+
+    def test_double_equals_add_self(self):
+        assert point_double(G) == point_add(G, G)
+
+    def test_jacobian_matches_affine_chain(self):
+        """scalar_mult (Jacobian ladder) against repeated affine adds."""
+        acc = ECPoint.identity()
+        for k in range(1, 20):
+            acc = point_add(acc, G)
+            assert scalar_mult(k, G) == acc
+
+    def test_scalar_mult_distributes(self):
+        a, b = 123456789, 987654321
+        lhs = scalar_mult(a + b, G)
+        rhs = point_add(scalar_mult(a, G), scalar_mult(b, G))
+        assert lhs == rhs
+
+    def test_scalar_mult_mod_order(self):
+        k = 0xDEADBEEF
+        assert scalar_mult(k, G) == scalar_mult(k + P256.n, G)
+
+    def test_results_stay_on_curve(self):
+        for k in (2, 3, 1 << 100, P256.n - 1):
+            assert is_on_curve(scalar_mult(k, G))
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        point = base_mult(42)
+        assert ECPoint.decode(point.encode()) == point
+
+    def test_identity_encoding(self):
+        assert ECPoint.decode(ECPoint.identity().encode()).infinity
+
+    def test_rejects_wrong_prefix(self):
+        good = bytearray(base_mult(7).encode())
+        good[0] = 0x05
+        with pytest.raises(ValueError):
+            ECPoint.decode(bytes(good))
+
+    def test_rejects_off_curve_point(self):
+        bogus = b"\x04" + (123).to_bytes(32, "big") + (456).to_bytes(32, "big")
+        with pytest.raises(ValueError):
+            ECPoint.decode(bogus)
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            ECPoint.decode(base_mult(7).encode()[:64])

@@ -1,0 +1,119 @@
+"""ECDSA signatures and the authenticated ECDHE exchange."""
+
+import pytest
+
+from repro.crypto.ec import ECPoint, P256, base_mult
+from repro.crypto.ecdh import EcdheExchange, SignedEphemeral, ecdh_shared_secret
+from repro.crypto.ecdsa import (
+    EcdsaKeyPair,
+    decode_signature,
+    ecdsa_sign,
+    ecdsa_verify,
+    encode_signature,
+)
+from repro.crypto.rng import HmacDrbg
+
+
+@pytest.fixture
+def keypair():
+    return EcdsaKeyPair.generate(HmacDrbg(b"ecdsa-test-seed"))
+
+
+class TestEcdsa:
+    def test_sign_verify(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"attestation report")
+        assert ecdsa_verify(keypair.public, b"attestation report", sig)
+
+    def test_rejects_modified_message(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"report")
+        assert not ecdsa_verify(keypair.public, b"report (doctored)", sig)
+
+    def test_rejects_wrong_key(self, keypair):
+        other = EcdsaKeyPair.generate(HmacDrbg(b"other-seed"))
+        sig = ecdsa_sign(keypair.private, b"m")
+        assert not ecdsa_verify(other.public, b"m", sig)
+
+    def test_rejects_out_of_range_components(self, keypair):
+        assert not ecdsa_verify(keypair.public, b"m", (0, 1))
+        assert not ecdsa_verify(keypair.public, b"m", (1, P256.n))
+
+    def test_rejects_identity_public_key(self):
+        sig = (1, 1)
+        assert not ecdsa_verify(ECPoint.identity(), b"m", sig)
+
+    def test_deterministic_signatures(self, keypair):
+        assert ecdsa_sign(keypair.private, b"m") == ecdsa_sign(keypair.private, b"m")
+
+    def test_signature_encoding_round_trip(self, keypair):
+        sig = ecdsa_sign(keypair.private, b"m")
+        assert decode_signature(encode_signature(sig)) == sig
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            decode_signature(bytes(63))
+
+
+class TestEcdh:
+    def test_raw_shared_secret_symmetric(self):
+        a = EcdsaKeyPair.generate(HmacDrbg(b"a"))
+        b = EcdsaKeyPair.generate(HmacDrbg(b"b"))
+        assert ecdh_shared_secret(a.private, b.public) == ecdh_shared_secret(b.private, a.public)
+
+    def test_rejects_identity_peer(self):
+        a = EcdsaKeyPair.generate(HmacDrbg(b"a"))
+        with pytest.raises(ValueError):
+            ecdh_shared_secret(a.private, ECPoint.identity())
+
+
+class TestEcdheExchange:
+    def _pair(self):
+        ia = EcdsaKeyPair.generate(HmacDrbg(b"identity-a"))
+        ib = EcdsaKeyPair.generate(HmacDrbg(b"identity-b"))
+        ea = EcdheExchange(ia, HmacDrbg(b"eph-a"))
+        eb = EcdheExchange(ib, HmacDrbg(b"eph-b"))
+        return ia, ib, ea, eb
+
+    def test_agreement(self):
+        ia, ib, ea, eb = self._pair()
+        ka = ea.derive(eb.offer(), ib.public)
+        kb = eb.derive(ea.offer(), ia.public)
+        assert ka == kb
+        assert len(ka) == 32
+
+    def test_mitm_rejected(self):
+        """A man in the middle substituting its own ephemeral key fails
+        the identity-signature check — the Table I 'untrusted
+        host/network' threat."""
+        ia, ib, ea, eb = self._pair()
+        mallory = EcdsaKeyPair.generate(HmacDrbg(b"mallory"))
+        em = EcdheExchange(mallory, HmacDrbg(b"eph-m"))
+        with pytest.raises(ValueError):
+            ea.derive(em.offer(), ib.public)  # claims to be B, signed by M
+
+    def test_tampered_offer_rejected(self):
+        ia, ib, ea, eb = self._pair()
+        offer = eb.offer()
+        forged = SignedEphemeral(offer.ephemeral_public,
+                                 offer.signature[:-1] + bytes([offer.signature[-1] ^ 1]))
+        with pytest.raises(ValueError):
+            ea.derive(forged, ib.public)
+
+    def test_fresh_ephemerals_change_key(self):
+        """Two sessions between the same identities derive different
+        keys (forward secrecy comes from ephemeral freshness)."""
+        ia = EcdsaKeyPair.generate(HmacDrbg(b"identity-a"))
+        ib = EcdsaKeyPair.generate(HmacDrbg(b"identity-b"))
+        k1 = EcdheExchange(ia, HmacDrbg(b"e1")).derive(
+            EcdheExchange(ib, HmacDrbg(b"e2")).offer(), ib.public
+        )
+        k2 = EcdheExchange(ia, HmacDrbg(b"e3")).derive(
+            EcdheExchange(ib, HmacDrbg(b"e4")).offer(), ib.public
+        )
+        assert k1 != k2
+
+    def test_info_label_separates_keys(self):
+        ia, ib, ea, eb = self._pair()
+        offer = eb.offer()
+        k1 = ea.derive(offer, ib.public, info=b"one")
+        k2 = ea.derive(offer, ib.public, info=b"two")
+        assert k1 != k2

@@ -1,0 +1,66 @@
+"""GMAC against NIST GCM known-answer vectors (tag-only cases)."""
+
+import pytest
+
+from repro.crypto.gmac import AesGmac
+
+
+class TestNistVectors:
+    def test_gcm_test_case_1_empty(self):
+        """Key 0, IV 0^96, no data: tag = AES_K(J0) xor GHASH(lengths=0)
+        = 58e2fccefa7e3061367f1d57a4e7455a."""
+        gmac = AesGmac(bytes(16))
+        tag = gmac.mac(bytes(12), b"")
+        assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_gcm_test_case_2_tag(self):
+        """Key 0, IV 0^96, ciphertext = one GCM-encrypted zero block
+        (0388dace60b6a392f328c2b971b2fe78): tag =
+        ab6e47d42cec13bdf53a67b21257bddf."""
+        gmac = AesGmac(bytes(16))
+        ciphertext = bytes.fromhex("0388dace60b6a392f328c2b971b2fe78")
+        tag = gmac.mac(bytes(12), ciphertext)
+        assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+class TestBehaviour:
+    KEY = bytes(range(16))
+    IV = bytes(12)
+
+    def test_verify_round_trip(self):
+        gmac = AesGmac(self.KEY)
+        tag = gmac.mac(self.IV, b"chunk data", aad=b"address|vn")
+        assert gmac.verify(self.IV, b"chunk data", tag, aad=b"address|vn")
+
+    def test_rejects_modified_data(self):
+        gmac = AesGmac(self.KEY)
+        tag = gmac.mac(self.IV, b"chunk data")
+        assert not gmac.verify(self.IV, b"chunk datA", tag)
+
+    def test_rejects_modified_aad(self):
+        gmac = AesGmac(self.KEY)
+        tag = gmac.mac(self.IV, b"chunk", aad=b"addr=1")
+        assert not gmac.verify(self.IV, b"chunk", tag, aad=b"addr=2")
+
+    def test_iv_separates_tags(self):
+        gmac = AesGmac(self.KEY)
+        t1 = gmac.mac(bytes(12), b"x")
+        t2 = gmac.mac(bytes(11) + b"\x01", b"x")
+        assert t1 != t2
+
+    def test_rejects_bad_iv_length(self):
+        with pytest.raises(ValueError):
+            AesGmac(self.KEY).mac(bytes(16), b"x")
+
+    def test_rejects_wrong_tag_length(self):
+        gmac = AesGmac(self.KEY)
+        tag = gmac.mac(self.IV, b"x")
+        assert not gmac.verify(self.IV, b"x", tag[:8])
+
+    def test_aad_and_data_domains_separate(self):
+        """Moving bytes between AAD and data must change the tag (the
+        lengths block separates the domains)."""
+        gmac = AesGmac(self.KEY)
+        t1 = gmac.mac(self.IV, b"AB", aad=b"")
+        t2 = gmac.mac(self.IV, b"", aad=b"AB")
+        assert t1 != t2

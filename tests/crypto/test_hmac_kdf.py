@@ -1,0 +1,71 @@
+"""HMAC-SHA256 (RFC 4231) and HKDF (RFC 5869) test vectors."""
+
+import pytest
+
+from repro.crypto.hmac import hmac_sha256, hmac_verify
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+
+
+RFC4231 = [
+    # (key, data, tag)
+    (b"\x0b" * 20, b"Hi There",
+     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"),
+    (b"Jefe", b"what do ya want for nothing?",
+     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"),
+    (b"\xaa" * 20, b"\xdd" * 50,
+     "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"),
+    (b"\xaa" * 131, b"Test Using Larger Than Block-Size Key - Hash Key First",
+     "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"),
+]
+
+
+@pytest.mark.parametrize("key,data,tag_hex", RFC4231)
+def test_rfc4231(key, data, tag_hex):
+    assert hmac_sha256(key, data).hex() == tag_hex
+
+
+class TestVerify:
+    def test_accepts_valid(self):
+        tag = hmac_sha256(b"k", b"m")
+        assert hmac_verify(b"k", b"m", tag)
+
+    def test_rejects_flipped_bit(self):
+        tag = bytearray(hmac_sha256(b"k", b"m"))
+        tag[0] ^= 1
+        assert not hmac_verify(b"k", b"m", bytes(tag))
+
+    def test_rejects_wrong_length(self):
+        tag = hmac_sha256(b"k", b"m")
+        assert not hmac_verify(b"k", b"m", tag[:16])
+
+
+class TestHkdfRfc5869:
+    def test_case_1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3_empty_salt_info(self):
+        ikm = b"\x0b" * 22
+        okm = hkdf(ikm, b"", b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_output_length_limit(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_distinct_infos_separate_keys(self):
+        prk = hkdf_extract(b"salt", b"secret")
+        assert hkdf_expand(prk, b"a", 16) != hkdf_expand(prk, b"b", 16)

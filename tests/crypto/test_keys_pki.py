@@ -1,0 +1,105 @@
+"""Device/session key bundles and the manufacturer PKI."""
+
+import pytest
+
+from repro.crypto.keys import DeviceKeys, SessionKeys
+from repro.crypto.pki import DeviceCertificate, ManufacturerCA, verify_certificate
+from repro.crypto.rng import HmacDrbg
+
+
+@pytest.fixture
+def ca():
+    return ManufacturerCA(HmacDrbg(b"ca"))
+
+
+class TestDeviceKeys:
+    def test_provision_distinct_devices(self):
+        a = DeviceKeys.provision(HmacDrbg(b"dev-a"))
+        b = DeviceKeys.provision(HmacDrbg(b"dev-b"))
+        assert a.public != b.public
+
+    def test_public_matches_identity(self):
+        keys = DeviceKeys.provision(HmacDrbg(b"dev"))
+        assert keys.public == keys.identity.public
+
+
+class TestSessionKeys:
+    def test_user_and_device_transport_keys_agree(self):
+        shared = b"\x42" * 32
+        user = SessionKeys.derive_user_side(shared)
+        device = SessionKeys.derive_device_side(shared, HmacDrbg(b"dev"))
+        assert user.k_session == device.k_session
+        assert user.k_transport_mac == device.k_transport_mac
+
+    def test_memory_keys_device_only(self):
+        shared = b"\x42" * 32
+        user = SessionKeys.derive_user_side(shared)
+        device = SessionKeys.derive_device_side(shared, HmacDrbg(b"dev"))
+        assert user.k_mem_enc == b""
+        assert len(device.k_mem_enc) == 16
+        assert len(device.k_mem_mac) == 16
+        assert device.k_mem_enc != device.k_mem_mac
+
+    def test_fresh_memory_keys_per_session(self):
+        shared = b"\x42" * 32
+        drbg = HmacDrbg(b"dev")
+        s1 = SessionKeys.derive_device_side(shared, drbg)
+        s2 = SessionKeys.derive_device_side(shared, drbg)
+        assert s1.k_mem_enc != s2.k_mem_enc
+
+    def test_key_separation_between_labels(self):
+        keys = SessionKeys.derive_user_side(b"\x01" * 32)
+        assert keys.k_session != keys.k_transport_mac[:16]
+
+
+class TestPki:
+    def test_issue_and_verify(self, ca):
+        device = DeviceKeys.provision(HmacDrbg(b"dev"))
+        cert = ca.issue(b"accel-7", device.public)
+        assert verify_certificate(cert, ca.root_public)
+
+    def test_rejects_wrong_root(self, ca):
+        other = ManufacturerCA(HmacDrbg(b"evil-ca"))
+        device = DeviceKeys.provision(HmacDrbg(b"dev"))
+        cert = ca.issue(b"accel-7", device.public)
+        assert not verify_certificate(cert, other.root_public)
+
+    def test_rejects_swapped_public_key(self, ca):
+        device = DeviceKeys.provision(HmacDrbg(b"dev"))
+        impostor = DeviceKeys.provision(HmacDrbg(b"impostor"))
+        cert = ca.issue(b"accel-7", device.public)
+        forged = DeviceCertificate(cert.device_id, impostor.public,
+                                   cert.security_version, cert.signature)
+        assert not verify_certificate(forged, ca.root_public)
+
+    def test_rejects_changed_device_id(self, ca):
+        device = DeviceKeys.provision(HmacDrbg(b"dev"))
+        cert = ca.issue(b"accel-7", device.public)
+        forged = DeviceCertificate(b"accel-8", cert.device_public,
+                                   cert.security_version, cert.signature)
+        assert not verify_certificate(forged, ca.root_public)
+
+    def test_rejects_downgraded_security_version(self, ca):
+        device = DeviceKeys.provision(HmacDrbg(b"dev"))
+        cert = ca.issue(b"accel-7", device.public, security_version=3)
+        forged = DeviceCertificate(cert.device_id, cert.device_public, 1, cert.signature)
+        assert not verify_certificate(forged, ca.root_public)
+
+    def test_rejects_garbage_signature(self, ca):
+        device = DeviceKeys.provision(HmacDrbg(b"dev"))
+        cert = ca.issue(b"accel-7", device.public)
+        forged = DeviceCertificate(cert.device_id, cert.device_public,
+                                   cert.security_version, b"junk")
+        assert not verify_certificate(forged, ca.root_public)
+
+    def test_empty_device_id_rejected(self, ca):
+        device = DeviceKeys.provision(HmacDrbg(b"dev"))
+        with pytest.raises(ValueError):
+            ca.issue(b"", device.public)
+
+    def test_fingerprint_distinct(self, ca):
+        d1 = DeviceKeys.provision(HmacDrbg(b"d1"))
+        d2 = DeviceKeys.provision(HmacDrbg(b"d2"))
+        c1 = ca.issue(b"a", d1.public)
+        c2 = ca.issue(b"b", d2.public)
+        assert c1.fingerprint() != c2.fingerprint()

@@ -1,0 +1,118 @@
+"""Cross-module integration: full protocol flows and multi-session use."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import GuardNNDevice
+from repro.core.host import HonestHost, MlpSpec
+from repro.core.isa import SignOutput
+from repro.core.session import UserSession
+from repro.crypto.pki import ManufacturerCA
+from repro.crypto.rng import HmacDrbg
+from repro.workloads.generators import random_mlp_spec
+
+
+class TestFullProtocol:
+    def test_two_users_sequential_sessions(self, manufacturer, device, rng):
+        """Second session re-keys everything; first user's secrets are
+        unrecoverable afterwards."""
+        host = HonestHost(device)
+
+        alice = UserSession(manufacturer.root_public, HmacDrbg(b"alice"))
+        alice.authenticate_device(host.fetch_device_info())
+        host.establish_session(alice)
+        spec_a = random_mlp_spec([32, 8], rng)
+        x_a = rng.integers(-15, 15, size=(2, 32), dtype=np.int8)
+        out_a, ok_a = host.compile_and_run(alice, spec_a, x_a)
+        assert ok_a
+        dram_after_alice = bytes(device.untrusted_memory.data)
+
+        bob_host = HonestHost(device)
+        bob = UserSession(manufacturer.root_public, HmacDrbg(b"bob"))
+        bob.authenticate_device(bob_host.fetch_device_info())
+        bob_host.establish_session(bob)
+        # InitSession cleared DRAM: Alice's ciphertext is gone
+        assert bytes(device.untrusted_memory.data) != dram_after_alice
+        spec_b = random_mlp_spec([16, 4], rng)
+        x_b = rng.integers(-15, 15, size=(1, 16), dtype=np.int8)
+        out_b, ok_b = bob_host.compile_and_run(bob, spec_b, x_b)
+        assert ok_b
+        assert np.array_equal(out_b, spec_b.reference_forward(x_b))
+
+    def test_multiple_inputs_same_weights(self, established, rng):
+        """One session, many inputs (the SetInput/CTR_IN path)."""
+        device, user, host = established
+        spec = random_mlp_spec([32, 16, 8], rng)
+        host._layer_shapes = [w.shape for w in spec.weights]
+        host._shift = spec.shift
+        host.load_weights(user, spec)
+        from repro.core.isa import ExportOutput, SetReadCTR
+
+        for trial in range(3):
+            x = rng.integers(-15, 15, size=(2, 32), dtype=np.int8)
+            host.load_input(user, x)
+            out_base, out_size = host.run_inference(spec, batch=2)
+            device.execute(SetReadCTR(base=out_base, size=out_size,
+                                      ctr_fw=len(spec.weights)))
+            host.instruction_log.append(SetReadCTR(base=out_base, size=out_size,
+                                                   ctr_fw=len(spec.weights)))
+            sealed = device.execute(ExportOutput(base=out_base, size=out_size))
+            # keep host log consistent (compile_and_run does this itself)
+            host.instruction_log.append(ExportOutput(base=out_base, size=out_size))
+            out = user.open_output(sealed, (2, 8))
+            assert np.array_equal(out, spec.reference_forward(x))
+
+    def test_confidentiality_only_session_end_to_end(self, manufacturer, rng):
+        device = GuardNNDevice(b"c-only", manufacturer, seed=b"c-only-seed",
+                               dram_bytes=1 << 20)
+        host = HonestHost(device)
+        user = UserSession(manufacturer.root_public, HmacDrbg(b"c-user"))
+        user.authenticate_device(host.fetch_device_info())
+        host.establish_session(user, enable_integrity=False)
+        spec = random_mlp_spec([64, 32, 8], rng)
+        x = rng.integers(-15, 15, size=(4, 64), dtype=np.int8)
+        out, ok = host.compile_and_run(user, spec, x)
+        assert np.array_equal(out, spec.reference_forward(x))
+        assert ok  # attestation still works (hashes are kept either way)
+
+    def test_large_mlp_round_trip(self, established, rng):
+        """A bigger functional workload (chunk-spanning tensors)."""
+        device, user, host = established
+        spec = random_mlp_spec([256, 128, 64, 10], rng)
+        x = rng.integers(-15, 15, size=(16, 256), dtype=np.int8)
+        out, ok = host.compile_and_run(user, spec, x)
+        assert np.array_equal(out, spec.reference_forward(x))
+        assert ok
+
+
+class TestSimulationPipeline:
+    """The ASIC-simulation stack end to end over the whole zoo."""
+
+    @pytest.mark.parametrize("name", ["alexnet", "googlenet", "dlrm"])
+    def test_all_schemes_run(self, name):
+        from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+        from repro.accel.models import build_model
+        from repro.protection.guardnn import GuardNNProtection
+        from repro.protection.mee import BaselineMEE
+        from repro.protection.none import NoProtection
+
+        accel = AcceleratorModel(TPU_V1_CONFIG)
+        model = build_model(name)
+        base = accel.run(model, NoProtection())
+        for scheme in (GuardNNProtection(False), GuardNNProtection(True), BaselineMEE()):
+            result = accel.run(model, scheme)
+            assert result.total_cycles >= base.total_cycles
+            assert 1.0 <= result.normalized_to(base) < 2.0
+
+    def test_traffic_increases_match_paper_shape(self):
+        from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+        from repro.accel.models import build_model
+        from repro.protection.guardnn import GuardNNProtection
+        from repro.protection.mee import BaselineMEE
+
+        accel = AcceleratorModel(TPU_V1_CONFIG)
+        model = build_model("vgg16")
+        bp = accel.run(model, BaselineMEE())
+        ci = accel.run(model, GuardNNProtection(True))
+        assert 0.15 < bp.traffic_increase < 0.50  # paper: 35.3% avg
+        assert 0.015 < ci.traffic_increase < 0.04  # paper: 2.4% avg

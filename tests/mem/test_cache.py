@@ -1,0 +1,77 @@
+"""Set-associative write-back cache (the BP metadata cache)."""
+
+import pytest
+
+from repro.mem.cache import SetAssociativeCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(4096, 64, 4)
+        hit, wb = cache.access(0, False)
+        assert not hit and wb is None
+        hit, wb = cache.access(32, False)  # same line
+        assert hit
+
+    def test_capacity_eviction_lru(self):
+        cache = SetAssociativeCache(64 * 4, 64, 4)  # one set, 4 ways
+        for i in range(4):
+            cache.access(i * 64 * 1, False)  # same set? num_sets=1 -> yes
+        cache.access(0, False)  # touch line 0 -> MRU
+        hit, _ = cache.access(4 * 64, False)  # evicts LRU = line 1
+        assert not hit
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = SetAssociativeCache(64 * 2, 64, 2)  # one set, 2 ways
+        cache.access(0, True)  # dirty
+        cache.access(64, False)
+        _, wb = cache.access(128, False)  # evicts line 0 (dirty)
+        assert wb == 0
+        assert cache.stats.dirty_evictions == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = SetAssociativeCache(64 * 2, 64, 2)
+        cache.access(0, False)
+        cache.access(64, False)
+        _, wb = cache.access(128, False)
+        assert wb is None
+
+    def test_write_marks_existing_line_dirty(self):
+        cache = SetAssociativeCache(64 * 2, 64, 2)
+        cache.access(0, False)  # clean
+        cache.access(0, True)  # now dirty
+        cache.access(64, False)
+        _, wb = cache.access(128, False)
+        assert wb == 0
+
+    def test_flush_returns_dirty_lines(self):
+        cache = SetAssociativeCache(4096, 64, 4)
+        cache.access(0, True)
+        cache.access(64, False)
+        cache.access(128, True)
+        dirty = sorted(cache.flush())
+        assert dirty == [0, 128]
+        assert not cache.contains(0)
+
+    def test_hit_rate(self):
+        cache = SetAssociativeCache(4096, 64, 4)
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 64, 4)
+
+    def test_writeback_address_reconstruction(self):
+        """The evicted address must map back to the same set."""
+        cache = SetAssociativeCache(8192, 64, 2)
+        sets = cache.num_sets
+        base = 64 * sets  # same set as address 0, different tag
+        cache.access(0, True)
+        cache.access(base, False)
+        _, wb = cache.access(2 * base, False)
+        assert wb == 0

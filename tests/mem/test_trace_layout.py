@@ -1,0 +1,90 @@
+"""Memory request/trace types and the address layout."""
+
+import pytest
+
+from repro.mem.layout import AddressLayout
+from repro.mem.trace import MemoryRequest, RequestKind, TraceStats
+
+
+class TestMemoryRequest:
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(-1, 64, False)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(0, 0, False)
+
+    def test_metadata_kinds(self):
+        assert not RequestKind.DATA.is_metadata()
+        assert RequestKind.VN.is_metadata()
+        assert RequestKind.MAC.is_metadata()
+        assert RequestKind.TREE.is_metadata()
+
+
+class TestTraceStats:
+    def test_add_and_totals(self):
+        stats = TraceStats()
+        stats.add(MemoryRequest(0, 64, False))
+        stats.add(MemoryRequest(64, 64, True))
+        stats.add(MemoryRequest(128, 16, False, RequestKind.MAC))
+        assert stats.data_bytes == 128
+        assert stats.metadata_bytes == 16
+        assert stats.total_bytes == 144
+
+    def test_traffic_increase(self):
+        stats = TraceStats()
+        stats.add_bytes(RequestKind.DATA, 1000, is_write=False)
+        stats.add_bytes(RequestKind.MAC, 250, is_write=True)
+        assert stats.traffic_increase() == pytest.approx(0.25)
+
+    def test_traffic_increase_no_data(self):
+        assert TraceStats().traffic_increase() == 0.0
+
+    def test_merge(self):
+        a, b = TraceStats(), TraceStats()
+        a.add_bytes(RequestKind.DATA, 10, False)
+        b.add_bytes(RequestKind.DATA, 20, False)
+        b.add_bytes(RequestKind.VN, 5, True)
+        a.merge(b)
+        assert a.data_bytes == 30
+        assert a.kind_bytes(RequestKind.VN) == 5
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            TraceStats().add_bytes(RequestKind.DATA, -1, False)
+
+
+class TestAddressLayout:
+    def test_row_bytes(self):
+        layout = AddressLayout()
+        assert layout.row_bytes == 8192
+
+    def test_decompose_compose_round_trip(self):
+        layout = AddressLayout()
+        for address in (0, 64, 8192, 123456 * 64, 1 << 30):
+            bank, row, col = layout.decompose(address)
+            burst_base = (address // 64) * 64
+            assert layout.compose(bank, row, col) == burst_base
+
+    def test_sequential_addresses_same_row(self):
+        layout = AddressLayout()
+        banks_rows = {layout.decompose(a)[:2] for a in range(0, 8192, 64)}
+        assert len(banks_rows) == 1  # one full row before switching
+
+    def test_row_crossing_changes_bank(self):
+        layout = AddressLayout()
+        b0 = layout.decompose(0)[0]
+        b1 = layout.decompose(8192)[0]
+        assert b0 != b1  # next row chunk goes to the next bank
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressLayout(burst_bytes=48)
+
+    def test_compose_validates(self):
+        layout = AddressLayout()
+        with pytest.raises(ValueError):
+            layout.compose(layout.banks, 0, 0)
+        with pytest.raises(ValueError):
+            layout.compose(0, 0, layout.columns_per_row)

@@ -1,0 +1,65 @@
+"""Property-based tests on the crypto substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.cmac import AesCmac
+from repro.crypto.ctr import AesCtr
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.sha256 import Sha256, sha256
+
+keys = st.binary(min_size=16, max_size=16)
+blocks = st.binary(min_size=16, max_size=16)
+messages = st.binary(min_size=0, max_size=300)
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=keys, block=blocks)
+def test_aes_decrypt_inverts_encrypt(key, block):
+    aes = AES128(key)
+    assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=keys, data=messages, address=st.integers(0, (1 << 50)),
+       vn=st.integers(0, (1 << 64) - 1))
+def test_ctr_region_round_trip(key, data, address, vn):
+    padded = data + bytes(-len(data) % 16)
+    ctr = AesCtr(key)
+    assert ctr.crypt_region(address, vn, ctr.crypt_region(address, vn, padded)) == padded
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=keys, data=st.binary(min_size=16, max_size=64),
+       address=st.integers(0, 1 << 40), vn=st.integers(0, (1 << 64) - 2))
+def test_ctr_different_vn_different_ciphertext(key, data, address, vn):
+    padded = data + bytes(-len(data) % 16)
+    ctr = AesCtr(key)
+    assert ctr.crypt_region(address, vn, padded) != ctr.crypt_region(address, vn + 1, padded)
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=keys, message=messages)
+def test_cmac_deterministic_and_sensitive(key, message):
+    mac = AesCmac(key)
+    tag = mac.mac(message)
+    assert mac.mac(message) == tag
+    assert mac.verify(message, tag)
+    assert not mac.verify(message + b"\x00", tag)
+
+
+@settings(max_examples=25, deadline=None)
+@given(message=messages, split=st.integers(0, 300))
+def test_sha256_incremental_equals_oneshot(message, split):
+    split = min(split, len(message))
+    h = Sha256()
+    h.update(message[:split])
+    h.update(message[split:])
+    assert h.digest() == sha256(message)
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=st.binary(min_size=0, max_size=100), m1=messages, m2=messages)
+def test_hmac_distinct_messages_distinct_tags(key, m1, m2):
+    if m1 != m2:
+        assert hmac_sha256(key, m1) != hmac_sha256(key, m2)

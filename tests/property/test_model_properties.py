@@ -1,0 +1,78 @@
+"""Property tests on the performance-model layers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.layers import GemmShape
+from repro.accel.scheduler import TilingScheduler, LayerTraffic
+from repro.accel.systolic import Dataflow, SystolicArray
+from repro.mem.cache import SetAssociativeCache
+from repro.protection.guardnn import GuardNNProtection
+from repro.protection.mee import BaselineMEE
+
+dims = st.integers(min_value=1, max_value=2048)
+
+
+@settings(max_examples=50, deadline=None)
+@given(m=dims, k=dims, n=dims)
+def test_systolic_cycles_bounded_by_ideal(m, k, n):
+    """Cycles >= perfect-utilization lower bound, utilization <= 1."""
+    array = SystolicArray(16, 16)
+    gemm = GemmShape(m, k, n)
+    for dataflow in Dataflow:
+        timing = array.gemm_cycles(gemm, dataflow)
+        assert timing.cycles >= gemm.macs / array.num_pes
+        assert 0 < timing.utilization <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(m=dims, k=dims, n=dims, sram_kb=st.integers(4, 1 << 14))
+def test_scheduler_traffic_at_least_compulsory(m, k, n, sram_kb):
+    """Traffic never drops below compulsory misses (each tensor once),
+    and outputs are written exactly once."""
+    from repro.accel.layers import DenseLayer
+
+    scheduler = TilingScheduler(sram_kb * 1024)
+    layer = DenseLayer("fc", in_features=k, out_features=n, seq=m)
+    t = scheduler.layer_traffic(layer)
+    assert t.weight_reads >= t.weight_size
+    assert t.input_reads >= t.input_size
+    assert t.output_writes == t.output_size
+
+
+traffic_values = st.integers(min_value=0, max_value=1 << 26)
+
+
+@settings(max_examples=50, deadline=None)
+@given(w=traffic_values, i=traffic_values, o=traffic_values)
+def test_protection_overhead_monotone_and_ordered(w, i, o):
+    """BP metadata >= GuardNN_CI metadata >= GuardNN_C metadata = 0, for
+    any traffic mix."""
+    if w + i + o == 0:
+        return
+    t = LayerTraffic(layer_name="L", weight_reads=w, input_reads=i, output_writes=o,
+                     weight_size=w, input_size=i, output_size=o)
+    bp = BaselineMEE().layer_overhead(t, "forward", False).total_bytes
+    ci = GuardNNProtection(integrity=True).layer_overhead(t, "forward", False).total_bytes
+    c = GuardNNProtection(integrity=False).layer_overhead(t, "forward", False).total_bytes
+    assert c == 0
+    assert ci <= bp or (w + i + o) < 512  # tiny layers can tie
+    assert ci >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300),
+    ways=st.sampled_from([1, 2, 4, 8]),
+)
+def test_cache_stats_consistent(addresses, ways):
+    cache = SetAssociativeCache(64 * ways * 8, 64, ways)
+    writebacks = 0
+    for addr in addresses:
+        _, wb = cache.access(addr, is_write=bool(addr % 2))
+        if wb is not None:
+            writebacks += 1
+    stats = cache.stats
+    assert stats.accesses == len(addresses)
+    assert stats.hits + stats.misses == len(addresses)
+    assert writebacks == stats.dirty_evictions
+    assert stats.evictions <= stats.misses

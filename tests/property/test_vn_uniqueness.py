@@ -1,0 +1,96 @@
+"""THE GuardNN invariant: under any legal instruction sequence, the
+(address, VN) pair fed to AES-CTR never repeats for a session key.
+
+Counter-mode security collapses on pad reuse, and GuardNN's whole point
+is that a handful of on-chip counters suffices to keep counter blocks
+unique without storing VNs in DRAM. We drive the *functional device*
+with hypothesis-generated instruction programs and check the MPU's VN
+log for repeats.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device import GuardNNDevice
+from repro.core.errors import GuardNNError
+from repro.core.host import HonestHost
+from repro.core.isa import Forward, SetInput, SetReadCTR, SetWeight
+from repro.core.session import UserSession
+from repro.crypto.pki import ManufacturerCA
+from repro.crypto.rng import HmacDrbg
+from repro.protection.counters import CounterState
+
+
+# --- counter-level property ---------------------------------------------
+
+ops = st.lists(st.sampled_from(["input", "forward", "weight"]), min_size=1, max_size=200)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sequence=ops)
+def test_counter_vns_never_repeat_across_writes(sequence):
+    """Every write the scheme can ever make carries a fresh VN."""
+    state = CounterState()
+    seen = set()
+    state.on_set_input()  # a session always starts with an input
+    seen.add(state.input_vn().value)
+    for op in sequence:
+        if op == "input":
+            state.on_set_input()
+            vn = state.input_vn().value
+        elif op == "forward":
+            vn = state.next_forward_vn().value
+        else:
+            state.on_set_weight()
+            vn = state.weight_vn().value
+        assert vn not in seen, f"VN reuse after {op}"
+        seen.add(vn)
+
+
+# --- device-level property ----------------------------------------------
+
+def _fresh_stack(seed: bytes):
+    ca = ManufacturerCA(HmacDrbg(b"prop-ca"))
+    device = GuardNNDevice(b"prop-dev", ca, seed=seed, dram_bytes=1 << 18,
+                           debug_log_vns=True)
+    host = HonestHost(device)
+    user = UserSession(ca.root_public, HmacDrbg(b"prop-user" + seed))
+    user.authenticate_device(host.fetch_device_info())
+    host.establish_session(user, enable_integrity=False)
+    return device, host, user
+
+
+program = st.lists(
+    st.one_of(
+        st.tuples(st.just("set_input"), st.integers(0, 7)),
+        st.tuples(st.just("set_weight"), st.integers(0, 7)),
+        st.tuples(st.just("forward"), st.integers(0, 7)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(steps=program)
+def test_device_never_reuses_address_vn_pairs(steps):
+    """Arbitrary (even nonsensical) host programs: every (block address,
+    VN) pair in the MPU's write log is unique."""
+    device, host, user = _fresh_stack(b"seed")
+    rng = np.random.default_rng(0)
+    data = rng.integers(-10, 10, size=(8, 8), dtype=np.int8)
+    for op, slot in steps:
+        base = slot * 512
+        try:
+            if op == "set_input":
+                device.execute(SetInput(base=base, blob=user.seal_input(data)))
+            elif op == "set_weight":
+                device.execute(SetWeight(base=base, blob=user.seal_weights(data)))
+            else:
+                device.execute(Forward(input_base=base, weight_base=base,
+                                       output_base=((slot + 1) % 8) * 512,
+                                       m=8, k=8, n=8))
+        except GuardNNError:
+            continue  # hostile programs may fail; leaks are what matter
+    log = [(e.block_address, e.vn) for e in device.mpu.vn_log]
+    assert len(log) == len(set(log)), "pad reuse: (address, VN) repeated"

@@ -1,0 +1,138 @@
+"""GuardNN's on-chip counters and VN packing."""
+
+import pytest
+
+from repro.protection.counters import (
+    CounterState,
+    DOMAIN_FEATURE,
+    DOMAIN_INPUT,
+    DOMAIN_WEIGHT,
+    VersionNumber,
+)
+
+
+class TestVersionNumber:
+    def test_domains_disjoint(self):
+        f = VersionNumber.for_feature(1, 1)
+        w = VersionNumber.for_weight(1)
+        i = VersionNumber.for_input(1)
+        assert len({f.value, w.value, i.value}) == 3
+        assert f.domain == DOMAIN_FEATURE
+        assert w.domain == DOMAIN_WEIGHT
+        assert i.domain == DOMAIN_INPUT
+
+    def test_feature_packing_injective(self):
+        seen = set()
+        for ctr_in in range(4):
+            for ctr_fw in range(4):
+                seen.add(VersionNumber.for_feature(ctr_in, ctr_fw).value)
+        assert len(seen) == 16
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            VersionNumber.for_feature(1 << 24, 0)
+        with pytest.raises(ValueError):
+            VersionNumber.for_feature(0, 1 << 32)
+        with pytest.raises(ValueError):
+            VersionNumber.for_weight(1 << 56)
+        with pytest.raises(ValueError):
+            VersionNumber.for_input(1 << 24)
+
+    def test_fits_64_bits(self):
+        vn = VersionNumber.for_feature((1 << 24) - 1, (1 << 32) - 1)
+        assert vn.value < (1 << 64)
+
+
+class TestCounterTransitions:
+    def test_set_input_resets_fw(self):
+        state = CounterState()
+        state.on_set_input()
+        state.next_forward_vn()
+        state.next_forward_vn()
+        assert state.ctr_fw == 2
+        state.on_set_input()
+        assert state.ctr_in == 2
+        assert state.ctr_fw == 0
+
+    def test_forward_vns_strictly_increase(self):
+        state = CounterState()
+        state.on_set_input()
+        vns = [state.next_forward_vn().value for _ in range(10)]
+        assert vns == sorted(set(vns))
+
+    def test_init_session_resets_everything(self):
+        state = CounterState()
+        state.on_set_input()
+        state.on_set_weight()
+        state.next_forward_vn()
+        state.set_read_ctr(0, 512, 1)
+        state.on_init_session()
+        assert (state.ctr_in, state.ctr_fw, state.ctr_w) == (0, 0, 0)
+        # read table cleared: default read VN is the current write VN
+        assert state.read_vn_for(0) == state.feature_write_vn()
+
+    def test_weight_counter(self):
+        state = CounterState()
+        state.on_set_weight()
+        v1 = state.weight_vn()
+        state.on_set_weight()
+        assert state.weight_vn().value > v1.value
+
+
+class TestReadCtrTable:
+    def test_range_lookup(self):
+        state = CounterState()
+        state.on_set_input()
+        state.set_read_ctr(1024, 512, ctr_fw=3)
+        vn = state.read_vn_for(1200)
+        assert vn == VersionNumber.for_feature(1, 3)
+
+    def test_outside_range_uses_current(self):
+        state = CounterState()
+        state.on_set_input()
+        state.set_read_ctr(1024, 512, ctr_fw=3)
+        assert state.read_vn_for(4096) == state.feature_write_vn()
+
+    def test_later_setting_wins(self):
+        state = CounterState()
+        state.on_set_input()
+        state.set_read_ctr(0, 512, ctr_fw=1)
+        state.set_read_ctr(0, 512, ctr_fw=2)
+        assert state.read_vn_for(0) == VersionNumber.for_feature(1, 2)
+
+    def test_explicit_ctr_in(self):
+        state = CounterState()
+        state.on_set_input()
+        state.on_set_input()
+        state.set_read_ctr(0, 512, ctr_fw=5, ctr_in=1)
+        assert state.read_vn_for(0) == VersionNumber.for_feature(1, 5)
+
+    def test_invalid_ranges(self):
+        state = CounterState()
+        with pytest.raises(ValueError):
+            state.set_read_ctr(0, 0, 1)
+        with pytest.raises(ValueError):
+            state.set_read_ctr(0, 512, -1)
+
+    def test_overlapping_ranges_latest_wins(self):
+        """Regression: re-declaring a range after a wider overlapping
+        declaration must still win (a range-keyed dict let the older,
+        differently-sized range shadow the newer one)."""
+        state = CounterState()
+        state.on_set_input()
+        state.set_read_ctr(0, 256, ctr_fw=1)  # narrow
+        state.set_read_ctr(0, 512, ctr_fw=1)  # wide
+        state.set_read_ctr(0, 256, ctr_fw=2)  # narrow again, newest
+        assert state.read_vn_for(0) == VersionNumber.for_feature(1, 2)
+        # addresses only covered by the wide range still see fw=1
+        assert state.read_vn_for(300) == VersionNumber.for_feature(1, 1)
+
+    def test_table_bounded(self):
+        """The on-chip table holds at most 64 declarations (CAM-sized)."""
+        state = CounterState()
+        state.on_set_input()
+        for i in range(100):
+            state.set_read_ctr(i * 512, 512, ctr_fw=i)
+        assert len(state._read_ctrs) == 64
+        # oldest entries dropped: address 0 falls back to current VN
+        assert state.read_vn_for(0) == state.feature_write_vn()

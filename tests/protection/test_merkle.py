@@ -1,0 +1,73 @@
+"""Merkle tree (the baseline's replay protection)."""
+
+import pytest
+
+from repro.protection.merkle import MerkleTree
+
+
+class TestBasics:
+    def test_root_changes_on_update(self):
+        tree = MerkleTree(8)
+        before = tree.root
+        tree.update_leaf(3, b"mac-3")
+        assert tree.root != before
+
+    def test_verify_accepts_current_leaf(self):
+        tree = MerkleTree(8)
+        tree.update_leaf(2, b"mac-2")
+        proof = tree.proof(2)
+        assert tree.verify_leaf(2, b"mac-2", proof)
+
+    def test_verify_rejects_tampered_leaf(self):
+        tree = MerkleTree(8)
+        tree.update_leaf(2, b"mac-2")
+        proof = tree.proof(2)
+        assert not tree.verify_leaf(2, b"mac-2-forged", proof)
+
+    def test_verify_rejects_wrong_index(self):
+        tree = MerkleTree(8)
+        tree.update_leaf(2, b"mac-2")
+        assert not tree.verify_leaf(3, b"mac-2", tree.proof(2))
+
+    def test_replay_of_stale_leaf_detected(self):
+        """The replay attack BP's tree exists to stop: record (leaf,
+        proof), update the leaf, then replay the stale pair."""
+        tree = MerkleTree(8)
+        tree.update_leaf(5, b"version-1")
+        stale_proof = tree.proof(5)
+        tree.update_leaf(5, b"version-2")
+        assert not tree.verify_leaf(5, b"version-1", stale_proof)
+
+    def test_all_leaves_independent(self):
+        tree = MerkleTree(4)
+        for i in range(4):
+            tree.update_leaf(i, f"leaf-{i}".encode())
+        for i in range(4):
+            assert tree.verify_leaf(i, f"leaf-{i}".encode(), tree.proof(i))
+
+    def test_non_power_of_two_leaves(self):
+        tree = MerkleTree(5)
+        tree.update_leaf(4, b"x")
+        assert tree.verify_leaf(4, b"x", tree.proof(4))
+
+    def test_single_leaf_tree(self):
+        tree = MerkleTree(1)
+        tree.update_leaf(0, b"only")
+        assert tree.verify_leaf(0, b"only", tree.proof(0))
+
+    def test_bounds(self):
+        tree = MerkleTree(4)
+        with pytest.raises(IndexError):
+            tree.update_leaf(4, b"x")
+        with pytest.raises(IndexError):
+            tree.proof(-1)
+        assert not tree.verify_leaf(9, b"x", [])
+
+    def test_wrong_proof_length_rejected(self):
+        tree = MerkleTree(8)
+        tree.update_leaf(0, b"x")
+        assert not tree.verify_leaf(0, b"x", tree.proof(0)[:-1])
+
+    def test_rejects_empty_tree(self):
+        with pytest.raises(ValueError):
+            MerkleTree(0)

@@ -1,0 +1,139 @@
+"""Timing/traffic contracts of NP / GuardNN / BP."""
+
+import pytest
+
+from repro.accel.scheduler import LayerTraffic
+from repro.mem.trace import RequestKind
+from repro.protection.engine import AesEngineModel
+from repro.protection.guardnn import GuardNNParams, GuardNNProtection
+from repro.protection.mee import BaselineMEE, MeeParams
+from repro.protection.none import NoProtection
+
+
+def make_traffic(weight=1 << 20, inp=1 << 20, out=1 << 20, passes=1):
+    return LayerTraffic(
+        layer_name="L",
+        weight_reads=weight,
+        input_reads=inp,
+        output_writes=out,
+        weight_size=weight,
+        input_size=inp,
+        output_size=out,
+        input_passes=passes,
+    )
+
+
+class TestNoProtection:
+    def test_zero_everything(self):
+        overhead = NoProtection().layer_overhead(make_traffic(), "forward", False)
+        assert overhead.total_bytes == 0
+        assert overhead.fixed_cycles == 0
+        assert NoProtection().engine is None
+
+
+class TestGuardNN:
+    def test_c_mode_zero_metadata(self):
+        scheme = GuardNNProtection(integrity=False)
+        overhead = scheme.layer_overhead(make_traffic(), "forward", False)
+        assert overhead.total_bytes == 0
+        assert scheme.provides_confidentiality and not scheme.provides_integrity
+
+    def test_ci_mode_mac_ratio(self):
+        """12-B MAC per 512-B chunk = 2.34% of data traffic."""
+        scheme = GuardNNProtection(integrity=True)
+        t = make_traffic()
+        overhead = scheme.layer_overhead(t, "forward", False)
+        ratio = overhead.total_bytes / t.total_bytes
+        assert ratio == pytest.approx(12 / 512, rel=0.01)
+
+    def test_ci_metadata_is_all_mac(self):
+        overhead = GuardNNProtection(integrity=True).layer_overhead(
+            make_traffic(), "forward", False
+        )
+        assert set(overhead.breakdown) == {RequestKind.MAC}
+
+    def test_mac_direction_follows_data(self):
+        scheme = GuardNNProtection(integrity=True)
+        t = make_traffic(weight=0, inp=0, out=1 << 20)
+        overhead = scheme.layer_overhead(t, "forward", False)
+        assert overhead.extra_read_bytes == 0
+        assert overhead.extra_write_bytes > 0
+
+    def test_custom_granularity(self):
+        params = GuardNNParams(chunk_bytes=4096, mac_bytes=16)
+        scheme = GuardNNProtection(integrity=True, params=params)
+        t = make_traffic()
+        overhead = scheme.layer_overhead(t, "forward", False)
+        assert overhead.total_bytes / t.total_bytes == pytest.approx(16 / 4096, rel=0.01)
+
+    def test_names(self):
+        assert GuardNNProtection(integrity=False).name == "GuardNN_C"
+        assert GuardNNProtection(integrity=True).name == "GuardNN_CI"
+
+
+class TestBaselineMEE:
+    def test_streaming_overhead_in_paper_range(self):
+        """Large streamed layers: BP adds ~25-45% traffic (paper: 35.3%
+        average for inference)."""
+        scheme = BaselineMEE()
+        t = make_traffic(weight=64 << 20, inp=8 << 20, out=8 << 20)
+        overhead = scheme.layer_overhead(t, "forward", False)
+        ratio = overhead.total_bytes / t.total_bytes
+        assert 0.20 < ratio < 0.50
+
+    def test_has_vn_mac_and_tree_components(self):
+        overhead = BaselineMEE().layer_overhead(make_traffic(), "forward", False)
+        assert overhead.breakdown[RequestKind.VN] > 0
+        assert overhead.breakdown[RequestKind.MAC] > 0
+        assert overhead.breakdown[RequestKind.TREE] > 0
+
+    def test_small_layer_metadata_cached(self):
+        """A tiny layer's metadata fits in the VN/MAC cache: one miss
+        pass only, so multi-pass streams pay once."""
+        scheme = BaselineMEE()
+        small_multi = scheme.layer_overhead(make_traffic(weight=1 << 14, inp=1 << 14,
+                                                         out=1 << 14, passes=4),
+                                            "forward", False)
+        small_single = scheme.layer_overhead(make_traffic(weight=1 << 14, inp=1 << 14,
+                                                          out=1 << 14, passes=1),
+                                             "forward", False)
+        assert small_multi.total_bytes == small_single.total_bytes
+
+    def test_large_layer_pays_per_pass(self):
+        scheme = BaselineMEE()
+        one = scheme.layer_overhead(make_traffic(passes=1), "forward", False)
+        four = scheme.layer_overhead(
+            make_traffic(inp=4 << 20, passes=4), "forward", False
+        )
+        assert four.total_bytes > one.total_bytes
+
+    def test_writes_cost_more_than_reads(self):
+        """RMW on VN/MAC lines: write streams carry ~2x the metadata of
+        read streams — why training hurts more (Section III-C)."""
+        scheme = BaselineMEE()
+        reads = scheme.layer_overhead(make_traffic(weight=0, inp=1 << 22, out=0),
+                                      "forward", False)
+        writes = scheme.layer_overhead(make_traffic(weight=0, inp=0, out=1 << 22),
+                                       "forward", False)
+        assert writes.total_bytes > 1.5 * reads.total_bytes
+
+    def test_guardnn_far_cheaper_than_bp(self):
+        t = make_traffic()
+        bp = BaselineMEE().layer_overhead(t, "forward", False)
+        ci = GuardNNProtection(integrity=True).layer_overhead(t, "forward", False)
+        assert bp.total_bytes > 5 * ci.total_bytes
+
+
+class TestEngineModel:
+    def test_throughput(self):
+        engine = AesEngineModel(engines=3)
+        assert engine.bytes_per_cycle(200.0) == 48
+        assert engine.throughput_gbps(200.0) == pytest.approx(9.6)
+
+    def test_engines_to_match_bandwidth(self):
+        n = AesEngineModel.engines_to_match_bandwidth(34.0, 700.0)
+        assert n == 4  # 16 B * 700 MHz = 11.2 GB/s per engine -> ceil(34/11.2)
+
+    def test_rejects_zero_engines(self):
+        with pytest.raises(ValueError):
+            AesEngineModel(engines=0)

@@ -1,0 +1,106 @@
+"""Event-driven trace rewriters (mechanistic metadata streams)."""
+
+import pytest
+
+from repro.mem.trace import MemoryRequest, RequestKind, TraceStats
+from repro.protection.guardnn import GuardNNParams
+from repro.protection.mee import MeeParams
+from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewriter
+from repro.workloads.generators import streaming_trace
+
+
+def _stats(trace):
+    stats = TraceStats()
+    for req in trace:
+        stats.add(req)
+    return stats
+
+
+class TestGuardNNRewriter:
+    def test_c_mode_identity(self):
+        trace = streaming_trace(1 << 14)
+        out = GuardNNTraceRewriter(integrity=False).rewrite(trace)
+        assert out == trace
+
+    def test_ci_mode_mac_ratio(self):
+        """Amortized, MAC-line transfers cost exactly mac_bytes per
+        chunk of data: 12/512 = 2.34% for a pure read stream."""
+        trace = streaming_trace(1 << 16, write_fraction=0.0)
+        rewriter = GuardNNTraceRewriter(integrity=True)
+        out = rewriter.rewrite(trace) + rewriter.flush()
+        stats = _stats(out)
+        ratio = stats.kind_bytes(RequestKind.MAC) / stats.data_bytes
+        assert ratio == pytest.approx(12 / 512, rel=0.05)
+
+    def test_one_mac_line_per_chunk_group(self):
+        """Eight consecutive 64-B bursts in one 512-B chunk share one
+        MAC-line transfer (the engine keeps the active line)."""
+        trace = [MemoryRequest(i * 64, 64, False) for i in range(8)]
+        out = GuardNNTraceRewriter(integrity=True).rewrite(trace)
+        macs = [r for r in out if r.kind is RequestKind.MAC]
+        assert len(macs) == 1
+
+    def test_dirty_mac_line_written_back_without_fill(self):
+        """Streaming writes produce fresh tags: the line is
+        write-allocated (no fill read) and streams back out dirty."""
+        trace = [MemoryRequest(0, 512, True)]
+        rewriter = GuardNNTraceRewriter(integrity=True)
+        out = rewriter.rewrite(trace) + rewriter.flush()
+        macs = [r for r in out if r.kind is RequestKind.MAC]
+        assert len(macs) == 1
+        assert macs[0].is_write
+
+    def test_chunk_straddling_request_shares_line(self):
+        trace = [MemoryRequest(448, 128, False)]  # chunks 0 and 1
+        out = GuardNNTraceRewriter(integrity=True).rewrite(trace)
+        macs = [r for r in out if r.kind is RequestKind.MAC]
+        assert len(macs) == 1  # both chunks' tags live in MAC line 0
+
+
+class TestMeeRewriter:
+    def test_streaming_traffic_increase_in_range(self):
+        """The mechanistic BP model lands in the same band as the
+        analytic one (and the paper): ~25-55% extra for streaming."""
+        rewriter = MeeTraceRewriter()
+        trace = streaming_trace(1 << 20, write_fraction=0.3)
+        out = rewriter.rewrite(trace) + rewriter.flush()
+        stats = _stats(out)
+        increase = stats.metadata_bytes / stats.data_bytes
+        assert 0.15 < increase < 0.60
+
+    def test_metadata_kinds_present(self):
+        rewriter = MeeTraceRewriter()
+        out = rewriter.rewrite(streaming_trace(1 << 18, write_fraction=0.5))
+        kinds = {r.kind for r in out}
+        assert RequestKind.VN in kinds
+        assert RequestKind.MAC in kinds
+        assert RequestKind.TREE in kinds
+
+    def test_cache_reuse_within_hot_region(self):
+        """Re-streaming a region whose metadata fits in the cache emits
+        metadata only on the first pass."""
+        rewriter = MeeTraceRewriter()
+        small = streaming_trace(1 << 13, write_fraction=0.0)  # 8 KB
+        first = rewriter.rewrite(small)
+        second = rewriter.rewrite(small)
+        assert _stats(second).metadata_bytes < _stats(first).metadata_bytes / 4
+
+    def test_writes_produce_dirty_writebacks(self):
+        rewriter = MeeTraceRewriter(MeeParams(cache_bytes=4096))
+        big_writes = streaming_trace(1 << 19, write_fraction=1.0)
+        out = rewriter.rewrite(big_writes) + rewriter.flush()
+        wb = [r for r in out if r.kind.is_metadata() and r.is_write]
+        assert wb, "streaming writes must evict dirty metadata lines"
+
+    def test_guardnn_far_below_mee(self):
+        trace = streaming_trace(1 << 19, write_fraction=0.3)
+        mee = MeeTraceRewriter()
+        mee_out = mee.rewrite(trace) + mee.flush()
+        gnn_out = GuardNNTraceRewriter(integrity=True).rewrite(trace)
+        mee_meta = _stats(mee_out).metadata_bytes
+        gnn_meta = _stats(gnn_out).metadata_bytes
+        assert mee_meta > 5 * gnn_meta
+
+    def test_tree_levels_laid_out(self):
+        rewriter = MeeTraceRewriter(protected_bytes=1 << 30)
+        assert len(rewriter.regions.tree_bases) >= 5  # 8-ary over 1 GB
