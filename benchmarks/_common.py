@@ -1,15 +1,20 @@
-"""Shared helpers for the benchmark harness.
+"""Shared helpers for the benchmark harness — now a thin shim over
+:mod:`repro.experiments`.
 
-Every benchmark regenerates one paper artifact (table or figure series),
-writes it as markdown under ``benchmarks/results/``, and times a
-representative kernel with pytest-benchmark. The written files are the
-inputs EXPERIMENTS.md summarizes.
+Every benchmark resolves its grid from the sweep registry
+(``repro.experiments.presets``), runs it through the shared runner, and
+writes one paper artifact (table or figure series) as markdown under
+``benchmarks/results/``. Formatting helpers live in
+:mod:`repro.experiments.table`; only the artifact-file convention is
+benchmark-specific and stays here.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable
+
+from repro.experiments.table import fmt, markdown_table  # noqa: F401 — re-exported
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -23,16 +28,3 @@ def write_result(name: str, title: str, lines: Iterable[str]) -> str:
         for line in lines:
             f.write(line + "\n")
     return path
-
-
-def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
-    """Render a simple markdown table."""
-    lines = ["| " + " | ".join(headers) + " |",
-             "|" + "|".join("---" for _ in headers) + "|"]
-    for row in rows:
-        lines.append("| " + " | ".join(str(c) for c in row) + " |")
-    return lines
-
-
-def fmt(value: float, digits: int = 2) -> str:
-    return f"{value:.{digits}f}"

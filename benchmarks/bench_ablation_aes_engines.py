@@ -2,26 +2,31 @@
 
 Section III-B: "The maximum overhead among the four networks can be
 further reduced to 1.9% by increasing the number of AES engines from
-three to four." Sweeping 1-6 engines shows the overhead cliff when
-engine throughput falls below the accelerator's memory demand.
+three to four." Sweeping 1-6 engines (the ``ablation-aes-engines``
+preset) shows the overhead cliff when engine throughput falls below
+the accelerator's memory demand.
 """
 
 import pytest
 
-from repro.analysis.fpga import FpgaConfig, FpgaPrototypeModel
+from repro.experiments import run_sweep
+from repro.experiments.presets import AES_ENGINE_COUNTS, FPGA_NETWORKS
 
 from _common import fmt, markdown_table, write_result
 
-NETWORKS = ["alexnet", "googlenet", "resnet50", "vgg16"]
-ENGINE_COUNTS = [1, 2, 3, 4, 6]
-CONFIG = FpgaConfig(dsps=1024, precision_bits=6)  # the worst-case config
+NETWORKS = list(FPGA_NETWORKS)
+ENGINE_COUNTS = list(AES_ENGINE_COUNTS)
 
 
 def compute_sweep():
+    table = run_sweep("ablation-aes-engines")
     rows = []
     for engines in ENGINE_COUNTS:
-        model = FpgaPrototypeModel(aes_engines=engines)
-        overheads = [model.table_row(net, CONFIG)["overhead_pct"] for net in NETWORKS]
+        sub = table.where(engines=engines)
+        overheads = []
+        for net in NETWORKS:
+            (row,) = sub.where(network=net).rows
+            overheads.append(row["overhead_pct"])
         rows.append((engines, *[fmt(v, 2) for v in overheads], fmt(max(overheads), 2)))
     return rows
 

@@ -3,35 +3,32 @@
 Section II-D: "We customize the size of a memory block that each MAC
 protects to match the data movement granularity of the accelerator."
 Sweeping the protected-chunk size from 64 B (CPU-cacheline style) to
-4 KB shows why 512 B is the right point: smaller chunks balloon MAC
-traffic; larger ones would exceed the accelerator's transfer unit (and
-force read-modify-write of whole chunks).
+4 KB (the ``ablation-mac-granularity`` preset) shows why 512 B is the
+right point: smaller chunks balloon MAC traffic; larger ones would
+exceed the accelerator's transfer unit (and force read-modify-write of
+whole chunks).
 """
 
 import pytest
 
-from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
-from repro.accel.models import build_model
-from repro.protection.guardnn import GuardNNParams, GuardNNProtection
-from repro.protection.none import NoProtection
+from repro.experiments import run_sweep
+from repro.experiments.presets import MAC_CHUNK_BYTES, MAC_GRANULARITY_NETWORKS
 
 from _common import fmt, markdown_table, write_result
 
-CHUNKS = [64, 128, 256, 512, 1024, 4096]
-NETWORKS = ["vgg16", "mobilenet", "bert"]
+NETWORKS = list(MAC_GRANULARITY_NETWORKS)
 
 
 def compute_sweep():
-    accel = AcceleratorModel(TPU_V1_CONFIG)
+    table = run_sweep("ablation-mac-granularity")
     rows = []
-    for chunk in CHUNKS:
-        scheme = GuardNNProtection(True, GuardNNParams(chunk_bytes=chunk))
+    for chunk in MAC_CHUNK_BYTES:
         cells = []
         for name in NETWORKS:
-            model = build_model(name)
-            base = accel.run(model, NoProtection())
-            run = accel.run(model, scheme)
-            cells.append((run.traffic_increase, run.normalized_to(base)))
+            (row,) = table.where(
+                model=name, scheme="GuardNN_CI",
+                scheme_params={"chunk_bytes": chunk}).rows
+            cells.append((row["traffic_increase"], row["normalized"]))
         rows.append((chunk,
                      *[f"{fmt(100*t,2)}% / {fmt(s,4)}x" for t, s in cells]))
     return rows

@@ -1,39 +1,38 @@
 """A1 — ablation: BP's VN/MAC cache size sweep.
 
 Why does the baseline hurt so much? Its version numbers live off-chip
-behind a small cache. Sweeping the cache from 16 KB to 4 MB shows BP's
-traffic overhead falling toward (but never reaching) GuardNN's — while
-GuardNN needs *no* cache at all because its VNs are a handful of
-on-chip counters. This is the design-space argument of Section II-D.
+behind a small cache. Sweeping the cache from 16 KB to 4 MB (the
+``ablation-vn-cache`` preset) shows BP's traffic overhead falling
+toward (but never reaching) GuardNN's — while GuardNN needs *no* cache
+at all because its VNs are a handful of on-chip counters. This is the
+design-space argument of Section II-D.
 """
 
 import pytest
 
-from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
-from repro.accel.models import build_model
-from repro.protection.guardnn import GuardNNProtection
-from repro.protection.mee import BaselineMEE, MeeParams
+from repro.experiments import run_sweep
+from repro.experiments.presets import VN_CACHE_NETWORKS, VN_CACHE_SIZES_KB
 
 from _common import fmt, markdown_table, write_result
 
-CACHE_SIZES_KB = [16, 64, 256, 1024, 4096]
-NETWORKS = ["vgg16", "resnet50", "bert"]
+NETWORKS = list(VN_CACHE_NETWORKS)
 
 
 def compute_sweep():
-    accel = AcceleratorModel(TPU_V1_CONFIG)
+    table = run_sweep("ablation-vn-cache")
     rows = []
-    for kb in CACHE_SIZES_KB:
-        scheme = BaselineMEE(MeeParams(cache_bytes=kb * 1024))
-        increases = []
+    for kb in VN_CACHE_SIZES_KB:
+        cells = []
         for name in NETWORKS:
-            model = build_model(name)
-            increases.append(accel.run(model, scheme).traffic_increase)
-        rows.append((kb, *[fmt(100 * v, 1) for v in increases]))
-    ci = GuardNNProtection(True)
+            (row,) = table.where(
+                model=name, scheme="BP",
+                scheme_params={"cache_bytes": kb * 1024}).rows
+            cells.append(fmt(100 * row["traffic_increase"], 1))
+        rows.append((kb, *cells))
     guardnn_row = ["GuardNN_CI (no cache)"]
     for name in NETWORKS:
-        guardnn_row.append(fmt(100 * accel.run(build_model(name), ci).traffic_increase, 1))
+        (row,) = table.where(model=name, scheme="GuardNN_CI").rows
+        guardnn_row.append(fmt(100 * row["traffic_increase"], 1))
     rows.append(tuple(guardnn_row))
     return rows
 

@@ -2,37 +2,36 @@
 
 Paper arithmetic: matching TPU-v1's 272 Gbps with 28nm AES engines
 (0.0031 mm^2 / 3.85 mW / 991 Mbps each) takes 344 engines = 0.3% area
-and 1.8% power of TPU-v1 (331 mm^2 / 75 W).
+and 1.8% power of TPU-v1 (331 mm^2 / 75 W). Grid: the ``asic-overhead``
+preset.
 """
 
 import pytest
 
-from repro.analysis.area import AsicAreaModel
+from repro.experiments import run_sweep
 
 from _common import fmt, markdown_table, write_result
 
 
 def compute_overhead():
-    model = AsicAreaModel()
-    rows = []
-    for engines in (86, 172, 275, model.engines_needed(), 500):
-        o = model.overhead(engines)
-        rows.append((o["engines"], fmt(o["area_mm2"], 3), fmt(o["area_pct"], 2),
-                     fmt(o["power_w"], 2), fmt(o["power_pct"], 2)))
-    return model, rows
+    table = run_sweep("asic-overhead")
+    rows = [(r["engines"], fmt(r["area_mm2"], 3), fmt(r["area_pct"], 2),
+             fmt(r["power_w"], 2), fmt(r["power_pct"], 2))
+            for r in table.rows]
+    (matched,) = table.where(bandwidth_matched=True).rows
+    return matched, rows
 
 
 def test_asic_overhead(benchmark):
-    model, rows = benchmark.pedantic(compute_overhead, rounds=1, iterations=1)
+    matched, rows = benchmark.pedantic(compute_overhead, rounds=1, iterations=1)
     lines = markdown_table(
         ["AES engines", "area mm^2", "area % of TPU-v1", "power W", "power % of TPU-v1"],
         rows,
     )
-    lines += ["", f"bandwidth-matching engine count: {model.engines_needed()} "
+    lines += ["", f"bandwidth-matching engine count: {matched['engines']} "
                   "(paper: 344 engines -> 0.3% area, 1.8% power)"]
     write_result("E7_asic_overhead", "ASIC area/power overhead (Section III-C)", lines)
 
-    assert model.engines_needed() == 344
-    match = model.overhead()
-    assert match["area_pct"] < 0.5
-    assert match["power_pct"] < 2.5
+    assert matched["engines"] == 344
+    assert matched["area_pct"] < 0.5
+    assert matched["power_pct"] < 2.5

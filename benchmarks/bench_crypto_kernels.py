@@ -2,7 +2,9 @@
 
 Not a paper artifact — these time our pure-Python primitives so the
 repository's own performance characteristics are documented (and so
-regressions in the functional path show up).
+regressions in the functional path show up). The deterministic work
+summary of the same kernels is the ``crypto-kernels`` sweep preset;
+the timings here ride on pytest-benchmark.
 """
 
 import pytest
@@ -11,8 +13,17 @@ from repro.crypto.aes import AES128
 from repro.crypto.cmac import AesCmac
 from repro.crypto.ctr import AesCtr
 from repro.crypto.sha256 import sha256
+from repro.experiments import run_sweep
 
 KEY = bytes(range(16))
+
+
+def test_kernel_checksums_registered():
+    """Every kernel the sweep registry advertises computes a stable,
+    non-empty work summary."""
+    table = run_sweep("crypto-kernels")
+    assert len(table) == 6
+    assert all(r["output_sha256"] for r in table.rows)
 
 
 def test_aes_block_encrypt(benchmark):

@@ -4,55 +4,34 @@ bandwidth numbers the analytic pipeline uses.
 Validates (and times) that the DDR4 model reproduces the qualitative
 behaviours the protection analysis depends on: streaming near peak,
 random access far below it, and metadata interleaving costing row
-locality.
+locality. Grid: the ``dram-characterization`` preset.
 """
 
-import numpy as np
 import pytest
 
+from repro.experiments import run_sweep
 from repro.mem.controller import MemoryController
 from repro.mem.dram import DDR4_2400
-from repro.mem.trace import MemoryRequest
-from repro.workloads.generators import random_trace, streaming_trace
+from repro.workloads.generators import streaming_trace
 
 from _common import fmt, markdown_table, write_result
 
 
-def _interleaved_metadata_trace(nbytes: int):
-    """Data stream with a VN/MAC line fetch every 512 B from a distant
-    region — the BP access pattern."""
-    trace = []
-    meta_base = 1 << 28
-    for i in range(nbytes // 64):
-        trace.append(MemoryRequest(i * 64, 64, False))
-        if i % 8 == 7:
-            trace.append(MemoryRequest(meta_base + (i // 8) * 64, 64, False))
-            trace.append(MemoryRequest(meta_base + (1 << 20) + (i // 8) * 64, 64, False))
-    return trace
-
-
 def compute_characterization():
-    rng = np.random.default_rng(3)
-    rows = []
-    stream = MemoryController().run_trace(streaming_trace(1 << 18))
-    rows.append(("streaming", fmt(stream.bandwidth_gbps(DDR4_2400.freq_mhz), 2)))
-    rand = MemoryController().run_trace(random_trace(4096, 1 << 28, rng))
-    rows.append(("random 64B", fmt(rand.bandwidth_gbps(DDR4_2400.freq_mhz), 2)))
-    meta = MemoryController().run_trace(_interleaved_metadata_trace(1 << 18))
-    rows.append(("stream + BP metadata", fmt(meta.bandwidth_gbps(DDR4_2400.freq_mhz), 2)))
-    return rows, stream, rand, meta
+    table = run_sweep("dram-characterization")
+    return {r["pattern"]: r for r in table.rows}
 
 
 def test_dram_characterization(benchmark):
-    rows, stream, rand, meta = benchmark.pedantic(compute_characterization,
-                                                  rounds=1, iterations=1)
+    by_pattern = benchmark.pedantic(compute_characterization, rounds=1, iterations=1)
+    rows = [(p, fmt(r["effective_gbps"], 2)) for p, r in by_pattern.items()]
     lines = markdown_table(["pattern", "effective GB/s"], rows)
     lines += ["", f"peak: {DDR4_2400.peak_bandwidth_gbps} GB/s"]
     write_result("X1_dram_characterization", "DDR4 model characterization", lines)
 
-    stream_bw = stream.bandwidth_gbps(DDR4_2400.freq_mhz)
-    rand_bw = rand.bandwidth_gbps(DDR4_2400.freq_mhz)
-    meta_bw = meta.bandwidth_gbps(DDR4_2400.freq_mhz)
+    stream_bw = by_pattern["streaming"]["effective_gbps"]
+    rand_bw = by_pattern["random"]["effective_gbps"]
+    meta_bw = by_pattern["bp-interleaved"]["effective_gbps"]
     assert stream_bw > 0.85 * DDR4_2400.peak_bandwidth_gbps
     assert rand_bw < 0.4 * stream_bw
     # metadata interleaving costs bandwidth but is not catastrophic

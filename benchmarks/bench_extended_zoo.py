@@ -4,35 +4,30 @@ Section III-A's motivation for cycle-level simulation is to "study the
 overhead for a larger class of DNN models". This bench runs the
 protection comparison over 13 additional architectures (ResNet depths,
 VGG depths, MobileNet widths, ViT sizes, BERT-Large, long-audio
-wav2vec2) and asserts the paper's conclusions hold for every one of
-them: GuardNN ~1-3% traffic, BP tens of percent, the NP<=C<=CI<=BP
-ordering everywhere.
+wav2vec2) through the ``extended-zoo`` sweep preset and asserts the
+paper's conclusions hold for every one of them: GuardNN ~1-3% traffic,
+BP tens of percent, the NP<=C<=CI<=BP ordering everywhere.
 """
 
 import pytest
 
-from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
-from repro.accel.zoo_ext import EXTENDED_ZOO, build_extended
-from repro.protection.guardnn import GuardNNProtection
-from repro.protection.mee import BaselineMEE
-from repro.protection.none import NoProtection
+from repro.accel.zoo_ext import EXTENDED_ZOO
+from repro.experiments import run_sweep
 
 from _common import fmt, markdown_table, write_result
 
 
 def compute_sweep():
-    accel = AcceleratorModel(TPU_V1_CONFIG)
+    table = run_sweep("extended-zoo")
     rows = []
     for name in sorted(EXTENDED_ZOO):
-        model = build_extended(name)
-        base = accel.run(model, NoProtection())
-        c = accel.run(model, GuardNNProtection(False))
-        ci = accel.run(model, GuardNNProtection(True))
-        bp = accel.run(model, BaselineMEE())
-        rows.append((name, fmt(model.macs(1) / 1e9, 2),
-                     fmt(c.normalized_to(base), 4), fmt(ci.normalized_to(base), 4),
-                     fmt(bp.normalized_to(base), 4),
-                     fmt(100 * ci.traffic_increase, 1), fmt(100 * bp.traffic_increase, 1)))
+        by_scheme = {r["scheme"]: r for r in table.where(model=name).rows}
+        ci, bp = by_scheme["GuardNN_CI"], by_scheme["BP"]
+        rows.append((name, fmt(ci["gmacs"], 2),
+                     fmt(by_scheme["GuardNN_C"]["normalized"], 4),
+                     fmt(ci["normalized"], 4), fmt(bp["normalized"], 4),
+                     fmt(100 * ci["traffic_increase"], 1),
+                     fmt(100 * bp["traffic_increase"], 1)))
     return rows
 
 

@@ -2,32 +2,27 @@
 
 GuardNN_C / GuardNN_CI / BP on the TPU-v1-like simulated ASIC, each
 normalized to no-protection. Paper shape: BP ~1.25x average, both
-GuardNN variants ~1.01x, for all nine networks.
+GuardNN variants ~1.01x, for all nine networks. The grid lives in the
+``fig3-inference`` sweep preset; this harness formats and pins it.
 """
 
 import pytest
 
-from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
-from repro.accel.models import build_model
-from repro.protection.guardnn import GuardNNProtection
-from repro.protection.mee import BaselineMEE
-from repro.protection.none import NoProtection
+from repro.experiments import run_sweep
+from repro.experiments.presets import FIG3_INFERENCE_NETWORKS
 
 from _common import fmt, markdown_table, write_result
 
-NETWORKS = ["vgg16", "alexnet", "googlenet", "resnet50", "mobilenet",
-            "vit", "bert", "dlrm", "wav2vec2"]
+NETWORKS = list(FIG3_INFERENCE_NETWORKS)
+SCHEMES = ["GuardNN_C", "GuardNN_CI", "BP"]
 
 
 def compute_series():
-    accel = AcceleratorModel(TPU_V1_CONFIG)
-    schemes = [GuardNNProtection(False), GuardNNProtection(True), BaselineMEE()]
+    table = run_sweep("fig3-inference")
     rows = []
     for name in NETWORKS:
-        model = build_model(name)
-        base = accel.run(model, NoProtection())
-        normalized = [accel.run(model, s).normalized_to(base) for s in schemes]
-        rows.append((name, *[fmt(v, 4) for v in normalized]))
+        by_scheme = {r["scheme"]: r for r in table.where(model=name).rows}
+        rows.append((name, *[fmt(by_scheme[s]["normalized"], 4) for s in SCHEMES]))
     return rows
 
 

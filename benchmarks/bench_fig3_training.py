@@ -3,34 +3,26 @@
 Same protection points as Figure 3a, over one fwd+bwd+update iteration.
 Paper shape: BP ~1.29x average (worse than inference: more writes,
 more VN/MAC cache pressure), GuardNN ~1.01x. DLRM is excluded, as in
-the paper's Figure 3b.
+the paper's Figure 3b. The grid lives in the ``fig3-training`` preset.
 """
 
 import pytest
 
-from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
-from repro.accel.models import build_model
-from repro.protection.guardnn import GuardNNProtection
-from repro.protection.mee import BaselineMEE
-from repro.protection.none import NoProtection
+from repro.experiments import run_sweep
+from repro.experiments.presets import FIG3_TRAINING_NETWORKS
 
 from _common import fmt, markdown_table, write_result
 
-NETWORKS = ["vgg16", "alexnet", "googlenet", "resnet50", "mobilenet",
-            "vit", "bert", "wav2vec2"]
-BATCH = 4
+NETWORKS = list(FIG3_TRAINING_NETWORKS)
+SCHEMES = ["GuardNN_C", "GuardNN_CI", "BP"]
 
 
 def compute_series():
-    accel = AcceleratorModel(TPU_V1_CONFIG)
-    schemes = [GuardNNProtection(False), GuardNNProtection(True), BaselineMEE()]
+    table = run_sweep("fig3-training")
     rows = []
     for name in NETWORKS:
-        model = build_model(name)
-        base = accel.run(model, NoProtection(), training=True, batch=BATCH)
-        normalized = [accel.run(model, s, training=True, batch=BATCH).normalized_to(base)
-                      for s in schemes]
-        rows.append((name, *[fmt(v, 4) for v in normalized]))
+        by_scheme = {r["scheme"]: r for r in table.where(model=name).rows}
+        rows.append((name, *[fmt(by_scheme[s]["normalized"], 4) for s in SCHEMES]))
     return rows
 
 

@@ -2,24 +2,35 @@
 
 Paper (MicroBlaze, VGG example): GetPK+InitSession 23.1 ms; SetWeight
 19.5 / 2.2 / 8.0 / 43.3 ms for AlexNet / GoogleNet / ResNet / VGG;
-SetInput 0.1 ms; ExportOutput 0.01 ms; SignOutput 4.8 ms.
+SetInput 0.1 ms; ExportOutput 0.01 ms; SignOutput 4.8 ms. Grid: the
+``instruction-latency`` preset.
 """
 
 import pytest
 
-from repro.accel.models import build_model
-from repro.analysis.microcontroller import InstructionLatencyModel, MicrocontrollerModel
+from repro.experiments import run_sweep
 
 from _common import fmt, markdown_table, write_result
 
 PAPER_SET_WEIGHT = {"alexnet": 19.5, "googlenet": 2.2, "resnet50": 8.0, "vgg16": 43.3}
+PAPER_FIXED = {
+    "GetPK + InitSession": 23.1,
+    "SetInput": 0.1,
+    "ExportOutput": 0.01,
+    "SignOutput": 4.8,
+}
 
 
 def compute_latencies():
-    lat = InstructionLatencyModel()
-    vgg = build_model("vgg16")
-    report = lat.report(vgg)
-    set_weight = {name: lat.set_weight_seconds(build_model(name)) * 1e3
+    table = run_sweep("instruction-latency")
+    by_instruction = {r["instruction"]: r["ms"] for r in table.rows}
+    report = {
+        "key_exchange_ms": by_instruction["GetPK + InitSession"],
+        "set_input_ms": by_instruction["SetInput"],
+        "export_output_ms": by_instruction["ExportOutput"],
+        "sign_output_ms": by_instruction["SignOutput"],
+    }
+    set_weight = {name: by_instruction[f"SetWeight ({name})"]
                   for name in PAPER_SET_WEIGHT}
     return report, set_weight
 
@@ -27,10 +38,14 @@ def compute_latencies():
 def test_instruction_latencies(benchmark):
     report, set_weight = benchmark.pedantic(compute_latencies, rounds=1, iterations=1)
     rows = [
-        ("GetPK + InitSession (ECDHE-ECDSA)", fmt(report["key_exchange_ms"], 1), 23.1),
-        ("SetInput (one image)", fmt(report["set_input_ms"], 3), 0.1),
-        ("ExportOutput (1000-class)", fmt(report["export_output_ms"], 3), 0.01),
-        ("SignOutput (ECDSA)", fmt(report["sign_output_ms"], 1), 4.8),
+        ("GetPK + InitSession (ECDHE-ECDSA)", fmt(report["key_exchange_ms"], 1),
+         PAPER_FIXED["GetPK + InitSession"]),
+        ("SetInput (one image)", fmt(report["set_input_ms"], 3),
+         PAPER_FIXED["SetInput"]),
+        ("ExportOutput (1000-class)", fmt(report["export_output_ms"], 3),
+         PAPER_FIXED["ExportOutput"]),
+        ("SignOutput (ECDSA)", fmt(report["sign_output_ms"], 1),
+         PAPER_FIXED["SignOutput"]),
     ]
     rows += [(f"SetWeight ({name})", fmt(ms, 1), PAPER_SET_WEIGHT[name])
              for name, ms in sorted(set_weight.items())]

@@ -2,43 +2,41 @@
 
 Paper (512 DSPs, 8-bit): one AES-128 core = 9.0K LUTs / 3.0K FFs
 (8.2% / 2.6% of the design); MicroBlaze = 2.7K LUTs (2.5%), 2.2K FFs
-(1.9%), 64 BRAMs (11.0%), 6 DSPs (0.9%).
+(1.9%), 64 BRAMs (11.0%), 6 DSPs (0.9%). Grid: the ``fpga-resources``
+preset.
 """
 
 import pytest
 
-from repro.analysis.fpga import FpgaResourceModel
+from repro.experiments import run_sweep
 
 from _common import fmt, markdown_table, write_result
 
+PAPER = {
+    "AES core LUTs": "9.0K (8.2%)",
+    "AES core FFs": "3.0K (2.6%)",
+    "MicroBlaze LUTs": "2.7K (2.5%)",
+    "MicroBlaze FFs": "2.2K (1.9%)",
+    "MicroBlaze BRAMs": "64 (11.0%)",
+    "MicroBlaze DSPs": "6 (0.9%)",
+    "Total (AES + MCU) LUTs": "-",
+}
+
 
 def compute_resources():
-    model = FpgaResourceModel()
-    aes_luts_pct, aes_ffs_pct = model.aes_overhead_pct()
-    total = model.total_overhead(aes_engines=3)
-    return model, aes_luts_pct, aes_ffs_pct, total
+    return run_sweep("fpga-resources")
 
 
 def test_resource_overhead(benchmark):
-    model, aes_luts_pct, aes_ffs_pct, total = benchmark.pedantic(
-        compute_resources, rounds=1, iterations=1
-    )
-    rows = [
-        ("AES core LUTs", model.aes_luts, f"{fmt(aes_luts_pct,1)}%", "9.0K (8.2%)"),
-        ("AES core FFs", model.aes_ffs, f"{fmt(aes_ffs_pct,1)}%", "3.0K (2.6%)"),
-        ("MicroBlaze LUTs", model.mcu_luts, f"{fmt(100*model.mcu_luts/model.base_luts,1)}%",
-         "2.7K (2.5%)"),
-        ("MicroBlaze FFs", model.mcu_ffs, f"{fmt(100*model.mcu_ffs/model.base_ffs,1)}%",
-         "2.2K (1.9%)"),
-        ("MicroBlaze BRAMs", model.mcu_brams, f"{fmt(total['brams_pct'],1)}%", "64 (11.0%)"),
-        ("MicroBlaze DSPs", model.mcu_dsps, f"{fmt(total['dsps_pct'],1)}%", "6 (0.9%)"),
-        ("Total (3 AES + MCU) LUTs", total["luts"], f"{fmt(total['luts_pct'],1)}%", "-"),
-    ]
+    table = benchmark.pedantic(compute_resources, rounds=1, iterations=1)
+    rows = [(r["resource"], r["count"], f"{fmt(r['pct'], 1)}%",
+             PAPER.get(r["resource"], "-")) for r in table.rows]
     write_result(
         "E3_resource_overhead",
         "FPGA resource overhead (Section III-B, 512 DSPs / 8-bit)",
         markdown_table(["resource", "count", "% of design", "paper"], rows),
     )
-    assert aes_luts_pct == pytest.approx(8.2, abs=0.3)
-    assert aes_ffs_pct == pytest.approx(2.6, abs=0.2)
-    assert total["brams_pct"] == pytest.approx(11.0, abs=0.2)
+    by_resource = {r["resource"]: r for r in table.rows}
+    assert by_resource["AES core LUTs"]["pct"] == pytest.approx(8.2, abs=0.3)
+    assert by_resource["AES core FFs"]["pct"] == pytest.approx(2.6, abs=0.2)
+    assert by_resource["MicroBlaze BRAMs"]["pct"] == pytest.approx(11.0, abs=0.2)

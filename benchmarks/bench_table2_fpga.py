@@ -1,21 +1,22 @@
 """E1 — Table II: FPGA prototype throughput and GuardNN_C overhead.
 
-Regenerates the 4-network x 4-DSP-config x 2-precision grid: frames/s
-for the CHaiDNN-like baseline and the overhead (%) GuardNN_C adds.
-Paper findings to match in shape: fps ordering AlexNet > GoogleNet >
-ResNet > VGG, fps scaling with DSPs and precision, and overhead below
-~3.1% everywhere, worst for ResNet.
+Regenerates the 4-network x 4-DSP-config x 2-precision grid (the
+``table2-fpga`` preset): frames/s for the CHaiDNN-like baseline and the
+overhead (%) GuardNN_C adds. Paper findings to match in shape: fps
+ordering AlexNet > GoogleNet > ResNet > VGG, fps scaling with DSPs and
+precision, and overhead below ~3.1% everywhere, worst for ResNet.
 """
 
 import pytest
 
-from repro.analysis.fpga import FpgaConfig, FpgaPrototypeModel
+from repro.experiments import run_sweep
+from repro.experiments.presets import FPGA_NETWORKS, TABLE2_DSPS, TABLE2_PRECISIONS
 
 from _common import fmt, markdown_table, write_result
 
-NETWORKS = ["alexnet", "googlenet", "resnet50", "vgg16"]
-DSPS = [128, 256, 512, 1024]
-PRECISIONS = [8, 6]
+NETWORKS = list(FPGA_NETWORKS)
+DSPS = list(TABLE2_DSPS)
+PRECISIONS = list(TABLE2_PRECISIONS)
 
 PAPER_FPS = {  # (net, dsps, bits) -> (fps, overhead %)
     ("alexnet", 128, 8): (51.5, 0.6), ("alexnet", 256, 8): (94.5, 0.5),
@@ -38,12 +39,12 @@ PAPER_FPS = {  # (net, dsps, bits) -> (fps, overhead %)
 
 
 def compute_table():
-    model = FpgaPrototypeModel()
+    table = run_sweep("table2-fpga")
     rows = []
     for bits in PRECISIONS:
         for dsps in DSPS:
             for net in NETWORKS:
-                r = model.table_row(net, FpgaConfig(dsps, bits))
+                (r,) = table.where(network=net, dsps=dsps, precision=bits).rows
                 paper_fps, paper_ovh = PAPER_FPS[(net, dsps, bits)]
                 rows.append((f"GuardNN_C ({bits}-bit)", dsps, net,
                              fmt(r["guardnn_fps"], 1), fmt(r["overhead_pct"], 2),

@@ -5,12 +5,12 @@ ASIC), GuardNN_C (FPGA model): throughput, overhead, power, energy
 efficiency, TCB size. The GuardNN columns are *measured* through our
 simulation pipeline; the alternatives are analytic models with the
 published overheads. Paper shape: GuardNN ~3 orders of magnitude above
-CPU/MPC in both GOPs and GOPs/W.
+CPU/MPC in both GOPs and GOPs/W. Grid: the ``table3-comparison`` preset.
 """
 
 import pytest
 
-from repro.analysis.comparison import ComparisonTable
+from repro.experiments import run_sweep
 
 from _common import fmt, markdown_table, write_result
 
@@ -24,7 +24,7 @@ PAPER = {
 
 
 def compute_table():
-    return ComparisonTable().as_dicts()
+    return run_sweep("table3-comparison").rows
 
 
 def test_table3_comparison(benchmark):

@@ -4,31 +4,34 @@ Paper: 21.8k LoC TCB = 9k baseline accelerator + 8.3k protection +
 4.5k firmware. We measure the same split over this repository's source:
 the trusted packages (crypto, protection, device/firmware, compute) vs
 the untrusted/tooling remainder (host, performance models, analysis).
+Grid: the ``tcb`` preset.
 """
 
 import pytest
 
-from repro.analysis.tcb import measure_tcb
+from repro.experiments import run_sweep
 
 from _common import fmt, markdown_table, write_result
 
 
 def compute_report():
-    return measure_tcb()
+    return run_sweep("tcb")
 
 
 def test_tcb_decomposition(benchmark):
-    report = benchmark.pedantic(compute_report, rounds=1, iterations=1)
-    rows = [(label, loc) for label, loc in sorted(report.categories.items())]
-    rows.append(("TCB total", report.tcb_loc))
-    rows.append(("untrusted / tooling (host, models, analysis)", report.untrusted_loc))
+    table = benchmark.pedantic(compute_report, rounds=1, iterations=1)
+    rows = [(r["component"], r["loc"]) for r in table.rows]
     lines = markdown_table(["component", "LoC"], rows)
-    lines += ["", f"TCB fraction of the package: {fmt(100 * report.tcb_fraction, 1)}% "
+    (tcb_total,) = table.where(component="TCB total").rows
+    (untrusted,) = table.where(component="untrusted / tooling").rows
+    total_loc = tcb_total["loc"] + untrusted["loc"]
+    tcb_fraction = tcb_total["loc"] / total_loc
+    lines += ["", f"TCB fraction of the package: {fmt(100 * tcb_fraction, 1)}% "
                   "(paper's prototype TCB: 21.8k LoC total)"]
     write_result("X3_tcb_size", "TCB size decomposition", lines)
 
     # the paper's qualitative claim: the trusted part is small and has
     # the firmware < protection <-ish < accelerator shape
-    assert report.tcb_loc < report.total_loc
-    assert 0.2 < report.tcb_fraction < 0.7
-    assert report.tcb_loc > 1000  # it is a real system, not a stub
+    assert tcb_total["loc"] < total_loc
+    assert 0.2 < tcb_fraction < 0.7
+    assert tcb_total["loc"] > 1000  # it is a real system, not a stub

@@ -2,40 +2,30 @@
 
 "BP increases memory accesses by 35.3% on average for inference and by
 37.8% for training ... GuardNN_CI increases the memory traffic by 2.4%
-and 2.3% on average for inference and training."
+and 2.3% on average for inference and training." Grid: the ``traffic``
+sweep preset (BP and GuardNN_CI over both modes).
 """
 
 import pytest
 
-from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
-from repro.accel.models import build_model
-from repro.protection.guardnn import GuardNNProtection
-from repro.protection.mee import BaselineMEE
+from repro.experiments import run_sweep
 
 from _common import fmt, markdown_table, write_result
 
-INFERENCE_NETS = ["vgg16", "alexnet", "googlenet", "resnet50", "mobilenet",
-                  "vit", "bert", "dlrm", "wav2vec2"]
-TRAINING_NETS = [n for n in INFERENCE_NETS if n != "dlrm"]
-
 
 def compute_traffic():
-    accel = AcceleratorModel(TPU_V1_CONFIG)
-    bp, ci = BaselineMEE(), GuardNNProtection(True)
+    table = run_sweep("traffic")
     rows = []
     averages = {}
-    for training, nets in ((False, INFERENCE_NETS), (True, TRAINING_NETS)):
-        mode = "training" if training else "inference"
+    for mode in ("inference", "training"):
+        sub = table.where(mode=mode)
+        models = list(dict.fromkeys(sub.column("model")))
         bp_vals, ci_vals = [], []
-        for name in nets:
-            model = build_model(name)
-            batch = 4 if training else 1
-            r_bp = accel.run(model, bp, training=training, batch=batch)
-            r_ci = accel.run(model, ci, training=training, batch=batch)
-            bp_vals.append(r_bp.traffic_increase)
-            ci_vals.append(r_ci.traffic_increase)
-            rows.append((mode, name, fmt(100 * r_bp.traffic_increase, 1),
-                         fmt(100 * r_ci.traffic_increase, 1)))
+        for name in models:
+            by_scheme = {r["scheme"]: r for r in sub.where(model=name).rows}
+            bp_vals.append(by_scheme["BP"]["traffic_increase"])
+            ci_vals.append(by_scheme["GuardNN_CI"]["traffic_increase"])
+            rows.append((mode, name, fmt(100 * bp_vals[-1], 1), fmt(100 * ci_vals[-1], 1)))
         averages[mode] = (sum(bp_vals) / len(bp_vals), sum(ci_vals) / len(ci_vals))
     return rows, averages
 

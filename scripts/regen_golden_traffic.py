@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/regression/golden_traffic.json``.
+
+Run this ONLY when a deliberate model change moves the paper-facing
+numbers (and say so in the commit): the golden file pins the per-network
+cycle counts and per-RequestKind metadata traffic that produce Figure 3
+and the Section III-C traffic table. An accidental change to the
+scheduler, the schemes, or the model zoo makes
+``tests/regression/test_golden_traffic.py`` fail against these values.
+
+Usage:  python scripts/regen_golden_traffic.py
+"""
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG  # noqa: E402
+from repro.accel.models import build_model  # noqa: E402
+from repro.mem.trace import RequestKind  # noqa: E402
+from repro.protection import build_scheme  # noqa: E402
+
+OUT_PATH = os.path.join(REPO_ROOT, "tests", "regression", "golden_traffic.json")
+
+INFERENCE_NETWORKS = ["vgg16", "alexnet", "googlenet", "resnet50", "mobilenet",
+                      "vit", "bert", "dlrm", "wav2vec2"]
+TRAINING_NETWORKS = [n for n in INFERENCE_NETWORKS if n != "dlrm"]
+TRAINING_BATCH = 4
+SCHEMES = ["np", "guardnn-c", "guardnn-ci", "bp"]
+PER_LAYER_NETWORK = "alexnet"
+
+
+def summarize(result):
+    breakdown = result.metadata_breakdown
+    return {
+        "total_cycles": result.total_cycles,
+        "data_bytes": result.total_data_bytes,
+        "metadata_bytes": result.total_metadata_bytes,
+        "vn_bytes": breakdown.get(RequestKind.VN, 0),
+        "mac_bytes": breakdown.get(RequestKind.MAC, 0),
+        "tree_bytes": breakdown.get(RequestKind.TREE, 0),
+    }
+
+
+def per_layer(result):
+    rows = []
+    for layer in result.layers:
+        rows.append({
+            "layer": layer.name,
+            "op": layer.op,
+            "data_bytes": layer.data_bytes,
+            "vn_bytes": layer.breakdown.get(RequestKind.VN, 0),
+            "mac_bytes": layer.breakdown.get(RequestKind.MAC, 0),
+            "tree_bytes": layer.breakdown.get(RequestKind.TREE, 0),
+        })
+    return rows
+
+
+def main():
+    accel = AcceleratorModel(TPU_V1_CONFIG)
+    golden = {
+        "_comment": "Pinned by scripts/regen_golden_traffic.py — regenerate "
+                    "only for deliberate paper-number changes.",
+        "config": TPU_V1_CONFIG.name,
+        "training_batch": TRAINING_BATCH,
+        "inference": {},
+        "training": {},
+        "per_layer": {},
+    }
+    for name in INFERENCE_NETWORKS:
+        model = build_model(name)
+        golden["inference"][name] = {
+            key: summarize(accel.run(model, build_scheme(key))) for key in SCHEMES
+        }
+    for name in TRAINING_NETWORKS:
+        model = build_model(name)
+        golden["training"][name] = {
+            key: summarize(accel.run(model, build_scheme(key), training=True,
+                                     batch=TRAINING_BATCH))
+            for key in SCHEMES
+        }
+    model = build_model(PER_LAYER_NETWORK)
+    golden["per_layer"][PER_LAYER_NETWORK] = {
+        key: per_layer(accel.run(model, build_scheme(key)))
+        for key in ("bp", "guardnn-ci")
+    }
+
+    with open(OUT_PATH, "w") as f:
+        json.dump(golden, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,16 +1,27 @@
 #!/usr/bin/env python
-"""Regenerate every paper artifact in one go (without pytest-benchmark's
-timing machinery) and print where each result landed.
+"""Regenerate every paper artifact in one go through the experiment
+subsystem (without pytest-benchmark's timing machinery) and print where
+each result landed.
 
-Usage:  python scripts/run_experiments.py
+Usage:  python scripts/run_experiments.py [--workers N] [--cache]
+
+The per-artifact formatting (markdown files under ``benchmarks/results/``
+with paper-number annotations) lives in the ``benchmarks/bench_*.py``
+harnesses; each of them resolves its grid from the shared sweep registry
+(``repro.experiments.presets``). ``--workers`` fans the underlying
+simulations over processes; ``--cache`` serves repeated grids from the
+content-addressed result cache.
 """
 
+import argparse
 import importlib.util
 import os
 import sys
 
-BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
-sys.path.insert(0, os.path.abspath(BENCH_DIR))
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+sys.path.insert(0, BENCH_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 EXPERIMENTS = [
     ("E1  Table II (FPGA throughput)", "bench_table2_fpga", "compute_table"),
@@ -39,13 +50,34 @@ def load(module_name):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-parallel simulation workers "
+                             "(default: REPRO_SWEEP_WORKERS or 1)")
+    parser.add_argument("--cache", action="store_true",
+                        help="serve repeated grids from the on-disk result cache")
+    args = parser.parse_args()
+
+    # the bench harnesses call run_sweep() with registry defaults; these
+    # env knobs steer the shared runner without touching each harness
+    # (and a user-set env value survives when the flag is omitted)
+    if args.workers is not None:
+        os.environ["REPRO_SWEEP_WORKERS"] = str(max(1, args.workers))
+    if args.cache:
+        os.environ["REPRO_SWEEP_CACHE"] = "1"
+
     print("regenerating all paper artifacts (see benchmarks/results/)\n")
     for label, module_name, fn_name in EXPERIMENTS:
         module = load(module_name)
         getattr(module, fn_name)()
         print(f"  computed {label}")
+    if args.cache:
+        from repro.experiments.registry import default_cache
+
+        print(f"\ncache: {default_cache().stats}")
     print("\ndone. Run `pytest benchmarks/ --benchmark-only` for the full "
-          "harness with shape assertions and result files.")
+          "harness with shape assertions and result files, or "
+          "`python -m repro sweep --list` for the raw sweep registry.")
 
 
 if __name__ == "__main__":

@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.accel.dfg import DataFlowGraph, build_inference_dfg, build_training_dfg
 from repro.accel.layers import LayerBase
 from repro.accel.models import NetworkModel
 from repro.accel.scheduler import LayerTraffic, TilingScheduler
 from repro.accel.systolic import Dataflow, SystolicArray
+from repro.mem.trace import RequestKind
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,8 @@ class LayerTiming:
     memory_cycles: int
     engine_cycles: int
     total_cycles: int
+    #: metadata bytes by request kind (VN / MAC / TREE), from the scheme
+    breakdown: Dict[RequestKind, int] = field(default_factory=dict)
 
     @property
     def data_bytes(self) -> int:
@@ -120,6 +123,15 @@ class RunResult:
     @property
     def total_metadata_bytes(self) -> int:
         return sum(l.metadata_bytes for l in self.layers)
+
+    @property
+    def metadata_breakdown(self) -> Dict[RequestKind, int]:
+        """Total metadata bytes by request kind across all layers."""
+        totals: Dict[RequestKind, int] = {}
+        for layer in self.layers:
+            for kind, nbytes in layer.breakdown.items():
+                totals[kind] = totals.get(kind, 0) + nbytes
+        return totals
 
     @property
     def traffic_increase(self) -> float:
@@ -253,6 +265,7 @@ class AcceleratorModel:
                     memory_cycles=memory,
                     engine_cycles=engine_cycles,
                     total_cycles=total,
+                    breakdown=dict(getattr(overhead, "breakdown", {}) or {}),
                 )
             )
         return result

@@ -3,6 +3,8 @@
 Gives downstream users the paper's experiments without writing code:
 
 * ``simulate`` — one network under one protection scheme (Figure 3 cell);
+* ``sweep`` — any registered experiment grid through the orchestration
+  subsystem (parallel workers + result cache);
 * ``figure3`` — the full normalized-time series;
 * ``fpga-table`` — Table II;
 * ``traffic`` — the Section III-C traffic-increase numbers;
@@ -18,23 +20,17 @@ import sys
 
 from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
 from repro.accel.models import build_model, list_models
+from repro.protection import build_scheme, list_schemes
 from repro.protection.guardnn import GuardNNProtection
 from repro.protection.mee import BaselineMEE
 from repro.protection.none import NoProtection
 
-SCHEMES = {
-    "np": NoProtection,
-    "bp": BaselineMEE,
-    "guardnn-c": lambda: GuardNNProtection(integrity=False),
-    "guardnn-ci": lambda: GuardNNProtection(integrity=True),
-}
-
 
 def _scheme(name: str):
     try:
-        return SCHEMES[name]()
+        return build_scheme(name)
     except KeyError:
-        raise SystemExit(f"unknown scheme {name!r}; choose from {', '.join(SCHEMES)}")
+        raise SystemExit(f"unknown scheme {name!r}; choose from {', '.join(list_schemes())}")
 
 
 def cmd_simulate(args) -> int:
@@ -48,6 +44,77 @@ def cmd_simulate(args) -> int:
     print(f"normalized time:    {run.normalized_to(base):.4f}x vs no protection")
     print(f"traffic increase:   +{100*run.traffic_increase:.2f}%")
     print(f"throughput:         {run.throughput_samples_per_s():.2f} samples/s")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    import repro.experiments as experiments
+
+    if args.list:
+        for definition in experiments.list_sweeps():
+            print(f"{definition.name:26s} {definition.title}")
+        return 0
+
+    # resolve names up front so typos become clean CLI errors; anything
+    # raising past this block is a real bug and keeps its traceback
+    try:
+        if args.preset:
+            adhoc = [name for name, value in (("--models", args.models),
+                                              ("--schemes", args.schemes),
+                                              ("--batches", args.batches),
+                                              ("--modes", args.modes)) if value]
+            if adhoc:
+                raise SystemExit(f"--preset and {'/'.join(adhoc)} are mutually "
+                                 "exclusive (presets define their own grid)")
+            definition = experiments.get_sweep(args.preset)
+            title = definition.title
+            n_jobs = len(definition.jobs())
+            spec = None
+        else:
+            if not args.models:
+                raise SystemExit("pick a --preset (see --list) or give --models")
+            spec = experiments.SweepSpec(
+                models=tuple(args.models.split(",")),
+                schemes=tuple((args.schemes or "np,guardnn-c,guardnn-ci,bp").split(",")),
+                batches=tuple(int(b) for b in (args.batches or "1").split(",")),
+                modes=tuple((args.modes or "inference").split(",")),
+            )
+            from repro.experiments.executors import validate_model
+
+            for model in spec.models:
+                validate_model(model)
+            title = "custom sweep"
+            n_jobs = spec.size
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"error: {error.args[0] if error.args else error}")
+
+    cache = None
+    if not args.no_cache:
+        cache = experiments.ResultCache(args.cache_dir)
+    runner = experiments.Runner(workers=args.workers, cache=cache)
+    if spec is None:
+        table = experiments.run_sweep(args.preset, runner=runner)
+    else:
+        table = runner.run(spec.jobs())
+        if "np" in spec.schemes:
+            # normalized execution time needs the NP baseline in the grid
+            table = table.with_normalized()
+
+    if args.format == "markdown":
+        output = table.to_markdown()
+    elif args.format == "csv":
+        output = table.to_csv()
+    else:
+        output = table.to_json()
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(output if output.endswith("\n") else output + "\n")
+        print(f"wrote {len(table)} rows to {args.out}", file=sys.stderr)
+    else:
+        print(output)
+    print(f"# {title}: {n_jobs} jobs -> {len(table)} rows, "
+          f"workers={runner.workers}, "
+          f"cache={'off' if cache is None else cache.stats}", file=sys.stderr)
     return 0
 
 
@@ -148,8 +215,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="run one network under one scheme")
     common(p)
-    p.add_argument("--scheme", default="guardnn-ci", choices=sorted(SCHEMES))
+    p.add_argument("--scheme", default="guardnn-ci", choices=list_schemes())
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("sweep", help="run a registered experiment grid "
+                                     "(parallel workers + result cache)")
+    p.add_argument("--list", action="store_true", help="list registered sweeps")
+    p.add_argument("--preset", help="registered sweep name (see --list)")
+    p.add_argument("--models", help="comma-separated model names (ad-hoc grid)")
+    p.add_argument("--schemes", default=None,
+                   help="comma-separated scheme names for an ad-hoc grid "
+                        "(default: np,guardnn-c,guardnn-ci,bp)")
+    p.add_argument("--batches", default=None,
+                   help="comma-separated batch sizes (default: 1)")
+    p.add_argument("--modes", default=None,
+                   help="comma-separated modes (default: inference)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-parallel workers (default: REPRO_SWEEP_WORKERS or 1)")
+    p.add_argument("--format", default="markdown", choices=("markdown", "csv", "json"))
+    p.add_argument("--out", help="write the table to a file instead of stdout")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute everything, bypassing the result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (default: ~/.cache/repro/sweeps)")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figure3", help="normalized-time series (Figure 3)")
     common(p, network_default="all")
@@ -178,7 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # piping into `head` & friends closes stdout early; exit quietly
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

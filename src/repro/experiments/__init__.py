@@ -1,0 +1,58 @@
+"""Experiment orchestration: declarative sweeps, a process-parallel
+runner, a content-addressed result cache, and tabular results.
+
+The layer that turns the 16 ad-hoc benchmark loops into one engine::
+
+    from repro.experiments import run_sweep
+
+    table = run_sweep("fig3", workers=4, cache=True)
+    print(table.to_markdown())
+
+* :class:`SweepSpec` — a grid over {model} × {scheme(+params)} ×
+  {batch} × {mode} × {accelerator config};
+* :class:`Runner` — fans jobs over ``multiprocessing`` workers with
+  deterministic result ordering (worker count never changes output);
+* :class:`ResultCache` — on-disk, keyed by (job params, code
+  fingerprint): re-runs of an unchanged tree are served from disk;
+* :class:`ResultTable` — stable row schema with markdown / CSV / JSON
+  emitters and the Figure-3 normalization join;
+* the preset registry — one named sweep per paper artifact
+  (``fig3``, ``traffic``, ``table2-fpga``, the ablations, ...).
+"""
+
+from repro.experiments.cache import ResultCache, code_fingerprint, default_cache_dir
+from repro.experiments.jobs import Job, execute_job, executor, list_executors
+from repro.experiments.registry import (
+    SweepDefinition,
+    get_sweep,
+    list_sweeps,
+    register_sweep,
+    run_sweep,
+)
+from repro.experiments.runner import Runner
+from repro.experiments.spec import DEFAULT_SCHEMES, SweepSpec
+from repro.experiments.table import ResultTable, fmt, markdown_table
+
+# registering the presets must follow the registry import
+import repro.experiments.presets  # noqa: E402,F401
+
+__all__ = [
+    "DEFAULT_SCHEMES",
+    "Job",
+    "ResultCache",
+    "ResultTable",
+    "Runner",
+    "SweepDefinition",
+    "SweepSpec",
+    "code_fingerprint",
+    "default_cache_dir",
+    "execute_job",
+    "executor",
+    "fmt",
+    "get_sweep",
+    "list_executors",
+    "list_sweeps",
+    "markdown_table",
+    "register_sweep",
+    "run_sweep",
+]

@@ -1,0 +1,116 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A job's cache key is the SHA-256 of (executor name, canonical params,
+code fingerprint). The fingerprint hashes every ``.py`` source file of
+the :mod:`repro` package, so *any* change to the models, schemes, or
+analysis code invalidates all cached rows — the cache can serve stale
+numbers only if the code that produced them is byte-identical. Entries
+are JSON files sharded by key prefix; a corrupt or truncated entry is
+treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from repro.experiments.jobs import Job
+
+_ENV_DIR = "REPRO_SWEEP_CACHE_DIR"
+_fingerprint_memo: Dict[str, str] = {}
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME", os.path.join(os.path.expanduser("~"), ".cache"))
+    return os.path.join(base, "repro", "sweeps")
+
+
+def code_fingerprint(package_root: Optional[str] = None) -> str:
+    """SHA-256 over the sorted (relative path, content hash) pairs of
+    every Python source file under the repro package."""
+    if package_root is None:
+        import repro
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    if package_root in _fingerprint_memo:
+        return _fingerprint_memo[package_root]
+    entries = []
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            with open(path, "rb") as f:
+                digest = hashlib.sha256(f.read()).hexdigest()
+            entries.append((os.path.relpath(path, package_root), digest))
+    payload = json.dumps(entries, separators=(",", ":")).encode()
+    fingerprint = hashlib.sha256(payload).hexdigest()
+    _fingerprint_memo[package_root] = fingerprint
+    return fingerprint
+
+
+class ResultCache:
+    """Maps jobs to previously computed row lists."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 fingerprint: Optional[str] = None):
+        self.directory = directory or default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def key(self, job: Job) -> str:
+        material = "\x1f".join((job.executor, job.params_json, self.fingerprint))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], key + ".json")
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(self, job: Job) -> Optional[List[Dict[str, object]]]:
+        path = self._path(self.key(job))
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+            rows = payload["rows"]
+            if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+                raise ValueError("malformed rows")
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return rows
+
+    def put(self, job: Job, rows: List[Dict[str, object]]) -> None:
+        path = self._path(self.key(job))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "executor": job.executor,
+            "params": job.params,
+            "fingerprint": self.fingerprint,
+            "rows": rows,
+        }
+        # atomic publish so a concurrent reader never sees a half write
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @property
+    def stats(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses ({self.directory})"

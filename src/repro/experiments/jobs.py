@@ -1,0 +1,75 @@
+"""Jobs: the unit of work the sweep runner schedules, caches, and fans
+out over processes.
+
+A :class:`Job` is (executor name, canonical-JSON params). Executors are
+plain module-level functions registered by name, so a job pickles as two
+strings and any worker process can resolve and run it. Canonical JSON
+(sorted keys, no whitespace) makes the job's identity stable — the same
+logical parameters always hash to the same cache key regardless of dict
+insertion order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, minimal separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """One schedulable unit: an executor name plus its parameters."""
+
+    executor: str
+    params_json: str
+
+    @classmethod
+    def make(cls, executor: str, **params: object) -> "Job":
+        return cls(executor, canonical_json(params))
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return json.loads(self.params_json)
+
+    def __repr__(self) -> str:
+        return f"Job({self.executor}, {self.params_json})"
+
+
+#: executor name -> callable(params dict) -> row dict | list of row dicts
+_EXECUTORS: Dict[str, Callable[[Dict[str, object]], object]] = {}
+
+
+def executor(name: str):
+    """Register a module-level function as a job executor."""
+
+    def register(fn):
+        if name in _EXECUTORS and _EXECUTORS[name] is not fn:
+            raise ValueError(f"executor {name!r} already registered")
+        _EXECUTORS[name] = fn
+        return fn
+
+    return register
+
+
+def get_executor(name: str) -> Callable[[Dict[str, object]], object]:
+    try:
+        return _EXECUTORS[name]
+    except KeyError:
+        raise KeyError(f"unknown executor {name!r}; known: {sorted(_EXECUTORS)}")
+
+
+def list_executors() -> List[str]:
+    return sorted(_EXECUTORS)
+
+
+def execute_job(job: Job) -> List[Dict[str, object]]:
+    """Run one job and normalize its result to a list of row dicts."""
+    result = get_executor(job.executor)(job.params)
+    if isinstance(result, dict):
+        return [result]
+    return list(result)

@@ -1,0 +1,114 @@
+"""Named-sweep registry.
+
+Benchmarks, the CLI, and the experiment scripts all resolve sweeps by
+name here, so every paper artifact has exactly one definition of its
+grid. A registered sweep is a builder returning a job list (or a
+:class:`SweepSpec`), plus an optional post-processing step applied to
+the finished table (e.g. joining in normalized execution time).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.jobs import Job
+from repro.experiments.runner import Runner
+from repro.experiments.spec import SweepSpec
+from repro.experiments.table import ResultTable
+
+BuildResult = Union[SweepSpec, List[Job]]
+
+
+@dataclass(frozen=True)
+class SweepDefinition:
+    name: str
+    title: str
+    build: Callable[[], BuildResult]
+    columns: Optional[Sequence[str]] = None
+    post: Optional[Callable[[ResultTable], ResultTable]] = None
+
+    def jobs(self) -> List[Job]:
+        built = self.build()
+        if isinstance(built, SweepSpec):
+            return built.jobs()
+        return list(built)
+
+
+_SWEEPS: Dict[str, SweepDefinition] = {}
+
+
+def register_sweep(name: str, title: str = "",
+                   columns: Optional[Sequence[str]] = None,
+                   post: Optional[Callable[[ResultTable], ResultTable]] = None):
+    """Decorator registering a build function as a named sweep."""
+
+    def register(build: Callable[[], BuildResult]) -> Callable[[], BuildResult]:
+        if name in _SWEEPS:
+            raise ValueError(f"sweep {name!r} already registered")
+        _SWEEPS[name] = SweepDefinition(name=name, title=title or name,
+                                        build=build, columns=columns, post=post)
+        return build
+
+    return register
+
+
+def get_sweep(name: str) -> SweepDefinition:
+    try:
+        return _SWEEPS[name]
+    except KeyError:
+        raise KeyError(f"unknown sweep {name!r}; known: {', '.join(sorted(_SWEEPS))}")
+
+
+def list_sweeps() -> List[SweepDefinition]:
+    return [_SWEEPS[name] for name in sorted(_SWEEPS)]
+
+
+_ENV_CACHE = "REPRO_SWEEP_CACHE"
+#: process-wide default caches, one per directory, so stats aggregate
+#: across every run_sweep() call of a session
+_default_caches: Dict[str, ResultCache] = {}
+
+
+def default_cache() -> ResultCache:
+    """The shared default cache (created on first use per directory)."""
+    from repro.experiments.cache import default_cache_dir
+
+    directory = default_cache_dir()
+    if directory not in _default_caches:
+        _default_caches[directory] = ResultCache(directory)
+    return _default_caches[directory]
+
+
+def _resolve_cache(cache: Union[bool, ResultCache, None]) -> Optional[ResultCache]:
+    if cache is None:
+        # opt in for callers that pass nothing (the bench harnesses) via
+        # REPRO_SWEEP_CACHE=1 — e.g. scripts/run_experiments.py --cache.
+        # Whitelist truthy spellings so "off"/"OFF" stay disabled.
+        if os.environ.get(_ENV_CACHE, "").strip().lower() not in ("1", "true", "yes", "on"):
+            return None
+        cache = True
+    if cache is True:
+        return default_cache()
+    return cache or None
+
+
+def run_sweep(name: str, workers: Optional[int] = None,
+              cache: Union[bool, ResultCache, None] = None,
+              runner: Optional[Runner] = None) -> ResultTable:
+    """Run a registered sweep to a finished :class:`ResultTable`.
+
+    ``cache`` may be False (compute everything — so benchmark timings
+    stay honest), True (the shared default on-disk cache), a
+    :class:`ResultCache` instance, or None (off unless the
+    ``REPRO_SWEEP_CACHE`` env var enables the default cache).
+    """
+    definition = get_sweep(name)
+    if runner is None:
+        runner = Runner(workers=workers, cache=_resolve_cache(cache))
+    table = runner.run(definition.jobs(), columns=definition.columns)
+    if definition.post is not None:
+        table = definition.post(table)
+    return table

@@ -1,0 +1,93 @@
+"""The sweep runner: cache lookup, process-parallel fan-out, and
+deterministic reassembly.
+
+Execution contract:
+
+* rows come back in *job order*, regardless of worker count or which
+  jobs were cache hits — a sweep's ResultTable is bit-identical for
+  ``workers=1`` and ``workers=N``;
+* only cache *misses* are dispatched to workers; hits are served from
+  disk without touching a process pool;
+* worker processes are forked (where the platform allows), so the
+  executor registry and the loaded model zoo are inherited rather than
+  re-imported per job.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Iterable, List, Optional, Sequence, Union
+
+import repro.experiments.executors  # noqa: F401 — populate the executor registry
+from repro.experiments.cache import ResultCache
+from repro.experiments.jobs import Job, execute_job
+from repro.experiments.spec import SweepSpec
+from repro.experiments.table import ResultTable
+
+_ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+
+def default_workers() -> int:
+    env = os.environ.get(_ENV_WORKERS)
+    if env:
+        return max(1, int(env))
+    return 1
+
+
+def _init_worker() -> None:
+    # under a spawn start method the child starts with an empty executor
+    # registry; importing the package re-populates it
+    import repro.experiments  # noqa: F401
+
+
+class Runner:
+    """Executes job lists (or specs) into result tables."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 chunksize: Optional[int] = None):
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.cache = cache
+        self.chunksize = chunksize
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_batch(self, jobs: Sequence[Job]) -> List[List[dict]]:
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [execute_job(job) for job in jobs]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        chunksize = self.chunksize or max(1, math.ceil(len(jobs) / (self.workers * 2)))
+        with ctx.Pool(self.workers, initializer=_init_worker) as pool:
+            return pool.map(execute_job, list(jobs), chunksize=chunksize)
+
+    def run(self, jobs: Union[SweepSpec, Iterable[Job]],
+            columns: Optional[Sequence[str]] = None) -> ResultTable:
+        if isinstance(jobs, SweepSpec):
+            jobs = jobs.jobs()
+        jobs = list(jobs)
+
+        rows_by_index: dict = {}
+        miss_indices: List[int] = []
+        if self.cache is not None:
+            for i, job in enumerate(jobs):
+                cached = self.cache.get(job)
+                if cached is None:
+                    miss_indices.append(i)
+                else:
+                    rows_by_index[i] = cached
+        else:
+            miss_indices = list(range(len(jobs)))
+
+        computed = self._execute_batch([jobs[i] for i in miss_indices])
+        for i, rows in zip(miss_indices, computed):
+            if self.cache is not None:
+                self.cache.put(jobs[i], rows)
+            rows_by_index[i] = rows
+
+        table = ResultTable(columns=columns)
+        for i in range(len(jobs)):
+            table.extend(rows_by_index[i])
+        return table

@@ -1,0 +1,90 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` is the cross product {mode} × {batch} × {config} ×
+{model} × {scheme}, expanded to ``accel_run`` jobs in a fixed,
+documented order — mode-major, scheme-minor — so a sweep's job list
+(and therefore its result-table row order) is identical on every
+machine and for every worker count.
+
+Schemes are given by registry short name (``np``, ``bp``,
+``guardnn-c``, ``guardnn-ci``), optionally with parameter overrides:
+``("bp", {"cache_bytes": 262144})`` sweeps the baseline engine's
+metadata cache; ``("guardnn-ci", {"chunk_bytes": 64})`` sweeps MAC
+granularity. Accelerator overrides (``configs``) sweep the DRAM/compute
+design space, e.g. ``{"dram_bandwidth_gbps": 68.0}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.experiments.jobs import Job
+from repro.protection import SCHEME_FACTORIES
+
+SchemeLike = Union[str, Tuple[str, Mapping[str, object]]]
+
+MODES = ("inference", "training")
+
+#: the paper's four protection points, in Figure 3 presentation order
+DEFAULT_SCHEMES = ("np", "guardnn-c", "guardnn-ci", "bp")
+
+
+def _normalize_scheme(entry: SchemeLike) -> Tuple[str, Dict[str, object]]:
+    if isinstance(entry, str):
+        name, params = entry, {}
+    else:
+        name, params = entry[0], dict(entry[1])
+    if name not in SCHEME_FACTORIES:
+        raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}")
+    return name, params
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid of accelerator simulations."""
+
+    models: Sequence[str]
+    schemes: Sequence[SchemeLike] = DEFAULT_SCHEMES
+    batches: Sequence[int] = (1,)
+    modes: Sequence[str] = ("inference",)
+    zoo: str = "auto"  # paper | extended | auto
+    configs: Sequence[Mapping[str, object]] = field(default_factory=lambda: ({},))
+
+    def __post_init__(self):
+        if not self.models:
+            raise ValueError("a sweep needs at least one model")
+        for mode in self.modes:
+            if mode not in MODES:
+                raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        for batch in self.batches:
+            if int(batch) < 1:
+                raise ValueError("batch sizes must be >= 1")
+        for entry in self.schemes:
+            _normalize_scheme(entry)
+
+    @property
+    def size(self) -> int:
+        return (len(self.models) * len(self.schemes) * len(self.batches)
+                * len(self.modes) * len(self.configs))
+
+    def jobs(self) -> List[Job]:
+        """Expand the grid, deterministically ordered."""
+        out = []
+        for mode in self.modes:
+            for batch in self.batches:
+                for config in self.configs:
+                    for model in self.models:
+                        for entry in self.schemes:
+                            scheme, scheme_params = _normalize_scheme(entry)
+                            out.append(Job.make(
+                                "accel_run",
+                                model=model,
+                                zoo=self.zoo,
+                                scheme=scheme,
+                                scheme_params=scheme_params,
+                                batch=int(batch),
+                                training=(mode == "training"),
+                                config=dict(config),
+                            ))
+        return out

@@ -1,0 +1,175 @@
+"""Tabular results with a stable row schema and multiple emitters.
+
+Every sweep produces a :class:`ResultTable`: an ordered list of
+JSON-able row dicts plus an explicit column order. The table is the
+single interchange format between the runner, the result cache, the
+benchmark harness, and the CLI — markdown for humans, CSV/JSON for
+downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+def _freeze(value: object) -> object:
+    """Hashable stand-in for a row cell (dicts/lists become tuples)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _fmt_cell(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+class ResultTable:
+    """An ordered collection of result rows with a stable column order.
+
+    Columns are either declared explicitly or inferred as the union of
+    row keys in first-seen order, so the same sweep always emits the
+    same schema regardless of which rows happen to come first.
+    """
+
+    def __init__(self, rows: Optional[Iterable[Dict[str, object]]] = None,
+                 columns: Optional[Sequence[str]] = None):
+        self.rows: List[Dict[str, object]] = list(rows or [])
+        self._declared_columns = list(columns) if columns is not None else None
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, row: Dict[str, object]) -> None:
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Dict[str, object]]) -> None:
+        self.rows.extend(rows)
+
+    # -- schema ------------------------------------------------------------
+
+    @property
+    def columns(self) -> List[str]:
+        if self._declared_columns is not None:
+            return list(self._declared_columns)
+        seen: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ResultTable):
+            return NotImplemented
+        return self.rows == other.rows and self.columns == other.columns
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column (missing cells become None)."""
+        return [row.get(name) for row in self.rows]
+
+    # -- relational helpers ------------------------------------------------
+
+    def where(self, predicate: Optional[Callable[[Dict[str, object]], bool]] = None,
+              **equals: object) -> "ResultTable":
+        """Rows matching a predicate and/or column equality filters."""
+        def keep(row: Dict[str, object]) -> bool:
+            if predicate is not None and not predicate(row):
+                return False
+            return all(row.get(k) == v for k, v in equals.items())
+
+        return ResultTable([r for r in self.rows if keep(r)], self._declared_columns)
+
+    def sorted_by(self, *keys: str) -> "ResultTable":
+        return ResultTable(sorted(self.rows, key=lambda r: tuple(r.get(k) for k in keys)),
+                           self._declared_columns)
+
+    def with_normalized(self, value: str = "total_cycles",
+                        baseline: Dict[str, object] = None,
+                        group_by: Sequence[str] = ("model", "mode", "batch", "config"),
+                        out: str = "normalized") -> "ResultTable":
+        """Add ``out`` = row[value] / baseline-row[value], where the
+        baseline row is the one matching ``baseline`` (default:
+        ``scheme == "NP"``) within the same ``group_by`` bucket.
+
+        This is how Figure 3's "normalized execution time" comes out of
+        a flat sweep that simply includes the NP scheme in its grid.
+        The default grouping includes the accelerator-config identity so
+        a design-space sweep normalizes each config against its own NP
+        baseline.
+        """
+        baseline = baseline or {"scheme": "NP"}
+
+        def group_key(row: Dict[str, object]) -> tuple:
+            return tuple(_freeze(row.get(g)) for g in group_by)
+
+        base_values: Dict[tuple, float] = {}
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in baseline.items()):
+                base_values[group_key(row)] = float(row[value])
+        out_rows = []
+        for row in self.rows:
+            new = dict(row)
+            denom = base_values.get(group_key(row))
+            new[out] = float(row[value]) / denom if denom else None
+            out_rows.append(new)
+        columns = None
+        if self._declared_columns is not None:
+            columns = self._declared_columns + ([out] if out not in self._declared_columns else [])
+        return ResultTable(out_rows, columns)
+
+    # -- emitters ----------------------------------------------------------
+
+    def to_markdown(self, float_digits: int = 4,
+                    columns: Optional[Sequence[str]] = None) -> str:
+        cols = list(columns) if columns is not None else self.columns
+        lines = ["| " + " | ".join(cols) + " |",
+                 "|" + "|".join("---" for _ in cols) + "|"]
+        for row in self.rows:
+            cells = [_fmt_cell(row.get(c, ""), float_digits) for c in cols]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buf.getvalue()
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps({"columns": self.columns, "rows": self.rows},
+                          indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        payload = json.loads(text)
+        return cls(payload["rows"], payload.get("columns"))
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Render header + rows as markdown lines (legacy benchmark format)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return lines
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Fixed-point float formatting used throughout the harness."""
+    return f"{value:.{digits}f}"

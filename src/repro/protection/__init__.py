@@ -34,9 +34,44 @@ from repro.protection.counters import (
 from repro.protection.merkle import MerkleTree
 from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewriter
 
+#: canonical short names for the paper's four protection points; the
+#: CLI, the experiment subsystem, and the property tests all build
+#: schemes through this table so a new scheme registers exactly once
+SCHEME_FACTORIES = {
+    "np": lambda **params: NoProtection(),
+    "bp": lambda **params: BaselineMEE(MeeParams(**params)),
+    "guardnn-c": lambda **params: GuardNNProtection(False, GuardNNParams(**params)),
+    "guardnn-ci": lambda **params: GuardNNProtection(True, GuardNNParams(**params)),
+}
+
+
+def list_schemes():
+    """Registered scheme names, in deterministic order."""
+    return sorted(SCHEME_FACTORIES)
+
+
+def build_scheme(name: str, **params) -> ProtectionScheme:
+    """Build a protection scheme from its short name.
+
+    ``params`` are forwarded to the scheme's parameter dataclass
+    (``MeeParams`` for ``bp``, ``GuardNNParams`` for the GuardNN
+    variants); ``np`` accepts none.
+    """
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; known: {', '.join(list_schemes())}")
+    if name == "np" and params:
+        raise ValueError("the NP scheme takes no parameters")
+    return factory(**params)
+
+
 __all__ = [
     "ProtectionOverhead",
     "ProtectionScheme",
+    "SCHEME_FACTORIES",
+    "build_scheme",
+    "list_schemes",
     "AesEngineModel",
     "NoProtection",
     "BaselineMEE",

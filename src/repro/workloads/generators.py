@@ -40,6 +40,22 @@ def random_trace(n_requests: int, span_bytes: int, rng: np.random.Generator,
     return trace
 
 
+def bp_metadata_trace(nbytes: int, base: int = 0,
+                      meta_base: int = 1 << 28) -> List[MemoryRequest]:
+    """Data stream with a VN and a MAC line fetch every 512 B from two
+    distant metadata regions — the baseline-protection access pattern
+    that costs DRAM row locality."""
+    trace = []
+    for i in range(nbytes // 64):
+        trace.append(MemoryRequest(base + i * 64, 64, False))
+        if i % 8 == 7:
+            trace.append(MemoryRequest(meta_base + (i // 8) * 64, 64, False,
+                                       RequestKind.VN))
+            trace.append(MemoryRequest(meta_base + (1 << 20) + (i // 8) * 64, 64, False,
+                                       RequestKind.MAC))
+    return trace
+
+
 def strided_trace(n_requests: int, stride: int, base: int = 0,
                   size: int = 64) -> List[MemoryRequest]:
     """Fixed-stride reads (im2col column walks, tiled tensor edges)."""

@@ -54,3 +54,49 @@ class TestCommands:
         assert main(["traffic"]) == 0
         out = capsys.readouterr().out
         assert "dlrm" in out
+
+
+class TestSweep:
+    def test_list(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table2-fpga" in out
+
+    def test_preset_markdown(self, capsys):
+        assert main(["sweep", "--preset", "asic-overhead", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| ")
+        assert "344" in out
+
+    def test_adhoc_grid_csv(self, capsys):
+        assert main(["sweep", "--models", "alexnet", "--schemes", "np,bp",
+                     "--format", "csv", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l]
+        assert lines[0].startswith("model,")
+        assert len(lines) == 3  # header + NP + BP
+
+    def test_preset_to_file_with_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        out_file = str(tmp_path / "fig3.json")
+        args = ["sweep", "--preset", "fig3-inference", "--format", "json",
+                "--cache-dir", cache_dir, "--out", out_file]
+        assert main(args) == 0
+        first = open(out_file).read()
+        assert "0 hits, 36 misses" in capsys.readouterr().err
+        assert main(args) == 0  # second run: all 36 jobs from cache
+        assert "36 hits, 0 misses" in capsys.readouterr().err
+        assert open(out_file).read() == first
+
+    def test_preset_and_models_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--preset", "fig3", "--models", "alexnet"])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit, match="unknown sweep"):
+            main(["sweep", "--preset", "nope", "--no-cache"])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit, match="unknown scheme"):
+            main(["sweep", "--models", "alexnet", "--schemes", "rot13",
+                  "--no-cache"])

@@ -1,0 +1,147 @@
+"""Consolidated NIST/RFC known-answer suite for the crypto stack.
+
+Complements the per-primitive test files with the official vectors they
+do not already cover: FIPS-197 Appendix B, the full four-block
+SP 800-38A ECB/CTR sets, the GCM-spec AES-128 test cases 3-4 (GMAC over
+GCM ciphertext, with and without AAD), RFC 4231 cases 4/5/7 (including
+the 128-bit truncated-tag case), and the FIPS 180-4 two-block SHA-256
+message. One failing vector here identifies the broken primitive
+directly, independent of any protocol machinery above it.
+"""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import AesCtr
+from repro.crypto.gmac import AesGmac
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.sha256 import sha256
+
+
+class TestAes128Fips197:
+    def test_appendix_b_cipher_example(self):
+        """FIPS-197 Appendix B: the worked 128-bit cipher example."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+        assert AES128(key).decrypt_block(expected) == plaintext
+
+
+# SP 800-38A F.1.1/F.1.2 ECB-AES128: all four blocks
+SP800_38A_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP800_38A_ECB = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+class TestAes128Sp800_38aEcb:
+    @pytest.mark.parametrize("pt_hex,ct_hex", SP800_38A_ECB)
+    def test_encrypt(self, pt_hex, ct_hex):
+        aes = AES128(SP800_38A_KEY)
+        assert aes.encrypt_block(bytes.fromhex(pt_hex)).hex() == ct_hex
+
+    @pytest.mark.parametrize("pt_hex,ct_hex", SP800_38A_ECB)
+    def test_decrypt(self, pt_hex, ct_hex):
+        aes = AES128(SP800_38A_KEY)
+        assert aes.decrypt_block(bytes.fromhex(ct_hex)).hex() == pt_hex
+
+
+# SP 800-38A F.5.1 CTR-AES128: per-block pairs under the incrementing
+# counter f0f1...ff (the file-wide four-block stream is covered in
+# test_ctr.py; here each block is checked at its own counter offset)
+SP800_38A_CTR = [
+    ("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff",
+     "6bc1bee22e409f96e93d7e117393172a", "874d6191b620e3261bef6864990db6ce"),
+    ("f0f1f2f3f4f5f6f7f8f9fafbfcfdff00",
+     "ae2d8a571e03ac9c9eb76fac45af8e51", "9806f66b7970fdff8617187bb9fffdff"),
+    ("f0f1f2f3f4f5f6f7f8f9fafbfcfdff01",
+     "30c81c46a35ce411e5fbc1191a0a52ef", "5ae4df3edbd5d35e5b4f09020db03eab"),
+    ("f0f1f2f3f4f5f6f7f8f9fafbfcfdff02",
+     "f69f2445df4f9b17ad2b417be66c3710", "1e031dda2fbe03d1792170a0f3009cee"),
+]
+
+
+class TestAesCtrSp800_38a:
+    @pytest.mark.parametrize("counter_hex,pt_hex,ct_hex", SP800_38A_CTR)
+    def test_single_block_encrypt(self, counter_hex, pt_hex, ct_hex):
+        ctr = AesCtr(SP800_38A_KEY)
+        out = ctr.crypt(bytes.fromhex(counter_hex), bytes.fromhex(pt_hex))
+        assert out.hex() == ct_hex
+
+    @pytest.mark.parametrize("counter_hex,pt_hex,ct_hex", SP800_38A_CTR)
+    def test_single_block_decrypt(self, counter_hex, pt_hex, ct_hex):
+        ctr = AesCtr(SP800_38A_KEY)
+        out = ctr.crypt(bytes.fromhex(counter_hex), bytes.fromhex(ct_hex))
+        assert out.hex() == pt_hex
+
+
+# GCM spec / SP 800-38D AES-128 test cases 3 and 4: GMAC over the
+# published GCM *ciphertext* reproduces the published tag
+GCM_KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+GCM_IV = bytes.fromhex("cafebabefacedbaddecaf888")
+GCM_CT_CASE3 = bytes.fromhex(
+    "42831ec2217774244b7221b784d0d49c"
+    "e3aa212f2c02a4e035c17e2329aca12e"
+    "21d514b25466931c7d8f6a5aac84aa05"
+    "1ba30b396a0aac973d58e091473f5985"
+)
+GCM_AAD_CASE4 = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+class TestGmacGcmSpec:
+    def test_case_3_no_aad(self):
+        tag = AesGmac(GCM_KEY).mac(GCM_IV, GCM_CT_CASE3)
+        assert tag.hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+    def test_case_4_with_aad(self):
+        # case 4 trims the plaintext (and so the ciphertext) to 60 bytes
+        tag = AesGmac(GCM_KEY).mac(GCM_IV, GCM_CT_CASE3[:60], aad=GCM_AAD_CASE4)
+        assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+    def test_aad_only_message(self):
+        """GMAC proper: authenticate AAD with no ciphertext at all, and
+        verify() accepts exactly that tag."""
+        gmac = AesGmac(GCM_KEY)
+        tag = gmac.mac(GCM_IV, b"", aad=GCM_AAD_CASE4)
+        assert gmac.verify(GCM_IV, b"", tag, aad=GCM_AAD_CASE4)
+        assert not gmac.verify(GCM_IV, b"", tag)
+
+
+class TestHmacSha256Rfc4231:
+    def test_case_4(self):
+        key = bytes(range(0x01, 0x1A))
+        tag = hmac_sha256(key, b"\xcd" * 50)
+        assert tag.hex() == ("82558a389a443c0ea4cc819899f2083a"
+                             "85f0faa3e578f8077a2e3ff46729665b")
+
+    def test_case_5_truncated(self):
+        key = b"\x0c" * 20
+        tag = hmac_sha256(key, b"Test With Truncation")
+        assert tag[:16].hex() == "a3b6167473100ee06e0c796c2955552b"
+
+    def test_case_7_large_key_and_data(self):
+        key = b"\xaa" * 131
+        data = (b"This is a test using a larger than block-size key and a "
+                b"larger than block-size data. The key needs to be hashed "
+                b"before being used by the HMAC algorithm.")
+        tag = hmac_sha256(key, data)
+        assert tag.hex() == ("9b09ffa71b942fcb27635fbcd5b0e944"
+                             "bfdc63644f0713938a7f51535c3a35e2")
+
+
+class TestSha256Fips180_4:
+    def test_two_block_message(self):
+        message = (b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                   b"hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+        assert sha256(message).hex() == ("cf5b16a778af8380036ce59e7b049237"
+                                         "0b249b11e8f07a51afac45037afee9d1")
+
+    def test_448_bit_boundary(self):
+        # exactly one padding-boundary block (56 bytes)
+        message = b"a" * 56
+        assert sha256(message).hex() == ("b35439a4ac6f0948b6d6f9e3c6af0f5f"
+                                         "590ce20f1bde7090ef7970686ec6738a")

@@ -1,0 +1,53 @@
+"""Smoke coverage of the sweep registry: every registered benchmark
+sweep expands to jobs and runs to a non-empty, well-formed table."""
+
+import pytest
+
+from repro.experiments import get_sweep, list_sweeps, run_sweep
+
+SWEEP_NAMES = [definition.name for definition in list_sweeps()]
+
+
+def test_registry_covers_every_paper_artifact():
+    assert {
+        "fig3", "fig3-inference", "fig3-training", "traffic",
+        "extended-zoo", "extended-zoo-full",
+        "ablation-vn-cache", "ablation-mac-granularity", "ablation-aes-engines",
+        "table2-fpga", "fpga-resources", "instruction-latency",
+        "asic-overhead", "table3-comparison", "tcb",
+        "dram-characterization", "crypto-kernels",
+    } <= set(SWEEP_NAMES)
+
+
+@pytest.mark.parametrize("name", SWEEP_NAMES)
+def test_sweep_builds_jobs(name):
+    jobs = get_sweep(name).jobs()
+    assert jobs
+    assert len(set(jobs)) == len(jobs), "duplicate jobs inflate the grid"
+
+
+@pytest.mark.parametrize("name", SWEEP_NAMES)
+def test_sweep_runs_to_nonempty_table(name):
+    table = run_sweep(name)
+    assert len(table) > 0
+    assert table.columns
+    # a stable schema: every row carries every column (no ragged rows
+    # within one sweep)
+    for row in table.rows:
+        assert set(table.columns) >= set(row)
+
+
+def test_fig3_preset_reproduces_both_figure_tables():
+    """The acceptance-criterion sweep: one ``fig3`` run yields both the
+    Figure 3a (inference) and Figure 3b (training) series with the
+    paper's qualitative shape."""
+    table = run_sweep("fig3")
+    inference = table.where(mode="inference")
+    training = table.where(mode="training")
+    assert len(set(inference.column("model"))) == 9
+    assert len(set(training.column("model"))) == 8  # no DLRM, as in the paper
+    for sub in (inference, training):
+        for model in set(sub.column("model")):
+            by_scheme = {r["scheme"]: r["normalized"] for r in sub.where(model=model).rows}
+            assert (1.0 <= by_scheme["GuardNN_C"] <= by_scheme["GuardNN_CI"]
+                    <= by_scheme["BP"]), model

@@ -1,0 +1,76 @@
+"""SweepSpec: grid expansion, determinism, validation, job identity."""
+
+import pytest
+
+from repro.experiments import Job, SweepSpec
+
+
+class TestExpansion:
+    def test_grid_size(self):
+        spec = SweepSpec(models=("vgg16", "bert"), schemes=("np", "bp"),
+                         batches=(1, 4), modes=("inference", "training"))
+        assert spec.size == 16
+        assert len(spec.jobs()) == 16
+
+    def test_deterministic_order_mode_major_scheme_minor(self):
+        spec = SweepSpec(models=("vgg16", "bert"), schemes=("np", "bp"),
+                         modes=("inference", "training"))
+        jobs = spec.jobs()
+        keys = [(j.params["training"], j.params["model"], j.params["scheme"])
+                for j in jobs]
+        assert keys == [
+            (False, "vgg16", "np"), (False, "vgg16", "bp"),
+            (False, "bert", "np"), (False, "bert", "bp"),
+            (True, "vgg16", "np"), (True, "vgg16", "bp"),
+            (True, "bert", "np"), (True, "bert", "bp"),
+        ]
+
+    def test_repeated_expansion_is_identical(self):
+        spec = SweepSpec(models=("vgg16",), schemes=("np", ("bp", {"cache_bytes": 1024})))
+        assert spec.jobs() == spec.jobs()
+
+    def test_scheme_params_flow_into_jobs(self):
+        spec = SweepSpec(models=("vgg16",), schemes=(("bp", {"cache_bytes": 2048}),))
+        (job,) = spec.jobs()
+        assert job.params["scheme_params"] == {"cache_bytes": 2048}
+
+    def test_config_overrides_flow_into_jobs(self):
+        spec = SweepSpec(models=("vgg16",), schemes=("np",),
+                         configs=({"dram_bandwidth_gbps": 68.0},))
+        (job,) = spec.jobs()
+        assert job.params["config"] == {"dram_bandwidth_gbps": 68.0}
+
+
+class TestValidation:
+    def test_rejects_empty_models(self):
+        with pytest.raises(ValueError):
+            SweepSpec(models=())
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            SweepSpec(models=("vgg16",), modes=("backward",))
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            SweepSpec(models=("vgg16",), schemes=("rot13",))
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            SweepSpec(models=("vgg16",), batches=(0,))
+
+
+class TestJobIdentity:
+    def test_param_order_does_not_change_identity(self):
+        a = Job.make("accel_run", model="vgg16", batch=1)
+        b = Job.make("accel_run", batch=1, model="vgg16")
+        assert a == b
+        assert a.params_json == b.params_json
+
+    def test_different_params_differ(self):
+        a = Job.make("accel_run", model="vgg16", batch=1)
+        b = Job.make("accel_run", model="vgg16", batch=2)
+        assert a != b
+
+    def test_params_round_trip(self):
+        job = Job.make("accel_run", model="vgg16", scheme_params={"chunk_bytes": 64})
+        assert job.params == {"model": "vgg16", "scheme_params": {"chunk_bytes": 64}}

@@ -1,0 +1,106 @@
+"""ResultTable: schema stability, filters, emitters, normalization."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import ResultTable
+
+
+@pytest.fixture
+def table():
+    return ResultTable([
+        {"model": "vgg16", "scheme": "NP", "mode": "inference", "batch": 1,
+         "total_cycles": 100},
+        {"model": "vgg16", "scheme": "BP", "mode": "inference", "batch": 1,
+         "total_cycles": 130},
+        {"model": "bert", "scheme": "NP", "mode": "inference", "batch": 1,
+         "total_cycles": 200},
+        {"model": "bert", "scheme": "BP", "mode": "inference", "batch": 1,
+         "total_cycles": 240},
+    ])
+
+
+class TestSchema:
+    def test_columns_inferred_in_first_seen_order(self):
+        t = ResultTable([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert t.columns == ["a", "b", "c"]
+
+    def test_declared_columns_win(self):
+        t = ResultTable([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert t.columns == ["b", "a"]
+
+    def test_column_access_fills_missing_with_none(self):
+        t = ResultTable([{"a": 1}, {"b": 2}])
+        assert t.column("a") == [1, None]
+
+
+class TestFilters:
+    def test_where_equality(self, table):
+        sub = table.where(model="vgg16")
+        assert len(sub) == 2
+        assert all(r["model"] == "vgg16" for r in sub.rows)
+
+    def test_where_predicate(self, table):
+        sub = table.where(lambda r: r["total_cycles"] > 150)
+        assert [r["model"] for r in sub.rows] == ["bert", "bert"]
+
+    def test_sorted_by(self, table):
+        assert [r["model"] for r in table.sorted_by("model").rows][:2] == ["bert", "bert"]
+
+
+class TestNormalization:
+    def test_figure3_style_join(self, table):
+        norm = table.with_normalized(value="total_cycles")
+        by = {(r["model"], r["scheme"]): r["normalized"] for r in norm.rows}
+        assert by[("vgg16", "NP")] == 1.0
+        assert by[("vgg16", "BP")] == pytest.approx(1.30)
+        assert by[("bert", "BP")] == pytest.approx(1.20)
+
+    def test_config_sweeps_normalize_per_config(self):
+        """A design-space sweep must normalize each accelerator config
+        against its own NP baseline, not the last one seen."""
+        from repro.experiments import Runner, SweepSpec
+
+        spec = SweepSpec(models=("alexnet",), schemes=("np", "bp"),
+                         configs=({}, {"dram_bandwidth_gbps": 68.0}))
+        norm = Runner().run(spec).with_normalized()
+        for row in norm.where(scheme="NP").rows:
+            assert row["normalized"] == 1.0, row["config"]
+        slowdowns = {row["dram_gbps"]: row["normalized"]
+                     for row in norm.where(scheme="BP").rows}
+        # each config gets its own baseline: both penalties are real
+        # slowdowns, and they differ (a shared baseline would collapse
+        # one of them toward the other config's ratio)
+        assert all(v > 1.0 for v in slowdowns.values())
+        assert slowdowns[34.0] != slowdowns[68.0]
+
+    def test_missing_baseline_yields_none(self):
+        t = ResultTable([{"model": "x", "scheme": "BP", "mode": "inference",
+                          "batch": 1, "total_cycles": 10}])
+        (row,) = t.with_normalized().rows
+        assert row["normalized"] is None
+
+
+class TestEmitters:
+    def test_markdown_shape(self, table):
+        lines = table.to_markdown().splitlines()
+        assert len(lines) == 2 + len(table)
+        assert lines[0].startswith("| model |")
+        assert all(line.startswith("|") for line in lines)
+
+    def test_csv_round_trips(self, table):
+        parsed = list(csv.DictReader(io.StringIO(table.to_csv())))
+        assert len(parsed) == len(table)
+        assert parsed[0]["model"] == "vgg16"
+        assert parsed[1]["total_cycles"] == "130"
+
+    def test_json_round_trips(self, table):
+        back = ResultTable.from_json(table.to_json())
+        assert back == table
+
+    def test_json_preserves_column_order(self, table):
+        payload = json.loads(table.to_json())
+        assert payload["columns"] == table.columns

@@ -1,0 +1,128 @@
+"""Property tests for the protection-scheme timing contract.
+
+Invariants every registered scheme must satisfy (the experiment
+subsystem builds schemes through :func:`repro.protection.build_scheme`,
+so these properties hold for exactly the set of schemes a sweep can
+name):
+
+* ``BaselineMEE._stream`` metadata traffic is zero for empty regions or
+  empty streams, and monotone in both region size and pass count;
+* a scheme's ``provides_integrity`` / ``provides_confidentiality``
+  flags match the ``RequestKind``s it emits — no MAC/TREE bytes without
+  integrity, no metadata at all from NP;
+* overhead byte counts are never negative and the per-kind breakdown
+  always sums to the read+write totals.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.scheduler import LayerTraffic
+from repro.mem.trace import RequestKind
+from repro.protection import build_scheme, list_schemes
+from repro.protection.mee import BaselineMEE
+from repro.protection.scheme import ProtectionOverhead
+
+region_sizes = st.integers(min_value=0, max_value=1 << 26)
+passes = st.integers(min_value=1, max_value=8)
+
+
+def _stream_bytes(region_bytes: int, n_passes: int, cached: bool,
+                  is_write: bool = False) -> ProtectionOverhead:
+    overhead = ProtectionOverhead()
+    BaselineMEE()._stream(overhead, stream_bytes=max(region_bytes, 1) * n_passes,
+                          region_bytes=region_bytes, is_write=is_write,
+                          passes=n_passes, cached=cached)
+    return overhead
+
+
+def _traffic(weight: int, inp: int, out: int) -> LayerTraffic:
+    return LayerTraffic(layer_name="t", weight_reads=weight, input_reads=inp,
+                        output_writes=out, weight_size=weight, input_size=inp,
+                        output_size=out)
+
+
+class TestMeeStream:
+    def test_zero_for_empty_region(self):
+        overhead = ProtectionOverhead()
+        BaselineMEE()._stream(overhead, stream_bytes=0, region_bytes=0,
+                              is_write=False, passes=1, cached=False)
+        assert overhead.total_bytes == 0
+        assert overhead.breakdown == {}
+
+    def test_zero_for_empty_stream_over_nonempty_region(self):
+        overhead = ProtectionOverhead()
+        BaselineMEE()._stream(overhead, stream_bytes=0, region_bytes=4096,
+                              is_write=False, passes=1, cached=False)
+        assert overhead.total_bytes == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(small=region_sizes, delta=st.integers(0, 1 << 24),
+           n=passes, cached=st.booleans())
+    def test_monotone_in_region_size(self, small, delta, n, cached):
+        a = _stream_bytes(small, n, cached)
+        b = _stream_bytes(small + delta, n, cached)
+        assert b.total_bytes >= a.total_bytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(region=st.integers(1, 1 << 24), n=passes, extra=st.integers(0, 4))
+    def test_monotone_in_passes_when_uncached(self, region, n, extra):
+        a = _stream_bytes(region, n, cached=False)
+        b = _stream_bytes(region, n + extra, cached=False)
+        assert b.total_bytes >= a.total_bytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(region=st.integers(1, 1 << 24), n=passes)
+    def test_cached_never_exceeds_uncached(self, region, n):
+        assert (_stream_bytes(region, n, cached=True).total_bytes
+                <= _stream_bytes(region, n, cached=False).total_bytes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(region=st.integers(1, 1 << 24), n=passes, cached=st.booleans())
+    def test_writes_cost_at_least_reads(self, region, n, cached):
+        """Write streams add the dirty-line writeback on top of the
+        fetch traffic."""
+        read = _stream_bytes(region, n, cached, is_write=False)
+        write = _stream_bytes(region, n, cached, is_write=True)
+        assert write.total_bytes >= read.total_bytes
+        assert write.extra_write_bytes > 0
+
+
+class TestSchemeFlagContract:
+    @settings(max_examples=30, deadline=None)
+    @given(weight=region_sizes, inp=region_sizes, out=region_sizes,
+           training=st.booleans())
+    def test_flags_match_emitted_kinds(self, weight, inp, out, training):
+        traffic = _traffic(weight, inp, out)
+        for name in list_schemes():
+            scheme = build_scheme(name)
+            overhead = scheme.layer_overhead(traffic, "forward", training)
+            kinds = {k for k, v in overhead.breakdown.items() if v > 0}
+            if not scheme.provides_integrity:
+                assert RequestKind.MAC not in kinds, name
+                assert RequestKind.TREE not in kinds, name
+            if not scheme.provides_confidentiality:
+                # NP: no engine, no metadata of any kind
+                assert overhead.total_bytes == 0, name
+                assert scheme.engine is None, name
+            assert RequestKind.DATA not in kinds, name
+
+    @settings(max_examples=30, deadline=None)
+    @given(weight=region_sizes, inp=region_sizes, out=region_sizes,
+           op=st.sampled_from(["forward", "dgrad", "wgrad", "update"]),
+           training=st.booleans())
+    def test_breakdown_sums_to_totals(self, weight, inp, out, op, training):
+        traffic = _traffic(weight, inp, out)
+        for name in list_schemes():
+            overhead = build_scheme(name).layer_overhead(traffic, op, training)
+            assert overhead.extra_read_bytes >= 0 and overhead.extra_write_bytes >= 0
+            assert sum(overhead.breakdown.values()) == overhead.total_bytes, name
+
+    def test_registry_covers_the_papers_four_points(self):
+        names = {build_scheme(n).name for n in list_schemes()}
+        assert names == {"NP", "BP", "GuardNN_C", "GuardNN_CI"}
+
+    def test_empty_traffic_is_free_for_every_scheme(self):
+        empty = _traffic(0, 0, 0)
+        for name in list_schemes():
+            overhead = build_scheme(name).layer_overhead(empty, "forward", False)
+            assert overhead.total_bytes == 0, name

@@ -1,0 +1,104 @@
+"""Golden-value regression suite for the paper-facing traffic numbers.
+
+Pins, as exact integers, the per-network cycle counts and the
+per-``RequestKind`` metadata breakdown (VN / MAC / TREE bytes) of every
+Figure 3 inference and training workload under all four protection
+points, plus the full per-layer breakdown for AlexNet. These are the
+quantities behind Figure 3's normalized execution time and the
+Section III-C traffic-increase table: a scheduler, scheme, or model-zoo
+refactor that moves any paper number fails here loudly instead of
+drifting silently.
+
+If a change is *supposed* to move the numbers, regenerate with
+``python scripts/regen_golden_traffic.py`` and say so in the commit.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.accel.accelerator import AcceleratorModel, TPU_V1_CONFIG
+from repro.accel.models import build_model
+from repro.mem.trace import RequestKind
+from repro.protection import build_scheme
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_traffic.json")
+
+with open(GOLDEN_PATH) as f:
+    GOLDEN = json.load(f)
+
+SCHEMES = ["np", "guardnn-c", "guardnn-ci", "bp"]
+
+pytestmark = pytest.mark.regression
+
+
+def _summarize(result):
+    breakdown = result.metadata_breakdown
+    return {
+        "total_cycles": result.total_cycles,
+        "data_bytes": result.total_data_bytes,
+        "metadata_bytes": result.total_metadata_bytes,
+        "vn_bytes": breakdown.get(RequestKind.VN, 0),
+        "mac_bytes": breakdown.get(RequestKind.MAC, 0),
+        "tree_bytes": breakdown.get(RequestKind.TREE, 0),
+    }
+
+
+@pytest.fixture(scope="module")
+def accel():
+    return AcceleratorModel(TPU_V1_CONFIG)
+
+
+@pytest.mark.parametrize("network", sorted(GOLDEN["inference"]))
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_inference_traffic_pinned(accel, network, scheme):
+    result = accel.run(build_model(network), build_scheme(scheme))
+    assert _summarize(result) == GOLDEN["inference"][network][scheme], (
+        f"{network}/{scheme} inference traffic moved; if deliberate, "
+        "regenerate with scripts/regen_golden_traffic.py")
+
+
+@pytest.mark.parametrize("network", sorted(GOLDEN["training"]))
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_training_traffic_pinned(accel, network, scheme):
+    result = accel.run(build_model(network), build_scheme(scheme),
+                       training=True, batch=GOLDEN["training_batch"])
+    assert _summarize(result) == GOLDEN["training"][network][scheme], (
+        f"{network}/{scheme} training traffic moved; if deliberate, "
+        "regenerate with scripts/regen_golden_traffic.py")
+
+
+@pytest.mark.parametrize("scheme", ["bp", "guardnn-ci"])
+def test_per_layer_breakdown_pinned(accel, scheme):
+    """Layer-level pins localize a drift to the operation that moved."""
+    (network,) = GOLDEN["per_layer"]
+    result = accel.run(build_model(network), build_scheme(scheme))
+    got = [{
+        "layer": layer.name,
+        "op": layer.op,
+        "data_bytes": layer.data_bytes,
+        "vn_bytes": layer.breakdown.get(RequestKind.VN, 0),
+        "mac_bytes": layer.breakdown.get(RequestKind.MAC, 0),
+        "tree_bytes": layer.breakdown.get(RequestKind.TREE, 0),
+    } for layer in result.layers]
+    assert got == GOLDEN["per_layer"][network][scheme]
+
+
+def test_golden_schemes_are_consistent():
+    """The pinned numbers themselves satisfy the paper's qualitative
+    claims — guarding against regenerating golden values from a broken
+    tree without noticing."""
+    for mode in ("inference", "training"):
+        for network, by_scheme in GOLDEN[mode].items():
+            np_row = by_scheme["np"]
+            assert np_row["metadata_bytes"] == 0
+            assert by_scheme["guardnn-c"]["metadata_bytes"] == 0
+            ci, bp = by_scheme["guardnn-ci"], by_scheme["bp"]
+            # GuardNN_CI: MAC-only metadata, far below BP's VN+MAC+tree
+            assert ci["vn_bytes"] == 0 and ci["tree_bytes"] == 0
+            assert 0 < ci["metadata_bytes"] < bp["metadata_bytes"], network
+            assert bp["vn_bytes"] > 0 and bp["tree_bytes"] > 0
+            # and the cycle ordering that shapes Figure 3
+            assert (np_row["total_cycles"] <= by_scheme["guardnn-c"]["total_cycles"]
+                    <= ci["total_cycles"] <= bp["total_cycles"])
