@@ -1,0 +1,117 @@
+"""Microbenchmarks of the vectorized hot-path engine.
+
+Times the fast-path kernels (batched table-driven AES-CTR, table GHASH,
+the SoA trace pipeline, batched Merkle updates, the memoized Fig.-3
+sweep) on pytest-benchmark, and asserts on every run that each fast
+path reproduces its scalar reference bit-for-bit — so a kernel
+regression fails loudly even with ``--benchmark-disable``.
+
+The scalar-vs-fast speedup trajectory itself is recorded by
+``scripts/bench_perf.py`` into ``BENCH_perf.json``; this harness is the
+per-kernel drill-down.
+"""
+
+import pytest
+
+from repro import perf
+from repro.crypto.ctr import AesCtr
+from repro.crypto.gf128 import ghash
+from repro.crypto.gmac import AesGmac
+from repro.mem.controller import MemoryController
+from repro.protection.merkle import MerkleTree
+from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewriter
+from repro.workloads.generators import streaming_trace, streaming_trace_batch
+
+KEY = bytes(range(16))
+H = int.from_bytes(bytes(range(100, 116)), "big")
+DATA_16K = bytes(i & 0xFF for i in range(16 * 1024))
+TRACE_BYTES = 1 << 18
+
+
+@pytest.fixture(scope="module")
+def trace_pair():
+    return (streaming_trace(TRACE_BYTES, write_fraction=0.5),
+            streaming_trace_batch(TRACE_BYTES, write_fraction=0.5))
+
+
+# -- equivalence gates (run even with --benchmark-disable) -----------------
+
+
+def test_fast_kernels_match_scalar_references(trace_pair):
+    trace, batch = trace_pair
+    with perf.scalar_mode():
+        ctr_ref = AesCtr(KEY).crypt_region(0x1000, 7, DATA_16K)
+        ghash_ref = ghash(H, DATA_16K)
+        gmac_ref = AesGmac(KEY).mac(bytes(12), DATA_16K)
+    assert AesCtr(KEY).crypt_region(0x1000, 7, DATA_16K) == ctr_ref
+    assert ghash(H, DATA_16K) == ghash_ref
+    assert AesGmac(KEY).mac(bytes(12), DATA_16K) == gmac_ref
+
+    scalar_rw = GuardNNTraceRewriter(integrity=True)
+    batch_rw = GuardNNTraceRewriter(integrity=True)
+    assert (batch_rw.rewrite_batch(batch).to_requests()
+            + batch_rw.flush_batch().to_requests()
+            == scalar_rw.rewrite(trace) + scalar_rw.flush())
+
+    scalar_result = MemoryController().run_trace(trace)
+    batch_result = MemoryController().run_batch(batch)
+    assert (scalar_result.cycles, scalar_result.bursts) == (
+        batch_result.cycles, batch_result.bursts)
+
+
+def test_fig3_sweep_rows_identical_across_paths():
+    from repro.experiments import run_sweep
+
+    fast = run_sweep("fig3-inference", cache=False)
+    with perf.scalar_mode():
+        reference = run_sweep("fig3-inference", cache=False)
+    assert fast.rows == reference.rows
+
+
+# -- timings ---------------------------------------------------------------
+
+
+def test_batched_aes_ctr_16k(benchmark):
+    ctr = AesCtr(KEY)
+    benchmark(ctr.crypt_region, 0x1000, 7, DATA_16K)
+
+
+def test_table_ghash_16k(benchmark):
+    ghash(H, DATA_16K)  # prime the per-key table
+    benchmark(ghash, H, DATA_16K)
+
+
+def test_table_gmac_16k(benchmark):
+    mac = AesGmac(KEY)
+    mac.mac(bytes(12), DATA_16K)
+    benchmark(mac.mac, bytes(12), DATA_16K)
+
+
+def test_guardnn_rewrite_batch(benchmark, trace_pair):
+    _, batch = trace_pair
+    benchmark(lambda: GuardNNTraceRewriter(integrity=True).rewrite_batch(batch))
+
+
+def test_mee_rewrite_batch(benchmark, trace_pair):
+    _, batch = trace_pair
+    benchmark(lambda: MeeTraceRewriter().rewrite_batch(batch))
+
+
+def test_dram_run_batch(benchmark, trace_pair):
+    _, batch = trace_pair
+    benchmark(lambda: MemoryController().run_batch(batch))
+
+
+def test_merkle_update_leaves(benchmark):
+    updates = [(i, i.to_bytes(4, "big")) for i in range(256)]
+    tree = MerkleTree(4096)
+    benchmark(tree.update_leaves, updates)
+
+
+def test_fig3_sweep_fast_path(benchmark):
+    from repro.experiments import run_sweep
+
+    run_sweep("fig3-inference", cache=False)  # warm the memo caches
+    table = benchmark.pedantic(
+        lambda: run_sweep("fig3-inference", cache=False), rounds=3, iterations=1)
+    assert len(table) == 36

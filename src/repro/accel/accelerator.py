@@ -22,10 +22,12 @@ A *protection scheme* is any object with the contract::
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import perf
 from repro.accel.dfg import DataFlowGraph, build_inference_dfg, build_training_dfg
 from repro.accel.layers import LayerBase
 from repro.accel.models import NetworkModel
@@ -75,7 +77,7 @@ TPU_V1_CONFIG = AcceleratorConfig(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class LayerTiming:
     """Per-operation timing breakdown."""
 
@@ -194,6 +196,47 @@ def _op_traffic(layer: LayerBase, op: str, scheduler: TilingScheduler, batch: in
     raise ValueError(f"unknown op {op!r}")
 
 
+@functools.lru_cache(maxsize=65536)
+def _cached_op_traffic(sram_bytes: int, bpe: int, layer: LayerBase, op: str,
+                       batch: int) -> LayerTraffic:
+    """Memoized :func:`_op_traffic` (returned objects are shared and
+    treated as frozen, like the scheduler's memoized traffic)."""
+    return _op_traffic(layer, op, TilingScheduler(sram_bytes, bpe), batch)
+
+
+perf.register_cache(_cached_op_traffic.cache_clear)
+
+
+def _layer_compute_cycles(array: SystolicArray, dataflow: Dataflow,
+                          vector_lanes: int, layer: LayerBase, op: str,
+                          batch: int) -> int:
+    """Compute cycles of one DFG operation (the reference impl)."""
+    gemms = layer.gemms(batch)
+    if gemms:
+        cycles = array.gemm_list_cycles(gemms, dataflow).cycles
+        if op in ("dgrad", "wgrad"):
+            # backward GEMMs have the same MAC volume as forward at
+            # this granularity (transposed operands)
+            return cycles
+        if op == "update":
+            return 0
+        return cycles
+    # vector-unit work for pool/elementwise/embedding/update ops
+    elements = layer.output_elements(batch)
+    return math.ceil(elements / vector_lanes)
+
+
+@functools.lru_cache(maxsize=65536)
+def _cached_compute_cycles(pe_rows: int, pe_cols: int, dataflow: Dataflow,
+                           vector_lanes: int, layer: LayerBase, op: str,
+                           batch: int) -> int:
+    return _layer_compute_cycles(SystolicArray(pe_rows, pe_cols), dataflow,
+                                 vector_lanes, layer, op, batch)
+
+
+perf.register_cache(_cached_compute_cycles.cache_clear)
+
+
 class AcceleratorModel:
     """Times a network (inference or one training iteration) under a
     protection scheme."""
@@ -204,19 +247,15 @@ class AcceleratorModel:
         self.scheduler = TilingScheduler(config.sram_bytes, config.bytes_per_element)
 
     def _compute_cycles(self, layer: LayerBase, op: str, batch: int) -> int:
-        gemms = layer.gemms(batch)
-        if gemms:
-            cycles = self.array.gemm_list_cycles(gemms, self.config.dataflow).cycles
-            if op in ("dgrad", "wgrad"):
-                # backward GEMMs have the same MAC volume as forward at
-                # this granularity (transposed operands)
-                return cycles
-            if op == "update":
-                return 0
-            return cycles
-        # vector-unit work for pool/elementwise/embedding/update ops
-        elements = layer.output_elements(batch)
-        return math.ceil(elements / self.config.vector_lanes)
+        if perf.fast_enabled():
+            # layers are frozen dataclasses: the whole per-layer timing
+            # is a pure function of (array geometry, dataflow, lanes,
+            # layer, op, batch), so share it across schemes and repeats
+            return _cached_compute_cycles(
+                self.config.pe_rows, self.config.pe_cols, self.config.dataflow,
+                self.config.vector_lanes, layer, op, batch)
+        return _layer_compute_cycles(self.array, self.config.dataflow,
+                                     self.config.vector_lanes, layer, op, batch)
 
     def run(self, model: NetworkModel, scheme, training: bool = False,
             batch: int = 1) -> RunResult:
@@ -237,11 +276,22 @@ class AcceleratorModel:
         bytes_per_cycle = self.config.dram_bytes_per_cycle
         engine = getattr(scheme, "engine", None)
         engine_bpc = engine.bytes_per_cycle(self.config.freq_mhz) if engine else None
+        overhead_fn = scheme.layer_overhead
+        if perf.fast_enabled():
+            # schemes from this package expose a memoized variant; duck
+            # typing keeps third-party scheme objects on the plain call
+            overhead_fn = getattr(scheme, "layer_overhead_cached", overhead_fn)
 
+        fast = perf.fast_enabled()
         for node in dfg.nodes:
             layer = model.layers[node.layer_index]
-            traffic = _op_traffic(layer, node.op, self.scheduler, batch)
-            overhead = scheme.layer_overhead(traffic, node.op, dfg.training)
+            if fast:
+                traffic = _cached_op_traffic(self.scheduler.sram_bytes,
+                                             self.scheduler.bpe, layer,
+                                             node.op, batch)
+            else:
+                traffic = _op_traffic(layer, node.op, self.scheduler, batch)
+            overhead = overhead_fn(traffic, node.op, dfg.training)
 
             compute = self._compute_cycles(layer, node.op, batch)
             total_bytes = traffic.total_bytes + overhead.extra_read_bytes + overhead.extra_write_bytes

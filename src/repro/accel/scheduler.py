@@ -21,10 +21,12 @@ by the host rather than tracked on chip.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import List
 
+from repro import perf
 from repro.accel.layers import GemmShape, LayerBase
 
 
@@ -93,7 +95,19 @@ class TilingScheduler:
 
     def layer_traffic(self, layer: LayerBase, batch: int = 1) -> LayerTraffic:
         """Traffic for one layer. Non-GEMM layers stream input and output
-        once; GEMM layers get the blocked-GEMM model."""
+        once; GEMM layers get the blocked-GEMM model.
+
+        The tiling analysis is a pure function of (SRAM budget, element
+        width, layer shape, batch), and sweeps evaluate the same layer
+        under every protection scheme — so the fast path memoizes it.
+        Returned objects are shared; treat them as frozen.
+        """
+        if perf.fast_enabled():
+            return _cached_layer_traffic(self.sram_bytes, self.bpe, layer, batch)
+        return self._compute_layer_traffic(layer, batch)
+
+    def _compute_layer_traffic(self, layer: LayerBase, batch: int = 1) -> LayerTraffic:
+        """The (scalar-path) tiling analysis itself."""
         traffic = LayerTraffic(
             layer_name=layer.name,
             weight_size=layer.weight_elements() * self.bpe,
@@ -146,3 +160,14 @@ class TilingScheduler:
 
     def network_traffic(self, layers, batch: int = 1) -> List[LayerTraffic]:
         return [self.layer_traffic(layer, batch) for layer in layers]
+
+
+@functools.lru_cache(maxsize=65536)
+def _cached_layer_traffic(sram_bytes: int, bpe: int, layer: LayerBase,
+                          batch: int) -> LayerTraffic:
+    """Shared memo over (scheduler geometry, layer, batch); layers are
+    frozen dataclasses, so identical shapes collapse to one entry."""
+    return TilingScheduler(sram_bytes, bpe)._compute_layer_traffic(layer, batch)
+
+
+perf.register_cache(_cached_layer_traffic.cache_clear)

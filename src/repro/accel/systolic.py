@@ -17,11 +17,13 @@ at 700 MHz (Section III-A).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, List
 
+from repro import perf
 from repro.accel.layers import GemmShape
 
 
@@ -56,6 +58,15 @@ class SystolicArray:
         return self.rows * self.cols
 
     def gemm_cycles(self, gemm: GemmShape, dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY) -> FoldTiming:
+        """Cycles for one GEMM (memoized over (array, shape, dataflow)
+        on the fast path — a sweep re-times the same shapes under every
+        scheme, and networks repeat block shapes internally)."""
+        if perf.fast_enabled():
+            return _cached_gemm_cycles(self.rows, self.cols, gemm, dataflow)
+        return self._compute_gemm_cycles(gemm, dataflow)
+
+    def _compute_gemm_cycles(self, gemm: GemmShape,
+                             dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY) -> FoldTiming:
         """Cycles for one GEMM.
 
         Weight-stationary (TPU-v1): a rows x cols weight tile maps K-dim
@@ -122,3 +133,12 @@ class SystolicArray:
             total_macs / (self.num_pes * total_cycles) if total_cycles else 0.0
         )
         return FoldTiming(cycles=total_cycles, folds=total_folds, utilization=min(1.0, utilization))
+
+
+@functools.lru_cache(maxsize=65536)
+def _cached_gemm_cycles(rows: int, cols: int, gemm: GemmShape,
+                        dataflow: Dataflow) -> FoldTiming:
+    return SystolicArray(rows, cols)._compute_gemm_cycles(gemm, dataflow)
+
+
+perf.register_cache(_cached_gemm_cycles.cache_clear)

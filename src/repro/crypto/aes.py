@@ -12,6 +12,8 @@ paper uses.
 
 from __future__ import annotations
 
+import functools
+
 BLOCK_SIZE = 16
 ROUNDS = 10
 KEY_SIZE = 16
@@ -93,11 +95,18 @@ class AES128:
     def __init__(self, key: bytes):
         if len(key) != KEY_SIZE:
             raise ValueError(f"AES-128 requires a {KEY_SIZE}-byte key, got {len(key)}")
+        self._key = key
         self._round_keys = self._expand_key(key)
 
     @staticmethod
+    @functools.lru_cache(maxsize=256)
     def _expand_key(key: bytes):
-        """FIPS-197 key schedule producing 11 round keys of 16 bytes."""
+        """FIPS-197 key schedule producing 11 round keys of 16 bytes.
+
+        Cached per key: CTR/CMAC/GMAC construct fresh cipher objects for
+        the same session keys over and over, and the schedule is pure.
+        Round keys are immutable tuples so cache sharing is safe.
+        """
         words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
         for i in range(4, 4 * (ROUNDS + 1)):
             temp = list(words[i - 1])
@@ -111,8 +120,8 @@ class AES128:
             rk = []
             for w in words[4 * r : 4 * r + 4]:
                 rk.extend(w)
-            round_keys.append(rk)
-        return round_keys
+            round_keys.append(tuple(rk))
+        return tuple(round_keys)
 
     # --- state helpers: state is a flat list of 16 bytes, column-major
     #     per FIPS-197 (state[r + 4c]) ---
@@ -183,6 +192,24 @@ class AES128:
         self._shift_rows(state)
         self._add_round_key(state, self._round_keys[ROUNDS])
         return bytes(state)
+
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """Encrypt a multiple of 16 bytes in ECB (the batch primitive of
+        the pipelined-engine model). Dispatches to the table-driven
+        batched kernel unless :mod:`repro.perf` is in scalar mode; both
+        paths are bit-identical."""
+        if len(data) % BLOCK_SIZE:
+            raise ValueError("data must be a multiple of 16 bytes")
+        from repro import perf
+
+        if perf.fast_enabled():
+            from repro.crypto import aes_fast
+
+            return aes_fast.encrypt_blocks(self._key, data)
+        return b"".join(
+            self.encrypt_block(data[i : i + BLOCK_SIZE])
+            for i in range(0, len(data), BLOCK_SIZE)
+        )
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 16-byte block."""

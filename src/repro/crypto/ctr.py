@@ -17,10 +17,14 @@ Two interfaces are provided:
 
 from __future__ import annotations
 
+from repro import perf
+from repro.crypto import aes_fast
 from repro.crypto.aes import AES128, BLOCK_SIZE
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    if perf.fast_enabled() and len(a) == len(b):
+        return aes_fast.xor_bytes(a, b)
     return bytes(x ^ y for x, y in zip(a, b))
 
 
@@ -38,12 +42,18 @@ def make_counter_block(address: int, version_number: int) -> bytes:
 
 def ctr_keystream(aes: AES128, initial_counter: bytes, nbytes: int) -> bytes:
     """Generate ``nbytes`` of CTR keystream starting from a 16-byte
-    counter block, incrementing the counter big-endian per block."""
+    counter block, incrementing the counter big-endian per block.
+
+    On the fast path the whole run of counter blocks goes through the
+    batched table-driven kernel in one call — the software mirror of a
+    pipelined AES engine accepting a block per cycle."""
     if len(initial_counter) != BLOCK_SIZE:
         raise ValueError("initial counter must be 16 bytes")
     counter = int.from_bytes(initial_counter, "big")
-    out = bytearray()
     blocks = (nbytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+    if perf.fast_enabled():
+        return aes_fast.keystream(aes._key, counter, blocks)[:nbytes]
+    out = bytearray()
     for _ in range(blocks):
         out.extend(aes.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big")))
         counter = (counter + 1) % (1 << 128)
@@ -79,9 +89,23 @@ class AesCtr:
         """Encrypt/decrypt a contiguous region block-by-block. Each
         16-byte block at ``base_address + i`` gets its own counter block
         ``(base_address + i || VN)`` so identical plaintext blocks at
-        different addresses produce unrelated ciphertext."""
+        different addresses produce unrelated ciphertext.
+
+        Fast path: all the per-block ``(address || VN)`` pads are
+        produced by one batched kernel call and XORed vectorized."""
         if len(data) % BLOCK_SIZE != 0:
             raise ValueError("region length must be a multiple of 16 bytes")
+        nblocks = len(data) // BLOCK_SIZE
+        if perf.fast_enabled() and nblocks > 1:
+            if not (0 <= base_address and base_address + nblocks - 1 < (1 << 64)):
+                raise ValueError("address must fit in 64 bits")
+            if not 0 <= version_number < (1 << 64):
+                raise ValueError("version number must fit in 64 bits")
+            counters = [
+                ((base_address + i) << 64) | version_number for i in range(nblocks)
+            ]
+            pads = aes_fast.keystream_for_counters(self._aes._key, counters)
+            return aes_fast.xor_bytes(data, pads)
         out = bytearray()
         for i in range(0, len(data), BLOCK_SIZE):
             block_addr = base_address + i // BLOCK_SIZE

@@ -44,12 +44,32 @@ def validate_model(name: str, zoo: str = "auto") -> None:
         raise KeyError(f"model {name!r} in neither zoo")
 
 
+#: built models by (name, zoo): the zoo builders are deterministic and
+#: the accelerator model never mutates a network, so one instance per
+#: grid point serves every scheme of a sweep (per worker process)
+_MODEL_MEMO: Dict[tuple, tuple] = {}
+
+
 def resolve_model(name: str, zoo: str = "auto"):
     """Build a network from the paper zoo, the extended zoo, or both.
 
     Goes through :func:`build_model` so the paper's aliases and case
     normalization apply to sweeps exactly as they do to ``simulate``.
+    On the fast path (:mod:`repro.perf`) repeated (name, zoo) pairs
+    share one built instance.
     """
+    from repro import perf
+
+    if perf.fast_enabled():
+        key = (name, zoo)
+        hit = _MODEL_MEMO.get(key)
+        if hit is None:
+            hit = _MODEL_MEMO[key] = _resolve_model_uncached(name, zoo)
+        return hit
+    return _resolve_model_uncached(name, zoo)
+
+
+def _resolve_model_uncached(name: str, zoo: str):
     if zoo not in ("paper", "extended", "auto"):
         raise ValueError(f"unknown zoo {zoo!r} (paper | extended | auto)")
     if zoo in ("paper", "auto"):
@@ -64,6 +84,55 @@ def resolve_model(name: str, zoo: str = "auto"):
         if zoo == "extended":
             raise
     raise KeyError(f"model {name!r} in neither zoo")
+
+
+#: built data-flow graphs per (name, zoo, training, batch, bpe): the
+#: graph is a pure function of the (memoized) model and is identical
+#: for every protection scheme of a grid point
+_DFG_MEMO: Dict[tuple, object] = {}
+
+
+def _resolve_dfg(name: str, zoo: str, model, training: bool, batch: int,
+                 bytes_per_element: int):
+    from repro import perf
+    from repro.accel.dfg import build_inference_dfg, build_training_dfg
+
+    build = build_training_dfg if training else build_inference_dfg
+    if not perf.fast_enabled():
+        return build(model, batch, bytes_per_element)
+    key = (name, zoo, training, batch, bytes_per_element)
+    hit = _DFG_MEMO.get(key)
+    if hit is None:
+        hit = _DFG_MEMO[key] = build(model, batch, bytes_per_element)
+    return hit
+
+
+#: total-MAC counts per (name, zoo) — walking every layer's GEMM list
+#: is pure and repeated once per scheme otherwise
+_GMACS_MEMO: Dict[tuple, float] = {}
+
+
+def _model_gmacs(name: str, zoo: str, model) -> float:
+    from repro import perf
+
+    if not perf.fast_enabled():
+        return model.macs(1) / 1e9
+    key = (name, zoo)
+    hit = _GMACS_MEMO.get(key)
+    if hit is None:
+        hit = _GMACS_MEMO[key] = model.macs(1) / 1e9
+    return hit
+
+
+def _clear_executor_memos() -> None:
+    _MODEL_MEMO.clear()
+    _DFG_MEMO.clear()
+    _GMACS_MEMO.clear()
+
+
+from repro import perf as _perf  # noqa: E402 — memo registration
+
+_perf.register_cache(_clear_executor_memos)
 
 
 @executor("accel_run")
@@ -81,7 +150,9 @@ def accel_run(params: Dict[str, object]) -> Dict[str, object]:
     training = bool(params.get("training", False))
     batch = int(params.get("batch", 1))
 
-    result = AcceleratorModel(config).run(model, scheme, training=training, batch=batch)
+    dfg = _resolve_dfg(params["model"], params.get("zoo", "auto"), model,
+                       training, batch, config.bytes_per_element)
+    result = AcceleratorModel(config).run_dfg(model, dfg, scheme, batch)
     breakdown = result.metadata_breakdown
     return {
         "model": params["model"],  # the grid key; model.name may be descriptive
@@ -105,7 +176,7 @@ def accel_run(params: Dict[str, object]) -> Dict[str, object]:
         "mac_bytes": breakdown.get(RequestKind.MAC, 0),
         "tree_bytes": breakdown.get(RequestKind.TREE, 0),
         "traffic_increase": result.traffic_increase,
-        "gmacs": model.macs(1) / 1e9,
+        "gmacs": _model_gmacs(params["model"], params.get("zoo", "auto"), model),
     }
 
 
@@ -203,19 +274,22 @@ def dram_characterization(params: Dict[str, object]) -> Dict[str, object]:
     access pattern (streaming | random | bp-interleaved)."""
     import numpy as np
 
+    from repro import perf
     from repro.mem.controller import MemoryController
     from repro.mem.dram import DDR4_2400
-    from repro.workloads.generators import bp_metadata_trace, random_trace, streaming_trace
+    from repro.workloads import generators as gen
 
     pattern = params["pattern"]
     nbytes = int(params.get("nbytes", 1 << 18))
+    fast = perf.fast_enabled()
     if pattern == "streaming":
-        trace = streaming_trace(nbytes)
+        trace = (gen.streaming_trace_batch if fast else gen.streaming_trace)(nbytes)
     elif pattern == "random":
         rng = np.random.default_rng(int(params.get("seed", 3)))
-        trace = random_trace(int(params.get("requests", 4096)), 1 << 28, rng)
+        make = gen.random_trace_batch if fast else gen.random_trace
+        trace = make(int(params.get("requests", 4096)), 1 << 28, rng)
     elif pattern == "bp-interleaved":
-        trace = bp_metadata_trace(nbytes)
+        trace = (gen.bp_metadata_trace_batch if fast else gen.bp_metadata_trace)(nbytes)
     else:
         raise ValueError(f"unknown pattern {pattern!r}")
     stats = MemoryController().run_trace(trace)

@@ -12,8 +12,11 @@ pieces the evaluation needs:
   a request trace onto the DRAM model and reports cycles/bandwidth.
 * :mod:`repro.mem.cache` — set-associative write-back cache used for the
   baseline protection's VN/MAC metadata cache.
+* :mod:`repro.mem.batch` — structure-of-arrays request batches, the
+  allocation-free fast lane of the trace pipeline.
 """
 
+from repro.mem.batch import RequestBatch
 from repro.mem.trace import MemoryRequest, RequestKind, TraceStats
 from repro.mem.layout import AddressLayout
 from repro.mem.dram import DramTiming, DramChip, DDR4_2400
@@ -21,6 +24,7 @@ from repro.mem.controller import MemoryController
 from repro.mem.cache import SetAssociativeCache, CacheStats
 
 __all__ = [
+    "RequestBatch",
     "MemoryRequest",
     "RequestKind",
     "TraceStats",

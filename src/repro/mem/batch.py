@@ -1,0 +1,137 @@
+"""Structure-of-arrays request batches — the trace pipeline's fast lane.
+
+A protected trace for one layer can run to hundreds of thousands of
+requests; materializing each as a :class:`~repro.mem.trace.MemoryRequest`
+dataclass costs an allocation, a ``__post_init__`` validation, and four
+attribute lookups per consumer touch. :class:`RequestBatch` keeps the
+same stream as four parallel primitive arrays (``address``, ``size``,
+``is_write``, ``kind``), which the trace rewriters emit directly and the
+DRAM controller consumes without ever constructing request objects.
+
+The scalar object path remains fully supported: batches convert to and
+from ``MemoryRequest`` lists, and iteration yields ``MemoryRequest``
+objects, so a batch can stand in anywhere a trace list is accepted.
+Accounting (:meth:`stats`) reproduces :class:`~repro.mem.trace.TraceStats`
+per-kind byte bookkeeping bit-exactly — asserted by the equivalence
+suite.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, List
+
+from repro.mem.trace import MemoryRequest, RequestKind, TraceStats
+
+#: fixed kind <-> small-int code mapping used inside batches
+KINDS = (RequestKind.DATA, RequestKind.VN, RequestKind.MAC, RequestKind.TREE)
+KIND_CODE = {kind: code for code, kind in enumerate(KINDS)}
+
+DATA_CODE = KIND_CODE[RequestKind.DATA]
+VN_CODE = KIND_CODE[RequestKind.VN]
+MAC_CODE = KIND_CODE[RequestKind.MAC]
+TREE_CODE = KIND_CODE[RequestKind.TREE]
+
+
+class RequestBatch:
+    """A memory-request stream as four parallel arrays.
+
+    ``address``/``size`` are signed 64-bit (``array('q')``);
+    ``is_write``/``kind`` are signed bytes. Order is the request order —
+    a batch is a trace, not a set.
+    """
+
+    __slots__ = ("address", "size", "is_write", "kind")
+
+    def __init__(self):
+        self.address = array("q")
+        self.size = array("q")
+        self.is_write = array("b")
+        self.kind = array("b")
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, address: int, size: int, is_write: bool,
+               kind_code: int = DATA_CODE) -> None:
+        """Append one request (same validation as ``MemoryRequest``)."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.address.append(address)
+        self.size.append(size)
+        self.is_write.append(1 if is_write else 0)
+        self.kind.append(kind_code)
+
+    def append_request(self, request: MemoryRequest) -> None:
+        # already validated by MemoryRequest.__post_init__
+        self.address.append(request.address)
+        self.size.append(request.size)
+        self.is_write.append(1 if request.is_write else 0)
+        self.kind.append(KIND_CODE[request.kind])
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[MemoryRequest]) -> "RequestBatch":
+        batch = cls()
+        address = batch.address
+        size = batch.size
+        is_write = batch.is_write
+        kind = batch.kind
+        code = KIND_CODE
+        for req in requests:
+            address.append(req.address)
+            size.append(req.size)
+            is_write.append(1 if req.is_write else 0)
+            kind.append(code[req.kind])
+        return batch
+
+    def extend(self, other: "RequestBatch") -> None:
+        self.address.extend(other.address)
+        self.size.extend(other.size)
+        self.is_write.extend(other.is_write)
+        self.kind.extend(other.kind)
+
+    # -- conversion / inspection ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.address)
+
+    def request(self, i: int) -> MemoryRequest:
+        return MemoryRequest(self.address[i], self.size[i],
+                             bool(self.is_write[i]), KINDS[self.kind[i]])
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        for i in range(len(self.address)):
+            yield self.request(i)
+
+    def to_requests(self) -> List[MemoryRequest]:
+        return [self.request(i) for i in range(len(self.address))]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RequestBatch):
+            return NotImplemented
+        return (self.address == other.address and self.size == other.size
+                and self.is_write == other.is_write and self.kind == other.kind)
+
+    def __repr__(self) -> str:
+        return f"<RequestBatch {len(self)} requests>"
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> TraceStats:
+        """Per-kind byte counts, identical to feeding every request
+        through :meth:`TraceStats.add`."""
+        read_totals = [0, 0, 0, 0]
+        write_totals = [0, 0, 0, 0]
+        for size, is_write, kind in zip(self.size, self.is_write, self.kind):
+            if is_write:
+                write_totals[kind] += size
+            else:
+                read_totals[kind] += size
+        stats = TraceStats()
+        for code, kind in enumerate(KINDS):
+            if read_totals[code]:
+                stats.read_bytes[kind] = read_totals[code]
+            if write_totals[code]:
+                stats.write_bytes[kind] = write_totals[code]
+        return stats

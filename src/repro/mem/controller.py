@@ -19,11 +19,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Union
 
+from repro import perf
+from repro.mem.batch import RequestBatch
 from repro.mem.dram import DramChip, DDR4_2400, DramTiming
 from repro.mem.layout import AddressLayout
 from repro.mem.trace import MemoryRequest, TraceStats
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
 
 
 @dataclass
@@ -62,8 +69,15 @@ class MemoryController:
             yield (addr, request.is_write)
             addr += burst
 
-    def run_trace(self, trace: List[MemoryRequest]) -> ControllerResult:
-        """Time an entire trace; returns total cycles and statistics."""
+    def run_trace(self, trace: Union[List[MemoryRequest], RequestBatch]) -> ControllerResult:
+        """Time an entire trace; returns total cycles and statistics.
+
+        Accepts either a ``MemoryRequest`` list (the scalar reference
+        path below) or a :class:`RequestBatch` (routed to
+        :meth:`run_batch`); both produce identical results.
+        """
+        if isinstance(trace, RequestBatch):
+            return self.run_batch(trace)
         stats = TraceStats()
         pending = deque()
         for req in trace:
@@ -95,17 +109,100 @@ class MemoryController:
         total = max(cycle, last_data_end)
         return ControllerResult(cycles=total, requests=len(trace), bursts=bursts, stats=stats)
 
+    def _expand_bursts_soa(self, batch: RequestBatch):
+        """Per-burst (address, is_write, bank, row) lists for a batch,
+        decomposed up front — vectorized when numpy is available."""
+        burst = self.layout.burst_bytes
+        cpr = self.layout.columns_per_row
+        banks = self.layout.banks
+        if _np is not None and len(batch):
+            addr = _np.frombuffer(batch.address, dtype=_np.int64)
+            size = _np.frombuffer(batch.size, dtype=_np.int64)
+            start_burst = addr // burst
+            counts = (addr + size - 1) // burst - start_burst + 1
+            total = int(counts.sum())
+            starts = _np.repeat(start_burst, counts)
+            ends = _np.cumsum(counts)
+            ramp = _np.arange(total, dtype=_np.int64) - _np.repeat(ends - counts, counts)
+            burst_index = starts + ramp
+            rest = burst_index // cpr
+            bank_arr = rest % banks
+            row_arr = rest // banks
+            write_arr = _np.repeat(
+                _np.frombuffer(batch.is_write, dtype=_np.int8), counts
+            )
+            return ((burst_index * burst).tolist(), write_arr.tolist(),
+                    bank_arr.tolist(), row_arr.tolist())
+        addresses, writes, bank_list, row_list = [], [], [], []
+        decompose = self.layout.decompose
+        for address, size, is_write in zip(batch.address, batch.size, batch.is_write):
+            first = (address // burst) * burst
+            end = address + size
+            a = first
+            while a < end:
+                bank, row, _col = decompose(a)
+                addresses.append(a)
+                writes.append(is_write)
+                bank_list.append(bank)
+                row_list.append(row)
+                a += burst
+        return addresses, writes, bank_list, row_list
+
+    def run_batch(self, batch: RequestBatch) -> ControllerResult:
+        """Time a :class:`RequestBatch` — same FR-FCFS schedule and
+        cycle accounting as :meth:`run_trace`, but burst expansion and
+        address decomposition happen once, vectorized, and the schedule
+        loop runs on primitive arrays instead of request objects."""
+        stats = batch.stats()
+        addresses, writes, bank_list, row_list = self._expand_bursts_soa(batch)
+        n = len(addresses)
+
+        dram_banks = self.dram._banks  # the scan needs raw open-row state
+        access = self.dram.access_decomposed
+        depth = self.queue_depth
+        cycle = 0
+        last_data_end = 0
+        bursts = 0
+        window = deque()
+        head = 0
+        while head < n or window:
+            while head < n and len(window) < depth:
+                window.append(head)
+                head += 1
+            # FR-FCFS: first row hit in the window, else the oldest
+            chosen_pos = None
+            for pos, j in enumerate(window):
+                if dram_banks[bank_list[j]].open_row == row_list[j]:
+                    chosen_pos = pos
+                    break
+            if chosen_pos is None:
+                chosen_pos = 0
+            j = window[chosen_pos]
+            del window[chosen_pos]
+            cycle, data_end = access(bank_list[j], row_list[j], bool(writes[j]), cycle)
+            if data_end > last_data_end:
+                last_data_end = data_end
+            bursts += 1
+        total = max(cycle, last_data_end)
+        return ControllerResult(cycles=total, requests=len(batch), bursts=bursts, stats=stats)
+
     def effective_bandwidth_gbps(self, nbytes: int = 1 << 20, write_fraction: float = 0.3,
                                  stride: int = 64) -> float:
         """Measure sustainable bandwidth with a streaming read/write mix
         (the access shape of a DNN accelerator fetching tiles)."""
         if not 0.0 <= write_fraction <= 1.0:
             raise ValueError("write_fraction must be in [0, 1]")
-        trace = []
         writes_every = int(1 / write_fraction) if write_fraction > 0 else 0
         n = nbytes // stride
-        for i in range(n):
-            is_write = writes_every > 0 and (i % writes_every == 0)
-            trace.append(MemoryRequest(address=i * stride, size=stride, is_write=is_write))
+        if perf.fast_enabled():
+            trace = RequestBatch()
+            for i in range(n):
+                is_write = writes_every > 0 and (i % writes_every == 0)
+                trace.append(i * stride, stride, is_write)
+        else:
+            trace = []
+            for i in range(n):
+                is_write = writes_every > 0 and (i % writes_every == 0)
+                trace.append(MemoryRequest(address=i * stride, size=stride, is_write=is_write))
         result = self.run_trace(trace)
         return result.bandwidth_gbps(self.dram.timing.freq_mhz, self.layout.burst_bytes)

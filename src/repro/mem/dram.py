@@ -113,9 +113,16 @@ class DramChip:
 
     def access(self, address: int, is_write: bool, cycle: int):
         """Time one burst access; returns (next_command_cycle, data_end)."""
+        bank_idx, row, _col = self.layout.decompose(address)
+        return self.access_decomposed(bank_idx, row, is_write, cycle)
+
+    def access_decomposed(self, bank_idx: int, row: int, is_write: bool, cycle: int):
+        """Time one burst access given pre-decomposed (bank, row)
+        coordinates — the batch pipeline decomposes whole traces up
+        front (vectorized) instead of per access. Identical timing to
+        :meth:`access`."""
         t = self.timing
         cycle = self._refresh_if_due(cycle)
-        bank_idx, row, _col = self.layout.decompose(address)
         bank = self._banks[bank_idx]
 
         if bank.open_row == row:

@@ -27,12 +27,17 @@ class RequestKind(Enum):
         return self is not RequestKind.DATA
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRequest:
     """One off-chip access.
 
     ``address`` is a byte address; ``size`` a byte count (the DRAM model
     splits anything larger than one burst into multiple column accesses).
+
+    Slotted: traces materialize millions of these, and the per-instance
+    ``__dict__`` would double their footprint. The structure-of-arrays
+    fast lane (:class:`repro.mem.batch.RequestBatch`) avoids the objects
+    entirely.
     """
 
     address: int
@@ -47,7 +52,7 @@ class MemoryRequest:
             raise ValueError("size must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceStats:
     """Byte counts per request kind, split by direction."""
 

@@ -50,12 +50,20 @@ def list_schemes():
     return sorted(SCHEME_FACTORIES)
 
 
+#: built schemes by (name, params) — schemes in this package are
+#: stateless timing models, so sweeps can share one instance per grid
+#: point (and with it the per-instance layer-overhead memo)
+_SCHEME_MEMO = {}
+
+
 def build_scheme(name: str, **params) -> ProtectionScheme:
     """Build a protection scheme from its short name.
 
     ``params`` are forwarded to the scheme's parameter dataclass
     (``MeeParams`` for ``bp``, ``GuardNNParams`` for the GuardNN
-    variants); ``np`` accepts none.
+    variants); ``np`` accepts none. On the fast path
+    (:mod:`repro.perf`) identical (name, params) pairs share one
+    instance — sound because the schemes carry no mutable run state.
     """
     try:
         factory = SCHEME_FACTORIES[name]
@@ -63,7 +71,23 @@ def build_scheme(name: str, **params) -> ProtectionScheme:
         raise KeyError(f"unknown scheme {name!r}; known: {', '.join(list_schemes())}")
     if name == "np" and params:
         raise ValueError("the NP scheme takes no parameters")
+    from repro import perf
+
+    if perf.fast_enabled():
+        try:
+            key = (name, tuple(sorted(params.items())))
+            hit = _SCHEME_MEMO.get(key)
+            if hit is None:
+                hit = _SCHEME_MEMO[key] = factory(**params)
+            return hit
+        except TypeError:  # unhashable parameter value
+            pass
     return factory(**params)
+
+
+from repro import perf as _perf  # noqa: E402 — memo registration
+
+_perf.register_cache(_SCHEME_MEMO.clear)
 
 
 __all__ = [

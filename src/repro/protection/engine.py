@@ -9,6 +9,7 @@ accepts one 16-byte block per cycle once full.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -26,10 +27,22 @@ class AesEngineModel:
 
     def bytes_per_cycle(self, freq_mhz: float) -> float:
         """Aggregate steady-state throughput in bytes per accelerator
-        cycle (frequency cancels; kept for interface symmetry)."""
+        cycle.
+
+        ``freq_mhz`` is part of the signature because a *cycle* is only
+        meaningful relative to a clock: per-cycle throughput happens to
+        be frequency-independent (each pipelined engine accepts one
+        block per cycle at any clock), while :meth:`throughput_gbps`
+        uses the same clock to convert to absolute bandwidth. The
+        argument is validated rather than silently ignored.
+        """
+        if freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
         return self.engines * self.block_bytes
 
     def throughput_gbps(self, freq_mhz: float) -> float:
+        if freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
         return self.engines * self.block_bytes * freq_mhz * 1e6 / 1e9
 
     @staticmethod
@@ -39,6 +52,4 @@ class AesEngineModel:
         memory system (the paper's 344-engine TPU-v1 arithmetic uses the
         same relation with a slower AES core)."""
         per_engine = block_bytes * freq_mhz * 1e6 / 1e9
-        import math
-
         return max(1, math.ceil(bandwidth_gbps / per_engine))

@@ -10,7 +10,7 @@ replay-attack demonstrations.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Iterable, List, Tuple
 
 from repro.crypto.sha256 import sha256
 
@@ -44,10 +44,18 @@ class MerkleTree:
 
     def update_leaf(self, index: int, leaf_data: bytes) -> None:
         """Set a leaf and update the path to the root (what the engine
-        does on a protected write)."""
+        does on a protected write).
+
+        Incremental: sibling hashes are read from the cached levels (no
+        recomputation of untouched subtrees), and a write that leaves
+        the leaf hash unchanged short-circuits — the stored path is
+        already consistent.
+        """
         if not 0 <= index < self.num_leaves:
             raise IndexError("leaf index out of range")
         node = sha256(leaf_data)
+        if self._levels[0][index] == node:
+            return
         self._levels[0][index] = node
         i = index
         for level in range(1, len(self._levels)):
@@ -55,6 +63,37 @@ class MerkleTree:
             left = self._levels[level - 1][2 * i]
             right = self._levels[level - 1][2 * i + 1]
             self._levels[level][i] = sha256(left + right)
+
+    def update_leaves(self, updates: Iterable[Tuple[int, bytes]]) -> None:
+        """Apply many leaf writes in one pass: set every leaf hash, then
+        rehash each dirty interior node exactly once per level. A
+        sequential ``update_leaf`` loop hashes shared ancestors once per
+        leaf (a K-leaf batch under one parent costs K path recomputes);
+        this batched walk is what a write-combining protection engine
+        does when it retires a whole tile, and it reaches the identical
+        final tree state (later writes to the same leaf win)."""
+        levels = self._levels
+        # validate and hash everything before touching the tree, so a
+        # bad index cannot abort mid-mutation and leave interior nodes
+        # inconsistent with already-written leaves
+        hashed = []
+        for index, leaf_data in updates:
+            if not 0 <= index < self.num_leaves:
+                raise IndexError("leaf index out of range")
+            hashed.append((index, sha256(leaf_data)))
+        dirty = set()
+        for index, node in hashed:
+            if levels[0][index] != node:
+                levels[0][index] = node
+                dirty.add(index // 2)
+        for level in range(1, len(levels)):
+            below = levels[level - 1]
+            here = levels[level]
+            next_dirty = set()
+            for i in dirty:
+                here[i] = sha256(below[2 * i] + below[2 * i + 1])
+                next_dirty.add(i // 2)
+            dirty = next_dirty
 
     def proof(self, index: int) -> List[bytes]:
         """Sibling path for a leaf (what a verifier fetches from DRAM)."""

@@ -54,5 +54,28 @@ class ProtectionScheme:
     def layer_overhead(self, traffic: LayerTraffic, op: str, training: bool) -> ProtectionOverhead:
         raise NotImplementedError
 
+    def layer_overhead_cached(self, traffic: LayerTraffic, op: str,
+                              training: bool) -> ProtectionOverhead:
+        """Memoized :meth:`layer_overhead`.
+
+        Every scheme in this package computes overhead as a pure
+        function of the traffic shape (plus ``op``/``training``), so a
+        per-instance memo keyed on the traffic fields is sound — and
+        sweeps hit it hard, because networks repeat layer shapes and a
+        grid evaluates the same network under several schemes. Returned
+        objects are shared; treat them as frozen.
+        """
+        key = (traffic.weight_reads, traffic.input_reads, traffic.output_writes,
+               traffic.weight_size, traffic.input_size, traffic.output_size,
+               traffic.input_passes, traffic.output_passes, op, training)
+        try:
+            memo = self._overhead_memo
+        except AttributeError:
+            memo = self._overhead_memo = {}
+        hit = memo.get(key)
+        if hit is None:
+            hit = memo[key] = self.layer_overhead(traffic, op, training)
+        return hit
+
     def __repr__(self):
         return f"<{type(self).__name__} {self.name}>"

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List
 
+from repro.mem.batch import MAC_CODE, TREE_CODE, VN_CODE, RequestBatch
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.trace import MemoryRequest, RequestKind
 from repro.protection.guardnn import GuardNNParams
@@ -88,6 +89,86 @@ class GuardNNTraceRewriter:
         """Retire the active MAC line at end of stream."""
         out: List[MemoryRequest] = []
         self._retire_active(out)
+        self._active_line = None
+        return out
+
+    # -- structure-of-arrays fast lane ------------------------------------
+
+    def rewrite_batch(self, batch: RequestBatch) -> RequestBatch:
+        """Batch counterpart of :meth:`rewrite`: same stream, emitted as
+        a :class:`RequestBatch` without per-request object churn. Shares
+        the active-MAC-line state with the scalar path.
+
+        Requests that touch only the already-active MAC line (the
+        sequential-stream common case: ~5 chunks per 64-B tag line) are
+        copied through in bulk array slices between MAC events.
+        """
+        out = RequestBatch()
+        if not self.integrity:
+            out.extend(batch)
+            return out
+        put_address = out.address.append
+        put_size = out.size.append
+        put_write = out.is_write.append
+        put_kind = out.kind.append
+        line_bytes = self.LINE_BYTES
+        chunk_bytes = self.params.chunk_bytes
+        mac_bytes = self.params.mac_bytes
+        base = self.metadata_base
+        active_line = self._active_line
+        active_dirty = self._active_dirty
+        pending = 0  # start of the verbatim run not yet copied out
+        i = 0
+        for req_addr, req_size, req_write in zip(
+                batch.address, batch.size, batch.is_write):
+            first = req_addr // chunk_bytes
+            last = (req_addr + req_size - 1) // chunk_bytes
+            if first == last:
+                line = base + (first * mac_bytes // line_bytes) * line_bytes
+                if line == active_line:
+                    if req_write:
+                        active_dirty = True
+                    i += 1
+                    continue
+            # a MAC event follows this request: flush the verbatim run
+            # (including this request), then emit the event stream
+            i += 1
+            out.address.extend(batch.address[pending:i])
+            out.size.extend(batch.size[pending:i])
+            out.is_write.extend(batch.is_write[pending:i])
+            out.kind.extend(batch.kind[pending:i])
+            pending = i
+            for chunk in range(first, last + 1):
+                line = base + (chunk * mac_bytes // line_bytes) * line_bytes
+                if line != active_line:
+                    if active_line is not None and active_dirty:
+                        put_address(active_line)
+                        put_size(line_bytes)
+                        put_write(1)
+                        put_kind(MAC_CODE)
+                    active_dirty = False
+                    if not req_write:
+                        put_address(line)
+                        put_size(line_bytes)
+                        put_write(0)
+                        put_kind(MAC_CODE)
+                    active_line = line
+                if req_write:
+                    active_dirty = True
+        out.address.extend(batch.address[pending:])
+        out.size.extend(batch.size[pending:])
+        out.is_write.extend(batch.is_write[pending:])
+        out.kind.extend(batch.kind[pending:])
+        self._active_line = active_line
+        self._active_dirty = active_dirty
+        return out
+
+    def flush_batch(self) -> RequestBatch:
+        """Batch counterpart of :meth:`flush`."""
+        out = RequestBatch()
+        if self._active_line is not None and self._active_dirty:
+            out.append(self._active_line, self.LINE_BYTES, True, MAC_CODE)
+        self._active_dirty = False
         self._active_line = None
         return out
 
@@ -187,4 +268,86 @@ class MeeTraceRewriter:
         for address in self.cache.flush():
             out.append(MemoryRequest(address, self.params.line_bytes, True,
                                      self._kind_of(address)))
+        return out
+
+    # -- structure-of-arrays fast lane ------------------------------------
+
+    def _kind_code_of(self, meta_address: int) -> int:
+        if meta_address < self.regions.mac_base:
+            return VN_CODE
+        if not self.regions.tree_bases or meta_address < self.regions.tree_bases[0]:
+            return MAC_CODE
+        return TREE_CODE
+
+    def rewrite_batch(self, batch: RequestBatch) -> RequestBatch:
+        """Batch counterpart of :meth:`rewrite`: identical request
+        sequence (same metadata-cache state machine), emitted straight
+        into parallel arrays."""
+        out = RequestBatch()
+        line_bytes = self.params.line_bytes
+        unit = self.params.data_per_vn_line
+        per_mac = self.params.data_per_mac_line
+        access = self.cache.access
+        kind_code_of = self._kind_code_of
+        vn_base = self.regions.vn_base
+        mac_base = self.regions.mac_base
+        tree_bases = self.regions.tree_bases
+        arity = self.params.tree_arity
+
+        # metadata emissions of the current request, buffered so that
+        # all-hit requests (the streaming common case once the cache is
+        # warm) pass through as bulk verbatim array copies
+        events = []
+        emit = events.append
+
+        def touch(meta_address: int, write: int, kind_code: int) -> bool:
+            hit, writeback = access(meta_address, write)
+            if writeback is not None:
+                emit((writeback, 1, kind_code_of(writeback)))
+            if not hit:
+                emit((meta_address, 0, kind_code))
+            return hit
+
+        pending = 0  # start of the verbatim run not yet copied out
+        i = 0
+        for req_addr, req_size, req_write in zip(
+                batch.address, batch.size, batch.is_write):
+            first_unit = req_addr // unit
+            last_unit = (req_addr + req_size - 1) // unit
+            for u in range(first_unit, last_unit + 1):
+                addr = u * unit
+                vn_hit = touch(vn_base + u * line_bytes, req_write, VN_CODE)
+                touch(mac_base + (addr // per_mac) * line_bytes, req_write, MAC_CODE)
+                if not vn_hit:
+                    coverage = unit * arity
+                    for level in range(len(tree_bases)):
+                        if touch(tree_bases[level] + (addr // coverage) * line_bytes,
+                                 req_write, TREE_CODE):
+                            break
+                        coverage *= arity
+            i += 1
+            if events:
+                out.address.extend(batch.address[pending:i])
+                out.size.extend(batch.size[pending:i])
+                out.is_write.extend(batch.is_write[pending:i])
+                out.kind.extend(batch.kind[pending:i])
+                pending = i
+                for meta_address, write, kind_code in events:
+                    out.address.append(meta_address)
+                    out.size.append(line_bytes)
+                    out.is_write.append(write)
+                    out.kind.append(kind_code)
+                events.clear()
+        out.address.extend(batch.address[pending:])
+        out.size.extend(batch.size[pending:])
+        out.is_write.extend(batch.is_write[pending:])
+        out.kind.extend(batch.kind[pending:])
+        return out
+
+    def flush_batch(self) -> RequestBatch:
+        """Batch counterpart of :meth:`flush`."""
+        out = RequestBatch()
+        for address in self.cache.flush():
+            out.append(address, self.params.line_bytes, True,
+                       self._kind_code_of(address))
         return out

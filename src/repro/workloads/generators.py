@@ -12,6 +12,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.host import MlpSpec
+from repro.mem.batch import MAC_CODE, VN_CODE, RequestBatch
 from repro.mem.trace import MemoryRequest, RequestKind
 
 
@@ -54,6 +55,43 @@ def bp_metadata_trace(nbytes: int, base: int = 0,
             trace.append(MemoryRequest(meta_base + (1 << 20) + (i // 8) * 64, 64, False,
                                        RequestKind.MAC))
     return trace
+
+
+def streaming_trace_batch(nbytes: int, base: int = 0, write_fraction: float = 0.3,
+                          stride: int = 64) -> RequestBatch:
+    """:func:`streaming_trace` emitted straight into a
+    :class:`RequestBatch` (same request sequence, no objects)."""
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction in [0, 1]")
+    every = int(1 / write_fraction) if write_fraction > 0 else 0
+    batch = RequestBatch()
+    for i in range(nbytes // stride):
+        batch.append(base + i * stride, stride, every > 0 and i % every == 0)
+    return batch
+
+
+def random_trace_batch(n_requests: int, span_bytes: int, rng: np.random.Generator,
+                       write_fraction: float = 0.3, stride: int = 64) -> RequestBatch:
+    """:func:`random_trace` as a :class:`RequestBatch` — identical
+    sequence for the same ``rng`` state (same draw order)."""
+    batch = RequestBatch()
+    for _ in range(n_requests):
+        addr = int(rng.integers(0, span_bytes // stride)) * stride
+        is_write = bool(rng.random() < write_fraction)
+        batch.append(addr, stride, is_write)
+    return batch
+
+
+def bp_metadata_trace_batch(nbytes: int, base: int = 0,
+                            meta_base: int = 1 << 28) -> RequestBatch:
+    """:func:`bp_metadata_trace` as a :class:`RequestBatch`."""
+    batch = RequestBatch()
+    for i in range(nbytes // 64):
+        batch.append(base + i * 64, 64, False)
+        if i % 8 == 7:
+            batch.append(meta_base + (i // 8) * 64, 64, False, VN_CODE)
+            batch.append(meta_base + (1 << 20) + (i // 8) * 64, 64, False, MAC_CODE)
+    return batch
 
 
 def strided_trace(n_requests: int, stride: int, base: int = 0,
