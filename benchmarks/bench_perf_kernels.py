@@ -17,6 +17,7 @@ from repro import perf
 from repro.crypto.ctr import AesCtr
 from repro.crypto.gf128 import ghash
 from repro.crypto.gmac import AesGmac
+from repro.crypto.sha256_fast import hmac_sha256_many, sha256_many
 from repro.mem.controller import MemoryController
 from repro.protection.merkle import MerkleTree
 from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewriter
@@ -26,6 +27,7 @@ KEY = bytes(range(16))
 H = int.from_bytes(bytes(range(100, 116)), "big")
 DATA_16K = bytes(i & 0xFF for i in range(16 * 1024))
 TRACE_BYTES = 1 << 18
+LANE_MESSAGES = [bytes((i + j) & 0xFF for j in range(64)) for i in range(256)]
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +59,12 @@ def test_fast_kernels_match_scalar_references(trace_pair):
     batch_result = MemoryController().run_batch(batch)
     assert (scalar_result.cycles, scalar_result.bursts) == (
         batch_result.cycles, batch_result.bursts)
+
+    with perf.scalar_mode():
+        sha_ref = sha256_many(LANE_MESSAGES)
+        hmac_ref = hmac_sha256_many(KEY, LANE_MESSAGES)
+    assert sha256_many(LANE_MESSAGES) == sha_ref
+    assert hmac_sha256_many(KEY, LANE_MESSAGES) == hmac_ref
 
 
 def test_fig3_sweep_rows_identical_across_paths():
@@ -102,10 +110,27 @@ def test_dram_run_batch(benchmark, trace_pair):
     benchmark(lambda: MemoryController().run_batch(batch))
 
 
+def test_sha256_lane_parallel_256x64(benchmark):
+    sha256_many(LANE_MESSAGES[:2])  # import-time tables warm
+    benchmark(sha256_many, LANE_MESSAGES)
+
+
+def test_hmac_batch_256x64(benchmark):
+    benchmark(hmac_sha256_many, KEY, LANE_MESSAGES)
+
+
 def test_merkle_update_leaves(benchmark):
     updates = [(i, i.to_bytes(4, "big")) for i in range(256)]
     tree = MerkleTree(4096)
     benchmark(tree.update_leaves, updates)
+    # attribution metadata: a regression here is either hashing cost
+    # (scales with updates) or tree-walk cost (scales with height)
+    benchmark.extra_info["tree_height"] = len(tree._levels) - 1
+    benchmark.extra_info["updates"] = len(updates)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        mean_s = benchmark.stats.stats.mean
+        benchmark.extra_info["per_update_latency_us"] = round(
+            mean_s / len(updates) * 1e6, 3)
 
 
 def test_fig3_sweep_fast_path(benchmark):

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Guard the perf trajectory: diff a fresh ``BENCH_perf.json`` against
+the committed baseline and fail on regressions.
+
+``scripts/bench_perf.py`` *records* the scalar-vs-fast speedup of every
+tracked kernel; this script *enforces* that the trajectory never slides
+backwards. A kernel regresses when its fresh speedup drops more than
+``--tolerance`` (default 20%) below the baseline speedup. Kernels that
+are new in the fresh report are fine (they extend the baseline);
+kernels missing from the fresh report fail, because silently dropping a
+tracked kernel is exactly the regression this guard exists to catch.
+
+Speedup ratios (not absolute seconds) are compared, so the check is
+meaningful across machines of different speeds; cross-machine ratio
+noise is what the tolerance absorbs. Comparing a quick-mode report
+against a full-mode baseline is allowed but warned about — input sizes
+differ, so prefer same-mode comparisons (CI runs full vs. full).
+
+Usage::
+
+    python scripts/bench_perf.py --output /tmp/fresh.json
+    python scripts/bench_compare.py --fresh /tmp/fresh.json
+    python scripts/bench_compare.py --baseline BENCH_perf.json \
+        --fresh /tmp/fresh.json --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_report(path: str) -> dict:
+    with open(path) as f:
+        report = json.load(f)
+    if "kernels" not in report:
+        raise SystemExit(f"{path}: not a bench_perf report (no 'kernels' key)")
+    return report
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float):
+    """Return (rows, regressions, missing): per-kernel comparison rows,
+    the kernels regressing beyond tolerance, and the tracked kernels the
+    fresh report dropped."""
+    rows = []
+    regressions = []
+    base_kernels = baseline["kernels"]
+    fresh_kernels = fresh["kernels"]
+    for name, base_row in base_kernels.items():
+        fresh_row = fresh_kernels.get(name)
+        if fresh_row is None:
+            continue
+        base_speedup = base_row["speedup"]
+        fresh_speedup = fresh_row["speedup"]
+        floor = base_speedup * (1.0 - tolerance)
+        regressed = fresh_speedup < floor
+        rows.append((name, base_speedup, fresh_speedup, floor, regressed))
+        if regressed:
+            regressions.append(name)
+    missing = sorted(set(base_kernels) - set(fresh_kernels))
+    return rows, regressions, missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_perf.json"),
+        help="committed reference report (default: repo BENCH_perf.json)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated report to validate")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional speedup drop per kernel "
+                             "(default 0.2 = 20%%)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        raise SystemExit("--tolerance must be in [0, 1)")
+
+    baseline = load_report(args.baseline)
+    fresh = load_report(args.fresh)
+    if baseline.get("mode") != fresh.get("mode"):
+        print(f"warning: comparing {fresh.get('mode')}-mode report against "
+              f"{baseline.get('mode')}-mode baseline (input sizes differ)",
+              file=sys.stderr)
+
+    rows, regressions, missing = compare(baseline, fresh, args.tolerance)
+    width = max(len(name) for name, *_ in rows) if rows else 8
+    print(f"{'kernel'.ljust(width)}  baseline   fresh      floor      status")
+    for name, base_speedup, fresh_speedup, floor, regressed in rows:
+        status = "REGRESSED" if regressed else "ok"
+        print(f"{name.ljust(width)}  {base_speedup:<9.2f}  {fresh_speedup:<9.2f} "
+              f"{floor:<9.2f}  {status}")
+    for name in missing:
+        print(f"{name.ljust(width)}  {baseline['kernels'][name]['speedup']:<9.2f} "
+              f"{'-':<10} {'-':<10} MISSING")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} kernel(s) regressed >"
+              f"{args.tolerance:.0%}: {', '.join(regressions)}")
+        return 1
+    if missing:
+        print(f"\nFAIL: fresh report dropped tracked kernel(s): "
+              f"{', '.join(missing)}")
+        return 1
+    print(f"\nok: no kernel regressed more than {args.tolerance:.0%} "
+          f"(compared {len(rows)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

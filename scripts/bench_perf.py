@@ -41,6 +41,7 @@ from repro import perf  # noqa: E402
 from repro.crypto.ctr import AesCtr  # noqa: E402
 from repro.crypto.gf128 import ghash  # noqa: E402
 from repro.crypto.gmac import AesGmac  # noqa: E402
+from repro.crypto.sha256_fast import hmac_sha256_many, sha256_many  # noqa: E402
 from repro.mem.controller import MemoryController  # noqa: E402
 from repro.protection.merkle import MerkleTree  # noqa: E402
 from repro.protection.trace_rewriter import (  # noqa: E402
@@ -58,7 +59,17 @@ KEY = bytes(range(16))
 
 #: acceptance targets for the headline kernels (reported, and checked
 #: by --check)
-TARGETS = {"aes_ctr": 10.0, "ghash": 10.0, "fig3_inference_sweep": 3.0}
+TARGETS = {
+    "aes_ctr": 10.0,
+    "ghash": 10.0,
+    "sha256_batch": 20.0,
+    "hmac_batch": 20.0,
+    "merkle_updates": 10.0,
+    "rewriter_mee": 3.0,
+    "dram_streaming": 5.0,
+    "dram_bp-interleaved": 5.0,
+    "fig3_inference_sweep": 3.0,
+}
 
 
 def _best_of(fn, repeat: int) -> float:
@@ -109,6 +120,25 @@ def bench_gmac(nbytes: int, repeat: int):
                     extra={"bytes": nbytes}, check_equal=lambda a, b: a == b)
 
 
+def bench_sha256_batch(lanes: int, msg_bytes: int, repeat: int):
+    messages = [bytes((i + j) & 0xFF for j in range(msg_bytes))
+                for i in range(lanes)]
+    run = lambda: sha256_many(messages)
+    return _measure("sha256_batch", run, run, repeat,
+                    extra={"lanes": lanes, "message_bytes": msg_bytes},
+                    check_equal=lambda a, b: a == b)
+
+
+def bench_hmac_batch(lanes: int, msg_bytes: int, repeat: int):
+    key = bytes(range(32))
+    messages = [bytes((i + j) & 0xFF for j in range(msg_bytes))
+                for i in range(lanes)]
+    run = lambda: hmac_sha256_many(key, messages)
+    return _measure("hmac_batch", run, run, repeat,
+                    extra={"lanes": lanes, "message_bytes": msg_bytes},
+                    check_equal=lambda a, b: a == b)
+
+
 def bench_rewriter(kind: str, nbytes: int, repeat: int):
     trace = streaming_trace(nbytes, write_fraction=0.5)
     batch = streaming_trace_batch(nbytes, write_fraction=0.5)
@@ -153,9 +183,15 @@ def bench_merkle(num_leaves: int, updates: int, repeat: int):
             tree.update_leaf(index, leaf)
         return tree.root
 
-    return _measure("merkle_updates", fast, scalar, repeat,
-                    extra={"leaves": num_leaves, "updates": updates},
-                    check_equal=lambda a, b: a == b)
+    name, row = _measure("merkle_updates", fast, scalar, repeat,
+                         extra={"leaves": num_leaves, "updates": updates},
+                         check_equal=lambda a, b: a == b)
+    # attribute regressions: hashing cost scales with updates, the
+    # tree-walk cost with height
+    row["tree_height"] = num_leaves.bit_length() - 1
+    row["fast_us_per_update"] = round(row["fast_s"] / updates * 1e6, 3)
+    row["scalar_us_per_update"] = round(row["scalar_s"] / updates * 1e6, 3)
+    return name, row
 
 
 def bench_fig3(repeat: int):
@@ -171,22 +207,39 @@ def bench_fig3(repeat: int):
     return name, row
 
 
-def run_benchmarks(quick: bool, repeat: int):
+def kernel_specs(quick: bool, repeat: int):
+    """Ordered (name, thunk) registry of every tracked kernel."""
     crypto_bytes = 16 * 1024 if quick else 64 * 1024
     trace_bytes = 1 << 18 if quick else 1 << 20
     dram_bytes = 1 << 16 if quick else 1 << 18
-    kernels = dict([
-        bench_aes_ctr(crypto_bytes, repeat),
-        bench_ghash(crypto_bytes, repeat),
-        bench_gmac(crypto_bytes // 2, repeat),
-        bench_rewriter("guardnn", trace_bytes, repeat),
-        bench_rewriter("mee", trace_bytes, repeat),
-        bench_dram("streaming", dram_bytes, repeat),
-        bench_dram("bp-interleaved", dram_bytes, repeat),
-        bench_merkle(1024 if quick else 4096, 128 if quick else 512, repeat),
-        bench_fig3(repeat),
-    ])
-    return kernels
+    lanes = 512 if quick else 1024
+    return [
+        ("aes_ctr", lambda: bench_aes_ctr(crypto_bytes, repeat)),
+        ("ghash", lambda: bench_ghash(crypto_bytes, repeat)),
+        ("gmac", lambda: bench_gmac(crypto_bytes // 2, repeat)),
+        ("sha256_batch", lambda: bench_sha256_batch(lanes, 64, repeat)),
+        ("hmac_batch", lambda: bench_hmac_batch(lanes, 64, repeat)),
+        ("rewriter_guardnn", lambda: bench_rewriter("guardnn", trace_bytes, repeat)),
+        ("rewriter_mee", lambda: bench_rewriter("mee", trace_bytes, repeat)),
+        ("dram_streaming", lambda: bench_dram("streaming", dram_bytes, repeat)),
+        ("dram_bp-interleaved", lambda: bench_dram("bp-interleaved", dram_bytes, repeat)),
+        ("merkle_updates", lambda: bench_merkle(1024 if quick else 4096,
+                                                128 if quick else 512, repeat)),
+        ("fig3_inference_sweep", lambda: bench_fig3(repeat)),
+    ]
+
+
+def run_benchmarks(quick: bool, repeat: int, kernels=None):
+    specs = kernel_specs(quick, repeat)
+    if kernels:
+        known = {name for name, _ in specs}
+        unknown = [k for k in kernels if k not in known]
+        if unknown:
+            raise SystemExit(
+                f"unknown kernel(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(known))}")
+        specs = [(name, thunk) for name, thunk in specs if name in set(kernels)]
+    return dict(thunk() for _name, thunk in specs)
 
 
 def main(argv=None) -> int:
@@ -195,14 +248,25 @@ def main(argv=None) -> int:
                         help="small inputs / few repeats (CI smoke)")
     parser.add_argument("--repeat", type=int, default=None,
                         help="timed repetitions per measurement (best-of)")
-    parser.add_argument("--output", default=os.path.join(
-        os.path.dirname(__file__), "..", "BENCH_perf.json"))
+    parser.add_argument("--kernel", action="append", default=None,
+                        help="measure only this kernel (repeatable); the "
+                             "report is not written unless --output is given")
+    parser.add_argument("--list-kernels", action="store_true",
+                        help="print the kernel names and exit")
+    parser.add_argument("--output", default=None,
+                        help="report path (default: <repo>/BENCH_perf.json "
+                             "for full-mode full-registry runs; quick and "
+                             "--kernel runs write nothing)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a headline target is missed")
     args = parser.parse_args(argv)
 
     repeat = args.repeat or (2 if args.quick else 5)
-    kernels = run_benchmarks(args.quick, repeat)
+    if args.list_kernels:
+        for name, _thunk in kernel_specs(args.quick, repeat):
+            print(name)
+        return 0
+    kernels = run_benchmarks(args.quick, repeat, kernels=args.kernel)
 
     report = {
         "schema": 1,
@@ -213,28 +277,38 @@ def main(argv=None) -> int:
         "targets": TARGETS,
         "kernels": kernels,
     }
-    path = os.path.abspath(args.output)
-    with open(path, "w") as f:
-        json.dump(report, f, indent=2, sort_keys=True)
-        f.write("\n")
-
+    output = args.output
+    if output is None and not args.kernel and not args.quick:
+        # only a full-registry, full-mode run may refresh the tracked
+        # baseline by default: quick-mode ratios are shifted by the
+        # smaller inputs and would poison bench_compare.py comparisons
+        output = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
     width = max(len(k) for k in kernels)
     print(f"{'kernel'.ljust(width)}  scalar_s   fast_s     speedup")
     for name, row in kernels.items():
         print(f"{name.ljust(width)}  {row['scalar_s']:<9.4f}  {row['fast_s']:<9.4f} "
               f"{row['speedup']:>6.2f}x")
-    print(f"\nwrote {path}")
+    if output is not None:
+        path = os.path.abspath(output)
+        with open(path, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"\nwrote {path}")
+    else:
+        print("\n(report not written — kernel-subset and quick-mode runs do "
+              "not touch the tracked baseline; pass --output to keep it)")
 
+    checked = {name: target for name, target in TARGETS.items() if name in kernels}
     missed = [
         (name, target, kernels[name]["speedup"])
-        for name, target in TARGETS.items()
+        for name, target in checked.items()
         if kernels[name]["speedup"] < target
     ]
     for name, target, got in missed:
         print(f"TARGET MISSED: {name} {got:.2f}x < {target:.0f}x")
-    if not missed:
+    if not missed and checked:
         print("all headline targets met "
-              + ", ".join(f"{k}>={v:.0f}x" for k, v in TARGETS.items()))
+              + ", ".join(f"{k}>={v:.0f}x" for k, v in checked.items()))
     return 1 if (missed and args.check) else 0
 
 

@@ -177,6 +177,36 @@ def cmd_compile(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args) -> int:
+    """Run the tracked perf kernels (wraps ``scripts/bench_perf.py``)
+    without needing to know the scripts layout."""
+    import importlib.util
+    import os
+
+    script = os.path.normpath(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..", "..", "scripts", "bench_perf.py"))
+    if not os.path.exists(script):
+        raise SystemExit(
+            "scripts/bench_perf.py not found — `repro bench` runs the "
+            "benchmark suite from a source checkout (expected it at "
+            f"{script})")
+    spec = importlib.util.spec_from_file_location("repro_bench_perf", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    argv = []
+    if not args.full:
+        argv.append("--quick")
+    for kernel in args.kernel or []:
+        argv.extend(["--kernel", kernel])
+    # every other option (--repeat, --output, --check, --list-kernels,
+    # ...) is forwarded verbatim, so the script stays the single source
+    # of truth for its option surface
+    argv.extend(getattr(args, "extra", []))
+    return module.main(argv)
+
+
 def cmd_demo(args) -> int:
     import numpy as np
 
@@ -258,6 +288,20 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, network_default="alexnet")
     p.set_defaults(func=cmd_compile)
 
+    p = sub.add_parser("bench", help="scalar-vs-fast perf kernels "
+                                     "(wraps scripts/bench_perf.py)")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", default=True,
+                      help="small inputs, few repeats (default)")
+    mode.add_argument("--full", action="store_true",
+                      help="full-size inputs (the tracked BENCH_perf.json mode)")
+    p.add_argument("--kernel", action="append",
+                   help="measure only this kernel (repeatable; "
+                        "--list-kernels prints the names)")
+    p.epilog = ("any further options (--repeat N, --output FILE, --check, "
+                "--list-kernels, ...) are forwarded to scripts/bench_perf.py")
+    p.set_defaults(func=cmd_bench)
+
     p = sub.add_parser("demo", help="functional end-to-end secure inference")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-integrity", action="store_true")
@@ -266,7 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    # `bench` forwards unrecognized options to scripts/bench_perf.py;
+    # every other command keeps strict parsing
+    args, extra = parser.parse_known_args(argv)
+    if getattr(args, "func", None) is cmd_bench:
+        args.extra = extra
+    elif extra:
+        parser.error("unrecognized arguments: " + " ".join(extra))
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -211,6 +211,29 @@ def keystream(key: bytes, initial_counter_int: int, nblocks: int) -> bytes:
     return bytes(out)
 
 
+def keystream_for_region(key: bytes, base_address: int, version_number: int,
+                         nblocks: int) -> bytes:
+    """GuardNN ``(address || VN)`` pads for a contiguous region.
+
+    The memory-protection hot path: every 16-byte block at
+    ``base_address + i`` is padded with the counter block
+    ``(base_address + i) << 64 | VN``. The counter-block words are
+    formed directly as numpy columns (structure-of-arrays) — no
+    per-block 128-bit Python ints are ever materialized, unlike the
+    generic :func:`keystream_for_counters` entry point."""
+    rk = expand_key_words(key)
+    if _np is not None and nblocks > 1:
+        hi = _np.uint64(base_address) + _np.arange(nblocks, dtype=_np.uint64)
+        words = _np.empty((nblocks, 4), dtype=_np.uint32)
+        words[:, 0] = (hi >> _np.uint64(32)).astype(_np.uint32)
+        words[:, 1] = (hi & _np.uint64(0xFFFFFFFF)).astype(_np.uint32)
+        words[:, 2] = (version_number >> 32) & 0xFFFFFFFF
+        words[:, 3] = version_number & 0xFFFFFFFF
+        return _encrypt_batch_numpy(rk, words).astype(">u4").tobytes()
+    return keystream_for_counters(
+        key, (((base_address + i) << 64) | version_number for i in range(nblocks)))
+
+
 def keystream_for_counters(key: bytes, counters) -> bytes:
     """Encrypt an explicit sequence of 128-bit counter-block ints (the
     GuardNN ``(address || VN)`` form, one per 16-byte memory block)."""

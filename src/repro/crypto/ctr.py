@@ -101,10 +101,10 @@ class AesCtr:
                 raise ValueError("address must fit in 64 bits")
             if not 0 <= version_number < (1 << 64):
                 raise ValueError("version number must fit in 64 bits")
-            counters = [
-                ((base_address + i) << 64) | version_number for i in range(nblocks)
-            ]
-            pads = aes_fast.keystream_for_counters(self._aes._key, counters)
+            # counter-block columns are formed SoA inside the kernel —
+            # no per-block (address || VN) Python ints
+            pads = aes_fast.keystream_for_region(
+                self._aes._key, base_address, version_number, nblocks)
             return aes_fast.xor_bytes(data, pads)
         out = bytearray()
         for i in range(0, len(data), BLOCK_SIZE):

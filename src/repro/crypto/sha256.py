@@ -38,6 +38,8 @@ def _rotr(x: int, n: int) -> int:
 class Sha256:
     """Incremental SHA-256 with the standard update/digest interface."""
 
+    __slots__ = ("_h", "_buffer", "_length")
+
     digest_size = 32
     block_size = 64
 
@@ -50,10 +52,17 @@ class Sha256:
 
     def update(self, data: bytes) -> "Sha256":
         self._length += len(data)
-        self._buffer += data
-        while len(self._buffer) >= 64:
-            self._compress(self._buffer[:64])
-            self._buffer = self._buffer[64:]
+        # one concatenation, then walk full blocks through a memoryview:
+        # repeated ``buffer = buffer[64:]`` slicing would copy the tail
+        # O(n/64) times per update
+        buffer = self._buffer + data if self._buffer else data
+        view = memoryview(buffer)
+        offset = 0
+        limit = len(buffer) - 63
+        while offset < limit:
+            self._compress(view[offset:offset + 64])
+            offset += 64
+        self._buffer = bytes(view[offset:])
         return self
 
     def _compress(self, block: bytes) -> None:
@@ -84,10 +93,10 @@ class Sha256:
         clone._length = self._length
         bit_len = clone._length * 8
         pad = b"\x80" + bytes((55 - clone._length) % 64) + bit_len.to_bytes(8, "big")
-        clone._buffer += pad
-        while clone._buffer:
-            clone._compress(clone._buffer[:64])
-            clone._buffer = clone._buffer[64:]
+        tail = memoryview(clone._buffer + pad)
+        for offset in range(0, len(tail), 64):
+            clone._compress(tail[offset:offset + 64])
+        clone._buffer = b""
         return b"".join(h.to_bytes(4, "big") for h in clone._h)
 
     def hexdigest(self) -> str:

@@ -81,6 +81,19 @@ class SetAssociativeCache:
         cache_set[tag] = is_write
         return False, writeback
 
+    def retouch(self, address: int, is_write: bool, accesses: int) -> None:
+        """Replay ``accesses`` guaranteed-hit touches of a resident line
+        in one step: a hit run's entire cache effect is one LRU move
+        plus an OR into the dirty bit. Used by the batch rewriters to
+        coalesce same-line request runs; the caller must know the line
+        is resident (it just filled it)."""
+        set_idx, tag = self._locate(address)
+        cache_set = self._sets[set_idx]
+        cache_set.move_to_end(tag)
+        if is_write:
+            cache_set[tag] = True
+        self.stats.hits += accesses
+
     def contains(self, address: int) -> bool:
         set_idx, tag = self._locate(address)
         return tag in self._sets[set_idx]

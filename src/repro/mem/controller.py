@@ -23,7 +23,7 @@ from typing import Iterable, List, Union
 
 from repro import perf
 from repro.mem.batch import RequestBatch
-from repro.mem.dram import DramChip, DDR4_2400, DramTiming
+from repro.mem.dram import CMD_DATA_COUPLING, DramChip, DDR4_2400, DramTiming
 from repro.mem.layout import AddressLayout
 from repro.mem.trace import MemoryRequest, TraceStats
 
@@ -110,8 +110,12 @@ class MemoryController:
         return ControllerResult(cycles=total, requests=len(trace), bursts=bursts, stats=stats)
 
     def _expand_bursts_soa(self, batch: RequestBatch):
-        """Per-burst (address, is_write, bank, row) lists for a batch,
-        decomposed up front — vectorized when numpy is available."""
+        """Per-burst (is_write, bank, row, run_end) lists for a batch,
+        decomposed up front — vectorized when numpy is available.
+        ``run_end[i]`` is the exclusive end of the maximal stretch of
+        consecutive bursts sharing burst ``i``'s (bank, row): the
+        schedule loop services whole row-hit runs from it without
+        rescanning the window per burst (``None`` without numpy)."""
         burst = self.layout.burst_bytes
         cpr = self.layout.columns_per_row
         banks = self.layout.banks
@@ -131,9 +135,15 @@ class MemoryController:
             write_arr = _np.repeat(
                 _np.frombuffer(batch.is_write, dtype=_np.int8), counts
             )
-            return ((burst_index * burst).tolist(), write_arr.tolist(),
-                    bank_arr.tolist(), row_arr.tolist())
-        addresses, writes, bank_list, row_list = [], [], [], []
+            boundary = _np.empty(total, dtype=bool)
+            boundary[-1] = True
+            boundary[:-1] = (bank_arr[1:] != bank_arr[:-1]) | (row_arr[1:] != row_arr[:-1])
+            run_ends = _np.flatnonzero(boundary) + 1
+            run_end = _np.repeat(
+                run_ends, _np.diff(_np.concatenate(([0], run_ends))))
+            return (write_arr.tolist(), bank_arr.tolist(), row_arr.tolist(),
+                    run_end.tolist())
+        writes, bank_list, row_list = [], [], []
         decompose = self.layout.decompose
         for address, size, is_write in zip(batch.address, batch.size, batch.is_write):
             first = (address // burst) * burst
@@ -141,48 +151,179 @@ class MemoryController:
             a = first
             while a < end:
                 bank, row, _col = decompose(a)
-                addresses.append(a)
                 writes.append(is_write)
                 bank_list.append(bank)
                 row_list.append(row)
                 a += burst
-        return addresses, writes, bank_list, row_list
+        return writes, bank_list, row_list, None
 
     def run_batch(self, batch: RequestBatch) -> ControllerResult:
         """Time a :class:`RequestBatch` — same FR-FCFS schedule and
         cycle accounting as :meth:`run_trace`, but burst expansion and
         address decomposition happen once, vectorized, and the schedule
-        loop runs on primitive arrays instead of request objects."""
-        stats = batch.stats()
-        addresses, writes, bank_list, row_list = self._expand_bursts_soa(batch)
-        n = len(addresses)
+        loop services whole row-hit runs at a time.
 
-        dram_banks = self.dram._banks  # the scan needs raw open-row state
-        access = self.dram.access_decomposed
+        The window is kept as out-of-order ``leftovers`` plus a
+        contiguous FIFO tail, so the streaming common case (row-hit at
+        the window head) never touches a deque. Within a run of hits on
+        one bank the per-burst DDR4 recurrence stabilizes into the
+        bus-bound regime (``data_start`` advancing by the burst slot,
+        the command pointer trailing it by the queue-coupling constant);
+        once it does, the remaining bursts before the next refresh are
+        timed in closed form. Every step reproduces
+        :meth:`DramChip.access_decomposed` cycle-exactly — asserted by
+        the equivalence suite and the per-kernel benches."""
+        stats = batch.stats()
+        writes, bank_list, row_list, run_end = self._expand_bursts_soa(batch)
+        n = len(bank_list)
+        dram = self.dram
+        dram_banks = dram._banks  # the scan needs raw open-row state
+        access = dram.access_decomposed
         depth = self.queue_depth
         cycle = 0
         last_data_end = 0
         bursts = 0
-        window = deque()
-        head = 0
-        while head < n or window:
-            while head < n and len(window) < depth:
-                window.append(head)
-                head += 1
-            # FR-FCFS: first row hit in the window, else the oldest
-            chosen_pos = None
-            for pos, j in enumerate(window):
-                if dram_banks[bank_list[j]].open_row == row_list[j]:
-                    chosen_pos = pos
-                    break
-            if chosen_pos is None:
-                chosen_pos = 0
-            j = window[chosen_pos]
-            del window[chosen_pos]
+
+        # REPRO_SCALAR drops even the batch entry point to the plain
+        # windowed reference loop (the escape hatch for bisecting a
+        # suspected run-servicing bug)
+        if run_end is None or not perf.fast_enabled():
+            window = deque()
+            head = 0
+            while head < n or window:
+                while head < n and len(window) < depth:
+                    window.append(head)
+                    head += 1
+                chosen_pos = None
+                for pos, j in enumerate(window):
+                    if dram_banks[bank_list[j]].open_row == row_list[j]:
+                        chosen_pos = pos
+                        break
+                if chosen_pos is None:
+                    chosen_pos = 0
+                j = window[chosen_pos]
+                del window[chosen_pos]
+                cycle, data_end = access(bank_list[j], row_list[j],
+                                         bool(writes[j]), cycle)
+                if data_end > last_data_end:
+                    last_data_end = data_end
+                bursts += 1
+            total = max(cycle, last_data_end)
+            return ControllerResult(cycles=total, requests=len(batch),
+                                    bursts=bursts, stats=stats)
+
+        t = dram.timing
+        tRCD = t.tRCD
+        tCL = t.tCL
+        tCWL = t.tCWL
+        tBL = t.tBL
+        slot = max(t.tBL, t.tCCD)  # data-bus spacing between bursts
+        couple = CMD_DATA_COUPLING
+        # the closed form needs CAS to hide inside the command/data
+        # coupling window (true for every DDR4-class timing)
+        jumpable = tCL <= couple + slot and tCWL <= couple + slot
+        run_hits = 0
+        leftovers: List[int] = []  # out-of-order window residue, ascending
+        # open rows change only on miss/conflict accesses and refreshes,
+        # so once a scan proves no leftover hits, the result stands until
+        # one of those happens — the scan is skipped in between
+        leftover_hit_possible = True
+        tail_lo = 0  # contiguous FIFO tail [tail_lo, tail_hi)
+        while leftovers or tail_lo < n:
+            # FR-FCFS: the first row hit in window order wins, and
+            # leftovers precede the FIFO tail
+            j = -1
+            pre_hit = True
+            if leftovers and leftover_hit_possible:
+                for pos, candidate in enumerate(leftovers):
+                    if dram_banks[bank_list[candidate]].open_row == row_list[candidate]:
+                        j = candidate
+                        del leftovers[pos]
+                        break
+                else:
+                    leftover_hit_possible = False
+            if j < 0 and tail_lo < n:
+                j0 = tail_lo
+                bank = dram_banks[bank_list[j0]]
+                if bank.open_row == row_list[j0]:
+                    # service the whole row-hit run from the FIFO head
+                    stop = run_end[j0]
+                    next_refresh = dram._next_refresh
+                    bus_free = dram._bus_free_at
+                    act_rcd = bank.activated_at + tRCD
+                    data_end = 0
+                    i = tail_lo
+                    while i < stop:
+                        if cycle >= next_refresh:
+                            break  # generic step replays this burst
+                        col_issue = cycle if cycle > act_rcd else act_rcd
+                        ready = col_issue + (tCWL if writes[i] else tCL)
+                        data_start = ready if ready > bus_free else bus_free
+                        data_end = data_start + tBL
+                        bus_free = data_start + slot
+                        stall = data_start - couple
+                        nc = cycle + 1
+                        cycle = nc if nc > stall else stall
+                        i += 1
+                        if (i < stop and jumpable and cycle == stall
+                                and cycle >= act_rcd):
+                            # bus-bound steady state: every further hit
+                            # adds one bus slot; jump to the refresh
+                            # horizon in O(1)
+                            horizon = (next_refresh + couple - 1
+                                       - data_start) // slot + 1
+                            m = stop - i
+                            if horizon < m:
+                                m = horizon
+                            if m > 0:
+                                data_start += m * slot
+                                data_end = data_start + tBL
+                                bus_free = data_start + slot
+                                cycle = data_start - couple
+                                i += m
+                    serviced = i - tail_lo
+                    if serviced:
+                        run_hits += serviced
+                        bursts += serviced
+                        bank.last_data_end = data_end
+                        bank.last_was_write = bool(writes[i - 1])
+                        dram._bus_free_at = bus_free
+                        if data_end > last_data_end:
+                            last_data_end = data_end
+                        tail_lo = i
+                        continue
+                    # refresh due before the first hit: service the head
+                    # burst through the full model (it is still the first
+                    # hit in window order — no leftover hits exist here)
+                    j = j0
+                    tail_lo += 1
+            if j < 0:
+                # no leftover hit and the head is not a hit: scan the
+                # FIFO tail for the first hit, else take the oldest
+                tail_hi = tail_lo + depth - len(leftovers)
+                if tail_hi > n:
+                    tail_hi = n
+                for candidate in range(tail_lo, tail_hi):
+                    if dram_banks[bank_list[candidate]].open_row == row_list[candidate]:
+                        j = candidate
+                        leftovers.extend(range(tail_lo, candidate))
+                        tail_lo = candidate + 1
+                        break
+                if j < 0:
+                    pre_hit = False  # no hit anywhere: oldest, row opens
+                    if leftovers:
+                        j = leftovers.pop(0)
+                    else:
+                        j = tail_lo
+                        tail_lo += 1
+            refresh_mark = dram._next_refresh
             cycle, data_end = access(bank_list[j], row_list[j], bool(writes[j]), cycle)
+            if not pre_hit or dram._next_refresh != refresh_mark:
+                leftover_hit_possible = True
             if data_end > last_data_end:
                 last_data_end = data_end
             bursts += 1
+        dram.stats["row_hits"] += run_hits
         total = max(cycle, last_data_end)
         return ControllerResult(cycles=total, requests=len(batch), bursts=bursts, stats=stats)
 

@@ -51,6 +51,12 @@ class DramTiming:
         return self.freq_mhz * 2 * 8 / 1000.0
 
 
+#: how far (in cycles) the command pointer may run ahead of the data bus
+#: before back-pressure couples them (see :meth:`DramChip.access_decomposed`);
+#: the batch controller's closed-form run servicing derives from the same
+#: constant, so the two stay cycle-exact by construction
+CMD_DATA_COUPLING = 32
+
 #: DDR4-2400, 64-bit channel: the class of device the paper's 16 GB DDR4
 #: Ramulator config represents. Timings are standard -CL17 values.
 DDR4_2400 = DramTiming(
@@ -157,7 +163,7 @@ class DramChip:
         # Keep the command pointer loosely coupled to the data bus so the
         # model cannot run unboundedly ahead of the transfers it scheduled
         # (a real controller's queue provides the same back-pressure).
-        next_command = max(cycle + 1, data_start - 32)
+        next_command = max(cycle + 1, data_start - CMD_DATA_COUPLING)
         return next_command, data_end
 
     def open_row_of(self, bank_index: int):

@@ -33,7 +33,7 @@ _CTR_FW_BITS = 32
 _CTR_W_BITS = 56
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionNumber:
     """A packed 64-bit VN."""
 
@@ -81,6 +81,8 @@ class CounterState:
     counters (:meth:`set_read_ctr` / :meth:`read_vn_for`), which the host
     reconstructs from the DFG schedule.
     """
+
+    __slots__ = ("ctr_in", "ctr_fw", "ctr_w", "_read_ctrs")
 
     def __init__(self):
         self.ctr_in = 0

@@ -10,9 +10,11 @@ replay-attack demonstrations.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
+from repro import perf
 from repro.crypto.sha256 import sha256
+from repro.crypto.sha256_fast import sha256_many
 
 
 class MerkleTree:
@@ -24,6 +26,8 @@ class MerkleTree:
     the root only.
     """
 
+    __slots__ = ("num_leaves", "_padded", "_levels")
+
     def __init__(self, num_leaves: int):
         if num_leaves <= 0:
             raise ValueError("tree needs at least one leaf")
@@ -32,6 +36,16 @@ class MerkleTree:
         empty = sha256(b"guardnn-merkle-empty-leaf")
         # levels[0] = leaf hashes, levels[-1] = [root]
         self._levels: List[List[bytes]] = [[empty] * self._padded]
+        if perf.fast_enabled():
+            # every node of a fresh level is sha256(below || below) of the
+            # level's (single, repeated) node value: hash once per level
+            node = empty
+            width = self._padded
+            while width > 1:
+                width //= 2
+                node = sha256(node + node)
+                self._levels.append([node] * width)
+            return
         while len(self._levels[-1]) > 1:
             below = self._levels[-1]
             self._levels.append(
@@ -76,24 +90,35 @@ class MerkleTree:
         # validate and hash everything before touching the tree, so a
         # bad index cannot abort mid-mutation and leave interior nodes
         # inconsistent with already-written leaves
-        hashed = []
-        for index, leaf_data in updates:
+        updates = list(updates)
+        for index, _leaf_data in updates:
             if not 0 <= index < self.num_leaves:
                 raise IndexError("leaf index out of range")
-            hashed.append((index, sha256(leaf_data)))
+        leaf_hashes = sha256_many([leaf_data for _index, leaf_data in updates])
         dirty = set()
-        for index, node in hashed:
+        for (index, _leaf_data), node in zip(updates, leaf_hashes):
             if levels[0][index] != node:
                 levels[0][index] = node
                 dirty.add(index // 2)
+        self.hash_levels(dirty)
+
+    def hash_levels(self, dirty: Sequence[int]) -> None:
+        """Rehash the tree upward from a set of dirty level-1 node
+        indices, one lane-parallel kernel call per level: all dirty
+        nodes of a level are hashed in a single :func:`sha256_many`
+        batch, so a K-update burst costs O(tree height) kernel calls
+        instead of O(K * height) Python hashes. In scalar mode the same
+        walk runs the reference hash node by node."""
+        levels = self._levels
+        dirty = set(dirty)
         for level in range(1, len(levels)):
             below = levels[level - 1]
             here = levels[level]
-            next_dirty = set()
-            for i in dirty:
-                here[i] = sha256(below[2 * i] + below[2 * i + 1])
-                next_dirty.add(i // 2)
-            dirty = next_dirty
+            ordered = sorted(dirty)
+            hashes = sha256_many([below[2 * i] + below[2 * i + 1] for i in ordered])
+            for i, node in zip(ordered, hashes):
+                here[i] = node
+            dirty = {i // 2 for i in ordered}
 
     def proof(self, index: int) -> List[bytes]:
         """Sibling path for a leaf (what a verifier fetches from DRAM)."""

@@ -18,14 +18,74 @@ out a protected-metadata range.
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, List
 
+from repro import perf
 from repro.mem.batch import MAC_CODE, TREE_CODE, VN_CODE, RequestBatch
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.trace import MemoryRequest, RequestKind
 from repro.protection.guardnn import GuardNNParams
 from repro.protection.mee import MeeParams
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+
+def _run_starts(key, coalescable):
+    """Start indices of maximal runs of requests that share a metadata
+    key and may be coalesced (single-span requests only); requests with
+    ``coalescable`` False become singleton runs. The SoA pre-pass of
+    both rewriters: one vectorized sweep replaces the per-request
+    Python span/line arithmetic. Returns an ``(n_runs,)`` int index
+    array (callers gather per-run attributes from it, so nothing
+    per-request ever crosses back into Python)."""
+    n = len(key)
+    change = _np.empty(n, dtype=bool)
+    change[0] = True
+    _np.not_equal(key[1:], key[:-1], out=change[1:])
+    change[1:] |= ~coalescable[1:] | ~coalescable[:-1]
+    return _np.flatnonzero(change)
+
+
+def _scatter_assemble(out: RequestBatch, batch: RequestBatch, address, size,
+                      is_write, ev_pos, ev_addr, ev_write, ev_kind,
+                      line_bytes: int) -> None:
+    """Interleave the verbatim input stream with positioned metadata
+    events (event j rides directly after input request ``ev_pos[j]``)
+    in one vectorized scatter instead of per-run array flushes."""
+    n = len(address)
+    m = len(ev_pos)
+    if not m:
+        out.extend(batch)
+        return
+    pos = _np.frombuffer(array("q", ev_pos), dtype=_np.int64)
+    total = n + m
+    # input i is preceded by i inputs and every event with pos < i;
+    # event j by (pos_j + 1) inputs and j events — emission order wins
+    # among events that share a position
+    prefix = _np.concatenate(([0], _np.cumsum(_np.bincount(pos, minlength=n))[:-1]))
+    dest_input = _np.arange(n, dtype=_np.int64) + prefix
+    dest_event = pos + 1 + _np.arange(m, dtype=_np.int64)
+    merged_address = _np.empty(total, dtype=_np.int64)
+    merged_address[dest_input] = address
+    merged_address[dest_event] = _np.frombuffer(array("q", ev_addr), dtype=_np.int64)
+    merged_size = _np.empty(total, dtype=_np.int64)
+    merged_size[dest_input] = size
+    merged_size[dest_event] = line_bytes
+    merged_write = _np.empty(total, dtype=_np.int8)
+    merged_write[dest_input] = is_write
+    merged_write[dest_event] = _np.frombuffer(array("b", ev_write), dtype=_np.int8)
+    merged_kind = _np.empty(total, dtype=_np.int8)
+    merged_kind[dest_input] = _np.frombuffer(batch.kind, dtype=_np.int8)
+    merged_kind[dest_event] = _np.frombuffer(array("b", ev_kind), dtype=_np.int8)
+    out.address.frombytes(merged_address.tobytes())
+    out.size.frombytes(merged_size.tobytes())
+    out.is_write.frombytes(merged_write.tobytes())
+    out.kind.frombytes(merged_kind.tobytes())
 
 
 class GuardNNTraceRewriter:
@@ -101,12 +161,117 @@ class GuardNNTraceRewriter:
 
         Requests that touch only the already-active MAC line (the
         sequential-stream common case: ~5 chunks per 64-B tag line) are
-        copied through in bulk array slices between MAC events.
+        copied through in bulk array slices between MAC events. With
+        numpy, chunk spans and MAC-line addresses are precomputed for
+        the whole batch (SoA) and same-line request runs collapse to a
+        single state transition each.
         """
         out = RequestBatch()
         if not self.integrity:
             out.extend(batch)
             return out
+        if _np is not None and perf.fast_enabled() and len(batch) >= 16:
+            return self._rewrite_batch_runs(batch, out)
+        return self._rewrite_batch_loop(batch, out)
+
+    def _rewrite_batch_runs(self, batch: RequestBatch, out: RequestBatch) -> RequestBatch:
+        """Vectorized pre-pass + per-run state machine. A run is a
+        maximal stretch of single-chunk requests whose tags live in one
+        MAC line; the scalar machine emits nothing inside such a run,
+        so only its first request can produce MAC events and only the
+        run's write-OR reaches the dirty bit."""
+        n = len(batch)
+        address = _np.frombuffer(batch.address, dtype=_np.int64)
+        size = _np.frombuffer(batch.size, dtype=_np.int64)
+        is_write = _np.frombuffer(batch.is_write, dtype=_np.int8)
+        line_bytes = self.LINE_BYTES
+        chunk_bytes = self.params.chunk_bytes
+        mac_bytes = self.params.mac_bytes
+        base = self.metadata_base
+        first = address // chunk_bytes
+        last = (address + size - 1) // chunk_bytes
+        line = base + first * mac_bytes // line_bytes * line_bytes
+        single = first == last
+        starts = _run_starts(line, single)
+        ends = _np.concatenate((starts[1:], [n]))
+        # per-run attribute gathers: only run boundaries reach Python
+        writes_before = _np.concatenate(([0], _np.cumsum(is_write != 0)))
+        run_any_write = (writes_before[ends] > writes_before[starts]).tolist()
+        run_line = line[starts].tolist()
+        run_single = single[starts].tolist()
+        run_first = first[starts].tolist()
+        run_last = last[starts].tolist()
+        run_write = is_write[starts].tolist()
+        starts_list = starts.tolist()
+
+        put_address = out.address.append
+        put_size = out.size.append
+        put_write = out.is_write.append
+        put_kind = out.kind.append
+        active_line = self._active_line
+        active_dirty = self._active_dirty
+        pending = 0  # start of the verbatim run not yet copied out
+        for k, s in enumerate(starts_list):
+            if run_single[k]:
+                this_line = run_line[k]
+                if this_line == active_line:
+                    if run_any_write[k]:
+                        active_dirty = True
+                    continue
+                # MAC event right after request s; the rest of the run
+                # rides the newly active line
+                out.address.extend(batch.address[pending:s + 1])
+                out.size.extend(batch.size[pending:s + 1])
+                out.is_write.extend(batch.is_write[pending:s + 1])
+                out.kind.extend(batch.kind[pending:s + 1])
+                pending = s + 1
+                if active_line is not None and active_dirty:
+                    put_address(active_line)
+                    put_size(line_bytes)
+                    put_write(1)
+                    put_kind(MAC_CODE)
+                if not run_write[k]:
+                    put_address(this_line)
+                    put_size(line_bytes)
+                    put_write(0)
+                    put_kind(MAC_CODE)
+                active_line = this_line
+                active_dirty = run_any_write[k]
+                continue
+            # multi-chunk request: singleton run, walk its chunks
+            out.address.extend(batch.address[pending:s + 1])
+            out.size.extend(batch.size[pending:s + 1])
+            out.is_write.extend(batch.is_write[pending:s + 1])
+            out.kind.extend(batch.kind[pending:s + 1])
+            pending = s + 1
+            req_write = run_write[k]
+            for chunk in range(run_first[k], run_last[k] + 1):
+                chunk_line = base + chunk * mac_bytes // line_bytes * line_bytes
+                if chunk_line != active_line:
+                    if active_line is not None and active_dirty:
+                        put_address(active_line)
+                        put_size(line_bytes)
+                        put_write(1)
+                        put_kind(MAC_CODE)
+                    active_dirty = False
+                    if not req_write:
+                        put_address(chunk_line)
+                        put_size(line_bytes)
+                        put_write(0)
+                        put_kind(MAC_CODE)
+                    active_line = chunk_line
+                if req_write:
+                    active_dirty = True
+        out.address.extend(batch.address[pending:])
+        out.size.extend(batch.size[pending:])
+        out.is_write.extend(batch.is_write[pending:])
+        out.kind.extend(batch.kind[pending:])
+        self._active_line = active_line
+        self._active_dirty = active_dirty
+        return out
+
+    def _rewrite_batch_loop(self, batch: RequestBatch, out: RequestBatch) -> RequestBatch:
+        """Per-request fallback (no numpy, tiny batches, scalar mode)."""
         put_address = out.address.append
         put_size = out.size.append
         put_write = out.is_write.append
@@ -282,7 +447,161 @@ class MeeTraceRewriter:
     def rewrite_batch(self, batch: RequestBatch) -> RequestBatch:
         """Batch counterpart of :meth:`rewrite`: identical request
         sequence (same metadata-cache state machine), emitted straight
-        into parallel arrays."""
+        into parallel arrays.
+
+        With numpy, VN-unit spans are precomputed for the whole batch
+        (SoA) and runs of requests inside one 512-B unit collapse: the
+        run's first request drives the cache state machine, the rest
+        are provably hits and reduce to one dirty-OR / LRU touch."""
+        if _np is not None and perf.fast_enabled() and len(batch) >= 16:
+            return self._rewrite_batch_runs(batch)
+        return self._rewrite_batch_loop(batch)
+
+    def _rewrite_batch_runs(self, batch: RequestBatch) -> RequestBatch:
+        out = RequestBatch()
+        n = len(batch)
+        address = _np.frombuffer(batch.address, dtype=_np.int64)
+        size = _np.frombuffer(batch.size, dtype=_np.int64)
+        is_write = _np.frombuffer(batch.is_write, dtype=_np.int8)
+        line_bytes = self.params.line_bytes
+        unit = self.params.data_per_vn_line
+        per_mac = self.params.data_per_mac_line
+        access = self.cache.access
+        contains = self.cache.contains
+        kind_code_of = self._kind_code_of
+        vn_base = self.regions.vn_base
+        mac_base = self.regions.mac_base
+        tree_bases = self.regions.tree_bases
+        arity = self.params.tree_arity
+
+        first_unit = address // unit
+        last_unit = (address + size - 1) // unit
+        single = first_unit == last_unit
+        starts = _run_starts(first_unit, single)
+        ends = _np.concatenate((starts[1:], [n]))
+        writes_before = _np.concatenate(([0], _np.cumsum(is_write != 0)))
+        run_any_write = (writes_before[ends] > writes_before[starts]).tolist()
+        # writes among requests s+1..e-1 (the coalesced tail of a run)
+        run_rest_write = (writes_before[ends]
+                          > writes_before[_np.minimum(starts + 1, n)]).tolist()
+        run_first = first_unit[starts].tolist()
+        run_last = last_unit[starts].tolist()
+        run_single = single[starts].tolist()
+        run_write = is_write[starts].tolist()
+        run_len = (ends - starts).tolist()
+        starts_list = starts.tolist()
+        # a fill inserted by this walk can only be evicted by the walk's
+        # own later insertions; with <= tree-levels + 1 of those after
+        # the VN fill, an 8-way set can never push VN/MAC out before the
+        # run's remaining (all-hit) requests replay
+        coalesce_safe = len(tree_bases) + 1 < self.cache.ways
+
+        retouch = self.cache.retouch
+        # positioned metadata emissions: (after-request-index, address,
+        # is_write, kind) as four parallel lists. The interleaved output
+        # stream is scatter-assembled once at the end instead of being
+        # flushed run by run.
+        ev_pos, ev_addr, ev_write, ev_kind = [], [], [], []
+        put_pos = ev_pos.append
+        put_addr = ev_addr.append
+        put_write = ev_write.append
+        put_kind = ev_kind.append
+
+        def touch(position: int, meta_address: int, write: int,
+                  kind_code: int) -> bool:
+            hit, writeback = access(meta_address, write)
+            if writeback is not None:
+                put_pos(position)
+                put_addr(writeback)
+                put_write(1)
+                put_kind(kind_code_of(writeback))
+            if not hit:
+                put_pos(position)
+                put_addr(meta_address)
+                put_write(0)
+                put_kind(kind_code)
+            return hit
+
+        for k, s in enumerate(starts_list):
+            if run_single[k]:
+                u = run_first[k]
+                addr = u * unit
+                vn_line = vn_base + u * line_bytes
+                mac_line = mac_base + addr // per_mac * line_bytes
+                write = run_write[k]
+                # VN and MAC touches inlined (the two per-run constants)
+                vn_hit, writeback = access(vn_line, write)
+                if writeback is not None:
+                    put_pos(s)
+                    put_addr(writeback)
+                    put_write(1)
+                    put_kind(kind_code_of(writeback))
+                if not vn_hit:
+                    put_pos(s)
+                    put_addr(vn_line)
+                    put_write(0)
+                    put_kind(VN_CODE)
+                mac_hit, writeback = access(mac_line, write)
+                if writeback is not None:
+                    put_pos(s)
+                    put_addr(writeback)
+                    put_write(1)
+                    put_kind(kind_code_of(writeback))
+                if not mac_hit:
+                    put_pos(s)
+                    put_addr(mac_line)
+                    put_write(0)
+                    put_kind(MAC_CODE)
+                if not vn_hit:
+                    coverage = unit * arity
+                    for level in range(len(tree_bases)):
+                        if touch(s, tree_bases[level] + addr // coverage * line_bytes,
+                                 write, TREE_CODE):
+                            break
+                        coverage *= arity
+                rest = run_len[k] - 1
+                if rest:
+                    if coalesce_safe or (contains(vn_line) and contains(mac_line)):
+                        # the remaining requests of the run can only hit:
+                        # their whole cache effect is one LRU re-touch of
+                        # (VN, MAC) and an OR over their write bits
+                        rest_write = run_rest_write[k]
+                        retouch(vn_line, rest_write, rest)
+                        retouch(mac_line, rest_write, rest)
+                    else:  # pragma: no cover - needs a tree walk deep
+                        # enough to evict the just-filled VN/MAC lines
+                        for i in range(s + 1, s + 1 + rest):
+                            w_i = int(is_write[i])
+                            vn_hit = touch(i, vn_line, w_i, VN_CODE)
+                            touch(i, mac_line, w_i, MAC_CODE)
+                            if not vn_hit:
+                                coverage = unit * arity
+                                for level in range(len(tree_bases)):
+                                    if touch(i, tree_bases[level]
+                                             + addr // coverage * line_bytes,
+                                             w_i, TREE_CODE):
+                                        break
+                                    coverage *= arity
+                continue
+            # multi-unit request: singleton run through the full walk
+            write = run_write[k]
+            for u in range(run_first[k], run_last[k] + 1):
+                addr = u * unit
+                vn_hit = touch(s, vn_base + u * line_bytes, write, VN_CODE)
+                touch(s, mac_base + addr // per_mac * line_bytes, write, MAC_CODE)
+                if not vn_hit:
+                    coverage = unit * arity
+                    for level in range(len(tree_bases)):
+                        if touch(s, tree_bases[level] + addr // coverage * line_bytes,
+                                 write, TREE_CODE):
+                            break
+                        coverage *= arity
+        _scatter_assemble(out, batch, address, size, is_write,
+                          ev_pos, ev_addr, ev_write, ev_kind, line_bytes)
+        return out
+
+    def _rewrite_batch_loop(self, batch: RequestBatch) -> RequestBatch:
+        """Per-request fallback (no numpy, tiny batches, scalar mode)."""
         out = RequestBatch()
         line_bytes = self.params.line_bytes
         unit = self.params.data_per_vn_line

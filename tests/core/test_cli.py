@@ -14,6 +14,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--scheme", "rot13"])
 
+    def test_bench_quick_full_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--quick", "--full"])
+
+
+class TestBench:
+    def test_list_kernels(self, capsys):
+        assert main(["bench", "--list-kernels"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "sha256_batch" in names
+        assert "merkle_updates" in names
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit, match="unknown kernel"):
+            main(["bench", "--kernel", "rot13"])
+
+    def test_single_kernel_run_writes_report(self, capsys, tmp_path):
+        out_file = str(tmp_path / "bench.json")
+        assert main(["bench", "--kernel", "merkle_updates", "--repeat", "1",
+                     "--output", out_file]) == 0
+        import json
+
+        report = json.load(open(out_file))
+        row = report["kernels"]["merkle_updates"]
+        assert row["speedup"] > 0
+        assert row["tree_height"] == 10  # 1024 leaves in quick mode
+        assert "fast_us_per_update" in row
+        assert "sha256_batch" not in report["kernels"]  # filtered run
+
 
 class TestCommands:
     def test_simulate(self, capsys):

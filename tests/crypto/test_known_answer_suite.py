@@ -16,6 +16,7 @@ from repro.crypto.ctr import AesCtr
 from repro.crypto.gmac import AesGmac
 from repro.crypto.hmac import hmac_sha256
 from repro.crypto.sha256 import sha256
+from repro.crypto.sha256_fast import hmac_sha256_many, sha256_many
 
 
 class TestAes128Fips197:
@@ -145,3 +146,62 @@ class TestSha256Fips180_4:
         message = b"a" * 56
         assert sha256(message).hex() == ("b35439a4ac6f0948b6d6f9e3c6af0f5f"
                                          "590ce20f1bde7090ef7970686ec6738a")
+
+
+# FIPS 180-4 / NIST SHAVS short-message vectors used both for the
+# scalar reference and, in one ragged batch, for the lane-parallel
+# kernel (sha256_fast): one-shot "abc", the empty message, the
+# two-block SHAVS message, and the 448-bit padding boundary.
+SHA256_KAT = [
+    (b"abc",
+     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"",
+     "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+     b"hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+     "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"),
+    (b"a" * 56,
+     "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"),
+]
+
+
+class TestSha256LaneParallel:
+    @pytest.mark.parametrize("message,digest_hex", SHA256_KAT)
+    def test_official_vectors_one_lane_each(self, message, digest_hex):
+        assert sha256_many([message])[0].hex() == digest_hex
+
+    def test_official_vectors_as_one_ragged_batch(self):
+        """All KAT messages in a single lane-parallel call: lanes have
+        1-block and 2-block paddings side by side, so the ragged
+        active-lane masking is exercised against official digests."""
+        digests = sha256_many([message for message, _ in SHA256_KAT])
+        assert [d.hex() for d in digests] == [hx for _, hx in SHA256_KAT]
+
+    def test_padding_boundary_ladder_matches_scalar(self):
+        """Every interesting FIPS padding shape in one batch: empty,
+        one byte, the 55/56-byte one-to-two-block boundary, and the
+        63/64/65-byte block edges (>55-byte tails force the length
+        field into a second padding block)."""
+        messages = [b"x" * n for n in (0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120)]
+        assert sha256_many(messages) == [sha256(m) for m in messages]
+
+
+class TestHmacBatchRfc4231:
+    def test_case_4_through_batch_entry_point(self):
+        key = bytes(range(0x01, 0x1A))
+        messages = [b"\xcd" * 50, b"", b"other message"]
+        tags = hmac_sha256_many(key, messages)
+        assert tags[0].hex() == ("82558a389a443c0ea4cc819899f2083a"
+                                 "85f0faa3e578f8077a2e3ff46729665b")
+        assert tags == [hmac_sha256(key, m) for m in messages]
+
+    def test_case_7_large_key_batch_matches_scalar(self):
+        key = b"\xaa" * 131  # > block size: the key is hashed first
+        canonical = (b"This is a test using a larger than block-size key and a "
+                     b"larger than block-size data. The key needs to be hashed "
+                     b"before being used by the HMAC algorithm.")
+        messages = [canonical, b"", b"\xcd" * 50, b"a" * 64]
+        tags = hmac_sha256_many(key, messages)
+        assert tags[0].hex() == ("9b09ffa71b942fcb27635fbcd5b0e944"
+                                 "bfdc63644f0713938a7f51535c3a35e2")
+        assert tags == [hmac_sha256(key, m) for m in messages]

@@ -17,6 +17,8 @@ from repro.crypto.aes import AES128
 from repro.crypto.ctr import AesCtr, ctr_keystream
 from repro.crypto.gf128 import Gf128Table, gf128_mul, ghash
 from repro.crypto.gmac import AesGmac
+from repro.crypto.sha256 import sha256
+from repro.crypto.sha256_fast import hmac_sha256_many, sha256_many
 from repro.mem.batch import RequestBatch
 from repro.mem.controller import MemoryController
 from repro.mem.trace import MemoryRequest, RequestKind
@@ -25,6 +27,20 @@ from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewrit
 
 keys = st.binary(min_size=16, max_size=16)
 field_elements = st.integers(0, (1 << 128) - 1)
+
+#: message batches with deliberately nasty shapes for the lane-parallel
+#: hash: ragged lengths, empty lanes, and lengths pinned to the FIPS
+#: padding boundaries (55/56 one-vs-two padding blocks, 63/64/65 block
+#: edges) mixed with arbitrary bytes
+hash_messages = st.lists(
+    st.one_of(
+        st.binary(min_size=0, max_size=200),
+        st.integers(0, 130).map(lambda n: b"\xa5" * n),
+        st.sampled_from([b"", b"q" * 55, b"r" * 56, b"s" * 63, b"t" * 64,
+                         b"u" * 65, b"v" * 119, b"w" * 120]),
+    ),
+    min_size=0, max_size=16,
+)
 
 
 # -- crypto kernels --------------------------------------------------------
@@ -91,6 +107,38 @@ def test_table_gmac_matches_bit_serial(key, iv, data, aad):
     assert fast == reference
 
 
+# -- lane-parallel hashing -------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(messages=hash_messages)
+def test_lane_parallel_sha256_matches_scalar(messages):
+    fast = sha256_many(messages)
+    with perf.scalar_mode():
+        reference = sha256_many(messages)
+    assert fast == reference
+    assert fast == [sha256(m) for m in messages]
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=st.binary(min_size=0, max_size=100), messages=hash_messages)
+def test_batched_hmac_matches_scalar(key, messages):
+    from repro.crypto.hmac import hmac_sha256
+
+    fast = hmac_sha256_many(key, messages)
+    with perf.scalar_mode():
+        reference = hmac_sha256_many(key, messages)
+    assert fast == reference
+    assert fast == [hmac_sha256(key, m) for m in messages]
+
+
+def test_lane_parallel_sha256_long_uniform_batch():
+    """A wide uniform batch (every lane the same block count) takes the
+    maskless commit path; pin it against the scalar reference."""
+    messages = [bytes((i + j) & 0xFF for j in range(96)) for i in range(300)]
+    assert sha256_many(messages) == [sha256(m) for m in messages]
+
+
 # -- trace pipeline --------------------------------------------------------
 
 
@@ -154,6 +202,35 @@ def test_controller_batch_matches_scalar_trace(trace):
         batched.cycles, batched.requests, batched.bursts)
     assert scalar.stats.read_bytes == batched.stats.read_bytes
     assert scalar.stats.write_bytes == batched.stats.write_bytes
+
+
+def test_streaming_pipeline_batch_matches_scalar_at_scale():
+    """Long streaming traces drive the run-compressed rewriter paths
+    and the controller's row-hit run servicing across several refresh
+    intervals — shapes the short hypothesis traces cannot reach."""
+    from repro.workloads.generators import streaming_trace, streaming_trace_batch
+
+    trace = streaming_trace(1 << 17, write_fraction=0.4)
+    batch = streaming_trace_batch(1 << 17, write_fraction=0.4)
+
+    scalar_rw = MeeTraceRewriter()
+    batch_rw = MeeTraceRewriter()
+    assert (batch_rw.rewrite_batch(batch).to_requests()
+            + batch_rw.flush_batch().to_requests()
+            == scalar_rw.rewrite(trace) + scalar_rw.flush())
+
+    scalar_gn = GuardNNTraceRewriter(integrity=True)
+    batch_gn = GuardNNTraceRewriter(integrity=True)
+    assert (batch_gn.rewrite_batch(batch).to_requests()
+            + batch_gn.flush_batch().to_requests()
+            == scalar_gn.rewrite(trace) + scalar_gn.flush())
+
+    scalar_mc, batch_mc = MemoryController(), MemoryController()
+    scalar_result = scalar_mc.run_trace(trace)
+    batch_result = batch_mc.run_batch(batch)
+    assert (scalar_result.cycles, scalar_result.bursts) == (
+        batch_result.cycles, batch_result.bursts)
+    assert scalar_mc.dram.stats == batch_mc.dram.stats
 
 
 # -- Merkle batch updates --------------------------------------------------
