@@ -16,6 +16,12 @@ noise is what the tolerance absorbs. Comparing a quick-mode report
 against a full-mode baseline is allowed but warned about — input sizes
 differ, so prefer same-mode comparisons (CI runs full vs. full).
 
+Every run also appends one JSON line to a ``BENCH_history.jsonl``
+trajectory file (fresh speedups, regressions, verdict, timestamp), so
+the per-kernel speedup history accumulates across comparisons; CI
+uploads the file as a build artifact. ``--history`` moves it,
+``--no-history`` skips it.
+
 Usage::
 
     python scripts/bench_perf.py --output /tmp/fresh.json
@@ -30,6 +36,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 
 def load_report(path: str) -> dict:
@@ -63,6 +70,25 @@ def compare(baseline: dict, fresh: dict, tolerance: float):
     return rows, regressions, missing
 
 
+def append_history(path: str, fresh: dict, regressions, missing,
+                   tolerance: float) -> None:
+    """Append this comparison to the JSONL trajectory file."""
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "mode": fresh.get("mode"),
+        "python": fresh.get("python"),
+        "tolerance": tolerance,
+        "speedups": {name: row["speedup"]
+                     for name, row in fresh["kernels"].items()},
+        "regressions": regressions,
+        "missing": missing,
+        "ok": not regressions and not missing,
+    }
+    with open(path, "a") as f:
+        json.dump(record, f, sort_keys=True, separators=(",", ":"))
+        f.write("\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=os.path.join(
@@ -73,6 +99,12 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional speedup drop per kernel "
                              "(default 0.2 = 20%%)")
+    parser.add_argument("--history", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_history.jsonl"),
+        help="JSONL trajectory file each run appends to "
+             "(default: repo BENCH_history.jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the trajectory append")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         raise SystemExit("--tolerance must be in [0, 1)")
@@ -94,6 +126,11 @@ def main(argv=None) -> int:
     for name in missing:
         print(f"{name.ljust(width)}  {baseline['kernels'][name]['speedup']:<9.2f} "
               f"{'-':<10} {'-':<10} MISSING")
+
+    if not args.no_history:
+        path = os.path.abspath(args.history)
+        append_history(path, fresh, regressions, missing, args.tolerance)
+        print(f"\nappended to {path}")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} kernel(s) regressed >"

@@ -53,7 +53,8 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=None,
                         help="process-parallel simulation workers "
-                             "(default: REPRO_SWEEP_WORKERS or 1)")
+                             "(default: REPRO_SWEEP_WORKERS, else "
+                             "cpu_count capped at 8)")
     parser.add_argument("--cache", action="store_true",
                         help="serve repeated grids from the on-disk result cache")
     args = parser.parse_args()

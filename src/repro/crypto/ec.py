@@ -5,11 +5,23 @@ microcontroller (Section III-B: "the ECDHE–ECDSA key-exchange takes
 23.1 ms" on a MicroBlaze). This module implements the curve group from
 scratch: affine points, Jacobian-coordinate scalar multiplication, and
 the operation counting hooks the microcontroller latency model uses.
+
+Fast path (:mod:`repro.perf`): ``scalar_mult`` recodes the scalar in
+width-5 wNAF (half the additions of plain double-and-add), and
+``base_mult`` walks an ``lru_cache``-d fixed-base window table for the
+curve generator (no doublings at all). Both produce bit-identical
+points to the reference ladder — same exact integer arithmetic, fewer
+group operations. The microcontroller latency model calibrates against
+the reference ladder under ``perf.scalar_mode()``: the modeled firmware
+runs plain double-and-add regardless of how fast the host simulates it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+
+from repro import perf
 
 
 class CurveParams:
@@ -169,8 +181,20 @@ def _jacobian_add(x1, y1, z1, x2, y2, z2, p, a):
     return nx, ny, nz
 
 
-def scalar_mult(k: int, point: ECPoint, curve: CurveParams = P256) -> ECPoint:
-    """Scalar multiplication k*P using Jacobian double-and-add."""
+def _to_affine(rx, ry, rz, p) -> ECPoint:
+    if not ry or not rz:
+        return ECPoint.identity()
+    zinv = _inv_mod(rz, p)
+    zinv2 = zinv * zinv % p
+    return ECPoint(rx * zinv2 % p, ry * zinv2 * zinv % p)
+
+
+def scalar_mult_reference(k: int, point: ECPoint,
+                          curve: CurveParams = P256) -> ECPoint:
+    """The reference ladder: Jacobian double-and-add, always — what the
+    modeled microcontroller firmware executes. Callable directly (the
+    latency model calibrates its op count against this path without
+    toggling the process-wide perf mode)."""
     if point.infinity or k % curve.n == 0:
         return ECPoint.identity()
     k %= curve.n
@@ -182,13 +206,109 @@ def scalar_mult(k: int, point: ECPoint, curve: CurveParams = P256) -> ECPoint:
             rx, ry, rz = _jacobian_add(rx, ry, rz, qx, qy, qz, p, a)
         qx, qy, qz = _jacobian_double(qx, qy, qz, p, a)
         k >>= 1
-    if not ry:
+    return _to_affine(rx, ry, rz, p)
+
+
+def scalar_mult(k: int, point: ECPoint, curve: CurveParams = P256) -> ECPoint:
+    """Scalar multiplication k*P: the reference ladder, or width-5 wNAF
+    on the fast path."""
+    if point.infinity or k % curve.n == 0:
         return ECPoint.identity()
-    zinv = _inv_mod(rz, p)
-    zinv2 = zinv * zinv % p
-    return ECPoint(rx * zinv2 % p, ry * zinv2 * zinv % p)
+    if perf.fast_enabled():
+        return _scalar_mult_wnaf(k % curve.n, point, curve)
+    return scalar_mult_reference(k, point, curve)
+
+
+_WNAF_WIDTH = 5
+
+
+def _wnaf(k: int, width: int = _WNAF_WIDTH):
+    """Width-w non-adjacent form: digits in ±{1, 3, .., 2^(w-1) - 1}
+    with at least w - 1 zeros between nonzero digits, so a 256-bit
+    scalar needs ~256/(w+1) additions instead of ~128."""
+    digits = []
+    while k:
+        if k & 1:
+            digit = k & ((1 << width) - 1)
+            if digit >= 1 << (width - 1):
+                digit -= 1 << width
+            k -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        k >>= 1
+    return digits
+
+
+def _scalar_mult_wnaf(k: int, point: ECPoint, curve: CurveParams) -> ECPoint:
+    p, a = curve.p, curve.a
+    # odd multiples P, 3P, .., (2^(w-1) - 1)P in Jacobian form
+    table = [(point.x, point.y, 1)]
+    twice = _jacobian_double(point.x, point.y, 1, p, a)
+    for _ in range((1 << (_WNAF_WIDTH - 2)) - 1):
+        last = table[-1]
+        table.append(_jacobian_add(*last, *twice, p, a))
+    rx, ry, rz = 0, 0, 0  # identity (z == 0)
+    for digit in reversed(_wnaf(k)):
+        if rz:
+            rx, ry, rz = _jacobian_double(rx, ry, rz, p, a)
+        if digit:
+            qx, qy, qz = table[abs(digit) >> 1]
+            if digit < 0:
+                qy = p - qy
+            if rz:
+                rx, ry, rz = _jacobian_add(rx, ry, rz, qx, qy, qz, p, a)
+            else:
+                rx, ry, rz = qx, qy, qz
+    return _to_affine(rx, ry, rz, p)
+
+
+_FIXED_WINDOW = 4
+
+
+@lru_cache(maxsize=4)
+def _fixed_base_table(curve: CurveParams):
+    """Window table for the generator: entry [j][d - 1] holds
+    ``d * 2**(w*j) * G`` (Jacobian), covering every w-bit window of a
+    256-bit scalar, so ``base_mult`` needs only ~64 additions and no
+    doublings. Derived once per curve from the curve parameters."""
+    p, a = curve.p, curve.a
+    table = []
+    window_base = (curve.gx, curve.gy, 1)
+    span = 1 << _FIXED_WINDOW
+    for _ in range((curve.n.bit_length() + _FIXED_WINDOW - 1) // _FIXED_WINDOW):
+        row = [window_base]
+        for _ in range(span - 2):
+            row.append(_jacobian_add(*row[-1], *window_base, p, a))
+        table.append(row)
+        window_base = row[-1]  # (span - 1) * base
+        window_base = _jacobian_add(*window_base, *row[0], p, a)  # span * base
+    return table
+
+
+perf.register_cache(_fixed_base_table.cache_clear)
 
 
 def base_mult(k: int, curve: CurveParams = P256) -> ECPoint:
-    """k * G for the curve generator."""
-    return scalar_mult(k, ECPoint(curve.gx, curve.gy), curve)
+    """k * G for the curve generator (fixed-base table on the fast
+    path)."""
+    if not perf.fast_enabled():
+        return scalar_mult(k, ECPoint(curve.gx, curve.gy), curve)
+    k %= curve.n
+    if k == 0:
+        return ECPoint.identity()
+    p = curve.p
+    table = _fixed_base_table(curve)
+    rx, ry, rz = 0, 0, 0
+    window = 0
+    while k:
+        digit = k & ((1 << _FIXED_WINDOW) - 1)
+        if digit:
+            qx, qy, qz = table[window][digit - 1]
+            if rz:
+                rx, ry, rz = _jacobian_add(rx, ry, rz, qx, qy, qz, p, curve.a)
+            else:
+                rx, ry, rz = qx, qy, qz
+        k >>= _FIXED_WINDOW
+        window += 1
+    return _to_affine(rx, ry, rz, p)

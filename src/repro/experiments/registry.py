@@ -95,19 +95,42 @@ def _resolve_cache(cache: Union[bool, ResultCache, None]) -> Optional[ResultCach
     return cache or None
 
 
+#: process-wide runners, one per (workers, shared-cache) configuration:
+#: the persistent worker pool inside a Runner then serves every sweep of
+#: a session instead of being forked per call. Only the process-held
+#: cache singletons (None or a ``default_cache()`` instance) are
+#: memoized — a caller-supplied ResultCache gets a fresh short-lived
+#: Runner, so the table stays bounded and never pins caller objects.
+_shared_runners: Dict[tuple, Runner] = {}
+
+
+def _shared_runner(workers: Optional[int], cache: Optional[ResultCache]) -> Runner:
+    from repro.experiments.runner import default_workers
+
+    resolved = default_workers() if workers is None else max(1, int(workers))
+    if cache is not None and cache not in _default_caches.values():
+        return Runner(workers=resolved, cache=cache)
+    key = (resolved, id(cache))
+    if key not in _shared_runners:
+        _shared_runners[key] = Runner(workers=resolved, cache=cache)
+    return _shared_runners[key]
+
+
 def run_sweep(name: str, workers: Optional[int] = None,
               cache: Union[bool, ResultCache, None] = None,
               runner: Optional[Runner] = None) -> ResultTable:
     """Run a registered sweep to a finished :class:`ResultTable`.
 
-    ``cache`` may be False (compute everything — so benchmark timings
-    stay honest), True (the shared default on-disk cache), a
-    :class:`ResultCache` instance, or None (off unless the
-    ``REPRO_SWEEP_CACHE`` env var enables the default cache).
+    ``cache`` controls the *on-disk* result cache: False (skip it),
+    True (the shared default), a :class:`ResultCache` instance, or None
+    (off unless the ``REPRO_SWEEP_CACHE`` env var enables the default).
+    On the fast path an in-memory first-level cache in the runner also
+    serves repeated jobs within the process; ``repro.perf.scalar_mode``
+    bypasses and drops it, keeping scalar benchmark timings honest.
     """
     definition = get_sweep(name)
     if runner is None:
-        runner = Runner(workers=workers, cache=_resolve_cache(cache))
+        runner = _shared_runner(workers, _resolve_cache(cache))
     table = runner.run(definition.jobs(), columns=definition.columns)
     if definition.post is not None:
         table = definition.post(table)

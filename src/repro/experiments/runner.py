@@ -1,16 +1,29 @@
-"""The sweep runner: cache lookup, process-parallel fan-out, and
-deterministic reassembly.
+"""The sweep runner: two-level cache lookup, a persistent process pool,
+and deterministic reassembly.
 
 Execution contract:
 
 * rows come back in *job order*, regardless of worker count or which
   jobs were cache hits — a sweep's ResultTable is bit-identical for
   ``workers=1`` and ``workers=N``;
-* only cache *misses* are dispatched to workers; hits are served from
-  disk without touching a process pool;
-* worker processes are forked (where the platform allows), so the
-  executor registry and the loaded model zoo are inherited rather than
-  re-imported per job.
+* only cache *misses* are dispatched to workers; hits are served first
+  from the in-memory first-level cache (process-wide, keyed by job,
+  fast-path only), then from disk, without touching a process pool;
+* the worker pool is created once per :class:`Runner` and reused across
+  every ``run()`` / ``_execute_batch`` call — forking a fresh pool per
+  batch was the dominant cost of small sweeps. Worker processes are
+  forked where the platform allows, so the executor registry and the
+  loaded model zoo are inherited rather than re-imported per job;
+* jobs cross the process boundary as chunked SoA payloads (executor
+  names + params strings in parallel tuples) and rows come back as
+  (schema, value-row) pairs instead of per-row dicts, so a chunk is a
+  handful of pickles rather than one per row.
+
+``default_workers()`` resolves the worker count: the
+``REPRO_SWEEP_WORKERS`` environment variable wins; otherwise it falls
+back to ``os.cpu_count()`` capped at 8 (minimum 1). The historical
+default of a single hard-coded worker made every multi-core machine run
+sweeps serially unless callers remembered to pass ``workers=``.
 """
 
 from __future__ import annotations
@@ -18,28 +31,108 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro.experiments.executors  # noqa: F401 — populate the executor registry
+from repro import perf
 from repro.experiments.cache import ResultCache
-from repro.experiments.jobs import Job, execute_job
+from repro.experiments.jobs import Job, execute_job, registry_version
 from repro.experiments.spec import SweepSpec
 from repro.experiments.table import ResultTable
 
 _ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+_MAX_DEFAULT_WORKERS = 8
 
 
 def default_workers() -> int:
     env = os.environ.get(_ENV_WORKERS)
     if env:
         return max(1, int(env))
-    return 1
+    return max(1, min(_MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
 
 
 def _init_worker() -> None:
     # under a spawn start method the child starts with an empty executor
     # registry; importing the package re-populates it
     import repro.experiments  # noqa: F401
+
+
+#: in-memory first-level result cache, in front of the on-disk
+#: ResultCache: executors are pure functions of their params, so within
+#: one process a job's rows never change while the fast path is on.
+#: Rows are copied in and out — callers (and table post-processing) may
+#: mutate what they receive.
+_MEMORY_CACHE: Dict[Job, List[dict]] = {}
+_MEMORY_CACHE_LIMIT = 4096
+
+perf.register_cache(_MEMORY_CACHE.clear)
+
+
+def _copy_rows(rows: List[dict]) -> List[dict]:
+    """One-level-deep row copies (row values are JSON scalars, dicts,
+    or lists per the executor contract)."""
+    return [
+        {key: (dict(value) if isinstance(value, dict)
+               else list(value) if isinstance(value, list) else value)
+         for key, value in row.items()}
+        for row in rows
+    ]
+
+
+def _memory_get(job: Job) -> Optional[List[dict]]:
+    if not perf.fast_enabled():
+        return None
+    rows = _MEMORY_CACHE.get(job)
+    return None if rows is None else _copy_rows(rows)
+
+
+def _memory_put(job: Job, rows: List[dict]) -> None:
+    if not perf.fast_enabled():
+        return
+    if len(_MEMORY_CACHE) >= _MEMORY_CACHE_LIMIT:
+        _MEMORY_CACHE.clear()
+    _MEMORY_CACHE[job] = _copy_rows(rows)
+
+
+# -- SoA chunk payloads ----------------------------------------------------
+
+
+def _encode_rows(rows_per_job: List[List[dict]]):
+    """Pack a chunk's row dicts as (schemas, per-row (schema, values))
+    so repeated keys are pickled once per schema instead of once per
+    row; key order per row is preserved exactly."""
+    schemas: List[Tuple[str, ...]] = []
+    schema_index: Dict[Tuple[str, ...], int] = {}
+    encoded = []
+    for rows in rows_per_job:
+        packed = []
+        for row in rows:
+            keys = tuple(row)
+            index = schema_index.get(keys)
+            if index is None:
+                index = schema_index[keys] = len(schemas)
+                schemas.append(keys)
+            packed.append((index, tuple(row.values())))
+        encoded.append(packed)
+    return schemas, encoded
+
+
+def _decode_rows(payload) -> List[List[dict]]:
+    schemas, encoded = payload
+    return [[dict(zip(schemas[index], values)) for index, values in packed]
+            for packed in encoded]
+
+
+def _run_chunk(chunk):
+    """Worker entry point: execute a chunk of jobs shipped as parallel
+    tuples; the fast/scalar mode travels with the chunk so a pool forked
+    in one mode honours the caller's current mode."""
+    executors, params, fast = chunk
+    if perf.fast_enabled() != fast:
+        perf.set_fast(fast)
+    rows_per_job = [execute_job(Job(executor, params_json))
+                    for executor, params_json in zip(executors, params)]
+    return _encode_rows(rows_per_job)
 
 
 class Runner:
@@ -51,17 +144,62 @@ class Runner:
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self.cache = cache
         self.chunksize = chunksize
+        self._pool = None
+        self._pool_registry_version = -1
+
+    # -- the persistent pool ----------------------------------------------
+
+    def _ensure_pool(self):
+        # a forked pool snapshots the executor registry; an executor
+        # registered since the fork would be invisible to the workers,
+        # so rebuild (per-batch forking previously made this implicit)
+        if (self._pool is not None
+                and self._pool_registry_version != registry_version()):
+            self.close()
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = ctx.Pool(self.workers, initializer=_init_worker)
+            self._pool_registry_version = registry_version()
+        return self._pool
+
+    def close(self) -> None:
+        """Tear the worker pool down (it is rebuilt on demand)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- execution ---------------------------------------------------------
 
     def _execute_batch(self, jobs: Sequence[Job]) -> List[List[dict]]:
         if self.workers <= 1 or len(jobs) <= 1:
             return [execute_job(job) for job in jobs]
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        pool = self._ensure_pool()
         chunksize = self.chunksize or max(1, math.ceil(len(jobs) / (self.workers * 2)))
-        with ctx.Pool(self.workers, initializer=_init_worker) as pool:
-            return pool.map(execute_job, list(jobs), chunksize=chunksize)
+        fast = perf.fast_enabled()
+        chunks = [
+            (tuple(job.executor for job in jobs[i:i + chunksize]),
+             tuple(job.params_json for job in jobs[i:i + chunksize]),
+             fast)
+            for i in range(0, len(jobs), chunksize)
+        ]
+        results: List[List[dict]] = []
+        for payload in pool.map(_run_chunk, chunks, chunksize=1):
+            results.extend(_decode_rows(payload))
+        return results
 
     def run(self, jobs: Union[SweepSpec, Iterable[Job]],
             columns: Optional[Sequence[str]] = None) -> ResultTable:
@@ -71,18 +209,20 @@ class Runner:
 
         rows_by_index: dict = {}
         miss_indices: List[int] = []
-        if self.cache is not None:
-            for i, job in enumerate(jobs):
+        for i, job in enumerate(jobs):
+            cached = _memory_get(job)
+            if cached is None and self.cache is not None:
                 cached = self.cache.get(job)
-                if cached is None:
-                    miss_indices.append(i)
-                else:
-                    rows_by_index[i] = cached
-        else:
-            miss_indices = list(range(len(jobs)))
+                if cached is not None:
+                    _memory_put(job, cached)
+            if cached is None:
+                miss_indices.append(i)
+            else:
+                rows_by_index[i] = cached
 
         computed = self._execute_batch([jobs[i] for i in miss_indices])
         for i, rows in zip(miss_indices, computed):
+            _memory_put(jobs[i], rows)
             if self.cache is not None:
                 self.cache.put(jobs[i], rows)
             rows_by_index[i] = rows

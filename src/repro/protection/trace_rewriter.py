@@ -34,6 +34,25 @@ try:
 except ImportError:  # pragma: no cover - the image bakes numpy in
     _np = None
 
+if _np is not None:
+    from repro.mem.cache_fast import FastSetAssociativeCache
+else:  # pragma: no cover - the image bakes numpy in
+    FastSetAssociativeCache = None
+
+
+def _prev_occurrence(values):
+    """For each element, the index of the previous element with the same
+    value, or ``-1`` for first occurrences. One stable argsort — the
+    vectorized backbone of the cache-pressure guess."""
+    n = len(values)
+    prev = _np.full(n, -1, dtype=_np.int64)
+    if n > 1:
+        order = _np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        same = sorted_values[1:] == sorted_values[:-1]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
 
 def _run_starts(key, coalescable):
     """Start indices of maximal runs of requests that share a metadata
@@ -56,13 +75,25 @@ def _scatter_assemble(out: RequestBatch, batch: RequestBatch, address, size,
                       line_bytes: int) -> None:
     """Interleave the verbatim input stream with positioned metadata
     events (event j rides directly after input request ``ev_pos[j]``)
-    in one vectorized scatter instead of per-run array flushes."""
+    in one vectorized scatter instead of per-run array flushes.
+
+    Event columns may be Python lists (the per-run state machines) or
+    numpy arrays (the fully vectorized paths)."""
     n = len(address)
     m = len(ev_pos)
     if not m:
         out.extend(batch)
         return
-    pos = _np.frombuffer(array("q", ev_pos), dtype=_np.int64)
+    if isinstance(ev_pos, _np.ndarray):
+        pos = ev_pos
+        addr_col = ev_addr
+        write_col = ev_write.astype(_np.int8)
+        kind_col = ev_kind.astype(_np.int8)
+    else:
+        pos = _np.frombuffer(array("q", ev_pos), dtype=_np.int64)
+        addr_col = _np.frombuffer(array("q", ev_addr), dtype=_np.int64)
+        write_col = _np.frombuffer(array("b", ev_write), dtype=_np.int8)
+        kind_col = _np.frombuffer(array("b", ev_kind), dtype=_np.int8)
     total = n + m
     # input i is preceded by i inputs and every event with pos < i;
     # event j by (pos_j + 1) inputs and j events — emission order wins
@@ -72,16 +103,16 @@ def _scatter_assemble(out: RequestBatch, batch: RequestBatch, address, size,
     dest_event = pos + 1 + _np.arange(m, dtype=_np.int64)
     merged_address = _np.empty(total, dtype=_np.int64)
     merged_address[dest_input] = address
-    merged_address[dest_event] = _np.frombuffer(array("q", ev_addr), dtype=_np.int64)
+    merged_address[dest_event] = addr_col
     merged_size = _np.empty(total, dtype=_np.int64)
     merged_size[dest_input] = size
     merged_size[dest_event] = line_bytes
     merged_write = _np.empty(total, dtype=_np.int8)
     merged_write[dest_input] = is_write
-    merged_write[dest_event] = _np.frombuffer(array("b", ev_write), dtype=_np.int8)
+    merged_write[dest_event] = write_col
     merged_kind = _np.empty(total, dtype=_np.int8)
     merged_kind[dest_input] = _np.frombuffer(batch.kind, dtype=_np.int8)
-    merged_kind[dest_event] = _np.frombuffer(array("b", ev_kind), dtype=_np.int8)
+    merged_kind[dest_event] = kind_col
     out.address.frombytes(merged_address.tobytes())
     out.size.frombytes(merged_size.tobytes())
     out.is_write.frombytes(merged_write.tobytes())
@@ -171,8 +202,71 @@ class GuardNNTraceRewriter:
             out.extend(batch)
             return out
         if _np is not None and perf.fast_enabled() and len(batch) >= 16:
+            address = _np.frombuffer(batch.address, dtype=_np.int64)
+            size = _np.frombuffer(batch.size, dtype=_np.int64)
+            chunk_bytes = self.params.chunk_bytes
+            if _np.array_equal(address // chunk_bytes,
+                               (address + size - 1) // chunk_bytes):
+                return self._rewrite_batch_vec(batch, out, address)
             return self._rewrite_batch_runs(batch, out)
         return self._rewrite_batch_loop(batch, out)
+
+    def _rewrite_batch_vec(self, batch: RequestBatch, out: RequestBatch,
+                           address) -> RequestBatch:
+        """All-single-chunk batches (the streaming common case) need no
+        per-run Python state machine at all: same-line runs collapse to
+        a MAC-line-change event stream computed entirely in numpy, then
+        one scatter assembles the interleaved output."""
+        n = len(batch)
+        is_write = _np.frombuffer(batch.is_write, dtype=_np.int8)
+        line_bytes = self.LINE_BYTES
+        line = (self.metadata_base
+                + (address // self.params.chunk_bytes) * self.params.mac_bytes
+                // line_bytes * line_bytes)
+        starts = _run_starts(line, _np.ones(n, dtype=bool))
+        ends = _np.concatenate((starts[1:], [n]))
+        m = len(starts)
+        writes_before = _np.concatenate(([0], _np.cumsum(is_write != 0)))
+        run_any_write = writes_before[ends] > writes_before[starts]
+        run_line = line[starts]
+        run_read_first = is_write[starts] == 0
+
+        first = 0  # run 0 may just extend the carried active line
+        if self._active_line is not None and run_line[0] == self._active_line:
+            if run_any_write[0]:
+                self._active_dirty = True
+            first = 1
+        if first >= m:
+            out.extend(batch)
+            return out
+        # per line change: retire the previous line if dirty, then
+        # fetch the new one when the run leads with a read
+        span = m - first
+        prev_dirty = _np.empty(span, dtype=bool)
+        prev_line = _np.empty(span, dtype=_np.int64)
+        prev_dirty[1:] = run_any_write[first:m - 1]
+        prev_line[1:] = run_line[first:m - 1]
+        prev_dirty[0] = self._active_line is not None and self._active_dirty
+        prev_line[0] = self._active_line if self._active_line is not None else 0
+        has_fill = run_read_first[first:]
+        slot_mask = _np.empty(2 * span, dtype=bool)
+        slot_mask[0::2] = prev_dirty  # the retire precedes the fetch
+        slot_mask[1::2] = has_fill
+        ev_slot = _np.flatnonzero(slot_mask)
+        ev_run = ev_slot >> 1
+        ev_is_wb = (ev_slot & 1) == 0
+        pos = starts[first:]
+        ev_pos = pos[ev_run]
+        ev_addr = _np.where(ev_is_wb, prev_line[ev_run],
+                            run_line[first:][ev_run])
+        ev_write = ev_is_wb.astype(_np.int8)
+        ev_kind = _np.full(len(ev_slot), MAC_CODE, dtype=_np.int8)
+        self._active_line = int(run_line[-1])
+        self._active_dirty = bool(run_any_write[-1])
+        size = _np.frombuffer(batch.size, dtype=_np.int64)
+        _scatter_assemble(out, batch, address, size, is_write,
+                          ev_pos, ev_addr, ev_write, ev_kind, line_bytes)
+        return out
 
     def _rewrite_batch_runs(self, batch: RequestBatch, out: RequestBatch) -> RequestBatch:
         """Vectorized pre-pass + per-run state machine. A run is a
@@ -356,7 +450,16 @@ class MeeTraceRewriter:
     def __init__(self, params: MeeParams = MeeParams(),
                  protected_bytes: int = 1 << 30, metadata_base: int = 1 << 34):
         self.params = params
-        self.cache = SetAssociativeCache(params.cache_bytes, params.line_bytes, ways=8)
+        # the metadata cache: dense numpy state with the batched
+        # access_many kernel on the fast path, the OrderedDict
+        # reference in scalar mode — same API, bit-identical behaviour
+        # (tests/property/test_cache_equivalence.py)
+        if FastSetAssociativeCache is not None and perf.fast_enabled():
+            self.cache = FastSetAssociativeCache(
+                params.cache_bytes, params.line_bytes, ways=8)
+        else:
+            self.cache = SetAssociativeCache(
+                params.cache_bytes, params.line_bytes, ways=8)
         self.metadata_base = metadata_base
         self.regions = self._lay_out(protected_bytes)
 
@@ -452,10 +555,238 @@ class MeeTraceRewriter:
         With numpy, VN-unit spans are precomputed for the whole batch
         (SoA) and runs of requests inside one 512-B unit collapse: the
         run's first request drives the cache state machine, the rest
-        are provably hits and reduce to one dirty-OR / LRU touch."""
+        are provably hits and reduce to one dirty-OR / LRU touch.
+
+        When the cache is the vectorized engine, the whole batch is
+        first attempted as one *speculative program*: every metadata
+        touch the batch will make is laid out up front (tree-walk
+        depths guessed by a vectorized infinite-cache heuristic), run
+        through :meth:`~repro.mem.cache_fast.FastSetAssociativeCache.simulate`
+        in set-collision waves, and validated against the guess. A
+        validated program is provably the sequential result (guards are
+        causally determined by the access prefix, so any fixpoint is
+        unique); a failed validation restores the cache snapshot and
+        falls back to the per-run state machine."""
         if _np is not None and perf.fast_enabled() and len(batch) >= 16:
+            if (isinstance(self.cache, FastSetAssociativeCache)
+                    and len(self.regions.tree_bases) + 1 < self.cache.ways):
+                out = self._rewrite_batch_spec(batch)
+                if out is not None:
+                    return out
             return self._rewrite_batch_runs(batch)
         return self._rewrite_batch_loop(batch)
+
+    def _rewrite_batch_spec(self, batch: RequestBatch):
+        """Speculative whole-batch rewrite on the vectorized cache.
+
+        Returns the rewritten batch, or ``None`` if the guessed
+        tree-walk depths failed validation (cache state restored; the
+        caller re-runs sequentially)."""
+        n = len(batch)
+        address = _np.frombuffer(batch.address, dtype=_np.int64)
+        size = _np.frombuffer(batch.size, dtype=_np.int64)
+        is_write = _np.frombuffer(batch.is_write, dtype=_np.int8)
+        cache = self.cache
+        line_bytes = self.params.line_bytes
+        unit = self.params.data_per_vn_line
+        per_mac = self.params.data_per_mac_line
+        vn_base = self.regions.vn_base
+        mac_base = self.regions.mac_base
+        tree_bases = self.regions.tree_bases
+        arity = self.params.tree_arity
+        levels = len(tree_bases)
+
+        # -- runs and items (one item per (run, VN unit)) ------------------
+        first_unit = address // unit
+        last_unit = (address + size - 1) // unit
+        single = first_unit == last_unit
+        starts = _run_starts(first_unit, single)
+        ends = _np.concatenate((starts[1:], [n]))
+        m = len(starts)
+        writes_before = _np.concatenate(([0], _np.cumsum(is_write != 0)))
+        run_rest_write = writes_before[ends] > writes_before[
+            _np.minimum(starts + 1, n)]
+        run_single = single[starts]
+        run_write = is_write[starts] != 0
+        run_len = ends - starts
+        run_first = first_unit[starts]
+        run_units = _np.where(run_single, 1, last_unit[starts] - run_first + 1)
+
+        item_total = int(run_units.sum())
+        run_item_off = _np.concatenate(([0], _np.cumsum(run_units)[:-1]))
+        item_run = _np.repeat(_np.arange(m), run_units)
+        item_unit = (run_first[item_run]
+                     + _np.arange(item_total) - run_item_off[item_run])
+        item_pos = starts[item_run]
+        item_write = run_write[item_run]
+        item_addr = item_unit * unit
+        item_vn = vn_base + item_unit * line_bytes
+        item_mac = mac_base + item_addr // per_mac * line_bytes
+        # hit-run coalescing: single runs fold their tail's retouches
+        item_rest = _np.where(run_single[item_run], run_len[item_run] - 1, 0)
+        item_fold_write = run_rest_write[item_run] & (item_rest > 0)
+
+        # -- tree-walk depth guesses ---------------------------------------
+        ways = cache.ways
+        pressure = ways * cache.num_sets  # insert-pressure eviction horizon
+        cold = not cache.any_resident()  # fresh cache: skip residency probes
+
+        def guessed_hit(line, idx):
+            """Predict hit/miss for touches of ``line`` at item
+            positions ``idx``: a re-touch hits while the VN/MAC insert
+            pressure since the previous touch (~2 fills per item spread
+            over num_sets sets) cannot have filled its set's ways; an
+            untouched start-resident line hits on the same horizon from
+            batch start. Pure heuristic — validation decides."""
+            prev = _prev_occurrence(line)
+            seen = prev >= 0
+            gap = _np.where(seen, idx - idx[prev], idx + 1)
+            recent = 2 * gap < pressure
+            if cold:
+                return seen & recent
+            return (seen | cache.contains_many(line)) & recent
+
+        def guess_depths(vn_hit, fixed, floor):
+            """Per-item walk depths implied by ``vn_hit`` plus the hit
+            heuristic level by level; ``fixed >= 0`` pins a depth
+            (observed hit in the prior attempt), ``floor`` forces
+            guessed misses below that level (observed misses)."""
+            depth = _np.zeros(item_total, dtype=_np.int64)
+            if not levels:
+                return depth
+            alive = ~vn_hit
+            if fixed is not None:
+                pinned = fixed >= 0
+                depth[pinned & ~vn_hit] = fixed[pinned & ~vn_hit]
+                alive &= ~pinned
+            coverage = unit * arity
+            for level in range(levels):
+                idx = _np.flatnonzero(alive)
+                if not idx.size:
+                    break
+                depth[idx] = level + 1
+                line = (tree_bases[level]
+                        + item_addr[idx] // coverage * line_bytes)
+                hit = guessed_hit(line, idx)
+                if floor is not None:
+                    hit &= level >= floor[idx]
+                alive[idx[hit]] = False
+                coverage *= arity
+            return depth
+
+        item_index = _np.arange(item_total)
+        depth = guess_depths(guessed_hit(item_vn, item_index), None, None)
+
+        snapshot = (cache.tags.copy(), cache.dirty.copy(),
+                    cache.stamp.copy(), cache._clock,
+                    (cache.stats.hits, cache.stats.misses,
+                     cache.stats.evictions, cache.stats.dirty_evictions))
+        base_clock = cache._clock
+
+        for attempt in range(2):
+            # -- lay the program out as flat entry arrays ------------------
+            counts = 2 + depth  # vn, mac, then `depth` tree touches
+            slots = counts + 2 * (item_rest > 0)  # + folded retouch slots
+            entry_off = _np.concatenate(([0], _np.cumsum(counts)[:-1]))
+            slot_off = _np.concatenate(([0], _np.cumsum(slots)[:-1]))
+            total_entries = int(counts.sum())
+            entry_item = _np.repeat(item_index, counts)
+            k_in_item = _np.arange(total_entries) - entry_off[entry_item]
+
+            e_addr = _np.empty(total_entries, dtype=_np.int64)
+            vn_mask = k_in_item == 0
+            mac_mask = k_in_item == 1
+            tree_mask = k_in_item >= 2
+            e_addr[vn_mask] = item_vn
+            e_addr[mac_mask] = item_mac
+            e_kind = _np.where(vn_mask, VN_CODE,
+                               _np.where(mac_mask, MAC_CODE, TREE_CODE))
+            tree_level = k_in_item[tree_mask] - 2
+            tree_item = entry_item[tree_mask]
+            if tree_item.size:
+                cov = unit * arity ** (_np.arange(levels, dtype=_np.int64) + 1)
+                bases = _np.asarray(tree_bases, dtype=_np.int64)
+                e_addr[tree_mask] = (bases[tree_level]
+                                     + item_addr[tree_item] // cov[tree_level]
+                                     * line_bytes)
+            e_write = item_write[entry_item] | (
+                item_fold_write[entry_item] & ~tree_mask)
+            # stamps: each entry's program slot; a folded retouch
+            # inflates its touch's stamp to the replay slot (safe: a
+            # walk inserts at most 2 + levels <= ways lines into any
+            # set, so victims are always pre-run residents whose
+            # relative order is unchanged)
+            stamps = slot_off[entry_item] + k_in_item
+            fold_e = (item_rest > 0)[entry_item]
+            stamps[fold_e & vn_mask] = (slot_off + counts)[entry_item[
+                fold_e & vn_mask]]
+            stamps[fold_e & mac_mask] = (slot_off + counts + 1)[entry_item[
+                fold_e & mac_mask]]
+            stamps += base_clock
+
+            hits = _np.empty(total_entries, dtype=bool)
+            writebacks = _np.full(total_entries, -1, dtype=_np.int64)
+            cache.simulate(e_addr, e_write, stamps, hits, writebacks)
+
+            # -- validate the guess ----------------------------------------
+            ok = True
+            vn_hit = hits[entry_off]
+            t_hits = hits[tree_mask]
+            if levels:
+                if _np.any(vn_hit != (depth == 0)):
+                    ok = False
+                elif tree_item.size:
+                    t_depth = depth[tree_item]
+                    expected = (tree_level == t_depth - 1) & (t_depth < levels)
+                    unconstrained = (tree_level == t_depth - 1) & (
+                        t_depth == levels)
+                    if _np.any((t_hits != expected) & ~unconstrained):
+                        ok = False
+            if ok:
+                cache._clock = base_clock + int(slots.sum())
+                cache.credit_hits(2 * int(item_rest.sum()))
+                break
+
+            cache.tags[...] = snapshot[0]
+            cache.dirty[...] = snapshot[1]
+            cache.stamp[...] = snapshot[2]
+            cache._clock = snapshot[3]
+            (cache.stats.hits, cache.stats.misses, cache.stats.evictions,
+             cache.stats.dirty_evictions) = snapshot[4]
+            if attempt:
+                return None
+            # refine: actual hits pin what the attempt proved, the
+            # heuristic only extends walks past the proven misses
+            first_hit = _np.full(item_total, levels, dtype=_np.int64)
+            hit_tree = t_hits.nonzero()[0]
+            if hit_tree.size:
+                _np.minimum.at(first_hit, tree_item[hit_tree],
+                               tree_level[hit_tree])
+            fixed = _np.where(first_hit < levels, first_hit + 1, -1)
+            depth = guess_depths(vn_hit, fixed, depth)
+
+        # -- assemble positioned events ------------------------------------
+        has_wb = writebacks >= 0
+        has_fill = ~hits
+        slot_mask = _np.empty(2 * total_entries, dtype=bool)
+        slot_mask[0::2] = has_wb  # a writeback precedes its fill
+        slot_mask[1::2] = has_fill
+        ev_slot = _np.flatnonzero(slot_mask)
+        ev_entry = ev_slot >> 1
+        ev_is_wb = (ev_slot & 1) == 0
+        ev_pos = item_pos[entry_item[ev_entry]]
+        ev_addr = _np.where(ev_is_wb, writebacks[ev_entry], e_addr[ev_entry])
+        ev_write = ev_is_wb.astype(_np.int8)
+        wb_kind = _np.where(
+            ev_addr < mac_base, VN_CODE,
+            _np.where(ev_addr < (tree_bases[0] if tree_bases else 1 << 62),
+                      MAC_CODE, TREE_CODE))
+        ev_kind = _np.where(ev_is_wb, wb_kind, e_kind[ev_entry])
+
+        out = RequestBatch()
+        _scatter_assemble(out, batch, address, size, is_write,
+                          ev_pos, ev_addr, ev_write, ev_kind, line_bytes)
+        return out
 
     def _rewrite_batch_runs(self, batch: RequestBatch) -> RequestBatch:
         out = RequestBatch()

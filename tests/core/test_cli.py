@@ -106,6 +106,8 @@ class TestSweep:
         assert len(lines) == 3  # header + NP + BP
 
     def test_preset_to_file_with_cache(self, capsys, tmp_path):
+        import repro.experiments.runner as runner_module
+
         cache_dir = str(tmp_path / "cache")
         out_file = str(tmp_path / "fig3.json")
         args = ["sweep", "--preset", "fig3-inference", "--format", "json",
@@ -113,7 +115,10 @@ class TestSweep:
         assert main(args) == 0
         first = open(out_file).read()
         assert "0 hits, 36 misses" in capsys.readouterr().err
-        assert main(args) == 0  # second run: all 36 jobs from cache
+        # drop the in-memory first level: this test is about on-disk
+        # persistence, i.e. what a second *process* would see
+        runner_module._MEMORY_CACHE.clear()
+        assert main(args) == 0  # second run: all 36 jobs from disk
         assert "36 hits, 0 misses" in capsys.readouterr().err
         assert open(out_file).read() == first
 

@@ -1,11 +1,13 @@
-"""Runner: deterministic ordering, worker-count independence, cache
-integration, and (on real multi-core hardware) the parallel speedup."""
+"""Runner: deterministic ordering, worker-count independence, the
+two-level cache, the persistent pool, and (on real multi-core hardware)
+the parallel speedup."""
 
 import os
 import time
 
 import pytest
 
+import repro.experiments.runner as runner_module
 from repro.experiments import (
     Job,
     ResultCache,
@@ -18,6 +20,30 @@ from repro.experiments import (
 SPEC = SweepSpec(models=("alexnet", "mobilenet", "googlenet"),
                  schemes=("np", "guardnn-ci", "bp"),
                  modes=("inference", "training"))
+
+
+@pytest.fixture
+def no_memory_cache(monkeypatch):
+    """Bypass the in-memory first-level cache so the on-disk layer's
+    hit/miss accounting is observable in isolation."""
+    monkeypatch.setattr(runner_module, "_memory_get", lambda job: None)
+    monkeypatch.setattr(runner_module, "_memory_put", lambda job, rows: None)
+
+
+@pytest.fixture
+def fresh_memory_cache():
+    """An empty in-memory first level with the fast path forced on (the
+    layer is deliberately inert in scalar mode, so these tests would be
+    vacuous under REPRO_SCALAR=1)."""
+    from repro import perf
+
+    previous = perf.fast_enabled()
+    perf.set_fast(True)
+    runner_module._MEMORY_CACHE.clear()
+    yield runner_module._MEMORY_CACHE
+    runner_module._MEMORY_CACHE.clear()
+    perf.set_fast(previous)
+    perf.clear_caches()
 
 
 class TestOrdering:
@@ -47,7 +73,7 @@ class TestWorkerIndependence:
 
 
 class TestCacheIntegration:
-    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+    def test_second_run_is_all_hits_and_identical(self, tmp_path, no_memory_cache):
         cache = ResultCache(str(tmp_path))
         first = Runner(cache=cache).run(SPEC)
         assert cache.misses == len(SPEC.jobs())
@@ -56,7 +82,7 @@ class TestCacheIntegration:
         assert (cache2.hits, cache2.misses) == (len(SPEC.jobs()), 0)
         assert first == second
 
-    def test_partial_overlap_only_computes_new_jobs(self, tmp_path):
+    def test_partial_overlap_only_computes_new_jobs(self, tmp_path, no_memory_cache):
         cache = ResultCache(str(tmp_path))
         Runner(cache=cache).run(SweepSpec(models=("alexnet",), schemes=("np", "bp")))
         cache2 = ResultCache(str(tmp_path))
@@ -64,7 +90,7 @@ class TestCacheIntegration:
             SweepSpec(models=("alexnet",), schemes=("np", "bp", "guardnn-ci")))
         assert (cache2.hits, cache2.misses) == (2, 1)
 
-    def test_parallel_run_populates_cache(self, tmp_path):
+    def test_parallel_run_populates_cache(self, tmp_path, no_memory_cache):
         cache = ResultCache(str(tmp_path))
         Runner(workers=2, cache=cache).run(SPEC)
         cache2 = ResultCache(str(tmp_path))
@@ -72,11 +98,81 @@ class TestCacheIntegration:
         assert cache2.misses == 0
         assert len(table) == len(SPEC.jobs())
 
-    def test_run_sweep_cache_true_uses_default_dir(self, tmp_path, monkeypatch):
+    def test_run_sweep_cache_true_uses_default_dir(self, tmp_path, monkeypatch,
+                                                   fresh_memory_cache):
         monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
         run_sweep("asic-overhead", cache=True)
         assert any(name.endswith(".json")
                    for _, _, files in os.walk(str(tmp_path)) for name in files)
+
+
+class TestMemoryCache:
+    """The in-memory first level in front of the on-disk ResultCache."""
+
+    def test_repeat_run_skips_disk_and_recompute(self, tmp_path, fresh_memory_cache):
+        spec = SweepSpec(models=("alexnet",), schemes=("np", "bp"))
+        cache = ResultCache(str(tmp_path))
+        runner = Runner(cache=cache)
+        first = runner.run(spec)
+        assert cache.misses == 2
+        second = runner.run(spec)
+        assert first == second
+        assert (cache.hits, cache.misses) == (0, 2)  # disk never consulted again
+
+    def test_served_rows_are_copies(self, fresh_memory_cache):
+        spec = SweepSpec(models=("alexnet",), schemes=("np",))
+        runner = Runner()
+        first = runner.run(spec)
+        first.rows[0]["total_cycles"] = -1
+        second = runner.run(spec)
+        assert second.rows[0]["total_cycles"] != -1
+
+    def test_scalar_mode_bypasses_and_clears(self, fresh_memory_cache):
+        from repro import perf
+
+        runner = Runner()
+        spec = SweepSpec(models=("alexnet",), schemes=("np",))
+        runner.run(spec)
+        assert fresh_memory_cache
+        with perf.scalar_mode():
+            assert not fresh_memory_cache  # dropped on mode switch
+            runner.run(spec)
+            assert not fresh_memory_cache  # and not repopulated
+
+    def test_memory_and_disk_agree(self, tmp_path, fresh_memory_cache):
+        spec = SweepSpec(models=("mobilenet",), schemes=("np", "guardnn-ci"))
+        cache = ResultCache(str(tmp_path))
+        from_compute = Runner(cache=cache).run(spec)
+        from_memory = Runner(cache=cache).run(spec)
+        fresh_memory_cache.clear()
+        cache2 = ResultCache(str(tmp_path))
+        from_disk = Runner(cache=cache2).run(spec)
+        assert from_compute == from_memory == from_disk
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_runs(self, fresh_memory_cache):
+        with Runner(workers=2) as runner:
+            runner.run(SweepSpec(models=("alexnet",), schemes=("np", "bp")))
+            pool = runner._pool
+            assert pool is not None
+            fresh_memory_cache.clear()  # force re-execution, same pool
+            runner.run(SweepSpec(models=("alexnet",), schemes=("np", "bp")))
+            assert runner._pool is pool
+        assert runner._pool is None  # context exit tears it down
+
+    def test_chunk_payload_roundtrip(self):
+        rows_per_job = [
+            [{"a": 1, "b": 2}, {"a": 3, "b": 4}],
+            [{"c": "x"}],
+            [],
+            [{"a": 5, "b": 6}, {"b": 7, "a": 8}],  # key order differs
+        ]
+        decoded = runner_module._decode_rows(
+            runner_module._encode_rows(rows_per_job))
+        assert decoded == rows_per_job
+        assert [list(r) for rows in decoded for r in rows] == \
+            [list(r) for rows in rows_per_job for r in rows]
 
 
 @pytest.mark.slow
