@@ -24,8 +24,10 @@ from repro.crypto.sha256_fast import hmac_sha256_many, sha256_many
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.cache_fast import FastSetAssociativeCache
 from repro.mem.controller import MemoryController
+from repro.mem.pipeline import TracePipeline, run_materialized
 from repro.protection.merkle import MerkleTree
 from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewriter
+from repro.workloads import StreamingSpec
 from repro.workloads.generators import streaming_trace, streaming_trace_batch
 
 KEY = bytes(range(16))
@@ -98,6 +100,40 @@ def test_cache_kernel_matches_reference():
     assert fast.flush() == reference.flush()
 
 
+def test_pipeline_chunked_matches_materialized():
+    """The streaming pipeline is the materialized path, bit for bit:
+    same cycles/bursts/traffic for every scheme, across a chunk size
+    that splits the stream's coalesced runs."""
+    for scheme in ("np", "guardnn-ci", "bp"):
+        spec = StreamingSpec(TRACE_BYTES, write_fraction=0.5)
+        streamed = TracePipeline(spec, schemes=(scheme,),
+                                 chunk_requests=1 << 10).run()[scheme].result
+        materialized = run_materialized(spec, scheme)
+        assert (streamed.cycles, streamed.bursts) == (
+            materialized.cycles, materialized.bursts), scheme
+        assert streamed.stats.read_bytes == materialized.stats.read_bytes
+        assert streamed.stats.write_bytes == materialized.stats.write_bytes
+
+
+def test_pipeline_memory_stays_bounded_by_chunk():
+    """Peak traced allocation of a streaming run is O(chunk), not
+    O(trace): a 32 MB stream (524 288 requests — tens of MB as request
+    objects before rewriting even starts) passes through a 4096-request
+    chunk pipeline within a few MB."""
+    import tracemalloc
+
+    spec = StreamingSpec(1 << 25, write_fraction=0.3)
+    materialized_floor = spec.total_requests * 56  # >= one slotted object each
+    tracemalloc.start()
+    try:
+        TracePipeline(spec, schemes=("bp",), chunk_requests=1 << 12).run()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert peak < 8 * 1024 * 1024, f"pipeline peak {peak} bytes is not O(chunk)"
+    assert peak < materialized_floor / 3
+
+
 def test_fig3_sweep_rows_identical_across_paths():
     from repro.experiments import run_sweep
 
@@ -139,6 +175,18 @@ def test_mee_rewrite_batch(benchmark, trace_pair):
 def test_dram_run_batch(benchmark, trace_pair):
     _, batch = trace_pair
     benchmark(lambda: MemoryController().run_batch(batch))
+
+
+def test_pipeline_streaming(benchmark):
+    spec = StreamingSpec(TRACE_BYTES, write_fraction=0.5)
+    benchmark(lambda: TracePipeline(spec, schemes=("bp",),
+                                    chunk_requests=1 << 14).run())
+
+
+def test_pipeline_multischeme(benchmark):
+    spec = StreamingSpec(TRACE_BYTES, write_fraction=0.5)
+    benchmark(lambda: TracePipeline(spec, schemes=("np", "guardnn-ci", "bp"),
+                                    chunk_requests=1 << 14).run())
 
 
 def test_sha256_lane_parallel_256x64(benchmark):

@@ -70,6 +70,8 @@ TARGETS = {
     "dram_bp-interleaved": 5.0,
     "ecdsa_sign": 3.0,
     "fig3_inference_sweep": 15.0,
+    "pipeline_streaming": 5.0,
+    "pipeline_multischeme": 5.0,
 }
 
 
@@ -195,6 +197,57 @@ def bench_merkle(num_leaves: int, updates: int, repeat: int):
     return name, row
 
 
+def bench_pipeline_streaming(nbytes: int, repeat: int):
+    """End-to-end front end: chunked streaming TracePipeline (generate →
+    MEE rewrite → DDR4, fused per chunk) vs the materialized path
+    (whole object trace built, rewritten, then timed)."""
+    from repro.mem.pipeline import TracePipeline, run_materialized
+    from repro.workloads import StreamingSpec
+
+    chunk = 1 << 14
+
+    def spec():
+        return StreamingSpec(nbytes, write_fraction=0.5)
+
+    fast = lambda: TracePipeline(spec(), schemes=("bp",),
+                                 chunk_requests=chunk).run()["bp"].result
+    scalar = lambda: run_materialized(spec(), "bp")
+    return _measure(
+        "pipeline_streaming", fast, scalar, repeat,
+        extra={"bytes": nbytes, "requests": nbytes // 64,
+               "chunk_requests": chunk, "scheme": "bp"},
+        check_equal=lambda a, b: (a.cycles, a.bursts) == (b.cycles, b.bursts))
+
+
+def bench_pipeline_multischeme(nbytes: int, repeat: int):
+    """The shared-pass comparison mode: one generation pass forked
+    through np/guardnn-ci/bp vs three materialized runs."""
+    from repro.mem.pipeline import TracePipeline, run_materialized
+    from repro.workloads import StreamingSpec
+
+    schemes = ("np", "guardnn-ci", "bp")
+    chunk = 1 << 14
+
+    def spec():
+        return StreamingSpec(nbytes, write_fraction=0.5)
+
+    def fast():
+        results = TracePipeline(spec(), schemes=schemes,
+                                chunk_requests=chunk).run()
+        return tuple((results[s].result.cycles, results[s].result.bursts)
+                     for s in schemes)
+
+    def scalar():
+        return tuple((r.cycles, r.bursts)
+                     for r in (run_materialized(spec(), s) for s in schemes))
+
+    return _measure(
+        "pipeline_multischeme", fast, scalar, repeat,
+        extra={"bytes": nbytes, "requests": nbytes // 64,
+               "chunk_requests": chunk, "schemes": len(schemes)},
+        check_equal=lambda a, b: a == b)
+
+
 def bench_ecdsa_sign(repeat: int):
     from repro.crypto.ecdsa import EcdsaKeyPair, ecdsa_sign
     from repro.crypto.rng import HmacDrbg
@@ -235,6 +288,8 @@ def kernel_specs(quick: bool, repeat: int):
         ("rewriter_mee", lambda: bench_rewriter("mee", trace_bytes, repeat)),
         ("dram_streaming", lambda: bench_dram("streaming", dram_bytes, repeat)),
         ("dram_bp-interleaved", lambda: bench_dram("bp-interleaved", dram_bytes, repeat)),
+        ("pipeline_streaming", lambda: bench_pipeline_streaming(trace_bytes, repeat)),
+        ("pipeline_multischeme", lambda: bench_pipeline_multischeme(trace_bytes, repeat)),
         ("merkle_updates", lambda: bench_merkle(1024 if quick else 4096,
                                                 128 if quick else 512, repeat)),
         ("ecdsa_sign", lambda: bench_ecdsa_sign(repeat)),

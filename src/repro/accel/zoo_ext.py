@@ -16,6 +16,7 @@ networks:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.accel.layers import (
@@ -24,6 +25,7 @@ from repro.accel.layers import (
     DenseLayer,
     DepthwiseConvLayer,
     ElementwiseLayer,
+    EmbeddingLayer,
     LayerBase,
     PoolLayer,
 )
@@ -219,6 +221,60 @@ def build_wav2vec2_duration(seconds: float = 1.0) -> NetworkModel:
                         output_elements=seq * 768, family="speech")
 
 
+@dataclass(frozen=True)
+class LlmGeometry:
+    """Decoder-only transformer geometry — shared between the analytic
+    model builders below and the streaming decode-trace generator in
+    :mod:`repro.workloads.llm` (one definition per model, two views)."""
+
+    name: str
+    d_model: int
+    layers: int
+    heads: int
+    d_ff: int
+    vocab: int
+    max_seq: int
+
+
+#: LLM-scale decoder families: the class of model whose traces motivate
+#: the streaming pipeline (materializing one GPT-2-XL decode trace costs
+#: gigabytes of request objects)
+LLM_GEOMETRIES: Dict[str, LlmGeometry] = {
+    "gpt2": LlmGeometry("gpt2", d_model=768, layers=12, heads=12, d_ff=3072,
+                        vocab=50257, max_seq=1024),
+    "gpt2-xl": LlmGeometry("gpt2-xl", d_model=1600, layers=48, heads=25,
+                           d_ff=6400, vocab=50257, max_seq=1024),
+    "llama-7b": LlmGeometry("llama-7b", d_model=4096, layers=32, heads=32,
+                            d_ff=11008, vocab=32000, max_seq=2048),
+}
+
+
+def llm_geometry(name: str) -> LlmGeometry:
+    if name not in LLM_GEOMETRIES:
+        raise KeyError(f"unknown LLM geometry {name!r}; known: {sorted(LLM_GEOMETRIES)}")
+    return LLM_GEOMETRIES[name]
+
+
+def build_decoder_lm(name: str, seq: int = None) -> NetworkModel:
+    """GPT-2/LLaMA-class decoder-only LM as an analytic network model:
+    token-embedding gather, ``layers`` decoder blocks (attention + MLP;
+    the encoder builder's traffic shape matches a causal decoder's),
+    and the tied LM head over the full vocabulary."""
+    g = llm_geometry(name)
+    seq = g.max_seq if seq is None else seq
+    if not 1 <= seq <= g.max_seq:
+        raise ValueError(f"seq must be in [1, {g.max_seq}] for {name}")
+    layers: List[LayerBase] = [
+        EmbeddingLayer("embed", rows=g.vocab, dim=g.d_model, lookups_per_sample=seq),
+    ]
+    for i in range(g.layers):
+        layers += _transformer_encoder(f"dec{i + 1}", seq, g.d_model, g.heads, g.d_ff)
+    layers.append(DenseLayer("lm_head", in_features=g.d_model, out_features=g.vocab,
+                             seq=seq))
+    return NetworkModel(f"{name}-{seq}s", layers, input_elements=seq,
+                        output_elements=seq * g.vocab, family="transformer")
+
+
 EXTENDED_ZOO = {
     "resnet18": lambda: build_resnet(18),
     "resnet34": lambda: build_resnet(34),
@@ -233,6 +289,8 @@ EXTENDED_ZOO = {
     "vit-large": lambda: build_vit("large"),
     "bert-large": lambda: build_bert_custom(d_model=1024, depth=24, heads=16),
     "wav2vec2-10s": lambda: build_wav2vec2_duration(10.0),
+    "gpt2-xl": lambda: build_decoder_lm("gpt2-xl"),
+    "llama-7b": lambda: build_decoder_lm("llama-7b"),
 }
 
 

@@ -343,3 +343,44 @@ def crypto_kernel(params: Dict[str, object]) -> Dict[str, object]:
         "bytes": nbytes,
         "output_sha256": hashlib.sha256(out).hexdigest(),
     }
+
+
+@executor("pipeline_run")
+def pipeline_run(params: Dict[str, object]) -> List[Dict[str, object]]:
+    """End-to-end streaming simulation of one workload through the
+    :class:`~repro.mem.pipeline.TracePipeline`: one generation pass,
+    every requested protection scheme timed on its own DDR4 controller
+    (the multi-scheme shared-pass mode). One row per scheme, with the
+    unprotected baseline's cycles joined in as ``slowdown``."""
+    from repro.mem.pipeline import DEFAULT_CHUNK_REQUESTS, TracePipeline
+    from repro.workloads import build_trace_spec
+
+    workload = str(params["workload"])
+    schemes = tuple(params.get("schemes", ("np", "guardnn-c", "guardnn-ci", "bp")))
+    chunk_requests = int(params.get("chunk_requests", DEFAULT_CHUNK_REQUESTS))
+    spec_params = {key: value for key, value in params.items()
+                   if key not in ("workload", "schemes", "chunk_requests")}
+    spec = build_trace_spec(workload, **spec_params)
+    results = TracePipeline(spec, schemes=schemes,
+                            chunk_requests=chunk_requests).run()
+    baseline = results.get("np")
+    rows = []
+    for name in schemes:
+        outcome = results[name]
+        timing = outcome.result
+        row = {
+            "workload": workload,
+            "scheme": name,
+            "requests": timing.requests,
+            "bursts": timing.bursts,
+            "cycles": timing.cycles,
+            "data_bytes": timing.stats.data_bytes,
+            "metadata_bytes": timing.stats.metadata_bytes,
+            "traffic_increase_pct": round(100 * timing.stats.traffic_increase(), 3),
+            "chunks": outcome.chunks,
+            "chunk_requests": chunk_requests,
+        }
+        if baseline is not None:
+            row["slowdown"] = round(outcome.slowdown_vs(baseline), 4)
+        rows.append(row)
+    return rows

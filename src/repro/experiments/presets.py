@@ -157,6 +157,34 @@ def dram_characterization() -> List[Job]:
     ]
 
 
+@register_sweep("pipeline-patterns",
+                title="Streaming pipeline — synthetic patterns, shared-pass schemes")
+def pipeline_patterns() -> List[Job]:
+    schemes = ["np", "guardnn-c", "guardnn-ci", "bp"]
+    return [
+        Job.make("pipeline_run", workload="streaming", nbytes=1 << 18,
+                 write_fraction=0.3, schemes=schemes, chunk_requests=1 << 12),
+        Job.make("pipeline_run", workload="random", n_requests=4096,
+                 span_bytes=1 << 26, seed=3, schemes=schemes,
+                 chunk_requests=1 << 12),
+        Job.make("pipeline_run", workload="bp-metadata", nbytes=1 << 18,
+                 schemes=schemes, chunk_requests=1 << 12),
+    ]
+
+
+@register_sweep("llm-streaming",
+                title="LLM decode traffic through the streaming pipeline")
+def llm_streaming() -> List[Job]:
+    # a truncated GPT-2 stack keeps the grid tier-1-friendly (the full
+    # gpt2-xl / llama-7b geometries run through the same executor — see
+    # scripts/pipeline_memcheck.py and the README's workload table)
+    schemes = ["np", "guardnn-c", "guardnn-ci", "bp"]
+    return [
+        Job.make("pipeline_run", workload="gpt2", layers=4, tokens=1,
+                 context=128, schemes=schemes, chunk_requests=1 << 16),
+    ]
+
+
 @register_sweep("crypto-kernels", title="Functional crypto kernel checksums")
 def crypto_kernels() -> List[Job]:
     return [

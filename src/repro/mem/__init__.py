@@ -14,17 +14,24 @@ pieces the evaluation needs:
   baseline protection's VN/MAC metadata cache.
 * :mod:`repro.mem.batch` — structure-of-arrays request batches, the
   allocation-free fast lane of the trace pipeline.
+* :mod:`repro.mem.pipeline` — the streaming generate → protect → time
+  pipeline (bounded memory, multi-scheme shared pass).
 """
 
 from repro.mem.batch import RequestBatch
 from repro.mem.trace import MemoryRequest, RequestKind, TraceStats
 from repro.mem.layout import AddressLayout
 from repro.mem.dram import DramTiming, DramChip, DDR4_2400
-from repro.mem.controller import MemoryController
+from repro.mem.controller import ControllerSession, MemoryController
 from repro.mem.cache import SetAssociativeCache, CacheStats
+from repro.mem.pipeline import PipelineResult, TracePipeline, run_materialized
 
 __all__ = [
     "RequestBatch",
+    "ControllerSession",
+    "TracePipeline",
+    "PipelineResult",
+    "run_materialized",
     "MemoryRequest",
     "RequestKind",
     "TraceStats",

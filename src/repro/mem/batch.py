@@ -23,6 +23,11 @@ from typing import Iterable, Iterator, List
 
 from repro.mem.trace import MemoryRequest, RequestKind, TraceStats
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
 #: fixed kind <-> small-int code mapping used inside batches
 KINDS = (RequestKind.DATA, RequestKind.VN, RequestKind.MAC, RequestKind.TREE)
 KIND_CODE = {kind: code for code, kind in enumerate(KINDS)}
@@ -85,6 +90,35 @@ class RequestBatch:
             kind.append(code[req.kind])
         return batch
 
+    @classmethod
+    def from_arrays(cls, address, size, is_write, kind=None) -> "RequestBatch":
+        """Build a batch straight from numpy columns — the vectorized
+        generators' zero-copy-ish entry point (one ``tobytes`` per
+        column instead of one ``append`` per request).
+
+        ``address``/``size`` are any integer arrays, ``is_write`` a
+        bool/int array, ``kind`` an int8 kind-code array (``None`` for
+        all-DATA). Validation matches :meth:`append` (and with it
+        ``MemoryRequest.__post_init__``), applied batch-wide.
+        """
+        address = _np.ascontiguousarray(address, dtype=_np.int64)
+        size = _np.ascontiguousarray(size, dtype=_np.int64)
+        if address.size and int(address.min()) < 0:
+            raise ValueError("address must be non-negative")
+        if size.size and int(size.min()) <= 0:
+            raise ValueError("size must be positive")
+        batch = cls()
+        batch.address.frombytes(address.tobytes())
+        batch.size.frombytes(size.tobytes())
+        batch.is_write.frombytes(
+            _np.ascontiguousarray(is_write, dtype=_np.int8).tobytes())
+        if kind is None:
+            batch.kind.frombytes(bytes(len(address)))  # DATA_CODE == 0
+        else:
+            batch.kind.frombytes(
+                _np.ascontiguousarray(kind, dtype=_np.int8).tobytes())
+        return batch
+
     def extend(self, other: "RequestBatch") -> None:
         self.address.extend(other.address)
         self.size.extend(other.size)
@@ -120,14 +154,25 @@ class RequestBatch:
 
     def stats(self) -> TraceStats:
         """Per-kind byte counts, identical to feeding every request
-        through :meth:`TraceStats.add`."""
-        read_totals = [0, 0, 0, 0]
-        write_totals = [0, 0, 0, 0]
-        for size, is_write, kind in zip(self.size, self.is_write, self.kind):
-            if is_write:
-                write_totals[kind] += size
-            else:
-                read_totals[kind] += size
+        through :meth:`TraceStats.add`. One ``bincount`` over
+        (kind, direction) buckets instead of a per-request loop — the
+        streaming pipeline calls this once per chunk per scheme."""
+        if _np is not None and len(self.size) >= 64:
+            size = _np.frombuffer(self.size, dtype=_np.int64)
+            is_write = _np.frombuffer(self.is_write, dtype=_np.int8)
+            kind = _np.frombuffer(self.kind, dtype=_np.int8)
+            buckets = _np.bincount(kind + 4 * (is_write != 0),
+                                   weights=size, minlength=8)
+            read_totals = [int(b) for b in buckets[:4]]
+            write_totals = [int(b) for b in buckets[4:]]
+        else:
+            read_totals = [0, 0, 0, 0]
+            write_totals = [0, 0, 0, 0]
+            for size, is_write, kind in zip(self.size, self.is_write, self.kind):
+                if is_write:
+                    write_totals[kind] += size
+                else:
+                    read_totals[kind] += size
         stats = TraceStats()
         for code, kind in enumerate(KINDS):
             if read_totals[code]:

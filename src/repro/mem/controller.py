@@ -161,32 +161,149 @@ class MemoryController:
         """Time a :class:`RequestBatch` — same FR-FCFS schedule and
         cycle accounting as :meth:`run_trace`, but burst expansion and
         address decomposition happen once, vectorized, and the schedule
-        loop services whole row-hit runs at a time.
+        loop services whole row-hit runs at a time (see
+        :class:`ControllerSession`, which owns the loop; this method is
+        the one-shot feed + finish)."""
+        session = ControllerSession(self)
+        session.feed(batch)
+        return session.finish()
 
-        The window is kept as out-of-order ``leftovers`` plus a
-        contiguous FIFO tail, so the streaming common case (row-hit at
-        the window head) never touches a deque. Within a run of hits on
-        one bank the per-burst DDR4 recurrence stabilizes into the
-        bus-bound regime (``data_start`` advancing by the burst slot,
-        the command pointer trailing it by the queue-coupling constant);
-        once it does, the remaining bursts before the next refresh are
-        timed in closed form. Every step reproduces
-        :meth:`DramChip.access_decomposed` cycle-exactly — asserted by
-        the equivalence suite and the per-kernel benches."""
-        stats = batch.stats()
-        writes, bank_list, row_list, run_end = self._expand_bursts_soa(batch)
-        n = len(bank_list)
-        dram = self.dram
+    def session(self) -> "ControllerSession":
+        """Open a streaming run over this controller's DRAM state."""
+        return ControllerSession(self)
+
+    def effective_bandwidth_gbps(self, nbytes: int = 1 << 20, write_fraction: float = 0.3,
+                                 stride: int = 64) -> float:
+        """Measure sustainable bandwidth with a streaming read/write mix
+        (the access shape of a DNN accelerator fetching tiles)."""
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        # deliberately keeps the historical int(1/f) cadence (33% writes
+        # for f=0.3) rather than the generators' exact write mask: this
+        # mix calibrates the analytic bandwidth model, and changing it
+        # would move the pinned Figure-3 goldens
+        writes_every = int(1 / write_fraction) if write_fraction > 0 else 0
+        n = nbytes // stride
+        if perf.fast_enabled():
+            trace = RequestBatch()
+            for i in range(n):
+                is_write = writes_every > 0 and (i % writes_every == 0)
+                trace.append(i * stride, stride, is_write)
+        else:
+            trace = []
+            for i in range(n):
+                is_write = writes_every > 0 and (i % writes_every == 0)
+                trace.append(MemoryRequest(address=i * stride, size=stride, is_write=is_write))
+        result = self.run_trace(trace)
+        return result.bandwidth_gbps(self.dram.timing.freq_mhz, self.layout.burst_bytes)
+
+
+class ControllerSession:
+    """A resumable FR-FCFS run: feed successive :class:`RequestBatch`
+    chunks, get the **bit-identical** schedule of one monolithic
+    :meth:`MemoryController.run_batch` over their concatenation.
+
+    The monolithic loop's only cross-request state is the DRAM timing
+    state (owned by the controller, which persists anyway) plus the
+    scheduling window. The session therefore schedules only while the
+    window can be held at full depth; once a chunk cannot refill it,
+    the un-issued window residue — out-of-order leftovers first, then
+    the FIFO tail, i.e. exactly the window in age order — is carried
+    as burst descriptors and replayed ahead of the next chunk's bursts.
+    Every scheduling decision is thus taken with the same window
+    contents in the same order as the monolithic run, so cycles,
+    bursts, per-bank state, and DRAM stats all match exactly (the
+    pipeline-equivalence property suite asserts this across chunk
+    sizes, including chunk seams that split a row-hit run).
+
+    Within a chunk the loop is the one :meth:`run_batch` always ran:
+    row-hit runs serviced wholesale with a closed-form bus-bound jump
+    between refreshes on the fast path, the plain windowed reference
+    loop under ``REPRO_SCALAR=1``.
+    """
+
+    def __init__(self, controller: MemoryController):
+        self.controller = controller
+        self._stats = TraceStats()
+        self._requests = 0
+        self._bursts = 0
+        self._cycle = 0
+        self._last_data_end = 0
+        self._run_hits = 0
+        # window residue carried across chunks (burst descriptors in
+        # window/age order: leftovers first, then the FIFO tail)
+        self._carry_write: List[int] = []
+        self._carry_bank: List[int] = []
+        self._carry_row: List[int] = []
+        self._leftover_hit_possible = True
+        self._result = None
+
+    def feed(self, batch: RequestBatch) -> None:
+        """Append one chunk to the stream and schedule as far as the
+        window allows."""
+        if self._result is not None:
+            raise RuntimeError("session already finished")
+        if not len(batch):
+            return
+        self._stats.merge(batch.stats())
+        self._requests += len(batch)
+        writes, banks, rows, run_end = self.controller._expand_bursts_soa(batch)
+        self._schedule(writes, banks, rows, run_end, final=False)
+
+    def finish(self) -> ControllerResult:
+        """Drain the window and return the whole stream's result."""
+        if self._result is None:
+            self._schedule([], [], [], None, final=True)
+            self.controller.dram.stats["row_hits"] += self._run_hits
+            self._run_hits = 0
+            self._result = ControllerResult(
+                cycles=max(self._cycle, self._last_data_end),
+                requests=self._requests, bursts=self._bursts, stats=self._stats)
+        return self._result
+
+    @staticmethod
+    def _run_ends(bank_list, row_list):
+        """Recompute row-hit run ends over carried + fresh bursts (the
+        seam may fuse a split run back together)."""
+        bank_arr = _np.asarray(bank_list, dtype=_np.int64)
+        row_arr = _np.asarray(row_list, dtype=_np.int64)
+        boundary = _np.empty(len(bank_arr), dtype=bool)
+        boundary[-1] = True
+        boundary[:-1] = (bank_arr[1:] != bank_arr[:-1]) | (row_arr[1:] != row_arr[:-1])
+        run_ends = _np.flatnonzero(boundary) + 1
+        return _np.repeat(run_ends,
+                          _np.diff(_np.concatenate(([0], run_ends)))).tolist()
+
+    def _schedule(self, writes, bank_list, row_list, run_end, final: bool) -> None:
+        ctrl = self.controller
+        if self._carry_write:
+            writes = self._carry_write + writes
+            bank_list = self._carry_bank + bank_list
+            row_list = self._carry_row + row_list
+            run_end = None  # recomputed below: the seam may fuse runs
+            self._carry_write, self._carry_bank, self._carry_row = [], [], []
+        n = len(writes)
+        if not n:
+            return
+        depth = ctrl.queue_depth
+        if not final and n < depth:
+            # the window cannot fill yet: every burst carries forward
+            self._carry_write = list(writes)
+            self._carry_bank = list(bank_list)
+            self._carry_row = list(row_list)
+            return
+        dram = ctrl.dram
         dram_banks = dram._banks  # the scan needs raw open-row state
         access = dram.access_decomposed
-        depth = self.queue_depth
-        cycle = 0
-        last_data_end = 0
+        cycle = self._cycle
+        last_data_end = self._last_data_end
         bursts = 0
 
         # REPRO_SCALAR drops even the batch entry point to the plain
         # windowed reference loop (the escape hatch for bisecting a
         # suspected run-servicing bug)
+        if run_end is None and _np is not None and perf.fast_enabled():
+            run_end = self._run_ends(bank_list, row_list)
         if run_end is None or not perf.fast_enabled():
             window = deque()
             head = 0
@@ -194,6 +311,8 @@ class MemoryController:
                 while head < n and len(window) < depth:
                     window.append(head)
                     head += 1
+                if not final and len(window) < depth:
+                    break  # refill exhausted: pause until the next chunk
                 chosen_pos = None
                 for pos, j in enumerate(window):
                     if dram_banks[bank_list[j]].open_row == row_list[j]:
@@ -208,9 +327,10 @@ class MemoryController:
                 if data_end > last_data_end:
                     last_data_end = data_end
                 bursts += 1
-            total = max(cycle, last_data_end)
-            return ControllerResult(cycles=total, requests=len(batch),
-                                    bursts=bursts, stats=stats)
+            residue = list(window)
+            self._save(writes, bank_list, row_list, residue, cycle,
+                       last_data_end, bursts)
+            return
 
         t = dram.timing
         tRCD = t.tRCD
@@ -227,9 +347,11 @@ class MemoryController:
         # open rows change only on miss/conflict accesses and refreshes,
         # so once a scan proves no leftover hits, the result stands until
         # one of those happens — the scan is skipped in between
-        leftover_hit_possible = True
+        leftover_hit_possible = self._leftover_hit_possible
         tail_lo = 0  # contiguous FIFO tail [tail_lo, tail_hi)
         while leftovers or tail_lo < n:
+            if not final and len(leftovers) + (n - tail_lo) < depth:
+                break  # the window can no longer fill: pause here
             # FR-FCFS: the first row hit in window order wins, and
             # leftovers precede the FIFO tail
             j = -1
@@ -323,27 +445,19 @@ class MemoryController:
             if data_end > last_data_end:
                 last_data_end = data_end
             bursts += 1
-        dram.stats["row_hits"] += run_hits
-        total = max(cycle, last_data_end)
-        return ControllerResult(cycles=total, requests=len(batch), bursts=bursts, stats=stats)
+        self._run_hits += run_hits
+        self._leftover_hit_possible = leftover_hit_possible
+        residue = leftovers + list(range(tail_lo, n))
+        self._save(writes, bank_list, row_list, residue, cycle,
+                   last_data_end, bursts)
 
-    def effective_bandwidth_gbps(self, nbytes: int = 1 << 20, write_fraction: float = 0.3,
-                                 stride: int = 64) -> float:
-        """Measure sustainable bandwidth with a streaming read/write mix
-        (the access shape of a DNN accelerator fetching tiles)."""
-        if not 0.0 <= write_fraction <= 1.0:
-            raise ValueError("write_fraction must be in [0, 1]")
-        writes_every = int(1 / write_fraction) if write_fraction > 0 else 0
-        n = nbytes // stride
-        if perf.fast_enabled():
-            trace = RequestBatch()
-            for i in range(n):
-                is_write = writes_every > 0 and (i % writes_every == 0)
-                trace.append(i * stride, stride, is_write)
-        else:
-            trace = []
-            for i in range(n):
-                is_write = writes_every > 0 and (i % writes_every == 0)
-                trace.append(MemoryRequest(address=i * stride, size=stride, is_write=is_write))
-        result = self.run_trace(trace)
-        return result.bandwidth_gbps(self.dram.timing.freq_mhz, self.layout.burst_bytes)
+    def _save(self, writes, bank_list, row_list, residue, cycle,
+              last_data_end, bursts) -> None:
+        """Persist loop state; ``residue`` lists the un-issued burst
+        indices in window/age order (empty on a final drain)."""
+        self._carry_write = [writes[j] for j in residue]
+        self._carry_bank = [bank_list[j] for j in residue]
+        self._carry_row = [row_list[j] for j in residue]
+        self._cycle = cycle
+        self._last_data_end = last_data_end
+        self._bursts += bursts

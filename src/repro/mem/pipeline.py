@@ -1,0 +1,156 @@
+"""Streaming trace pipeline: generate → protect → time, in O(chunk) memory.
+
+Before this module, an end-to-end mechanistic run materialized the whole
+trace up front (a Python list or one giant :class:`RequestBatch`),
+rewrote it, and only then timed it — peak memory O(trace), which caps
+workloads far below LLM scale (one GPT-2-XL decode token is ~24 M
+requests). :class:`TracePipeline` fuses the three stages per chunk:
+
+* the **source** is a sliceable :class:`~repro.workloads.generators.TraceSpec`
+  rendering any ``[start, stop)`` request window as a ``RequestBatch``
+  via numpy address arithmetic;
+* the **rewriters** (:func:`~repro.protection.trace_rewriter.build_trace_rewriter`)
+  already carry their state — GuardNN's active MAC line, MEE's metadata
+  cache — across ``rewrite_batch`` calls, so chunked rewriting is the
+  monolithic rewrite by construction;
+* the **controller** runs as a :class:`~repro.mem.controller.ControllerSession`,
+  which pauses/resumes the FR-FCFS window across chunk seams
+  bit-exactly.
+
+The chunked run is therefore *bit-identical* to the monolithic one —
+cycles, bursts, per-kind traffic, DRAM stats, cache state — for every
+chunk size (pinned by ``tests/property/test_pipeline_equivalence.py``),
+while peak memory stays bounded by the chunk size.
+
+**Multi-scheme shared pass**: the paper's comparison figures time the
+same data stream under several protection points. ``TracePipeline``
+accepts a tuple of scheme names and forks each generated chunk through
+every scheme's rewriter + controller in one pass, amortizing trace
+generation across the whole comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.mem.controller import ControllerResult, MemoryController
+
+
+def _build_trace_rewriter(name: str, **params):
+    # deferred: repro.protection pulls in the analytic scheme stack,
+    # which imports repro.mem — a module-level import would cycle
+    from repro.protection.trace_rewriter import build_trace_rewriter
+
+    return build_trace_rewriter(name, **params)
+
+#: default requests per chunk: big enough to amortize the vectorized
+#: kernels, small enough that a chunk (plus its rewritten form and the
+#: controller's burst arrays) stays a few MB
+DEFAULT_CHUNK_REQUESTS = 1 << 16
+
+
+@dataclass
+class PipelineResult:
+    """One scheme's outcome of a streaming run."""
+
+    scheme: str
+    result: ControllerResult
+    source_requests: int
+    chunks: int
+    chunk_requests: int
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    def slowdown_vs(self, baseline: "PipelineResult") -> float:
+        if baseline.result.cycles == 0:
+            return 0.0
+        return self.result.cycles / baseline.result.cycles
+
+
+class TracePipeline:
+    """Fused generate → rewrite → time over a :class:`TraceSpec`.
+
+    ``schemes`` are protection short names (``np`` / ``guardnn-c`` /
+    ``guardnn-ci`` / ``bp``); each gets its own rewriter and DDR4
+    controller, all fed from one generation pass. ``scheme_params``
+    optionally maps a scheme name to rewriter parameters.
+    """
+
+    def __init__(self, source, schemes: Sequence[str] = ("np",),
+                 chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+                 scheme_params: Optional[Dict[str, dict]] = None,
+                 controller_factory=MemoryController):
+        if chunk_requests <= 0:
+            raise ValueError("chunk_requests must be positive")
+        if len(set(schemes)) != len(schemes):
+            raise ValueError("duplicate scheme names")
+        if not schemes:
+            raise ValueError("need at least one scheme")
+        self.source = source
+        self.schemes: Tuple[str, ...] = tuple(schemes)
+        self.chunk_requests = chunk_requests
+        params = scheme_params or {}
+        self.rewriters = {
+            name: _build_trace_rewriter(name, **params.get(name, {}))
+            for name in self.schemes
+        }
+        self.controllers = {name: controller_factory() for name in self.schemes}
+        self._ran = False
+
+    def run(self) -> Dict[str, PipelineResult]:
+        """Stream the whole source through every scheme; one generation
+        pass, per-scheme results keyed by scheme name (input order).
+
+        One-shot: the rewriters' metadata state and the controllers'
+        DRAM state are consumed by the run, so a second call would
+        silently time a different (warm-state) machine — build a fresh
+        pipeline instead."""
+        if self._ran:
+            raise RuntimeError("pipeline already ran; rewriter and DRAM "
+                               "state are consumed — build a new TracePipeline")
+        self._ran = True
+        sessions = {name: self.controllers[name].session()
+                    for name in self.schemes}
+        chunks = 0
+        for batch in self.source.chunks(self.chunk_requests):
+            chunks += 1
+            for name in self.schemes:
+                rewriter = self.rewriters[name]
+                sessions[name].feed(
+                    rewriter.rewrite_batch(batch) if rewriter is not None
+                    else batch)
+        results = {}
+        for name in self.schemes:
+            rewriter = self.rewriters[name]
+            if rewriter is not None:
+                sessions[name].feed(rewriter.flush_batch())
+            results[name] = PipelineResult(
+                scheme=name, result=sessions[name].finish(),
+                source_requests=self.source.total_requests,
+                chunks=chunks, chunk_requests=self.chunk_requests)
+        return results
+
+    def run_single(self, scheme: Optional[str] = None) -> PipelineResult:
+        """Run and return one scheme's result (the only scheme by
+        default)."""
+        if scheme is None:
+            if len(self.schemes) != 1:
+                raise ValueError("several schemes configured; name one")
+            scheme = self.schemes[0]
+        return self.run()[scheme]
+
+
+def run_materialized(source, scheme: str = "np",
+                     controller_factory=MemoryController) -> ControllerResult:
+    """The pre-pipeline path, kept as the reference and benchmark
+    baseline: materialize the whole trace as ``MemoryRequest`` objects,
+    rewrite it in one piece, time it in one piece. Peak memory O(trace)
+    — this is the function whose footprint the pipeline removes."""
+    trace = source.materialize()
+    rewriter = _build_trace_rewriter(scheme)
+    if rewriter is not None:
+        trace = rewriter.rewrite(trace) + rewriter.flush()
+    return controller_factory().run_trace(trace)

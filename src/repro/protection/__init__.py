@@ -32,7 +32,11 @@ from repro.protection.counters import (
     DOMAIN_INPUT,
 )
 from repro.protection.merkle import MerkleTree
-from repro.protection.trace_rewriter import GuardNNTraceRewriter, MeeTraceRewriter
+from repro.protection.trace_rewriter import (
+    GuardNNTraceRewriter,
+    MeeTraceRewriter,
+    build_trace_rewriter,
+)
 
 #: canonical short names for the paper's four protection points; the
 #: CLI, the experiment subsystem, and the property tests all build
@@ -110,4 +114,5 @@ __all__ = [
     "MerkleTree",
     "GuardNNTraceRewriter",
     "MeeTraceRewriter",
+    "build_trace_rewriter",
 ]

@@ -40,6 +40,30 @@ else:  # pragma: no cover - the image bakes numpy in
     FastSetAssociativeCache = None
 
 
+def build_trace_rewriter(name: str, **params):
+    """Mechanistic rewriter for a scheme short name (the same names as
+    :data:`repro.protection.SCHEME_FACTORIES`).
+
+    ``np`` and ``guardnn-c`` leave the request stream untouched (AES-CTR
+    confidentiality adds no transfers), so they return ``None``;
+    ``guardnn-ci`` adds MAC-line traffic, ``bp`` the full MEE
+    VN/MAC/tree walk. ``params`` forward to the scheme's parameter
+    dataclass. Rewriters carry their state (active MAC line, metadata
+    cache) across calls, so one instance rewrites a chunked stream
+    exactly as it would the whole trace.
+    """
+    if name in ("np", "guardnn-c"):
+        if params:
+            raise ValueError(f"scheme {name!r} takes no rewriter parameters")
+        return None
+    if name == "guardnn-ci":
+        return GuardNNTraceRewriter(integrity=True, params=GuardNNParams(**params))
+    if name == "bp":
+        return MeeTraceRewriter(params=MeeParams(**params))
+    raise KeyError(
+        f"unknown scheme {name!r}; known: bp, guardnn-c, guardnn-ci, np")
+
+
 def _prev_occurrence(values):
     """For each element, the index of the previous element with the same
     value, or ``-1`` for first occurrences. One stable argsort — the
@@ -683,7 +707,13 @@ class MeeTraceRewriter:
                      cache.stats.evictions, cache.stats.dirty_evictions))
         base_clock = cache._clock
 
-        for attempt in range(2):
+        # a failed attempt pins what it observed and can extend a
+        # mispredicted walk by one level, so depth-`levels` walks need
+        # up to levels + 1 tries before the sequential fallback is the
+        # only honest answer (each retry is one cheap `simulate`; the
+        # fallback is orders of magnitude slower)
+        attempts = max(2, levels + 1)
+        for attempt in range(attempts):
             # -- lay the program out as flat entry arrays ------------------
             counts = 2 + depth  # vn, mac, then `depth` tree touches
             slots = counts + 2 * (item_rest > 0)  # + folded retouch slots
@@ -753,7 +783,7 @@ class MeeTraceRewriter:
             cache._clock = snapshot[3]
             (cache.stats.hits, cache.stats.misses, cache.stats.evictions,
              cache.stats.dirty_evictions) = snapshot[4]
-            if attempt:
+            if attempt == attempts - 1:
                 return None
             # refine: actual hits pin what the attempt proved, the
             # heuristic only extends walks past the proven misses

@@ -1,16 +1,56 @@
 """Workload and trace generators for experiments and tests."""
 
 from repro.workloads.generators import (
-    streaming_trace,
+    BpMetadataSpec,
+    RandomSpec,
+    StreamingSpec,
+    TraceSpec,
+    bp_metadata_batch,
+    bp_metadata_trace,
+    random_batch,
+    random_mlp_spec,
     random_trace,
+    streaming_batch,
+    streaming_trace,
     strided_trace,
     tensor_stream_trace,
-    random_mlp_spec,
 )
 
+
+def build_trace_spec(workload: str, **params) -> TraceSpec:
+    """Resolve a workload name to a sliceable :class:`TraceSpec`.
+
+    ``streaming`` / ``random`` / ``bp-metadata`` build the synthetic
+    patterns; any registered LLM geometry name (``gpt2``, ``gpt2-xl``,
+    ``llama-7b``) builds its decode trace. ``params`` forward to the
+    spec constructor.
+    """
+    if workload == "streaming":
+        return StreamingSpec(**params)
+    if workload == "random":
+        return RandomSpec(**params)
+    if workload == "bp-metadata":
+        return BpMetadataSpec(**params)
+    from repro.workloads.llm import LLM_GEOMETRIES, llm_decode_spec
+
+    if workload in LLM_GEOMETRIES:
+        return llm_decode_spec(workload, **params)
+    known = ["streaming", "random", "bp-metadata"] + sorted(LLM_GEOMETRIES)
+    raise KeyError(f"unknown workload {workload!r}; known: {', '.join(known)}")
+
+
 __all__ = [
+    "TraceSpec",
+    "StreamingSpec",
+    "RandomSpec",
+    "BpMetadataSpec",
+    "build_trace_spec",
     "streaming_trace",
+    "streaming_batch",
     "random_trace",
+    "random_batch",
+    "bp_metadata_trace",
+    "bp_metadata_batch",
     "strided_trace",
     "tensor_stream_trace",
     "random_mlp_spec",

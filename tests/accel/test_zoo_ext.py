@@ -4,13 +4,16 @@ import pytest
 
 from repro.accel.zoo_ext import (
     EXTENDED_ZOO,
+    LLM_GEOMETRIES,
     build_bert_custom,
+    build_decoder_lm,
     build_extended,
     build_mobilenet_width,
     build_resnet,
     build_vgg,
     build_vit,
     build_wav2vec2_duration,
+    llm_geometry,
 )
 
 
@@ -99,6 +102,34 @@ class TestBertAndWav2vec:
     def test_invalid_duration(self):
         with pytest.raises(ValueError):
             build_wav2vec2_duration(0)
+
+
+class TestDecoderLms:
+    # published parameter counts (embedding + blocks + head, weight tying
+    # ignored as in the repo's other transformer builders)
+    def test_gpt2_xl_param_scale(self):
+        model = build_decoder_lm("gpt2-xl")
+        # 1.5B-class: transformer blocks alone are ~1.4B params
+        assert 1.3e9 < model.weight_elements() < 2.1e9
+
+    def test_llama_7b_param_scale(self):
+        # the shared encoder builder uses a 2-matrix MLP (LLaMA's gated
+        # third matrix is not modeled), so the count lands ~20% under
+        # the published 6.7B — still unambiguously 7B-class
+        model = build_decoder_lm("llama-7b")
+        assert 4.8e9 < model.weight_elements() < 8.5e9
+
+    def test_seq_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            build_decoder_lm("gpt2-xl", seq=4096)
+
+    def test_unknown_geometry(self):
+        with pytest.raises(KeyError):
+            llm_geometry("gpt5")
+
+    def test_geometries_registered_in_zoo(self):
+        assert "gpt2-xl" in EXTENDED_ZOO and "llama-7b" in EXTENDED_ZOO
+        assert set(LLM_GEOMETRIES) >= {"gpt2", "gpt2-xl", "llama-7b"}
 
 
 class TestRegistry:

@@ -1,0 +1,246 @@
+"""Streaming-pipeline equivalence: chunked == monolithic, bit for bit.
+
+The :class:`~repro.mem.pipeline.TracePipeline` promises that fusing
+generate → rewrite → time per chunk changes *nothing* observable:
+cycles, bursts, per-kind traffic, DRAM bank statistics, and the
+metadata-cache state all match a monolithic run over the whole trace,
+for every chunk size — including seams that split a coalesced
+same-VN-unit hit-run or a DRAM row-hit run mid-way. These tests pin
+that contract, plus the generator-level contracts underneath it
+(vectorized batch == scalar objects; slicing never changes a stream).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import perf
+from repro.mem.batch import RequestBatch
+from repro.mem.controller import MemoryController
+from repro.mem.pipeline import TracePipeline, run_materialized
+from repro.workloads import (
+    BpMetadataSpec,
+    RandomSpec,
+    StreamingSpec,
+    build_trace_spec,
+)
+from repro.workloads.generators import (
+    bp_metadata_batch,
+    bp_metadata_trace,
+    random_batch,
+    random_trace,
+    streaming_batch,
+    streaming_trace,
+)
+from repro.accel.zoo_ext import LlmGeometry
+from repro.workloads.llm import LlmDecodeSpec, llm_decode_spec
+
+SCHEMES = ("np", "guardnn-ci", "bp")
+
+#: a test-sized decoder geometry: the same address-map structure as
+#: gpt2-xl (embedding table / per-layer weights / KV rings) at a size
+#: hypothesis can afford hundreds of end-to-end runs of
+TINY_LM = LlmGeometry("tiny-lm", d_model=64, layers=2, heads=2, d_ff=128,
+                      vocab=512, max_seq=64)
+
+spec_strategy = st.one_of(
+    st.builds(StreamingSpec,
+              nbytes=st.integers(1, 80).map(lambda n: n * 1024),
+              write_fraction=st.sampled_from([0.0, 0.25, 0.3, 0.4, 0.7, 1.0])),
+    st.builds(RandomSpec,
+              n_requests=st.integers(1, 1200),
+              span_bytes=st.sampled_from([1 << 16, 1 << 22, 1 << 26]),
+              seed=st.integers(0, 5),
+              write_fraction=st.sampled_from([0.0, 0.3, 0.5])),
+    st.builds(BpMetadataSpec, nbytes=st.integers(1, 60).map(lambda n: n * 1024)),
+    st.builds(LlmDecodeSpec, geometry=st.just(TINY_LM),
+              layers=st.integers(1, 2), tokens=st.integers(1, 3),
+              context=st.integers(1, 32)),
+)
+
+
+def _run(spec, scheme, chunk_requests):
+    pipeline = TracePipeline(spec, schemes=(scheme,),
+                             chunk_requests=chunk_requests)
+    outcome = pipeline.run()[scheme]
+    rewriter = pipeline.rewriters[scheme]
+    cache_state = rewriter.cache.flush() if scheme == "bp" else None
+    return outcome, pipeline.controllers[scheme].dram.stats, cache_state
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=spec_strategy, scheme=st.sampled_from(SCHEMES),
+       chunk=st.integers(1, 4096), data=st.data())
+def test_chunked_pipeline_matches_monolithic(spec, scheme, chunk, data):
+    """Any chunking of any generator under any scheme reproduces the
+    monolithic run exactly — cycles, bursts, traffic, DRAM stats, and
+    (for BP) the final metadata-cache contents."""
+    chunk = min(chunk, max(spec.total_requests, 1))
+    mono, mono_dram, mono_cache = _run(spec, scheme, 10 ** 9)
+    part, part_dram, part_cache = _run(spec, scheme, chunk)
+    assert (part.result.cycles, part.result.bursts, part.result.requests) == (
+        mono.result.cycles, mono.result.bursts, mono.result.requests)
+    assert part.result.stats.read_bytes == mono.result.stats.read_bytes
+    assert part.result.stats.write_bytes == mono.result.stats.write_bytes
+    assert part_dram == mono_dram
+    assert part_cache == mono_cache
+
+
+@settings(max_examples=10, deadline=None)
+@given(spec=spec_strategy, scheme=st.sampled_from(SCHEMES))
+def test_pipeline_matches_materialized_object_path(spec, scheme):
+    """The streamed run equals the pre-pipeline path: materialize the
+    whole object trace, rewrite it in one piece, time it in one piece."""
+    streamed = TracePipeline(spec, schemes=(scheme,),
+                             chunk_requests=257).run()[scheme].result
+    materialized = run_materialized(spec, scheme)
+    assert (streamed.cycles, streamed.bursts) == (
+        materialized.cycles, materialized.bursts)
+    assert streamed.stats.read_bytes == materialized.stats.read_bytes
+    assert streamed.stats.write_bytes == materialized.stats.write_bytes
+
+
+def test_chunk_seam_splits_coalesced_hit_run():
+    """A seam straight through an 8-request VN-unit run (and through the
+    DRAM row-hit runs it produces) must not perturb anything: chunk
+    sizes prime to every run length, vs the monolithic run."""
+    for chunk in (1, 3, 5, 7, 13, 67, 1021):
+        spec = StreamingSpec(1 << 16, write_fraction=0.4)
+        mono, mono_dram, mono_cache = _run(spec, "bp", 10 ** 9)
+        part, part_dram, part_cache = _run(spec, "bp", chunk)
+        assert (part.result.cycles, part.result.bursts) == (
+            mono.result.cycles, mono.result.bursts), chunk
+        assert part_dram == mono_dram, chunk
+        assert part_cache == mono_cache, chunk
+
+
+def test_multischeme_shared_pass_equals_solo_runs():
+    """Forking one generated stream through several schemes gives each
+    scheme exactly its solo-run result."""
+    schemes = ("np", "guardnn-c", "guardnn-ci", "bp")
+    shared = TracePipeline(StreamingSpec(1 << 16, write_fraction=0.25),
+                           schemes=schemes, chunk_requests=509).run()
+    for scheme in schemes:
+        solo = TracePipeline(StreamingSpec(1 << 16, write_fraction=0.25),
+                             schemes=(scheme,), chunk_requests=509).run()[scheme]
+        assert (shared[scheme].result.cycles, shared[scheme].result.bursts) == (
+            solo.result.cycles, solo.result.bursts), scheme
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=spec_strategy, splits=st.lists(st.integers(0, 1 << 16),
+                                           min_size=0, max_size=6))
+def test_spec_slicing_is_stream_stable(spec, splits):
+    """``batch(0, n)`` equals the concatenation of its pieces for any
+    split points — generation never depends on the chunking."""
+    n = spec.total_requests
+    points = sorted({min(p, n) for p in splits} | {0, n})
+    parts = RequestBatch()
+    for lo, hi in zip(points, points[1:]):
+        parts.extend(spec.batch(lo, hi))
+    assert parts == spec.batch(0, n)
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=spec_strategy, splits=st.lists(st.integers(1, 4096),
+                                           min_size=1, max_size=4))
+def test_controller_session_matches_run_batch(spec, splits):
+    """Feeding a request stream to a :class:`ControllerSession` in
+    arbitrary pieces reproduces one ``run_batch`` call exactly."""
+    whole = spec.batch()
+    mono_ctrl = MemoryController()
+    mono = mono_ctrl.run_batch(whole)
+
+    part_ctrl = MemoryController()
+    session = part_ctrl.session()
+    cursor = 0
+    for size in splits:
+        session.feed(spec.batch(cursor, min(cursor + size, len(whole))))
+        cursor = min(cursor + size, len(whole))
+    session.feed(spec.batch(cursor, len(whole)))
+    part = session.finish()
+    assert (part.cycles, part.requests, part.bursts) == (
+        mono.cycles, mono.requests, mono.bursts)
+    assert part.stats.read_bytes == mono.stats.read_bytes
+    assert part.stats.write_bytes == mono.stats.write_bytes
+    assert part_ctrl.dram.stats == mono_ctrl.dram.stats
+
+
+# -- generator-level contracts ---------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(nbytes=st.integers(0, 200).map(lambda n: n * 64),
+       write_fraction=st.floats(0.0, 1.0, allow_nan=False),
+       base=st.sampled_from([0, 4096, 1 << 30]))
+def test_streaming_batch_matches_scalar_trace(nbytes, write_fraction, base):
+    scalar = streaming_trace(nbytes, base=base, write_fraction=write_fraction)
+    batch = streaming_batch(nbytes, base=base, write_fraction=write_fraction)
+    assert batch.to_requests() == scalar
+
+
+def test_streaming_write_cadence_is_exact():
+    """Non-reciprocal fractions land exactly ``round(n * f)`` writes
+    (the old ``int(1/f)`` cadence turned 0.3 into every-3rd = 33%)."""
+    for fraction, expected in ((0.3, 300), (0.4, 400), (0.25, 250),
+                               (0.75, 750), (1.0, 1000), (0.0, 0)):
+        trace = streaming_trace(64 * 1000, write_fraction=fraction)
+        assert sum(r.is_write for r in trace) == expected, fraction
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1 << 32), n=st.integers(0, 600),
+       write_fraction=st.sampled_from([0.0, 0.3, 0.5, 1.0]))
+def test_random_generator_seeded_equivalence(seed, n, write_fraction):
+    """Same seed, same trace: the scalar loop and the one-array-draw
+    batch generator consume the rng stream identically."""
+    scalar = random_trace(n, 1 << 22, np.random.default_rng(seed),
+                          write_fraction=write_fraction)
+    batch = random_batch(n, 1 << 22, np.random.default_rng(seed),
+                         write_fraction=write_fraction)
+    assert batch.to_requests() == scalar
+
+
+@settings(max_examples=20, deadline=None)
+@given(nbytes=st.integers(0, 12000))
+def test_bp_metadata_batch_matches_scalar_trace(nbytes):
+    assert bp_metadata_batch(nbytes).to_requests() == bp_metadata_trace(nbytes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(layers=st.integers(1, 2), tokens=st.integers(1, 4),
+       context=st.integers(1, 64), seed=st.integers(0, 9))
+def test_llm_decode_vectorized_matches_scalar_mapping(layers, tokens, context,
+                                                      seed):
+    """The numpy index-arithmetic rendering equals the per-request
+    scalar mapping (what ``REPRO_SCALAR=1`` runs)."""
+    spec = LlmDecodeSpec(TINY_LM, layers=layers, tokens=tokens,
+                         context=context, seed=seed)
+    vectorized = spec.batch()
+    with perf.scalar_mode():
+        reference = spec.batch()
+    assert vectorized == reference
+
+
+def test_llm_decode_real_geometry_slices():
+    """The registered gpt2 geometry renders and slices consistently
+    (one deterministic case at real size; the exhaustive sweeps use
+    the tiny geometry above)."""
+    spec = llm_decode_spec("gpt2", layers=1, tokens=1, context=64)
+    n = spec.total_requests
+    assert n == spec.requests_per_token
+    parts = RequestBatch()
+    for chunk in spec.chunks(10007):
+        parts.extend(chunk)
+    assert parts == spec.batch(0, n)
+
+
+def test_build_trace_spec_registry():
+    assert isinstance(build_trace_spec("streaming", nbytes=4096), StreamingSpec)
+    assert isinstance(build_trace_spec("random", n_requests=4, span_bytes=4096),
+                      RandomSpec)
+    assert isinstance(build_trace_spec("bp-metadata", nbytes=4096),
+                      BpMetadataSpec)
+    assert build_trace_spec("gpt2", layers=1, context=4).total_requests > 0
+    with pytest.raises(KeyError):
+        build_trace_spec("lenet-5")
