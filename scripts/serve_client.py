@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Tiny command-line client for a running ``repro serve`` daemon.
+
+Examples::
+
+    # a registered sweep, streamed; final table as JSON on stdout
+    python scripts/serve_client.py --port 8787 sweep --preset fig3-inference
+
+    # an ad-hoc grid
+    python scripts/serve_client.py sweep --models alexnet,vgg16 --schemes np,bp
+
+    # an LLM pipeline run with live per-chunk progress on stderr
+    python scripts/serve_client.py pipeline --workload gpt2 \
+        --schemes np,guardnn-ci --params '{"tokens": 1, "context": 128}'
+
+    # scrape the metrics endpoint
+    python scripts/serve_client.py metrics
+
+Progress/partial events go to stderr, the terminal result to stdout, so
+the output composes with ``jq`` and friends. Exit codes: 0 result,
+2 rejected (saturated — retry after the printed delay), 3 failed,
+4 cancelled.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.service.client import (  # noqa: E402
+    ServiceCancelled,
+    ServiceClient,
+    ServiceJobError,
+    ServiceRejected,
+)
+
+
+def _progress(event: dict) -> None:
+    name = event.get("event")
+    if name == "accepted":
+        note = " (coalesced onto an in-flight job)" if event.get("coalesced") else ""
+        print(f"# accepted key={event.get('key', '')[:12]}…{note}",
+              file=sys.stderr)
+    elif name == "rows":
+        print(f"# +{len(event['rows'])} rows (from job {event['index']})",
+              file=sys.stderr)
+    elif name == "progress":
+        done, total = event["requests_done"], event["total_requests"]
+        pct = 100.0 * done / total if total else 100.0
+        print(f"# chunk {event['chunk']}: {done:,}/{total:,} requests "
+              f"({pct:.1f}%)", file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-event progress on stderr")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="submit a sweep job")
+    p.add_argument("--preset", help="registered sweep name")
+    p.add_argument("--models", help="comma-separated models (ad-hoc grid)")
+    p.add_argument("--schemes", help="comma-separated schemes (ad-hoc grid)")
+    p.add_argument("--batches", help="comma-separated batch sizes")
+    p.add_argument("--modes", help="comma-separated modes")
+
+    p = sub.add_parser("pipeline", help="submit a streaming pipeline job")
+    p.add_argument("--workload", required=True,
+                   help="streaming | random | bp-metadata | gpt2 | gpt2-xl | llama-7b")
+    p.add_argument("--schemes", default="np,guardnn-c,guardnn-ci,bp")
+    p.add_argument("--chunk-requests", type=int, default=None)
+    p.add_argument("--params", default="{}",
+                   help="extra TraceSpec params as a JSON object")
+
+    sub.add_parser("metrics", help="print the /metrics snapshot")
+
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.host, args.port)
+
+    if args.command == "metrics":
+        print(json.dumps(client.metrics(), indent=2))
+        return 0
+
+    if args.command == "sweep":
+        if args.preset:
+            job = {"kind": "sweep", "preset": args.preset}
+        elif args.models:
+            spec = {"models": args.models.split(",")}
+            if args.schemes:
+                spec["schemes"] = args.schemes.split(",")
+            if args.batches:
+                spec["batches"] = [int(b) for b in args.batches.split(",")]
+            if args.modes:
+                spec["modes"] = args.modes.split(",")
+            job = {"kind": "sweep", "spec": spec}
+        else:
+            parser.error("sweep needs --preset or --models")
+    else:
+        job = {"kind": "pipeline", "workload": args.workload,
+               "schemes": args.schemes.split(","),
+               "params": json.loads(args.params)}
+        if args.chunk_requests:
+            job["chunk_requests"] = args.chunk_requests
+
+    try:
+        result = client.run(job, on_event=None if args.quiet else _progress)
+    except ServiceRejected as rejected:
+        print(f"rejected: saturated, retry after {rejected.retry_after}s",
+              file=sys.stderr)
+        return 2
+    except ServiceJobError as error:
+        print(f"job failed: {error}", file=sys.stderr)
+        return 3
+    except ServiceCancelled as cancelled:
+        print(f"job cancelled: {cancelled}", file=sys.stderr)
+        return 4
+    print(json.dumps(result.get("table", result.get("rows")), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

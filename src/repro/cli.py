@@ -10,6 +10,9 @@ Gives downstream users the paper's experiments without writing code:
 * ``traffic`` — the Section III-C traffic-increase numbers;
 * ``compile`` — compile a network's DFG to GuardNN instructions and
   verify the read-counter schedule;
+* ``serve`` — the long-lived simulation-as-a-service daemon (async
+  HTTP/NDJSON job API: coalescing, admission control, streamed partial
+  results, ``/metrics``);
 * ``demo`` — the functional end-to-end secure inference.
 """
 
@@ -91,7 +94,11 @@ def cmd_sweep(args) -> int:
     cache = None
     if not args.no_cache:
         cache = experiments.ResultCache(args.cache_dir)
-    runner = experiments.Runner(workers=args.workers, cache=cache)
+    try:
+        runner = experiments.Runner(workers=args.workers, cache=cache)
+    except ValueError as error:
+        # a malformed REPRO_SWEEP_WORKERS is a configuration error, not a bug
+        raise SystemExit(f"error: {error}")
     if spec is None:
         table = experiments.run_sweep(args.preset, runner=runner)
     else:
@@ -207,6 +214,25 @@ def cmd_bench(args) -> int:
     return module.main(argv)
 
 
+def cmd_serve(args) -> int:
+    """Long-lived simulation-as-a-service daemon (async job API with
+    coalescing, admission control, streamed partials, /metrics)."""
+    from repro.service.server import ServeConfig, run_serve
+
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            max_running=args.max_running, max_queued=args.max_queued,
+            cache=not args.no_cache, cache_dir=args.cache_dir,
+            stream_jobs=args.stream_jobs)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    try:
+        return run_serve(config)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+
 def cmd_demo(args) -> int:
     import numpy as np
 
@@ -261,7 +287,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--modes", default=None,
                    help="comma-separated modes (default: inference)")
     p.add_argument("--workers", type=int, default=None,
-                   help="process-parallel workers (default: REPRO_SWEEP_WORKERS or 1)")
+                   help="process-parallel workers (default: "
+                        "REPRO_SWEEP_WORKERS or cpu count, capped at 8)")
     p.add_argument("--format", default="markdown", choices=("markdown", "csv", "json"))
     p.add_argument("--out", help="write the table to a file instead of stdout")
     p.add_argument("--no-cache", action="store_true",
@@ -301,6 +328,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.epilog = ("any further options (--repeat N, --output FILE, --check, "
                 "--list-kernels, ...) are forwarded to scripts/bench_perf.py")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("serve", help="simulation-as-a-service daemon "
+                                     "(HTTP/NDJSON job API, coalescing, "
+                                     "admission control, /metrics)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 = ephemeral; the bound address is "
+                        "printed to stderr)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="sweep process-pool width (default: "
+                        "REPRO_SWEEP_WORKERS or cpu count, capped at 8)")
+    p.add_argument("--max-running", type=int, default=2,
+                   help="concurrent executing jobs (occupancy capacity)")
+    p.add_argument("--max-queued", type=int, default=8,
+                   help="admitted jobs allowed to wait; beyond this the "
+                        "service sheds load with 429 + Retry-After")
+    p.add_argument("--stream-jobs", type=int, default=None,
+                   help="sweep jobs per streamed partial-rows event "
+                        "(default: 2x pool width)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the shared on-disk result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (default: ~/.cache/repro/sweeps)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("demo", help="functional end-to-end secure inference")
     p.add_argument("--seed", type=int, default=0)

@@ -352,6 +352,16 @@ def pipeline_run(params: Dict[str, object]) -> List[Dict[str, object]]:
     every requested protection scheme timed on its own DDR4 controller
     (the multi-scheme shared-pass mode). One row per scheme, with the
     unprotected baseline's cycles joined in as ``slowdown``."""
+    return pipeline_rows(params)
+
+
+def pipeline_rows(params: Dict[str, object], on_chunk=None,
+                  should_stop=None) -> List[Dict[str, object]]:
+    """The :func:`pipeline_run` body, with the pipeline's streaming
+    hooks exposed: ``repro serve`` calls this directly so one code path
+    produces both the cached executor rows and the per-chunk progress
+    events (and honours cooperative cancellation), guaranteeing the
+    streamed result is bit-identical to the ``pipeline_run`` job."""
     from repro.mem.pipeline import DEFAULT_CHUNK_REQUESTS, TracePipeline
     from repro.workloads import build_trace_spec
 
@@ -362,7 +372,8 @@ def pipeline_run(params: Dict[str, object]) -> List[Dict[str, object]]:
                    if key not in ("workload", "schemes", "chunk_requests")}
     spec = build_trace_spec(workload, **spec_params)
     results = TracePipeline(spec, schemes=schemes,
-                            chunk_requests=chunk_requests).run()
+                            chunk_requests=chunk_requests).run(
+                                on_chunk=on_chunk, should_stop=should_stop)
     baseline = results.get("np")
     rows = []
     for name in schemes:

@@ -1,0 +1,139 @@
+"""Shared worker-pool ownership.
+
+Before ``repro serve``, every :class:`~repro.experiments.runner.Runner`
+owned its process pool outright: created on first parallel batch, torn
+down with the runner. A long-lived service runs *many* runners (one per
+client flight) against *one* machine, so pool ownership moves here — a
+:class:`WorkerPoolManager` owns the pools, runners borrow them, and the
+service decides their lifetime:
+
+* pools are keyed by worker count and created on demand;
+* a pool forked before the latest executor registration is rebuilt (a
+  forked worker snapshots the registry, so late registrations would be
+  invisible to it — the manager tracks
+  :func:`~repro.experiments.jobs.registry_version` per pool);
+* :meth:`invalidate` tears one (or every) pool down for rebuild-on-next-
+  use — the failure path after a job blows up inside ``pool.map``;
+* a runner constructed *without* a manager gets a private one and keeps
+  the historical semantics (its ``close()`` kills the pool); a runner
+  constructed *with* a borrowed manager never kills shared pools on
+  close — only the owner (the service) does, via :meth:`close`.
+
+Thread safety: the service executes concurrent flights on worker
+threads, each running a borrowed-pool ``Runner``; creation/rebuild is
+serialized under a lock. ``multiprocessing.Pool`` dispatch itself is
+fed through a thread-safe task queue, so concurrent ``map`` calls from
+different flights interleave safely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Dict, Optional
+
+from repro.experiments.jobs import registry_version
+
+
+def _init_worker() -> None:
+    # under a spawn start method the child starts with an empty executor
+    # registry; importing the package re-populates it
+    import repro.experiments  # noqa: F401
+
+
+def _make_pool(workers: int, context: Optional[str] = None):
+    methods = multiprocessing.get_all_start_methods()
+    if context is None or context not in methods:
+        context = "fork" if "fork" in methods else None
+    ctx = multiprocessing.get_context(context)
+    return ctx.Pool(workers, initializer=_init_worker)
+
+
+class WorkerPoolManager:
+    """Owns ``multiprocessing`` pools that runners borrow by worker
+    count.
+
+    ``context`` picks the start method. ``None`` (the default) prefers
+    ``fork`` — the cheapest option for a CLI run, and the registry plus
+    loaded model zoo are inherited for free. A long-lived *server* must
+    not fork its own process once clients are connected: every live
+    connection fd (and the event loop's epoll registrations) would be
+    duplicated into the workers, and writes on those connections can be
+    lost. ``repro serve`` therefore passes ``forkserver``, which forks
+    workers from a clean template process started before the first
+    client ever connects — pool rebuilds mid-serve stay safe.
+    """
+
+    def __init__(self, context: Optional[str] = None):
+        self.context = context
+        self._pools: Dict[int, object] = {}
+        self._versions: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- lending -----------------------------------------------------------
+
+    def pool(self, workers: int):
+        """The live pool for ``workers``, created or rebuilt on demand."""
+        workers = max(1, int(workers))
+        with self._lock:
+            pool = self._pools.get(workers)
+            if pool is not None and self._versions[workers] != registry_version():
+                self._terminate_locked(workers)
+                pool = None
+            if pool is None:
+                pool = _make_pool(workers, self.context)
+                self._pools[workers] = pool
+                self._versions[workers] = registry_version()
+            return pool
+
+    def peek(self, workers: int):
+        """The pool for ``workers`` if one exists, without creating it."""
+        return self._pools.get(max(1, int(workers)))
+
+    # -- lifetime ----------------------------------------------------------
+
+    def _terminate_locked(self, workers: int) -> None:
+        pool = self._pools.pop(workers, None)
+        self._versions.pop(workers, None)
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def invalidate(self, workers: Optional[int] = None) -> None:
+        """Tear down one pool (or all of them); rebuilt on next use.
+        This is the recovery path after a worker failure — a fresh fork
+        is cheap insurance against a wedged or state-corrupted pool."""
+        with self._lock:
+            if workers is not None:
+                self._terminate_locked(max(1, int(workers)))
+            else:
+                for count in list(self._pools):
+                    self._terminate_locked(count)
+
+    def close(self) -> None:
+        """Terminate every pool. The manager stays usable (pools are
+        rebuilt on demand), so this is safe to call between bursts of
+        work as well as at shutdown."""
+        self.invalidate()
+
+    @property
+    def active_pools(self) -> int:
+        return len(self._pools)
+
+    @property
+    def active_workers(self) -> int:
+        """Total forked worker processes across live pools (the
+        occupancy half of the service capacity model)."""
+        return sum(pool._processes for pool in self._pools.values())
+
+    def __enter__(self) -> "WorkerPoolManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,5 +1,5 @@
-"""The sweep runner: two-level cache lookup, a persistent process pool,
-and deterministic reassembly.
+"""The sweep runner: two-level cache lookup, a borrowed persistent
+process pool, and deterministic reassembly.
 
 Execution contract:
 
@@ -9,34 +9,40 @@ Execution contract:
 * only cache *misses* are dispatched to workers; hits are served first
   from the in-memory first-level cache (process-wide, keyed by job,
   fast-path only), then from disk, without touching a process pool;
-* the worker pool is created once per :class:`Runner` and reused across
-  every ``run()`` / ``_execute_batch`` call — forking a fresh pool per
-  batch was the dominant cost of small sweeps. Worker processes are
-  forked where the platform allows, so the executor registry and the
-  loaded model zoo are inherited rather than re-imported per job;
+* worker pools are owned by a :class:`~repro.experiments.pool.WorkerPoolManager`
+  and borrowed by the runner — a runner built without one gets a
+  private manager (historical semantics: ``close()`` kills the pool),
+  while ``repro serve`` hands every flight's runner one shared manager
+  so the service owns pool lifetime. Worker processes are forked where
+  the platform allows, so the executor registry and the loaded model
+  zoo are inherited rather than re-imported per job;
 * jobs cross the process boundary as chunked SoA payloads (executor
   names + params strings in parallel tuples) and rows come back as
   (schema, value-row) pairs instead of per-row dicts, so a chunk is a
-  handful of pickles rather than one per row.
+  handful of pickles rather than one per row;
+* a job raising inside a batch surfaces as :class:`JobExecutionError`
+  naming the failing executor and params; rows of jobs that *did*
+  complete in the batch are persisted to both cache levels before the
+  error propagates, and the pool is torn down for a clean rebuild.
 
 ``default_workers()`` resolves the worker count: the
-``REPRO_SWEEP_WORKERS`` environment variable wins; otherwise it falls
-back to ``os.cpu_count()`` capped at 8 (minimum 1). The historical
-default of a single hard-coded worker made every multi-core machine run
-sweeps serially unless callers remembered to pass ``workers=``.
+``REPRO_SWEEP_WORKERS`` environment variable wins (validated — a
+non-numeric or non-positive value is a configuration error, reported as
+such rather than a raw traceback or a silent clamp); otherwise it falls
+back to ``os.cpu_count()`` capped at 8 (minimum 1).
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro.experiments.executors  # noqa: F401 — populate the executor registry
 from repro import perf
 from repro.experiments.cache import ResultCache
-from repro.experiments.jobs import Job, execute_job, registry_version
+from repro.experiments.jobs import Job, execute_job
+from repro.experiments.pool import WorkerPoolManager, _init_worker  # noqa: F401 — re-exported
 from repro.experiments.spec import SweepSpec
 from repro.experiments.table import ResultTable
 
@@ -46,22 +52,54 @@ _MAX_DEFAULT_WORKERS = 8
 
 def default_workers() -> int:
     env = os.environ.get(_ENV_WORKERS)
-    if env:
-        return max(1, int(env))
+    if env is not None and env.strip():
+        try:
+            workers = int(env.strip())
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_WORKERS}={env!r} is not an integer; set it to a "
+                f"positive worker count (e.g. {_ENV_WORKERS}=4) or unset "
+                "it to use the cpu-count default") from None
+        if workers < 1:
+            raise ValueError(
+                f"{_ENV_WORKERS}={workers} is not a valid worker count "
+                "(a sweep needs at least one worker); set it to a "
+                "positive integer or unset it to use the cpu-count "
+                "default")
+        return workers
     return max(1, min(_MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
 
 
-def _init_worker() -> None:
-    # under a spawn start method the child starts with an empty executor
-    # registry; importing the package re-populates it
-    import repro.experiments  # noqa: F401
+class JobExecutionError(RuntimeError):
+    """A job raised while its batch was executing.
+
+    Carries the failing job's identity (executor name + canonical
+    params — enough to reproduce it with ``execute_job``), the original
+    cause rendered as a string (tracebacks don't survive the process
+    boundary), and the ``(batch position, rows)`` pairs of every job in
+    the batch that *did* complete, so the runner can persist them
+    before propagating.
+    """
+
+    def __init__(self, executor: str, params_json: str, cause: str,
+                 completed: Sequence[Tuple[int, List[dict]]] = ()):
+        self.job = Job(executor, params_json)
+        self.cause = cause
+        self.completed: List[Tuple[int, List[dict]]] = list(completed)
+        super().__init__(
+            f"sweep job failed: executor={executor!r} params={params_json} "
+            f"— {cause} ({len(self.completed)} completed job(s) in the "
+            "batch preserved)")
 
 
 #: in-memory first-level result cache, in front of the on-disk
 #: ResultCache: executors are pure functions of their params, so within
 #: one process a job's rows never change while the fast path is on.
 #: Rows are copied in and out — callers (and table post-processing) may
-#: mutate what they receive.
+#: mutate what they receive. Eviction is LRU: lookups re-append their
+#: key (dict insertion order is the recency order) and an overflowing
+#: put evicts oldest-first, so a hot entry survives a long sweep
+#: instead of being wiped with the whole table.
 _MEMORY_CACHE: Dict[Job, List[dict]] = {}
 _MEMORY_CACHE_LIMIT = 4096
 
@@ -83,14 +121,21 @@ def _memory_get(job: Job) -> Optional[List[dict]]:
     if not perf.fast_enabled():
         return None
     rows = _MEMORY_CACHE.get(job)
-    return None if rows is None else _copy_rows(rows)
+    if rows is None:
+        return None
+    # LRU touch: move the key to the recent end of the insertion order
+    _MEMORY_CACHE[job] = _MEMORY_CACHE.pop(job)
+    return _copy_rows(rows)
 
 
 def _memory_put(job: Job, rows: List[dict]) -> None:
     if not perf.fast_enabled():
         return
-    if len(_MEMORY_CACHE) >= _MEMORY_CACHE_LIMIT:
-        _MEMORY_CACHE.clear()
+    if job in _MEMORY_CACHE:
+        _MEMORY_CACHE.pop(job)  # re-insert at the recent end
+    else:
+        while len(_MEMORY_CACHE) >= _MEMORY_CACHE_LIMIT:
+            _MEMORY_CACHE.pop(next(iter(_MEMORY_CACHE)))
     _MEMORY_CACHE[job] = _copy_rows(rows)
 
 
@@ -123,16 +168,34 @@ def _decode_rows(payload) -> List[List[dict]]:
             for packed in encoded]
 
 
+def _describe_error(error: BaseException) -> str:
+    return f"{type(error).__name__}: {error}"
+
+
 def _run_chunk(chunk):
     """Worker entry point: execute a chunk of jobs shipped as parallel
     tuples; the fast/scalar mode travels with the chunk so a pool forked
-    in one mode honours the caller's current mode."""
+    in one mode honours the caller's current mode.
+
+    Returns ``(payload, error)`` — payload encodes the rows of every
+    job that completed (in order, stopping at the first failure) and
+    ``error`` is ``None`` or ``(offset, executor, params_json, cause)``
+    identifying the job that raised. Exceptions are caught per job so a
+    failure surfaces as data instead of poisoning ``pool.map`` and
+    losing the whole batch.
+    """
     executors, params, fast = chunk
     if perf.fast_enabled() != fast:
         perf.set_fast(fast)
-    rows_per_job = [execute_job(Job(executor, params_json))
-                    for executor, params_json in zip(executors, params)]
-    return _encode_rows(rows_per_job)
+    rows_per_job: List[List[dict]] = []
+    error = None
+    for offset, (executor, params_json) in enumerate(zip(executors, params)):
+        try:
+            rows_per_job.append(execute_job(Job(executor, params_json)))
+        except Exception as exc:
+            error = (offset, executor, params_json, _describe_error(exc))
+            break
+    return _encode_rows(rows_per_job), error
 
 
 class Runner:
@@ -140,35 +203,41 @@ class Runner:
 
     def __init__(self, workers: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 chunksize: Optional[int] = None):
+                 chunksize: Optional[int] = None,
+                 pool_manager: Optional[WorkerPoolManager] = None):
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self.cache = cache
         self.chunksize = chunksize
-        self._pool = None
-        self._pool_registry_version = -1
+        # borrowed manager: the caller (the service) owns pool lifetime;
+        # no manager: a private one is created lazily and close() kills it
+        self._manager = pool_manager
+        self._owns_manager = pool_manager is None
 
-    # -- the persistent pool ----------------------------------------------
+    # -- the borrowed pool --------------------------------------------------
+
+    @property
+    def _pool(self):
+        """The live pool for this runner's worker count (or ``None``) —
+        introspection only; execution goes through :meth:`_ensure_pool`."""
+        return None if self._manager is None else self._manager.peek(self.workers)
 
     def _ensure_pool(self):
-        # a forked pool snapshots the executor registry; an executor
-        # registered since the fork would be invisible to the workers,
-        # so rebuild (per-batch forking previously made this implicit)
-        if (self._pool is not None
-                and self._pool_registry_version != registry_version()):
-            self.close()
-        if self._pool is None:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-            self._pool = ctx.Pool(self.workers, initializer=_init_worker)
-            self._pool_registry_version = registry_version()
-        return self._pool
+        if self._manager is None:
+            self._manager = WorkerPoolManager()
+        return self._manager.pool(self.workers)
+
+    def _reset_pool(self) -> None:
+        """Tear this runner's pool down after a failure; it is rebuilt
+        (freshly forked) on the next parallel batch."""
+        if self._manager is not None:
+            self._manager.invalidate(self.workers)
 
     def close(self) -> None:
-        """Tear the worker pool down (it is rebuilt on demand)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Tear the worker pool down (it is rebuilt on demand). A
+        borrowed :class:`WorkerPoolManager` is left untouched — shared
+        pools outlive any one runner and are closed by their owner."""
+        if self._manager is not None and self._owns_manager:
+            self._manager.close()
 
     def __enter__(self) -> "Runner":
         return self
@@ -186,7 +255,15 @@ class Runner:
 
     def _execute_batch(self, jobs: Sequence[Job]) -> List[List[dict]]:
         if self.workers <= 1 or len(jobs) <= 1:
-            return [execute_job(job) for job in jobs]
+            results: List[List[dict]] = []
+            for job in jobs:
+                try:
+                    results.append(execute_job(job))
+                except Exception as exc:
+                    raise JobExecutionError(
+                        job.executor, job.params_json, _describe_error(exc),
+                        completed=list(enumerate(results))) from exc
+            return results
         pool = self._ensure_pool()
         chunksize = self.chunksize or max(1, math.ceil(len(jobs) / (self.workers * 2)))
         fast = perf.fast_enabled()
@@ -196,10 +273,26 @@ class Runner:
              fast)
             for i in range(0, len(jobs), chunksize)
         ]
-        results: List[List[dict]] = []
-        for payload in pool.map(_run_chunk, chunks, chunksize=1):
-            results.extend(_decode_rows(payload))
-        return results
+        try:
+            mapped = pool.map(_run_chunk, chunks, chunksize=1)
+        except Exception:
+            # something worse than a job exception (worker killed,
+            # unpicklable payload): the pool may be wedged — rebuild it
+            self._reset_pool()
+            raise
+        completed: List[Tuple[int, List[dict]]] = []
+        failure = None
+        for chunk_index, (payload, error) in enumerate(mapped):
+            base = chunk_index * chunksize
+            for offset, rows in enumerate(_decode_rows(payload)):
+                completed.append((base + offset, rows))
+            if error is not None and failure is None:
+                offset, executor, params_json, cause = error
+                failure = (executor, params_json, cause)
+        if failure is not None:
+            self._reset_pool()
+            raise JobExecutionError(*failure, completed=completed)
+        return [rows for _, rows in completed]
 
     def run(self, jobs: Union[SweepSpec, Iterable[Job]],
             columns: Optional[Sequence[str]] = None) -> ResultTable:
@@ -220,7 +313,17 @@ class Runner:
             else:
                 rows_by_index[i] = cached
 
-        computed = self._execute_batch([jobs[i] for i in miss_indices])
+        try:
+            computed = self._execute_batch([jobs[i] for i in miss_indices])
+        except JobExecutionError as error:
+            # jobs that completed before the failure are not recomputed
+            # on retry: persist them through both cache levels first
+            for position, rows in error.completed:
+                job = jobs[miss_indices[position]]
+                _memory_put(job, rows)
+                if self.cache is not None:
+                    self.cache.put(job, rows)
+            raise
         for i, rows in zip(miss_indices, computed):
             _memory_put(jobs[i], rows)
             if self.cache is not None:

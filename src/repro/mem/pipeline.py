@@ -37,6 +37,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.mem.controller import ControllerResult, MemoryController
 
 
+class PipelineCancelled(RuntimeError):
+    """A streaming run was cooperatively cancelled at a chunk boundary
+    (see :meth:`TracePipeline.run`'s ``should_stop``). The pipeline's
+    rewriter/DRAM state is consumed — build a fresh one to retry."""
+
+
 def _build_trace_rewriter(name: str, **params):
     # deferred: repro.protection pulls in the analytic scheme stack,
     # which imports repro.mem — a module-level import would cycle
@@ -65,8 +71,13 @@ class PipelineResult:
         return self.result.cycles
 
     def slowdown_vs(self, baseline: "PipelineResult") -> float:
+        """Cycles relative to ``baseline``. A zero-cycle baseline (an
+        empty trace) has no meaningful slowdown: the ratio is undefined,
+        and returning ``0.0`` would silently report "no slowdown" — so
+        this returns ``float("nan")``, which survives JSON/NaN-aware
+        aggregation and fails loudly in comparisons."""
         if baseline.result.cycles == 0:
-            return 0.0
+            return float("nan")
         return self.result.cycles / baseline.result.cycles
 
 
@@ -100,9 +111,17 @@ class TracePipeline:
         self.controllers = {name: controller_factory() for name in self.schemes}
         self._ran = False
 
-    def run(self) -> Dict[str, PipelineResult]:
+    def run(self, on_chunk=None, should_stop=None) -> Dict[str, PipelineResult]:
         """Stream the whole source through every scheme; one generation
         pass, per-scheme results keyed by scheme name (input order).
+
+        ``on_chunk(chunk_index, requests_done, total_requests)`` is
+        called after each chunk has been rewritten and fed through every
+        scheme (1-based chunk index) — the progress hook the service
+        streams to clients. ``should_stop()`` is polled at every chunk
+        boundary *before* the chunk is generated; returning true raises
+        :class:`PipelineCancelled`, the cooperative-cancellation seam (a
+        chunk is the unit of work, so cancellation latency is one chunk).
 
         One-shot: the rewriters' metadata state and the controllers'
         DRAM state are consumed by the run, so a second call would
@@ -115,13 +134,24 @@ class TracePipeline:
         sessions = {name: self.controllers[name].session()
                     for name in self.schemes}
         chunks = 0
+        requests_done = 0
+        total = self.source.total_requests
         for batch in self.source.chunks(self.chunk_requests):
+            if should_stop is not None and should_stop():
+                raise PipelineCancelled(
+                    f"cancelled after {chunks} of "
+                    f"{-(-total // self.chunk_requests)} chunks")
             chunks += 1
+            requests_done += len(batch)
             for name in self.schemes:
                 rewriter = self.rewriters[name]
                 sessions[name].feed(
                     rewriter.rewrite_batch(batch) if rewriter is not None
                     else batch)
+            if on_chunk is not None:
+                on_chunk(chunks, requests_done, total)
+        if should_stop is not None and should_stop():
+            raise PipelineCancelled(f"cancelled after {chunks} chunks")
         results = {}
         for name in self.schemes:
             rewriter = self.rewriters[name]

@@ -1,0 +1,94 @@
+"""Admission control: the bounded front door.
+
+The capacity model has two terms, mirroring how the engine actually
+executes:
+
+* **occupancy** — at most ``max_running`` flights execute at once (the
+  service's flight executor has exactly that many threads, each driving
+  the shared worker pool);
+* **queue depth** — at most ``max_queued`` admitted flights may wait
+  for a thread.
+
+A submission that would push the wait queue past ``max_queued`` is shed
+with a retry-after estimate instead of being buffered: unbounded
+buffering converts overload into unbounded memory growth and unbounded
+client latency, while early 429s keep tail latency flat and let clients
+back off. Joining an *in-flight* identical job (coalescing) never
+counts against capacity — a subscriber adds a queue of references, not
+work.
+
+The retry-after estimate is Little's-law shaped: (jobs ahead of you,
+plus yourself) divided by service rate, using the metrics EWMA of
+flight latency. It is deliberately a hint, rounded up to a whole
+second, not a reservation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    #: seconds the client should wait before retrying (rejections only)
+    retry_after: Optional[int] = None
+    queued: int = 0
+    running: int = 0
+
+
+class AdmissionController:
+    """Counts running/queued flights against the capacity model."""
+
+    def __init__(self, max_running: int = 2, max_queued: int = 8):
+        if max_running < 1 or max_queued < 0:
+            raise ValueError("max_running >= 1, max_queued >= 0")
+        self.max_running = max_running
+        self.max_queued = max_queued
+        self._lock = threading.Lock()
+        self.running = 0
+        self.queued = 0
+
+    def try_admit(self, expected_flight_seconds: float = 1.0) -> AdmissionDecision:
+        """Admit a new flight (it starts queued) or reject with a
+        retry-after hint."""
+        with self._lock:
+            if self.running < self.max_running or self.queued < self.max_queued:
+                self.queued += 1
+                return AdmissionDecision(True, queued=self.queued,
+                                         running=self.running)
+            ahead = self.running + self.queued
+            retry_after = max(1, math.ceil(
+                (ahead + 1) * max(expected_flight_seconds, 1e-3)
+                / self.max_running))
+            return AdmissionDecision(False, retry_after=retry_after,
+                                     queued=self.queued, running=self.running)
+
+    def on_start(self) -> None:
+        """A queued flight got an executor thread."""
+        with self._lock:
+            self.queued = max(0, self.queued - 1)
+            self.running += 1
+
+    def on_finish(self) -> None:
+        """A running flight finished (result, error, or cancelled)."""
+        with self._lock:
+            self.running = max(0, self.running - 1)
+
+    def on_abandon(self) -> None:
+        """An admitted flight was dropped before it ever started (its
+        only subscriber vanished while queued)."""
+        with self._lock:
+            self.queued = max(0, self.queued - 1)
+
+    def gauges(self) -> dict:
+        with self._lock:
+            return {
+                "running": self.running,
+                "queued": self.queued,
+                "max_running": self.max_running,
+                "max_queued": self.max_queued,
+            }

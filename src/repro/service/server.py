@@ -1,0 +1,428 @@
+"""The ``repro serve`` daemon: an asyncio HTTP/NDJSON front door over
+the sweep runner and the streaming trace pipeline.
+
+Architecture (all stdlib):
+
+* the **asyncio loop** owns every piece of coordination state — the
+  :class:`~repro.service.coalescer.JobCoalescer`, subscriber queues,
+  flight lifecycle — so none of it needs locking;
+* each admitted job becomes a :class:`~repro.service.coalescer.Flight`
+  executed on a small ``ThreadPoolExecutor`` (``max_running`` threads —
+  the occupancy half of the admission model); the thread drives the
+  ordinary blocking engine (:class:`~repro.experiments.runner.Runner`
+  for sweeps, :func:`~repro.experiments.executors.pipeline_rows` for
+  pipelines) and publishes events back via ``call_soon_threadsafe``;
+* every flight's runner borrows the one shared
+  :class:`~repro.experiments.pool.WorkerPoolManager` — process-pool
+  ownership is the service's, not any single request's — and the shared
+  on-disk :class:`~repro.experiments.cache.ResultCache`, so identical
+  work is deduplicated at three levels: in-flight (coalescer), in-memory
+  (runner first-level cache), on disk;
+* **backpressure** is admission-controlled: a submission past capacity
+  gets an immediate ``429`` + ``Retry-After`` instead of a queue slot;
+* **cancellation** is subscription-driven and cooperative: when a
+  flight's last client disconnects, its cancel flag trips and the
+  engine stops at the next chunk (pipeline) or job-slice (sweep)
+  boundary, releasing the executor slot.
+
+Results are bit-identical to the direct APIs (``Runner.run`` /
+``TracePipeline.run``): the service *is* those APIs, sliced for
+streaming — same executors, same caches, same content-addressed keys.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments import ResultCache, ResultTable, get_sweep
+from repro.experiments import runner as runner_module
+from repro.experiments.cache import code_fingerprint
+from repro.experiments.executors import pipeline_rows
+from repro.experiments.pool import WorkerPoolManager
+from repro.experiments.runner import JobExecutionError, Runner, default_workers
+from repro.mem.pipeline import PipelineCancelled
+from repro.service.admission import AdmissionController
+from repro.service.coalescer import END_OF_STREAM, Flight, JobCoalescer
+from repro.service.metrics import ServiceMetrics, merge_cache_stats
+from repro.service.protocol import (
+    ProtocolError,
+    encode_event,
+    parse_job_request,
+    rejection_body,
+)
+
+_MAX_BODY_BYTES = 1 << 20  # a job request is a description, not data
+
+
+class FlightCancelled(RuntimeError):
+    """Raised inside a flight when every subscriber has disconnected."""
+
+
+def _service_pool_context() -> Optional[str]:
+    """Start method for the service's worker pools.
+
+    A daemon must never plain-fork once clients are connected: the fork
+    duplicates every live connection fd (and the loop's epoll
+    registrations) into the pool workers, after which writes on those
+    connections can be silently lost. ``forkserver`` forks workers from
+    a clean template process instead — started eagerly in
+    :meth:`ReproService.serve_forever` *before* the listener binds — so
+    even a mid-serve pool rebuild (the post-failure recovery path)
+    never forks the connection-holding process. ``spawn`` is the
+    fd-safe fallback where forkserver is unavailable.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "forkserver" in methods:
+        return "forkserver"
+    if "spawn" in methods:
+        return "spawn"
+    return None
+
+
+@dataclass
+class ServeConfig:
+    host: str = "127.0.0.1"
+    port: int = 8787            # 0 = ephemeral (bound port on self.port)
+    workers: Optional[int] = None   # sweep process-pool width
+    max_running: int = 2        # concurrent executing flights
+    max_queued: int = 8         # admitted flights waiting for a thread
+    cache: bool = True          # shared on-disk ResultCache
+    cache_dir: Optional[str] = None
+    stream_jobs: Optional[int] = None  # sweep jobs per partial-rows event
+
+
+class ReproService:
+    """One daemon instance: owns the pools, the caches, the capacity."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.workers = (default_workers() if self.config.workers is None
+                        else max(1, int(self.config.workers)))
+        self.pool_manager = WorkerPoolManager(context=_service_pool_context())
+        self.cache = (ResultCache(self.config.cache_dir)
+                      if self.config.cache else None)
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(self.config.max_running,
+                                             self.config.max_queued)
+        self.coalescer = JobCoalescer()
+        self._flight_executor = ThreadPoolExecutor(
+            max_workers=self.config.max_running,
+            thread_name_prefix="repro-flight")
+        self._fingerprint = code_fingerprint()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self.port: Optional[int] = None  # bound port once serving
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def serve_forever(self, ready: Optional[threading.Event] = None) -> None:
+        """Bind, announce, serve until :meth:`request_shutdown`."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        if self.workers > 1:
+            # Warm the pool (and the forkserver template it forks from)
+            # before the listener binds: no worker process may ever be
+            # forked while a client connection fd is open in this
+            # process — see _service_pool_context.
+            self.pool_manager.pool(self.workers)
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        print(f"repro serve listening on http://{self.config.host}:{self.port} "
+              f"(workers={self.workers}, max_running={self.config.max_running}, "
+              f"max_queued={self.config.max_queued}, "
+              f"cache={'on' if self.cache else 'off'})",
+              file=sys.stderr, flush=True)
+        if ready is not None:
+            ready.set()
+        async with server:
+            await self._shutdown.wait()
+        self._flight_executor.shutdown(wait=False)
+        self.pool_manager.close()
+
+    def request_shutdown(self) -> None:
+        """Stop serving (threadsafe; callable from signal handlers or
+        other threads)."""
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    @staticmethod
+    def _head(status: str, content_type: str, extra: Dict[str, str],
+              length: Optional[int]) -> bytes:
+        lines = [f"HTTP/1.1 {status}",
+                 f"Content-Type: {content_type}",
+                 "Connection: close",
+                 "Cache-Control: no-store"]
+        if length is not None:
+            lines.append(f"Content-Length: {length}")
+        lines.extend(f"{name}: {value}" for name, value in extra.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+    async def _respond_json(self, writer, status: str, payload: dict,
+                            extra: Optional[Dict[str, str]] = None) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        writer.write(self._head(status, "application/json", extra or {},
+                                len(body)) + body)
+        await writer.drain()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 3:
+                return
+            method, target = parts[0], parts[1]
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0))
+            if length > _MAX_BODY_BYTES:
+                await self._respond_json(writer, "413 Payload Too Large",
+                                         {"error": "request body too large"})
+                return
+            body = await reader.readexactly(length) if length else b""
+            await self._route(method, target, body, reader, writer)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        except Exception as error:  # a handler bug must not kill the loop
+            try:
+                await self._respond_json(
+                    writer, "500 Internal Server Error",
+                    {"error": f"{type(error).__name__}: {error}"})
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     reader, writer) -> None:
+        target = target.split("?", 1)[0]
+        if method == "GET" and target == "/metrics":
+            await self._respond_json(writer, "200 OK", self.metrics_snapshot())
+            return
+        if method == "GET" and target == "/healthz":
+            await self._respond_json(writer, "200 OK", {"ok": True})
+            return
+        if method == "POST" and target == "/v1/jobs":
+            await self._handle_job(body, reader, writer)
+            return
+        await self._respond_json(writer, "404 Not Found",
+                                 {"error": f"no route {method} {target}"})
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        merge_cache_stats(self.metrics, self.cache)
+        gauges = {**self.admission.gauges(), **self.coalescer.gauges(),
+                  "pool_workers": self.pool_manager.active_workers,
+                  "sweep_workers": self.workers}
+        snapshot = self.metrics.snapshot(gauges)
+        snapshot["protocol_version"] = 1
+        return snapshot
+
+    # -- the job endpoint --------------------------------------------------
+
+    async def _handle_job(self, body: bytes, reader, writer) -> None:
+        self.metrics.incr("requests_total")
+        try:
+            request = parse_job_request(json.loads(body.decode()))
+        except (ProtocolError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            self.metrics.incr("bad_requests_total")
+            await self._respond_json(writer, "400 Bad Request",
+                                     {"error": str(error)})
+            return
+        key = request.key(self._fingerprint)
+        flight = self.coalescer.peek(key)
+        coalesced = flight is not None
+        if coalesced:
+            self.metrics.incr("coalesced_total")
+        else:
+            decision = self.admission.try_admit(
+                self.metrics.expected_flight_seconds)
+            if not decision.admitted:
+                self.metrics.incr("rejected_total")
+                await self._respond_json(
+                    writer, "429 Too Many Requests",
+                    rejection_body(decision.retry_after, decision.queued,
+                                   decision.running),
+                    extra={"Retry-After": str(decision.retry_after)})
+                return
+            self.metrics.incr("admitted_total")
+            flight = self.coalescer.create(key, request)
+            self._loop.run_in_executor(self._flight_executor,
+                                       self._run_flight, flight)
+        queue = flight.subscribe()
+
+        writer.write(self._head("200 OK", "application/x-ndjson", {}, None))
+        accepted = {"event": "accepted", "key": key, "coalesced": coalesced,
+                    **request.describe()}
+        await self._stream(writer, reader, flight, queue, accepted)
+
+    async def _stream(self, writer, reader, flight: Flight, queue,
+                      accepted: dict) -> None:
+        """Pump flight events to one client until the stream or the
+        client ends — whichever first. A client EOF mid-flight is the
+        cancellation signal (subscription-driven)."""
+        eof_watch = asyncio.ensure_future(reader.read())
+        getter = None
+        try:
+            writer.write(encode_event(accepted))
+            await writer.drain()
+            self.metrics.incr("events_streamed_total")
+            while True:
+                getter = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {getter, eof_watch}, return_when=asyncio.FIRST_COMPLETED)
+                if getter not in done:   # client hung up first
+                    getter.cancel()
+                    break
+                event = getter.result()
+                if event is END_OF_STREAM:
+                    break
+                writer.write(encode_event(event))
+                await writer.drain()
+                self.metrics.incr("events_streamed_total")
+                if "rows" in event:
+                    self.metrics.incr("rows_streamed_total",
+                                      len(event["rows"]))
+                elif "table" in event:
+                    self.metrics.incr("rows_streamed_total",
+                                      len(event["table"]["rows"]))
+        except (ConnectionResetError, BrokenPipeError):
+            if getter is not None:
+                getter.cancel()
+        finally:
+            eof_watch.cancel()
+            flight.unsubscribe(queue)
+
+    # -- flight execution (worker threads) ---------------------------------
+
+    def _emit(self, flight: Flight, event: dict) -> None:
+        self._loop.call_soon_threadsafe(flight.publish, event)
+
+    def _run_flight(self, flight: Flight) -> None:
+        if flight.cancel.is_set():
+            # every subscriber vanished while the flight was queued;
+            # don't burn an executor slot computing for nobody
+            self.metrics.incr("cancelled_total")
+            self._loop.call_soon_threadsafe(
+                self._finish_flight, flight,
+                {"event": "cancelled", "reason": "abandoned before start"},
+                None, False)
+            return
+        flight.started = True
+        self._loop.call_soon_threadsafe(self.admission.on_start)
+        self.metrics.incr("executions_total")
+        started = time.perf_counter()
+        try:
+            if flight.request.kind == "sweep":
+                final = self._execute_sweep(flight)
+            else:
+                final = self._execute_pipeline(flight)
+            self.metrics.incr("completed_total")
+        except (FlightCancelled, PipelineCancelled) as error:
+            self.metrics.incr("cancelled_total")
+            final = {"event": "cancelled", "reason": str(error)}
+        except JobExecutionError as error:
+            self.metrics.incr("failed_total")
+            final = {"event": "error", "message": str(error),
+                     "executor": error.job.executor,
+                     "params": error.job.params_json}
+        except Exception as error:
+            self.metrics.incr("failed_total")
+            final = {"event": "error",
+                     "message": f"{type(error).__name__}: {error}"}
+        latency = time.perf_counter() - started
+        self._loop.call_soon_threadsafe(self._finish_flight, flight, final,
+                                        latency, True)
+
+    def _finish_flight(self, flight: Flight, final: dict,
+                       latency: Optional[float], started: bool) -> None:
+        flight.publish(final, final=True)
+        self.coalescer.finish(flight.key)
+        if started:
+            self.admission.on_finish()
+        else:
+            self.admission.on_abandon()
+        if latency is not None:
+            self.metrics.observe_flight(latency)
+
+    def _check_cancel(self, flight: Flight) -> None:
+        if flight.cancel.is_set():
+            raise FlightCancelled("every subscriber disconnected")
+
+    def _execute_sweep(self, flight: Flight) -> dict:
+        request = flight.request
+        jobs = request.jobs()
+        definition = get_sweep(request.preset) if request.preset else None
+        runner = Runner(workers=self.workers, cache=self.cache,
+                        pool_manager=self.pool_manager)
+        stride = self.config.stream_jobs or max(4, runner.workers * 2)
+        rows = []
+        for start in range(0, len(jobs), stride):
+            self._check_cancel(flight)
+            slice_rows = runner.run(jobs[start:start + stride]).rows
+            self._emit(flight, {"event": "rows", "index": start,
+                                "rows": slice_rows})
+            rows.extend(slice_rows)
+        table = ResultTable(
+            rows, columns=definition.columns if definition else None)
+        if definition is not None and definition.post is not None:
+            table = definition.post(table)
+        return {"event": "result", "kind": "sweep",
+                "table": {"columns": table.columns, "rows": table.rows}}
+
+    def _execute_pipeline(self, flight: Flight) -> dict:
+        job = flight.request.jobs()[0]
+        rows = runner_module._memory_get(job)
+        cached = rows is not None
+        if rows is None and self.cache is not None:
+            rows = self.cache.get(job)
+            cached = rows is not None
+            if rows is not None:
+                runner_module._memory_put(job, rows)
+        if rows is None:
+            def on_chunk(chunk, requests_done, total_requests):
+                self._check_cancel(flight)
+                self._emit(flight, {"event": "progress", "chunk": chunk,
+                                    "requests_done": requests_done,
+                                    "total_requests": total_requests})
+
+            rows = pipeline_rows(job.params, on_chunk=on_chunk,
+                                 should_stop=flight.cancel.is_set)
+            runner_module._memory_put(job, rows)
+            if self.cache is not None:
+                self.cache.put(job, rows)
+        return {"event": "result", "kind": "pipeline", "cached": cached,
+                "rows": rows}
+
+
+def run_serve(config: ServeConfig) -> int:
+    """Blocking entry point for the CLI."""
+    service = ReproService(config)
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        service.pool_manager.close()
+    return 0

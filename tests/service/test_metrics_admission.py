@@ -1,0 +1,146 @@
+"""Unit tests for the service's capacity model and observability
+primitives: the streaming latency histogram, the counter registry, and
+the admission controller's bounded front door."""
+
+import pytest
+
+from repro.service.admission import AdmissionController
+from repro.service.metrics import COUNTERS, ServiceMetrics, StreamingHistogram
+
+
+class TestStreamingHistogram:
+    def test_empty_reports_zero(self):
+        h = StreamingHistogram()
+        assert h.count == 0
+        assert h.percentile(0.5) == 0.0
+        assert h.mean == 0.0
+
+    def test_percentile_error_bounded_by_growth(self):
+        h = StreamingHistogram(growth=1.08)
+        samples = [0.001, 0.002, 0.005, 0.010, 0.050, 0.100, 0.500, 1.0]
+        for s in samples:
+            h.observe(s)
+        # the reported quantile is the bucket upper bound: never below
+        # the true sample, never more than one growth factor above
+        for q, true in ((0.5, sorted(samples)[3]), (1.0, max(samples))):
+            reported = h.percentile(q)
+            assert true <= reported <= true * h.growth * 1.001
+
+    def test_max_clamps_top_bucket(self):
+        h = StreamingHistogram()
+        h.observe(0.2)
+        assert h.percentile(0.99) <= h.max == 0.2
+
+    def test_floor_bucket_catches_tiny_values(self):
+        h = StreamingHistogram(floor=1e-4)
+        h.observe(1e-9)
+        assert h.percentile(0.5) <= 1e-4
+
+    def test_snapshot_schema(self):
+        h = StreamingHistogram()
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "mean_s", "p50_s", "p90_s",
+                             "p99_s", "max_s"}
+        assert snap["count"] == 1
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(floor=0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(buckets=1)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().percentile(1.5)
+
+
+class TestServiceMetrics:
+    def test_counters_start_at_zero_with_full_schema(self):
+        metrics = ServiceMetrics()
+        snapshot = metrics.snapshot()
+        assert set(snapshot["counters"]) == set(COUNTERS)
+        assert all(v == 0 for v in snapshot["counters"].values())
+
+    def test_incr_and_get(self):
+        metrics = ServiceMetrics()
+        metrics.incr("admitted_total")
+        metrics.incr("rows_streamed_total", 40)
+        assert metrics.get("admitted_total") == 1
+        assert metrics.get("rows_streamed_total") == 40
+
+    def test_expected_flight_seconds_defaults_then_tracks(self):
+        metrics = ServiceMetrics()
+        assert metrics.expected_flight_seconds == 1.0
+        metrics.observe_flight(4.0)
+        assert metrics.expected_flight_seconds == 4.0
+        metrics.observe_flight(2.0)  # EWMA moves toward recent flights
+        assert 2.0 < metrics.expected_flight_seconds < 4.0
+
+    def test_coalescing_factor(self):
+        metrics = ServiceMetrics()
+        assert metrics.snapshot()["coalescing_factor"] == 0.0
+        metrics.incr("admitted_total", 2)
+        metrics.incr("coalesced_total", 2)
+        metrics.incr("executions_total", 2)
+        assert metrics.snapshot()["coalescing_factor"] == 2.0
+
+
+class TestAdmissionController:
+    def test_admits_until_queue_full(self):
+        admission = AdmissionController(max_running=1, max_queued=2)
+        # first flight occupies the runner slot
+        assert admission.try_admit().admitted
+        admission.on_start()
+        # two may wait; the third is shed
+        assert admission.try_admit().admitted
+        assert admission.try_admit().admitted
+        decision = admission.try_admit()
+        assert not decision.admitted
+        assert decision.retry_after >= 1
+        assert (decision.queued, decision.running) == (2, 1)
+
+    def test_zero_queue_rejects_while_running(self):
+        admission = AdmissionController(max_running=1, max_queued=0)
+        assert admission.try_admit().admitted
+        admission.on_start()
+        assert not admission.try_admit().admitted
+        admission.on_finish()
+        assert admission.try_admit().admitted
+
+    def test_retry_after_scales_with_backlog_and_latency(self):
+        admission = AdmissionController(max_running=1, max_queued=0)
+        admission.try_admit()
+        admission.on_start()
+        short = admission.try_admit(expected_flight_seconds=1.0).retry_after
+        long = admission.try_admit(expected_flight_seconds=30.0).retry_after
+        assert long >= short
+        assert long >= 30
+
+    def test_abandon_releases_queue_slot(self):
+        admission = AdmissionController(max_running=1, max_queued=1)
+        admission.try_admit()
+        admission.on_start()
+        admission.try_admit()          # fills the queue
+        assert not admission.try_admit().admitted
+        admission.on_abandon()         # the queued flight's client left
+        assert admission.try_admit().admitted
+
+    def test_gauges_track_lifecycle(self):
+        admission = AdmissionController(max_running=2, max_queued=4)
+        admission.try_admit()
+        assert admission.gauges() == {"running": 0, "queued": 1,
+                                      "max_running": 2, "max_queued": 4}
+        admission.on_start()
+        assert admission.gauges()["running"] == 1
+        assert admission.gauges()["queued"] == 0
+        admission.on_finish()
+        assert admission.gauges()["running"] == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_running=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queued=-1)

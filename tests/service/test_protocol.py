@@ -1,0 +1,158 @@
+"""Wire-protocol unit tests: request validation, content-addressed job
+identity, and NDJSON event framing."""
+
+import pytest
+
+from repro.service.protocol import (
+    JobRequest,
+    ProtocolError,
+    decode_event,
+    encode_event,
+    parse_job_request,
+    rejection_body,
+)
+
+SPEC = {"models": ["alexnet", "mobilenet"], "schemes": ["np", "bp"]}
+
+
+class TestSweepParsing:
+    def test_preset_resolves_to_jobs(self):
+        request = parse_job_request({"kind": "sweep", "preset": "fig3-inference"})
+        assert request.kind == "sweep"
+        assert request.preset == "fig3-inference"
+        assert len(request.jobs()) > 0
+        assert all(job.executor for job in request.jobs())
+
+    def test_spec_resolves_to_grid(self):
+        request = parse_job_request({"kind": "sweep", "spec": SPEC})
+        assert len(request.jobs()) == 4  # 2 models x 2 schemes
+        assert request.spec["models"] == ["alexnet", "mobilenet"]
+
+    def test_unknown_preset_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="no-such-sweep"):
+            parse_job_request({"kind": "sweep", "preset": "no-such-sweep"})
+
+    def test_preset_and_spec_are_exclusive(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_job_request({"kind": "sweep", "preset": "fig3-inference",
+                               "spec": SPEC})
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_job_request({"kind": "sweep"})
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown spec field"):
+            parse_job_request({"kind": "sweep",
+                               "spec": {"models": ["alexnet"], "model": "x"}})
+
+    def test_unknown_model_rejected_at_submission(self):
+        with pytest.raises(ProtocolError, match="invalid sweep spec"):
+            parse_job_request({"kind": "sweep",
+                               "spec": {"models": ["not-a-model"]}})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown job kind"):
+            parse_job_request({"kind": "bake-cookies"})
+        with pytest.raises(ProtocolError):
+            parse_job_request(["not", "an", "object"])
+
+
+class TestPipelineParsing:
+    def test_defaults_filled_canonically(self):
+        request = parse_job_request({"kind": "pipeline", "workload": "streaming",
+                                     "params": {"nbytes": 1 << 20}})
+        assert request.kind == "pipeline"
+        (job,) = request.jobs()
+        assert job.executor == "pipeline_run"
+        assert request.params["workload"] == "streaming"
+        assert request.params["chunk_requests"] > 0
+        assert isinstance(request.params["schemes"], list)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid pipeline request"):
+            parse_job_request({"kind": "pipeline", "workload": "gpt9000"})
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid pipeline request"):
+            parse_job_request({"kind": "pipeline", "workload": "streaming",
+                               "schemes": ["np", "rot13"],
+                               "params": {"nbytes": 1 << 20}})
+
+    def test_bad_chunk_requests_rejected(self):
+        with pytest.raises(ProtocolError, match="chunk_requests"):
+            parse_job_request({"kind": "pipeline", "workload": "streaming",
+                               "chunk_requests": 0,
+                               "params": {"nbytes": 1 << 20}})
+
+    def test_params_may_not_shadow_reserved_fields(self):
+        with pytest.raises(ProtocolError, match="may not override"):
+            parse_job_request({"kind": "pipeline", "workload": "streaming",
+                               "params": {"workload": "random"}})
+
+
+class TestContentAddressing:
+    def test_key_ignores_json_field_order(self):
+        a = parse_job_request({"kind": "sweep", "spec": SPEC})
+        b = parse_job_request({"kind": "sweep",
+                               "spec": {"schemes": ["np", "bp"],
+                                        "models": ["alexnet", "mobilenet"]}})
+        assert a.key("fp") == b.key("fp")
+
+    def test_key_distinguishes_different_work(self):
+        a = parse_job_request({"kind": "sweep", "spec": SPEC})
+        b = parse_job_request({"kind": "sweep",
+                               "spec": {**SPEC, "schemes": ["np"]}})
+        assert a.key("fp") != b.key("fp")
+
+    def test_key_depends_on_code_fingerprint(self):
+        request = parse_job_request({"kind": "sweep", "spec": SPEC})
+        assert request.key("v1") != request.key("v2")
+
+    def test_pipeline_key_ignores_params_order(self):
+        a = parse_job_request({"kind": "pipeline", "workload": "streaming",
+                               "params": {"nbytes": 1 << 20, "stride": 64}})
+        b = parse_job_request({"kind": "pipeline", "workload": "streaming",
+                               "params": {"stride": 64, "nbytes": 1 << 20}})
+        assert a.key() == b.key()
+
+    def test_describe_summarizes_without_payload(self):
+        request = parse_job_request({"kind": "sweep", "spec": SPEC})
+        described = request.describe()
+        assert described["kind"] == "sweep"
+        assert described["jobs"] == 4
+
+
+class TestEventFraming:
+    def test_roundtrip(self):
+        event = {"event": "rows", "index": 3, "rows": [{"a": 1}]}
+        assert decode_event(encode_event(event).strip()) == event
+
+    def test_encoding_is_canonical(self):
+        a = encode_event({"b": 1, "a": 2, "event": "x"})
+        b = encode_event({"event": "x", "a": 2, "b": 1})
+        assert a == b  # byte-identical across coalesced subscribers
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ProtocolError):
+            decode_event(b"not json")
+        with pytest.raises(ProtocolError):
+            decode_event(b"[1, 2]")
+        with pytest.raises(ProtocolError):
+            decode_event(b'{"no_event_field": true}')
+
+    def test_rejection_body_shape(self):
+        body = rejection_body(7, queued=3, running=2)
+        assert body == {"error": "saturated", "retry_after": 7,
+                        "queued": 3, "running": 2}
+
+
+class TestJobRequestSurface:
+    def test_jobs_returns_a_copy(self):
+        request = parse_job_request({"kind": "sweep", "spec": SPEC})
+        jobs = request.jobs()
+        jobs.clear()
+        assert len(request.jobs()) == 4
+
+    def test_key_is_hex_sha256(self):
+        key = JobRequest(kind="sweep").key()
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
