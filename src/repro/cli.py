@@ -10,9 +10,13 @@ Gives downstream users the paper's experiments without writing code:
 * ``traffic`` — the Section III-C traffic-increase numbers;
 * ``compile`` — compile a network's DFG to GuardNN instructions and
   verify the read-counter schedule;
+* ``pipeline`` — one streaming trace-pipeline run with optional
+  crash-safe checkpointing (``--checkpoint``/``--checkpoint-every``)
+  and resume (``--resume``);
 * ``serve`` — the long-lived simulation-as-a-service daemon (async
   HTTP/NDJSON job API: coalescing, admission control, streamed partial
-  results, ``/metrics``);
+  results, ``/metrics``; drains gracefully on SIGTERM, checkpointing
+  long pipeline flights for the next instance to resume);
 * ``demo`` — the functional end-to-end secure inference.
 """
 
@@ -214,6 +218,56 @@ def cmd_bench(args) -> int:
     return module.main(argv)
 
 
+def cmd_pipeline(args) -> int:
+    """One streaming TracePipeline run: the `pipeline_run` executor's
+    rows, printed as JSON, with the checkpoint/resume surface exposed
+    (this is the crash_resume_smoke harness's entry point)."""
+    import json
+    import os
+
+    from repro.checkpoint import CheckpointError, load_checkpoint
+    from repro.experiments.executors import pipeline_rows
+
+    params = {"workload": args.workload}
+    if args.schemes:
+        params["schemes"] = [s.strip() for s in args.schemes.split(",")
+                             if s.strip()]
+    if args.chunk_requests is not None:
+        params["chunk_requests"] = args.chunk_requests
+    if args.params:
+        try:
+            extra = json.loads(args.params)
+            if not isinstance(extra, dict):
+                raise ValueError("--params must be a JSON object")
+        except ValueError as error:
+            raise SystemExit(f"error: invalid --params: {error}")
+        params.update(extra)
+
+    if (args.checkpoint_every or args.resume) and not args.checkpoint:
+        raise SystemExit("error: --checkpoint-every/--resume need "
+                         "--checkpoint PATH")
+    resume_from = None
+    if args.resume and os.path.exists(args.checkpoint):
+        try:
+            resume_from = load_checkpoint(args.checkpoint,
+                                          kind="trace-pipeline")
+        except CheckpointError as error:
+            raise SystemExit(f"error: {error}")
+    kwargs = {}
+    if args.checkpoint:
+        kwargs = dict(checkpoint_path=args.checkpoint,
+                      checkpoint_every=args.checkpoint_every,
+                      resume_from=resume_from)
+    try:
+        rows = pipeline_rows(params, **kwargs)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        os.unlink(args.checkpoint)  # completed: the checkpoint is spent
+    print(json.dumps(rows, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Long-lived simulation-as-a-service daemon (async job API with
     coalescing, admission control, streamed partials, /metrics)."""
@@ -224,7 +278,12 @@ def cmd_serve(args) -> int:
             host=args.host, port=args.port, workers=args.workers,
             max_running=args.max_running, max_queued=args.max_queued,
             cache=not args.no_cache, cache_dir=args.cache_dir,
-            stream_jobs=args.stream_jobs)
+            stream_jobs=args.stream_jobs,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            drain_grace=args.drain_grace,
+            chunk_timeout=args.chunk_timeout,
+            chunk_retries=args.chunk_retries)
     except ValueError as error:
         raise SystemExit(f"error: {error}")
     try:
@@ -329,6 +388,30 @@ def build_parser() -> argparse.ArgumentParser:
                 "--list-kernels, ...) are forwarded to scripts/bench_perf.py")
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser("pipeline", help="one streaming trace-pipeline run "
+                                        "(checkpointable + resumable)")
+    p.add_argument("--workload", required=True,
+                   help="trace-spec name (streaming, random, bp-metadata, "
+                        "llm geometries, ...)")
+    p.add_argument("--schemes", default=None,
+                   help="comma-separated scheme names "
+                        "(default: np,guardnn-c,guardnn-ci,bp)")
+    p.add_argument("--chunk-requests", type=int, default=None,
+                   help="requests per streamed chunk")
+    p.add_argument("--params", default=None,
+                   help="extra trace-spec params as a JSON object, e.g. "
+                        "'{\"nbytes\": 1048576, \"tokens\": 2}'")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="checkpoint file; written atomically, deleted on "
+                        "successful completion")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="write a checkpoint every N chunks (requires "
+                        "--checkpoint)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists (bit-"
+                        "identical to an uninterrupted run)")
+    p.set_defaults(func=cmd_pipeline)
+
     p = sub.add_parser("serve", help="simulation-as-a-service daemon "
                                      "(HTTP/NDJSON job API, coalescing, "
                                      "admission control, /metrics)")
@@ -351,6 +434,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the shared on-disk result cache")
     p.add_argument("--cache-dir", default=None,
                    help="result-cache directory (default: ~/.cache/repro/sweeps)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="directory for pipeline flight checkpoints; enables "
+                        "drain-time checkpointing and restart resume")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="checkpoint pipeline flights every N chunks "
+                        "(0 = only when draining)")
+    p.add_argument("--drain-grace", type=float, default=10.0, metavar="SECS",
+                   help="grace period for in-flight work after SIGTERM/"
+                        "SIGINT before forced shutdown")
+    p.add_argument("--chunk-timeout", type=float, default=None, metavar="SECS",
+                   help="per-chunk sweep timeout; a chunk exceeding it marks "
+                        "the worker pool lost and triggers redispatch")
+    p.add_argument("--chunk-retries", type=int, default=2,
+                   help="redispatch budget for lost sweep chunks")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("demo", help="functional end-to-end secure inference")

@@ -5,8 +5,15 @@ code fingerprint). The fingerprint hashes every ``.py`` source file of
 the :mod:`repro` package, so *any* change to the models, schemes, or
 analysis code invalidates all cached rows — the cache can serve stale
 numbers only if the code that produced them is byte-identical. Entries
-are JSON files sharded by key prefix; a corrupt or truncated entry is
-treated as a miss and rewritten.
+are JSON files sharded by key prefix.
+
+Durability: ``put`` publishes atomically (temp file, fsync, rename,
+directory fsync), so a host crash leaves either the old entry or the
+new one, never a truncated hybrid. ``get`` distinguishes a plain miss
+(no file) from a *corrupt* entry: corruption is quarantined — the file
+is renamed to ``<key>.json.corrupt`` and counted — so a damaged entry
+is recomputed exactly once instead of being re-parsed (and re-missed)
+on every future lookup, and the evidence is preserved for inspection.
 """
 
 from __future__ import annotations
@@ -17,7 +24,9 @@ import os
 import tempfile
 from typing import Dict, List, Optional
 
+from repro.checkpoint import fsync_directory
 from repro.experiments.jobs import Job
+from repro.testing import faults
 
 _ENV_DIR = "REPRO_SWEEP_CACHE_DIR"
 _fingerprint_memo: Dict[str, str] = {}
@@ -65,6 +74,8 @@ class ResultCache:
         self.fingerprint = fingerprint or code_fingerprint()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._puts = 0
 
     # -- keys --------------------------------------------------------------
 
@@ -81,12 +92,25 @@ class ResultCache:
         path = self._path(self.key(job))
         try:
             with open(path) as f:
-                payload = json.load(f)
+                raw = f.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
             rows = payload["rows"]
             if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
                 raise ValueError("malformed rows")
-        except (OSError, ValueError, KeyError):
+        except (ValueError, KeyError, TypeError):
+            # the file exists but does not parse/validate: quarantine it
+            # so the next lookup is a clean miss (recompute + rewrite)
+            # and the damaged bytes stay inspectable
+            self.corrupt += 1
             self.misses += 1
+            try:
+                os.replace(path, path + ".corrupt")
+            except OSError:  # pragma: no cover - racing unlink/replace
+                pass
             return None
         self.hits += 1
         return rows
@@ -100,17 +124,40 @@ class ResultCache:
             "fingerprint": self.fingerprint,
             "rows": rows,
         }
-        # atomic publish so a concurrent reader never sees a half write
+        # atomic + durable publish: flush and fsync before the rename so
+        # a host crash can never expose a truncated entry, then fsync
+        # the directory so the rename itself survives
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
                 json.dump(payload, f)
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
+            fsync_directory(os.path.dirname(path))
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        if faults.enabled():
+            self._damage(path)
+        self._puts += 1
+
+    def _damage(self, path: str) -> None:
+        """Fault-injection seam: optionally corrupt or truncate the
+        entry just published (simulating torn writes on filesystems
+        without the fsync discipline, or bit rot)."""
+        action = faults.check("cache.put", self._puts)
+        if action == "corrupt":
+            with open(path, "r+") as f:
+                f.seek(0)
+                f.write("\x00garbage\x00")
+        elif action == "truncate":
+            size = os.path.getsize(path)
+            with open(path, "r+") as f:
+                f.truncate(max(1, size // 2))
 
     @property
     def stats(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses ({self.directory})"
+        return (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.corrupt} corrupt ({self.directory})")

@@ -122,9 +122,15 @@ class WorkerPoolManager:
 
     @property
     def active_workers(self) -> int:
-        """Total forked worker processes across live pools (the
-        occupancy half of the service capacity model)."""
-        return sum(pool._processes for pool in self._pools.values())
+        """Total worker capacity across live pools (the occupancy half
+        of the service capacity model). Pools are keyed by the worker
+        count they were built with, so the keys *are* the capacity —
+        no reaching into ``multiprocessing.Pool`` internals, and a pool
+        that has been invalidated (torn down after a failure) stops
+        counting the moment it leaves ``_pools`` instead of lingering
+        as phantom capacity."""
+        with self._lock:
+            return sum(self._pools)
 
     def __enter__(self) -> "WorkerPoolManager":
         return self

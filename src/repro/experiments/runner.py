@@ -23,7 +23,15 @@ Execution contract:
 * a job raising inside a batch surfaces as :class:`JobExecutionError`
   naming the failing executor and params; rows of jobs that *did*
   complete in the batch are persisted to both cache levels before the
-  error propagates, and the pool is torn down for a clean rebuild.
+  error propagates, and the pool is torn down for a clean rebuild;
+* a worker that *dies* (SIGKILL, OOM-killer, segfault) or wedges does
+  not lose the sweep: chunks are dispatched individually, a chunk that
+  exceeds ``chunk_timeout`` triggers a pool rebuild and re-dispatch of
+  only the lost chunks (bounded by ``chunk_retries``), and long-tail
+  stragglers optionally get a duplicate dispatch (first result wins —
+  chunks are pure functions of their payload, so duplicates cannot
+  change the result). Recoveries are counted in module-level counters
+  (:func:`recovery_counts`) that ``repro serve`` exports as metrics.
 
 ``default_workers()`` resolves the worker count: the
 ``REPRO_SWEEP_WORKERS`` environment variable wins (validated — a
@@ -36,6 +44,8 @@ from __future__ import annotations
 
 import math
 import os
+import threading
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro.experiments.executors  # noqa: F401 — populate the executor registry
@@ -45,6 +55,7 @@ from repro.experiments.jobs import Job, execute_job
 from repro.experiments.pool import WorkerPoolManager, _init_worker  # noqa: F401 — re-exported
 from repro.experiments.spec import SweepSpec
 from repro.experiments.table import ResultTable
+from repro.testing import faults
 
 _ENV_WORKERS = "REPRO_SWEEP_WORKERS"
 _MAX_DEFAULT_WORKERS = 8
@@ -90,6 +101,26 @@ class JobExecutionError(RuntimeError):
             f"sweep job failed: executor={executor!r} params={params_json} "
             f"— {cause} ({len(self.completed)} completed job(s) in the "
             "batch preserved)")
+
+
+# -- recovery accounting ---------------------------------------------------
+
+#: process-wide recovery counters: how many times a pool was torn down
+#: and rebuilt after a lost/hung worker, and how many chunks had to be
+#: re-dispatched. ``repro serve`` surfaces these on ``/metrics``.
+_RECOVERY_LOCK = threading.Lock()
+_RECOVERY: Dict[str, int] = {"worker_restarts": 0, "chunk_retries": 0}
+
+
+def note_recovery(key: str, count: int = 1) -> None:
+    with _RECOVERY_LOCK:
+        _RECOVERY[key] = _RECOVERY.get(key, 0) + count
+
+
+def recovery_counts() -> Dict[str, int]:
+    """A snapshot of the recovery counters (thread-safe copy)."""
+    with _RECOVERY_LOCK:
+        return dict(_RECOVERY)
 
 
 #: in-memory first-level result cache, in front of the on-disk
@@ -184,7 +215,13 @@ def _run_chunk(chunk):
     failure surfaces as data instead of poisoning ``pool.map`` and
     losing the whole batch.
     """
-    executors, params, fast = chunk
+    index, executors, params, fast = chunk
+    if faults.enabled():
+        # worker fault site: a plan targeting ``worker.chunk`` should
+        # normally carry ``once_file`` — forked workers each inherit
+        # their own copy of the in-process fired counter, so only the
+        # cross-process marker guarantees exactly-once firing
+        faults.fire("worker.chunk", index)
     if perf.fast_enabled() != fast:
         perf.set_fast(fast)
     rows_per_job: List[List[dict]] = []
@@ -204,10 +241,26 @@ class Runner:
     def __init__(self, workers: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  chunksize: Optional[int] = None,
-                 pool_manager: Optional[WorkerPoolManager] = None):
+                 pool_manager: Optional[WorkerPoolManager] = None,
+                 chunk_timeout: Optional[float] = None,
+                 chunk_retries: int = 2,
+                 straggler_factor: Optional[float] = None):
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self.cache = cache
         self.chunksize = chunksize
+        # fault tolerance: a chunk still unfinished after chunk_timeout
+        # seconds (wall clock from dispatch, queue wait included) marks
+        # the pool as lost — it is rebuilt and only unfinished chunks
+        # re-dispatched, up to chunk_retries times. None = wait forever
+        # (the historical behaviour; a SIGKILLed worker then hangs the
+        # sweep unless straggler duplicates rescue it).
+        self.chunk_timeout = None if chunk_timeout is None else float(chunk_timeout)
+        self.chunk_retries = max(0, int(chunk_retries))
+        # straggler mitigation: once a chunk has run straggler_factor x
+        # the EWMA chunk latency, dispatch a duplicate; first result
+        # wins. None disables.
+        self.straggler_factor = (
+            None if straggler_factor is None else float(straggler_factor))
         # borrowed manager: the caller (the service) owns pool lifetime;
         # no manager: a private one is created lazily and close() kills it
         self._manager = pool_manager
@@ -253,6 +306,114 @@ class Runner:
 
     # -- execution ---------------------------------------------------------
 
+    def _map_with_recovery(self, chunks, chunksize: int):
+        """Run every chunk through the pool, surviving lost workers.
+
+        ``pool.map`` has a failure mode a long sweep cannot afford: a
+        worker that dies *abruptly* (SIGKILL, OOM-killer, segfault)
+        takes its in-flight task with it and the map call blocks
+        forever — ``multiprocessing.Pool`` replenishes the worker but
+        never re-queues the task. Dispatching per chunk with
+        ``apply_async`` keeps every chunk individually observable:
+
+        * a chunk unfinished after ``chunk_timeout`` declares the pool
+          lost; the pool is torn down and *only* the unfinished chunks
+          are re-dispatched to a fresh one, ``chunk_retries`` times
+          before :class:`JobExecutionError` (carrying every completed
+          chunk's rows so they are cached, not recomputed);
+        * a chunk exceeding ``straggler_factor`` x the EWMA chunk
+          latency gets one duplicate dispatch; the first result wins.
+          Chunks are pure functions of their payload, so a duplicate
+          cannot change the sweep's rows — it only rescues a chunk
+          whose worker quietly died under a replenishing pool.
+        """
+        results: List[object] = [None] * len(chunks)
+        done = [False] * len(chunks)
+        retries_left = self.chunk_retries
+        while True:
+            pool = self._ensure_pool()
+            lost = self._poll_chunks(pool, chunks, results, done)
+            if not lost:
+                return results
+            # the pool is suspect: at least one dispatched chunk will
+            # never come back. Rebuild and re-dispatch the survivors.
+            self._reset_pool()
+            note_recovery("worker_restarts")
+            note_recovery("chunk_retries", len(lost))
+            if retries_left <= 0:
+                index = lost[0]
+                _, executors, params, _ = chunks[index]
+                raise JobExecutionError(
+                    executors[0], params[0],
+                    f"worker lost or timed out; chunk {index} unfinished "
+                    f"after {self.chunk_retries} redispatch(es)",
+                    completed=self._completed_pairs(results, done, chunksize))
+            retries_left -= 1
+
+    def _poll_chunks(self, pool, chunks, results, done) -> List[int]:
+        """One dispatch round: submit every unfinished chunk, poll until
+        all complete or one is declared lost. Fills ``results``/``done``
+        in place; returns the indices of lost chunks (empty on a clean
+        round)."""
+        pending = {}
+        started = {}
+        for i, chunk in enumerate(chunks):
+            if not done[i]:
+                pending[i] = pool.apply_async(_run_chunk, (chunk,))
+                started[i] = time.monotonic()
+        duplicates: Dict[int, object] = {}
+        ewma: Optional[float] = None
+        while pending:
+            progressed = False
+            now = time.monotonic()
+            for i in sorted(pending):
+                handle = pending[i]
+                winner = None
+                if handle.ready():
+                    winner = handle
+                elif i in duplicates and duplicates[i].ready():
+                    winner = duplicates[i]
+                if winner is not None:
+                    try:
+                        results[i] = winner.get()
+                    except Exception:
+                        # the worker raised outside a job (fault
+                        # injection, unpicklable return, death during
+                        # handoff): treat everything still pending as
+                        # lost and let the retry loop decide
+                        return sorted(pending)
+                    done[i] = True
+                    del pending[i]
+                    duplicates.pop(i, None)
+                    latency = now - started[i]
+                    ewma = (latency if ewma is None
+                            else 0.8 * ewma + 0.2 * latency)
+                    progressed = True
+                    continue
+                elapsed = now - started[i]
+                if self.chunk_timeout is not None and elapsed > self.chunk_timeout:
+                    return sorted(pending)
+                if (self.straggler_factor is not None and ewma is not None
+                        and i not in duplicates
+                        and elapsed > self.straggler_factor * ewma):
+                    duplicates[i] = pool.apply_async(_run_chunk, (chunks[i],))
+            if pending and not progressed:
+                time.sleep(0.005)
+        return []
+
+    @staticmethod
+    def _completed_pairs(results, done, chunksize: int):
+        """(batch position, rows) pairs of every completed chunk, for
+        the ``completed`` payload of :class:`JobExecutionError`."""
+        completed: List[Tuple[int, List[dict]]] = []
+        for i, finished in enumerate(done):
+            if not finished:
+                continue
+            payload, _error = results[i]
+            for offset, rows in enumerate(_decode_rows(payload)):
+                completed.append((i * chunksize + offset, rows))
+        return completed
+
     def _execute_batch(self, jobs: Sequence[Job]) -> List[List[dict]]:
         if self.workers <= 1 or len(jobs) <= 1:
             results: List[List[dict]] = []
@@ -264,22 +425,16 @@ class Runner:
                         job.executor, job.params_json, _describe_error(exc),
                         completed=list(enumerate(results))) from exc
             return results
-        pool = self._ensure_pool()
         chunksize = self.chunksize or max(1, math.ceil(len(jobs) / (self.workers * 2)))
         fast = perf.fast_enabled()
         chunks = [
-            (tuple(job.executor for job in jobs[i:i + chunksize]),
+            (i // chunksize,
+             tuple(job.executor for job in jobs[i:i + chunksize]),
              tuple(job.params_json for job in jobs[i:i + chunksize]),
              fast)
             for i in range(0, len(jobs), chunksize)
         ]
-        try:
-            mapped = pool.map(_run_chunk, chunks, chunksize=1)
-        except Exception:
-            # something worse than a job exception (worker killed,
-            # unpicklable payload): the pool may be wedged — rebuild it
-            self._reset_pool()
-            raise
+        mapped = self._map_with_recovery(chunks, chunksize)
         completed: List[Tuple[int, List[dict]]] = []
         failure = None
         for chunk_index, (payload, error) in enumerate(mapped):

@@ -109,3 +109,42 @@ class SetAssociativeCache:
                     dirty_addresses.append(line * self.line_bytes)
             cache_set.clear()
         return dirty_addresses
+
+    # -- checkpointing -----------------------------------------------------
+    #
+    # The canonical serialized form is implementation-neutral: per set, a
+    # list of ``[tag, dirty]`` pairs in LRU order (oldest first), plus the
+    # stats counters. Only the *relative* recency order within a set is
+    # observable (victim choice and flush order), so this round-trips into
+    # either the OrderedDict reference or the stamp-array fast engine with
+    # bit-identical future behaviour.
+
+    def state_dict(self) -> dict:
+        return {
+            "line_bytes": self.line_bytes,
+            "ways": self.ways,
+            "num_sets": self.num_sets,
+            "sets": [[[int(tag), bool(dirty)] for tag, dirty in cache_set.items()]
+                     for cache_set in self._sets],
+            "stats": {"hits": self.stats.hits, "misses": self.stats.misses,
+                      "evictions": self.stats.evictions,
+                      "dirty_evictions": self.stats.dirty_evictions},
+        }
+
+    def _check_geometry(self, state: dict) -> None:
+        for key in ("line_bytes", "ways", "num_sets"):
+            if state[key] != getattr(self, key):
+                raise ValueError(
+                    f"cache geometry mismatch: checkpoint {key}={state[key]}, "
+                    f"cache has {getattr(self, key)}")
+
+    def load_state(self, state: dict) -> None:
+        self._check_geometry(state)
+        for cache_set, entries in zip(self._sets, state["sets"]):
+            cache_set.clear()
+            for tag, dirty in entries:
+                cache_set[int(tag)] = bool(dirty)
+        stats = state["stats"]
+        self.stats = CacheStats(hits=stats["hits"], misses=stats["misses"],
+                                evictions=stats["evictions"],
+                                dirty_evictions=stats["dirty_evictions"])

@@ -248,6 +248,56 @@ class FastSetAssociativeCache:
             free_before - int((stamp_a < 0).sum()))
         self.stats.dirty_evictions += int((writebacks[:n] >= 0).sum())
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Canonical implementation-neutral state (same format as the
+        scalar reference): per set, ``[tag, dirty]`` pairs in LRU order
+        (oldest first). Stamps are not serialized — only their relative
+        order is observable, and :meth:`load_state` reassigns a fresh
+        monotone clock that preserves it."""
+        sets_out = []
+        for set_idx in range(self.num_sets):
+            occupied = np.flatnonzero(self.stamp[set_idx] >= 0)
+            order = occupied[np.argsort(self.stamp[set_idx, occupied])]
+            sets_out.append([[int(self.tags[set_idx, way]),
+                              bool(self.dirty[set_idx, way])] for way in order])
+        return {
+            "line_bytes": self.line_bytes,
+            "ways": self.ways,
+            "num_sets": self.num_sets,
+            "sets": sets_out,
+            "stats": {"hits": self.stats.hits, "misses": self.stats.misses,
+                      "evictions": self.stats.evictions,
+                      "dirty_evictions": self.stats.dirty_evictions},
+        }
+
+    def load_state(self, state: dict) -> None:
+        for key in ("line_bytes", "ways", "num_sets"):
+            if state[key] != getattr(self, key):
+                raise ValueError(
+                    f"cache geometry mismatch: checkpoint {key}={state[key]}, "
+                    f"cache has {getattr(self, key)}")
+        self.tags.fill(-1)
+        self.dirty.fill(False)
+        self.stamp[...] = np.arange(self.ways, dtype=np.int64) - _FREE_BASE
+        clock = 0
+        for set_idx, entries in enumerate(state["sets"]):
+            # occupied entries take ways 0..k-1 with ascending stamps:
+            # free ways (k..) still sort below and in way order, victims
+            # follow LRU order, flush lexsort follows LRU order — every
+            # observable behaviour matches the pre-checkpoint cache
+            for way, (tag, dirty) in enumerate(entries):
+                self.tags[set_idx, way] = int(tag)
+                self.dirty[set_idx, way] = bool(dirty)
+                self.stamp[set_idx, way] = clock
+                clock += 1
+        self._clock = clock
+        stats = state["stats"]
+        self.stats = CacheStats(hits=stats["hits"], misses=stats["misses"],
+                                evictions=stats["evictions"],
+                                dirty_evictions=stats["dirty_evictions"])
+
     # -- bookkeeping for callers that pre-assign stamps --------------------
 
     def credit_hits(self, count: int) -> None:

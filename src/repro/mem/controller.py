@@ -261,6 +261,44 @@ class ControllerSession:
                 requests=self._requests, bursts=self._bursts, stats=self._stats)
         return self._result
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The session's complete mid-stream state, including the DRAM
+        chip it schedules onto. Captured only at chunk seams, where the
+        carried window residue is < queue_depth burst descriptors — a
+        checkpoint stays a few KB regardless of trace length."""
+        if self._result is not None:
+            raise RuntimeError("session already finished")
+        return {
+            "stats": self._stats.state_dict(),
+            "requests": self._requests,
+            "bursts": self._bursts,
+            "cycle": self._cycle,
+            "last_data_end": self._last_data_end,
+            "run_hits": self._run_hits,
+            "carry_write": list(self._carry_write),
+            "carry_bank": list(self._carry_bank),
+            "carry_row": list(self._carry_row),
+            "leftover_hit_possible": self._leftover_hit_possible,
+            "dram": self.controller.dram.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._stats = TraceStats()
+        self._stats.load_state(state["stats"])
+        self._requests = int(state["requests"])
+        self._bursts = int(state["bursts"])
+        self._cycle = int(state["cycle"])
+        self._last_data_end = int(state["last_data_end"])
+        self._run_hits = int(state["run_hits"])
+        self._carry_write = [int(v) for v in state["carry_write"]]
+        self._carry_bank = [int(v) for v in state["carry_bank"]]
+        self._carry_row = [int(v) for v in state["carry_row"]]
+        self._leftover_hit_possible = bool(state["leftover_hit_possible"])
+        self._result = None
+        self.controller.dram.load_state(state["dram"])
+
     @staticmethod
     def _run_ends(bank_list, row_list):
         """Recompute row-hit run ends over carried + fresh bursts (the

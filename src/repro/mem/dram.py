@@ -168,3 +168,32 @@ class DramChip:
 
     def open_row_of(self, bank_index: int):
         return self._banks[bank_index].open_row
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full timing state: per-bank row/activation/data columns plus
+        bus, refresh horizon, and stats — everything a resumed run needs
+        for cycle-exact continuation."""
+        return {
+            "banks": [[bank.open_row, bank.activated_at, bank.last_data_end,
+                       bool(bank.last_was_write)] for bank in self._banks],
+            "bus_free_at": self._bus_free_at,
+            "next_refresh": self._next_refresh,
+            "stats": dict(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if len(state["banks"]) != len(self._banks):
+            raise ValueError(
+                f"bank count mismatch: checkpoint has {len(state['banks'])}, "
+                f"chip has {len(self._banks)}")
+        for bank, (open_row, activated_at, last_data_end, last_was_write) in zip(
+                self._banks, state["banks"]):
+            bank.open_row = None if open_row is None else int(open_row)
+            bank.activated_at = int(activated_at)
+            bank.last_data_end = int(last_data_end)
+            bank.last_was_write = bool(last_was_write)
+        self._bus_free_at = int(state["bus_free_at"])
+        self._next_refresh = int(state["next_refresh"])
+        self.stats = {key: int(value) for key, value in state["stats"].items()}

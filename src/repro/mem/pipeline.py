@@ -34,13 +34,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.mem.controller import ControllerResult, MemoryController
+from repro.testing import faults
 
 
 class PipelineCancelled(RuntimeError):
     """A streaming run was cooperatively cancelled at a chunk boundary
     (see :meth:`TracePipeline.run`'s ``should_stop``). The pipeline's
     rewriter/DRAM state is consumed — build a fresh one to retry."""
+
+
+class PipelineCheckpointed(RuntimeError):
+    """A streaming run parked itself at a chunk seam because
+    ``checkpoint_request()`` asked it to (the graceful-drain path): the
+    full mid-stream state is on disk at :attr:`path` and the run can be
+    resumed bit-exactly by a fresh pipeline with ``resume_from=path``."""
+
+    def __init__(self, path: str, chunks: int, requests_done: int):
+        super().__init__(
+            f"checkpointed to {path} after {chunks} chunks "
+            f"({requests_done} requests)")
+        self.path = path
+        self.chunks = chunks
+        self.requests_done = requests_done
 
 
 def _build_trace_rewriter(name: str, **params):
@@ -104,14 +121,77 @@ class TracePipeline:
         self.schemes: Tuple[str, ...] = tuple(schemes)
         self.chunk_requests = chunk_requests
         params = scheme_params or {}
+        self.scheme_params = {name: dict(params.get(name, {}))
+                              for name in self.schemes}
         self.rewriters = {
-            name: _build_trace_rewriter(name, **params.get(name, {}))
+            name: _build_trace_rewriter(name, **self.scheme_params[name])
             for name in self.schemes
         }
         self.controllers = {name: controller_factory() for name in self.schemes}
         self._ran = False
 
-    def run(self, on_chunk=None, should_stop=None) -> Dict[str, PipelineResult]:
+    # -- checkpointing -----------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """Identity of this computation: the trace spec plus the scheme
+        configuration and chunk size (the chunk grid determines the
+        seams a cursor may land on, so it is part of identity)."""
+        return {
+            "spec": self.source.state_dict(),
+            "schemes": list(self.schemes),
+            "scheme_params": self.scheme_params,
+            "chunk_requests": self.chunk_requests,
+        }
+
+    def _capture(self, sessions, chunks: int, requests_done: int,
+                 meta) -> dict:
+        state = {
+            "kind": "trace-pipeline",
+            "fingerprint": self.fingerprint(),
+            "cursor": requests_done,
+            "chunks": chunks,
+            "schemes": {
+                name: {
+                    "rewriter": (None if self.rewriters[name] is None
+                                 else self.rewriters[name].state_dict()),
+                    "session": sessions[name].state_dict(),
+                } for name in self.schemes
+            },
+        }
+        if meta is not None:
+            state["meta"] = meta
+        return state
+
+    def _restore(self, sessions, resume_from) -> Tuple[int, int]:
+        state = (resume_from if isinstance(resume_from, dict)
+                 else load_checkpoint(resume_from, kind="trace-pipeline"))
+        if state.get("kind") != "trace-pipeline":
+            raise CheckpointError(
+                f"not a trace-pipeline checkpoint: {state.get('kind')!r}")
+        fingerprint = self.fingerprint()
+        if state.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                "checkpoint fingerprint mismatch — it belongs to a "
+                f"different computation.\n  checkpoint: {state.get('fingerprint')}"
+                f"\n  this run:   {fingerprint}")
+        cursor = int(state["cursor"])
+        total = self.source.total_requests
+        if not (0 <= cursor <= total and
+                (cursor % self.chunk_requests == 0 or cursor == total)):
+            raise CheckpointError(
+                f"checkpoint cursor {cursor} is not a chunk seam of "
+                f"{total} requests at chunk size {self.chunk_requests}")
+        for name in self.schemes:
+            scheme_state = state["schemes"][name]
+            if self.rewriters[name] is not None:
+                self.rewriters[name].load_state(scheme_state["rewriter"])
+            sessions[name].load_state(scheme_state["session"])
+        return int(state["chunks"]), cursor
+
+    def run(self, on_chunk=None, should_stop=None, checkpoint_path=None,
+            checkpoint_every: int = 0, checkpoint_request=None,
+            resume_from=None, on_checkpoint=None,
+            checkpoint_meta=None) -> Dict[str, PipelineResult]:
         """Stream the whole source through every scheme; one generation
         pass, per-scheme results keyed by scheme name (input order).
 
@@ -123,6 +203,21 @@ class TracePipeline:
         :class:`PipelineCancelled`, the cooperative-cancellation seam (a
         chunk is the unit of work, so cancellation latency is one chunk).
 
+        **Checkpointing** (all off by default, zero overhead when off):
+        with ``checkpoint_path`` set, the full mid-stream state is
+        written atomically every ``checkpoint_every`` chunks (0 = only
+        on request); ``checkpoint_request()`` polled truthy at a seam
+        writes a final checkpoint and raises
+        :class:`PipelineCheckpointed` (the graceful-drain path);
+        ``resume_from`` (a path or a loaded state dict) restores a
+        checkpoint into this pipeline's rewriters/sessions and continues
+        from its cursor — the resumed run is bit-identical to the
+        uninterrupted one (cycles, bursts, stats, cache state; pinned by
+        ``tests/property/test_checkpoint_equivalence.py``).
+        ``on_checkpoint(path, chunks, requests_done)`` fires after every
+        successful write; ``checkpoint_meta`` (JSON-able) rides along in
+        the envelope, letting a daemon store the originating job.
+
         One-shot: the rewriters' metadata state and the controllers'
         DRAM state are consumed by the run, so a second call would
         silently time a different (warm-state) machine — build a fresh
@@ -130,17 +225,38 @@ class TracePipeline:
         if self._ran:
             raise RuntimeError("pipeline already ran; rewriter and DRAM "
                                "state are consumed — build a new TracePipeline")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if (checkpoint_every or checkpoint_request) and checkpoint_path is None:
+            raise ValueError("checkpointing requested without checkpoint_path")
         self._ran = True
         sessions = {name: self.controllers[name].session()
                     for name in self.schemes}
         chunks = 0
         requests_done = 0
         total = self.source.total_requests
-        for batch in self.source.chunks(self.chunk_requests):
+        if resume_from is not None:
+            chunks, requests_done = self._restore(sessions, resume_from)
+
+        def write_checkpoint() -> None:
+            save_checkpoint(checkpoint_path, self._capture(
+                sessions, chunks, requests_done, checkpoint_meta))
+            if on_checkpoint is not None:
+                on_checkpoint(checkpoint_path, chunks, requests_done)
+
+        for start in range(requests_done, total, self.chunk_requests):
             if should_stop is not None and should_stop():
                 raise PipelineCancelled(
                     f"cancelled after {chunks} of "
                     f"{-(-total // self.chunk_requests)} chunks")
+            if checkpoint_request is not None and checkpoint_request():
+                write_checkpoint()
+                raise PipelineCheckpointed(checkpoint_path, chunks,
+                                           requests_done)
+            if faults.enabled():
+                faults.fire("pipeline.chunk", chunks)
+            batch = self.source.batch(
+                start, min(start + self.chunk_requests, total))
             chunks += 1
             requests_done += len(batch)
             for name in self.schemes:
@@ -150,6 +266,9 @@ class TracePipeline:
                     else batch)
             if on_chunk is not None:
                 on_chunk(chunks, requests_done, total)
+            if (checkpoint_every and chunks % checkpoint_every == 0
+                    and requests_done < total):
+                write_checkpoint()
         if should_stop is not None and should_stop():
             raise PipelineCancelled(f"cancelled after {chunks} chunks")
         results = {}

@@ -102,3 +102,18 @@ class TraceStats:
 
     def kind_bytes(self, kind: RequestKind) -> int:
         return self.read_bytes.get(kind, 0) + self.write_bytes.get(kind, 0)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe form: kinds by enum value string."""
+        return {
+            "read_bytes": {kind.value: n for kind, n in self.read_bytes.items()},
+            "write_bytes": {kind.value: n for kind, n in self.write_bytes.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.read_bytes = {RequestKind(value): int(n)
+                           for value, n in state["read_bytes"].items()}
+        self.write_bytes = {RequestKind(value): int(n)
+                            for value, n in state["write_bytes"].items()}

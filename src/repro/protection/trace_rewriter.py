@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List
 
 from repro import perf
+from repro.testing import faults
 from repro.mem.batch import MAC_CODE, TREE_CODE, VN_CODE, RequestBatch
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.trace import MemoryRequest, RequestKind
@@ -165,6 +166,18 @@ class GuardNNTraceRewriter:
         self.metadata_base = metadata_base
         self._active_line = None
         self._active_dirty = False
+        self._rewrite_calls = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"active_line": self._active_line,
+                "active_dirty": self._active_dirty}
+
+    def load_state(self, state: dict) -> None:
+        line = state["active_line"]
+        self._active_line = None if line is None else int(line)
+        self._active_dirty = bool(state["active_dirty"])
 
     def _mac_line(self, chunk_index: int) -> int:
         byte_offset = chunk_index * self.params.mac_bytes
@@ -221,6 +234,9 @@ class GuardNNTraceRewriter:
         the whole batch (SoA) and same-line request runs collapse to a
         single state transition each.
         """
+        if faults.enabled():
+            faults.fire("rewriter.rewrite", self._rewrite_calls)
+        self._rewrite_calls += 1
         out = RequestBatch()
         if not self.integrity:
             out.extend(batch)
@@ -486,6 +502,20 @@ class MeeTraceRewriter:
                 params.cache_bytes, params.line_bytes, ways=8)
         self.metadata_base = metadata_base
         self.regions = self._lay_out(protected_bytes)
+        self._rewrite_calls = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Carried state is exactly the metadata cache (the region
+        layout is derived from constructor parameters). The cache's
+        canonical form loads into either implementation, so a
+        checkpoint written in fast mode resumes in scalar mode and
+        vice versa."""
+        return {"cache": self.cache.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self.cache.load_state(state["cache"])
 
     def _lay_out(self, protected_bytes: int) -> _MeeRegions:
         p = self.params
@@ -591,6 +621,9 @@ class MeeTraceRewriter:
         causally determined by the access prefix, so any fixpoint is
         unique); a failed validation restores the cache snapshot and
         falls back to the per-run state machine."""
+        if faults.enabled():
+            faults.fire("rewriter.rewrite", self._rewrite_calls)
+        self._rewrite_calls += 1
         if _np is not None and perf.fast_enabled() and len(batch) >= 16:
             if (isinstance(self.cache, FastSetAssociativeCache)
                     and len(self.regions.tree_bases) + 1 < self.cache.ways):

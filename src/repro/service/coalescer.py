@@ -43,6 +43,9 @@ class Flight:
         self.subscribers: List[asyncio.Queue] = []
         self.done = False
         self.cancel = threading.Event()
+        #: drain signal: asks a pipeline flight to persist a checkpoint
+        #: at its next chunk seam and stop (observed on a worker thread)
+        self.checkpoint_now = threading.Event()
         #: lifetime subscriber count (coalescing-factor accounting)
         self.total_subscribers = 0
         self.started = False

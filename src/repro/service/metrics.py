@@ -98,6 +98,11 @@ COUNTERS = (
     "rows_streamed_total",     # result/partial rows delivered
     "cache_hits_total",        # on-disk result-cache hits (service runner)
     "cache_misses_total",      # on-disk result-cache misses
+    "cache_corrupt_total",     # corrupt cache entries quarantined
+    "worker_restarts_total",   # pool rebuilds after a lost/hung worker
+    "chunk_retries_total",     # sweep chunks re-dispatched after a loss
+    "checkpoints_written_total",  # pipeline checkpoints persisted
+    "flights_resumed_total",   # flights resumed from a checkpoint
 )
 
 
@@ -164,3 +169,15 @@ def merge_cache_stats(metrics: ServiceMetrics, cache) -> None:
     with metrics._lock:
         metrics._counters["cache_hits_total"] = cache.hits
         metrics._counters["cache_misses_total"] = cache.misses
+        metrics._counters["cache_corrupt_total"] = cache.corrupt
+
+
+def merge_recovery_stats(metrics: ServiceMetrics) -> None:
+    """Mirror the runner's process-wide recovery counters (pool rebuilds
+    and chunk re-dispatches) into the counter registry."""
+    from repro.experiments.runner import recovery_counts
+
+    counts = recovery_counts()
+    with metrics._lock:
+        metrics._counters["worker_restarts_total"] = counts.get("worker_restarts", 0)
+        metrics._counters["chunk_retries_total"] = counts.get("chunk_retries", 0)

@@ -35,6 +35,8 @@ from __future__ import annotations
 import asyncio
 import json
 import multiprocessing
+import os
+import signal
 import sys
 import threading
 import time
@@ -42,22 +44,28 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.checkpoint import CheckpointError, load_checkpoint
 from repro.experiments import ResultCache, ResultTable, get_sweep
 from repro.experiments import runner as runner_module
 from repro.experiments.cache import code_fingerprint
 from repro.experiments.executors import pipeline_rows
 from repro.experiments.pool import WorkerPoolManager
 from repro.experiments.runner import JobExecutionError, Runner, default_workers
-from repro.mem.pipeline import PipelineCancelled
+from repro.mem.pipeline import PipelineCancelled, PipelineCheckpointed
 from repro.service.admission import AdmissionController
 from repro.service.coalescer import END_OF_STREAM, Flight, JobCoalescer
-from repro.service.metrics import ServiceMetrics, merge_cache_stats
+from repro.service.metrics import (
+    ServiceMetrics,
+    merge_cache_stats,
+    merge_recovery_stats,
+)
 from repro.service.protocol import (
     ProtocolError,
     encode_event,
     parse_job_request,
     rejection_body,
 )
+from repro.testing import faults
 
 _MAX_BODY_BYTES = 1 << 20  # a job request is a description, not data
 
@@ -97,6 +105,18 @@ class ServeConfig:
     cache: bool = True          # shared on-disk ResultCache
     cache_dir: Optional[str] = None
     stream_jobs: Optional[int] = None  # sweep jobs per partial-rows event
+    #: directory for pipeline flight checkpoints; None disables both
+    #: periodic checkpointing and drain-time checkpoint/resume
+    checkpoint_dir: Optional[str] = None
+    #: write a checkpoint every N pipeline chunks (0 = only on drain)
+    checkpoint_every: int = 0
+    #: seconds to wait for in-flight work after a drain begins before
+    #: forcing shutdown
+    drain_grace: float = 10.0
+    #: sweep-runner fault tolerance (see Runner): per-chunk timeout and
+    #: redispatch budget for lost/hung workers
+    chunk_timeout: Optional[float] = None
+    chunk_retries: int = 2
 
 
 class ReproService:
@@ -120,6 +140,10 @@ class ReproService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
         self.port: Optional[int] = None  # bound port once serving
+        self._draining = False
+        self._connections: set = set()  # live client-connection tasks
+        self._flight_seq = 0   # fault-site index for service.flight
+        self._stream_seq = 0   # fault-site index for service.stream
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -133,6 +157,11 @@ class ReproService:
             # forked while a client connection fd is open in this
             # process — see _service_pool_context.
             self.pool_manager.pool(self.workers)
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self._begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or platform without signal support
         server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
         self.port = server.sockets[0].getsockname()[1]
@@ -141,12 +170,42 @@ class ReproService:
               f"max_queued={self.config.max_queued}, "
               f"cache={'on' if self.cache else 'off'})",
               file=sys.stderr, flush=True)
+        self._resume_checkpointed_flights()
         if ready is not None:
             ready.set()
         async with server:
             await self._shutdown.wait()
         self._flight_executor.shutdown(wait=False)
         self.pool_manager.close()
+
+    def _begin_drain(self) -> None:
+        """Graceful shutdown, phase one (loop thread): stop admitting,
+        ask every in-flight pipeline to checkpoint at its next chunk
+        seam, and force shutdown after the grace period if work is
+        still running. Idempotent — repeated signals don't reset the
+        grace timer."""
+        if self._draining:
+            return
+        self._draining = True
+        print(f"repro serve: draining ({self.coalescer.inflight} in flight, "
+              f"grace {self.config.drain_grace:g}s)",
+              file=sys.stderr, flush=True)
+        for flight in list(self.coalescer._flights.values()):
+            flight.checkpoint_now.set()
+        if self.coalescer.inflight == 0:
+            self._loop.create_task(self._drain_complete())
+        else:
+            self._loop.call_later(self.config.drain_grace, self._shutdown.set)
+
+    async def _drain_complete(self) -> None:
+        """Drain, phase two: every flight has landed, but their terminal
+        events may still be queued behind open connections — let those
+        streams flush before the loop (and its tasks) go down."""
+        live = {task for task in self._connections
+                if task is not asyncio.current_task()}
+        if live:
+            await asyncio.wait(live, timeout=5.0)
+        self._shutdown.set()
 
     def request_shutdown(self) -> None:
         """Stop serving (threadsafe; callable from signal handlers or
@@ -176,6 +235,8 @@ class ReproService:
         await writer.drain()
 
     async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
         try:
             request_line = await reader.readline()
             parts = request_line.decode("latin-1").split()
@@ -207,6 +268,7 @@ class ReproService:
             except (ConnectionResetError, BrokenPipeError):
                 pass
         finally:
+            self._connections.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -232,9 +294,11 @@ class ReproService:
 
     def metrics_snapshot(self) -> dict:
         merge_cache_stats(self.metrics, self.cache)
+        merge_recovery_stats(self.metrics)
         gauges = {**self.admission.gauges(), **self.coalescer.gauges(),
                   "pool_workers": self.pool_manager.active_workers,
-                  "sweep_workers": self.workers}
+                  "sweep_workers": self.workers,
+                  "draining": self._draining}
         snapshot = self.metrics.snapshot(gauges)
         snapshot["protocol_version"] = 1
         return snapshot
@@ -243,6 +307,14 @@ class ReproService:
 
     async def _handle_job(self, body: bytes, reader, writer) -> None:
         self.metrics.incr("requests_total")
+        if self._draining:
+            retry = max(1, int(round(self.config.drain_grace)))
+            self.metrics.incr("rejected_total")
+            await self._respond_json(
+                writer, "503 Service Unavailable",
+                {"error": "draining", "retry_after": retry},
+                extra={"Retry-After": str(retry)})
+            return
         try:
             request = parse_job_request(json.loads(body.decode()))
         except (ProtocolError, json.JSONDecodeError, UnicodeDecodeError) as error:
@@ -298,6 +370,9 @@ class ReproService:
                 event = getter.result()
                 if event is END_OF_STREAM:
                     break
+                if faults.enabled():
+                    faults.fire("service.stream", self._stream_seq)
+                self._stream_seq += 1
                 writer.write(encode_event(event))
                 await writer.drain()
                 self.metrics.incr("events_streamed_total")
@@ -332,6 +407,9 @@ class ReproService:
         flight.started = True
         self._loop.call_soon_threadsafe(self.admission.on_start)
         self.metrics.incr("executions_total")
+        if faults.enabled():
+            faults.fire("service.flight", self._flight_seq)
+        self._flight_seq += 1
         started = time.perf_counter()
         try:
             if flight.request.kind == "sweep":
@@ -342,6 +420,13 @@ class ReproService:
         except (FlightCancelled, PipelineCancelled) as error:
             self.metrics.incr("cancelled_total")
             final = {"event": "cancelled", "reason": str(error)}
+        except PipelineCheckpointed as checkpointed:
+            # a drain caught this flight mid-stream: its state is on
+            # disk and the restarted daemon will pick it up
+            final = {"event": "checkpointed",
+                     "checkpoint": checkpointed.path,
+                     "chunks": checkpointed.chunks,
+                     "requests_done": checkpointed.requests_done}
         except JobExecutionError as error:
             self.metrics.incr("failed_total")
             final = {"event": "error", "message": str(error),
@@ -365,6 +450,10 @@ class ReproService:
             self.admission.on_abandon()
         if latency is not None:
             self.metrics.observe_flight(latency)
+        if self._draining and self.coalescer.inflight == 0:
+            # drain complete: don't wait out the grace (but do let open
+            # streams deliver the terminal events just published)
+            self._loop.create_task(self._drain_complete())
 
     def _check_cancel(self, flight: Flight) -> None:
         if flight.cancel.is_set():
@@ -375,7 +464,9 @@ class ReproService:
         jobs = request.jobs()
         definition = get_sweep(request.preset) if request.preset else None
         runner = Runner(workers=self.workers, cache=self.cache,
-                        pool_manager=self.pool_manager)
+                        pool_manager=self.pool_manager,
+                        chunk_timeout=self.config.chunk_timeout,
+                        chunk_retries=self.config.chunk_retries)
         stride = self.config.stream_jobs or max(4, runner.workers * 2)
         rows = []
         for start in range(0, len(jobs), stride):
@@ -390,6 +481,11 @@ class ReproService:
             table = definition.post(table)
         return {"event": "result", "kind": "sweep",
                 "table": {"columns": table.columns, "rows": table.rows}}
+
+    def _flight_checkpoint_path(self, key: str) -> Optional[str]:
+        if not self.config.checkpoint_dir:
+            return None
+        return os.path.join(self.config.checkpoint_dir, key + ".ckpt")
 
     def _execute_pipeline(self, flight: Flight) -> dict:
         job = flight.request.jobs()[0]
@@ -407,13 +503,107 @@ class ReproService:
                                     "requests_done": requests_done,
                                     "total_requests": total_requests})
 
+            ckpt_path = self._flight_checkpoint_path(flight.key)
+            ckpt_kwargs: Dict[str, object] = {}
+            if ckpt_path is not None:
+                resume_from = None
+                if os.path.exists(ckpt_path):
+                    try:
+                        resume_from = load_checkpoint(ckpt_path,
+                                                      kind="trace-pipeline")
+                    except CheckpointError:
+                        resume_from = None  # stale/corrupt: full recompute
+                if resume_from is not None:
+                    self.metrics.incr("flights_resumed_total")
+                    self._emit(flight, {
+                        "event": "resumed",
+                        "requests_done": resume_from.get("cursor"),
+                        "chunks": resume_from.get("chunks")})
+                ckpt_kwargs = dict(
+                    checkpoint_path=ckpt_path,
+                    checkpoint_every=self.config.checkpoint_every,
+                    checkpoint_request=flight.checkpoint_now.is_set,
+                    resume_from=resume_from,
+                    on_checkpoint=lambda *_: self.metrics.incr(
+                        "checkpoints_written_total"),
+                    # the full pipeline_run params travel in the
+                    # envelope so a restarted daemon can rebuild the
+                    # JobRequest and resume the flight unprompted
+                    checkpoint_meta={"job": {"kind": "pipeline",
+                                             "params": job.params}})
             rows = pipeline_rows(job.params, on_chunk=on_chunk,
-                                 should_stop=flight.cancel.is_set)
+                                 should_stop=flight.cancel.is_set,
+                                 **ckpt_kwargs)
             runner_module._memory_put(job, rows)
             if self.cache is not None:
                 self.cache.put(job, rows)
+            if ckpt_path is not None:
+                try:
+                    os.unlink(ckpt_path)  # completed: checkpoint spent
+                except OSError:
+                    pass
         return {"event": "result", "kind": "pipeline", "cached": cached,
                 "rows": rows}
+
+    # -- restart recovery ---------------------------------------------------
+
+    def _resume_checkpointed_flights(self) -> None:
+        """Scan the checkpoint directory at startup and re-dispatch
+        every flight a previous daemon instance left checkpointed. A
+        resumed flight has no subscribers — its result lands in the
+        shared caches, so the client that retries after the restart
+        gets a cache hit instead of a recompute from request zero."""
+        directory = self.config.checkpoint_dir
+        if not directory or not os.path.isdir(directory):
+            return
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".ckpt"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                state = load_checkpoint(path, kind="trace-pipeline")
+            except CheckpointError:
+                continue
+            meta = state.get("meta") or {}
+            job_meta = meta.get("job") if isinstance(meta, dict) else None
+            params = job_meta.get("params") if isinstance(job_meta, dict) else None
+            if not isinstance(params, dict) or job_meta.get("kind") != "pipeline":
+                continue
+            try:
+                request = parse_job_request({
+                    "kind": "pipeline",
+                    "workload": params["workload"],
+                    "schemes": params["schemes"],
+                    "chunk_requests": params["chunk_requests"],
+                    "params": {k: v for k, v in params.items()
+                               if k not in ("workload", "schemes",
+                                            "chunk_requests")},
+                })
+            except (ProtocolError, KeyError):
+                continue
+            key = request.key(self._fingerprint)
+            if key + ".ckpt" != name:
+                # written under a different code fingerprint: the
+                # bit-identity contract only holds within one build, so
+                # this checkpoint can never be resumed — drop it
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            if self.coalescer.peek(key) is not None:
+                continue
+            decision = self.admission.try_admit(
+                self.metrics.expected_flight_seconds)
+            if not decision.admitted:
+                break  # capacity full; the rest resume on client demand
+            self.metrics.incr("admitted_total")
+            flight = self.coalescer.create(key, request)
+            print(f"repro serve: resuming checkpointed flight {key[:12]}… "
+                  f"({params.get('workload')}, cursor {state.get('cursor')})",
+                  file=sys.stderr, flush=True)
+            self._loop.run_in_executor(self._flight_executor,
+                                       self._run_flight, flight)
 
 
 def run_serve(config: ServeConfig) -> int:

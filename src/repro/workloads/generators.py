@@ -257,6 +257,13 @@ class TraceSpec:
     def materialize(self) -> List[MemoryRequest]:
         return self.batch(0, self.total_requests).to_requests()
 
+    def state_dict(self) -> dict:
+        """Identity of the trace this spec describes (type + every
+        constructor parameter). Specs are stateless — ``batch`` is pure
+        — so this is a *fingerprint*, not mutable state: a checkpoint
+        stores it and refuses to resume against a different trace."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.total_requests} requests>"
 
@@ -276,6 +283,10 @@ class StreamingSpec(TraceSpec):
     def batch(self, start: int = 0, stop: Optional[int] = None) -> RequestBatch:
         return streaming_batch(self.nbytes, self.base, self.write_fraction,
                                self.stride, start=start, stop=stop)
+
+    def state_dict(self) -> dict:
+        return {"type": "streaming", "nbytes": self.nbytes, "base": self.base,
+                "write_fraction": self.write_fraction, "stride": self.stride}
 
 
 class RandomSpec(TraceSpec):
@@ -327,6 +338,11 @@ class RandomSpec(TraceSpec):
             batch.append(int(slot) * self.stride, self.stride, bool(is_write))
         return batch
 
+    def state_dict(self) -> dict:
+        return {"type": "random", "n_requests": self.total_requests,
+                "span_bytes": self.span_bytes, "seed": self.seed,
+                "write_fraction": self.write_fraction, "stride": self.stride}
+
 
 class BpMetadataSpec(TraceSpec):
     """Sliceable form of :func:`bp_metadata_trace`."""
@@ -341,6 +357,10 @@ class BpMetadataSpec(TraceSpec):
     def batch(self, start: int = 0, stop: Optional[int] = None) -> RequestBatch:
         return bp_metadata_batch(self.nbytes, self.base, self.meta_base,
                                  start=start, stop=stop)
+
+    def state_dict(self) -> dict:
+        return {"type": "bp-metadata", "nbytes": self.nbytes,
+                "base": self.base, "meta_base": self.meta_base}
 
 
 def random_mlp_spec(layer_sizes: Sequence[int], rng: np.random.Generator,

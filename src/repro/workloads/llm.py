@@ -27,6 +27,7 @@ networks.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Optional
 
 import numpy as np
@@ -143,6 +144,14 @@ class LlmDecodeSpec(TraceSpec):
         if self._seg_kv_slot[seg]:
             line += (token % self.context) * self.kv_entry_lines
         return line * self.stride, bool(self._seg_write[seg])
+
+    def state_dict(self) -> dict:
+        # the full geometry (not just its name) so unregistered
+        # geometries — the test suite's tiny models — fingerprint too
+        return {"type": "llm-decode", "geometry": asdict(self.geometry),
+                "tokens": self.tokens, "context": self.context,
+                "layers": self.layers, "elem_bytes": self.elem_bytes,
+                "stride": self.stride, "seed": self.seed}
 
     @property
     def bytes_per_token(self) -> int:

@@ -1,0 +1,99 @@
+"""Result-cache durability under injected corruption.
+
+``ResultCache.put`` publishes with fsync + atomic rename; ``get``
+quarantines a corrupt entry (rename to ``.corrupt`` + count) instead
+of re-parsing it forever. The fault plan damages entries *after* a
+clean publish — simulating bit rot or torn writes from filesystems
+without the fsync discipline — and the cache must degrade to a miss,
+recompute, and heal.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.jobs import Job
+from repro.testing import faults
+
+ROWS = [{"model": "alexnet", "cycles": 123}]
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _cache(tmp_path) -> ResultCache:
+    return ResultCache(directory=str(tmp_path), fingerprint="test-fp")
+
+
+def test_corrupted_entry_quarantined_and_recomputed(tmp_path):
+    cache = _cache(tmp_path)
+    job = Job.make("pipeline_run", workload="streaming")
+    faults.install({"points": [
+        {"site": "cache.put", "at": 0, "action": "corrupt"}]})
+    cache.put(job, ROWS)          # published, then damaged in place
+    faults.clear()
+
+    assert cache.get(job) is None  # corrupt: a miss, not a crash
+    assert cache.corrupt == 1
+    path = cache._path(cache.key(job))
+    assert not os.path.exists(path)
+    assert os.path.exists(path + ".corrupt")  # evidence preserved
+
+    cache.put(job, ROWS)           # recompute-and-rewrite heals it
+    assert cache.get(job) == ROWS
+    assert cache.corrupt == 1      # quarantine counted exactly once
+
+
+def test_truncated_entry_quarantined(tmp_path):
+    cache = _cache(tmp_path)
+    job = Job.make("pipeline_run", workload="random")
+    faults.install({"points": [
+        {"site": "cache.put", "at": 0, "action": "truncate"}]})
+    cache.put(job, ROWS)
+    faults.clear()
+    path = cache._path(cache.key(job))
+    assert 0 < os.path.getsize(path) < len(json.dumps(ROWS)) * 2
+
+    assert cache.get(job) is None
+    assert cache.corrupt == 1
+    assert os.path.exists(path + ".corrupt")
+
+
+def test_wrong_schema_is_quarantined_not_served(tmp_path):
+    cache = _cache(tmp_path)
+    job = Job.make("pipeline_run", workload="streaming")
+    path = cache._path(cache.key(job))
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump({"rows": "not-a-list"}, handle)
+    assert cache.get(job) is None
+    assert cache.corrupt == 1
+    assert os.path.exists(path + ".corrupt")
+
+
+def test_plain_miss_is_not_corruption(tmp_path):
+    cache = _cache(tmp_path)
+    assert cache.get(Job.make("pipeline_run", workload="streaming")) is None
+    assert cache.misses == 1
+    assert cache.corrupt == 0
+
+
+def test_stats_reports_corruption(tmp_path):
+    cache = _cache(tmp_path)
+    assert "0 corrupt" in cache.stats
+
+
+def test_no_temp_debris_after_put(tmp_path):
+    cache = _cache(tmp_path)
+    job = Job.make("pipeline_run", workload="streaming")
+    cache.put(job, ROWS)
+    debris = [name for _, _, files in os.walk(tmp_path) for name in files
+              if name.endswith(".tmp")]
+    assert debris == []
+    assert cache.get(job) == ROWS
