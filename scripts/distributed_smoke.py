@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Distributed-execution smoke: coordinator + two real worker
+processes, one SIGKILLed mid-lease, byte-compared against a local run.
+
+The scenario (the CI distributed-smoke job):
+
+1. compute the reference table with a plain local ``Runner.run``;
+2. start a coordinator (in this process) over the same job list;
+3. start worker #1 ("victim") as a real ``repro work`` subprocess with
+   a fault plan that SIGKILLs it the moment it holds its first lease —
+   it dies mid-sweep, holding a unit;
+4. wait for the victim's corpse (exit by signal 9), then start worker
+   #2 ("survivor"), which waits out the dead lease, takes over the
+   forfeited unit, and finishes the sweep;
+5. assert the assembled distributed table is **byte-identical** to the
+   local reference and that the coordinator observed the failover
+   (a lease expired and the unit was re-dispatched).
+
+Exit code 0 on success, 1 with a diagnostic on any deviation.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.distributed import SweepCoordinator  # noqa: E402
+from repro.experiments.runner import Runner, _MEMORY_CACHE  # noqa: E402
+from repro.experiments.spec import SweepSpec  # noqa: E402
+from repro.experiments.table import ResultTable  # noqa: E402
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def worker_env(extra_plan=None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if extra_plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps(extra_plan)
+    return env
+
+
+def start_worker(url: str, name: str, env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "work", url, "--name", name,
+         "--workers", "2"],
+        env=env, stdout=sys.stderr, stderr=sys.stderr)
+
+
+def main() -> int:
+    spec = SweepSpec(models=("alexnet", "mobilenet"), schemes=("np", "bp"))
+    jobs = spec.jobs()
+
+    print(f"# local reference: {len(jobs)} jobs", file=sys.stderr)
+    with Runner(workers=2, cache=None) as runner:
+        reference = runner.run(jobs).to_json()
+    _MEMORY_CACHE.clear()
+
+    coordinator = SweepCoordinator(jobs, cache=None, local_workers=1,
+                                   unit_jobs=1, lease_seconds=2.0,
+                                   wait_workers=300.0)
+    state = coordinator.state
+    print(f"# coordinator at {coordinator.url}", file=sys.stderr)
+
+    survivor = None
+    try:
+        # victim: SIGKILLs itself (via the fault harness) the moment it
+        # holds its first lease — a real process dying mid-sweep
+        victim = start_worker(coordinator.url, "victim", worker_env(
+            {"points": [{"site": "dist.unit@victim", "at": 0,
+                         "action": "kill"}]}))
+        try:
+            code = victim.wait(timeout=120)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        if code != -signal.SIGKILL:
+            return fail(f"victim exited {code}, expected SIGKILL (-9)")
+        if state.counters["leases_granted"] < 1:
+            return fail("victim died without ever holding a lease")
+        print("# victim SIGKILLed mid-lease", file=sys.stderr)
+
+        survivor = start_worker(coordinator.url, "survivor", worker_env())
+        deadline = time.monotonic() + 300.0
+        while not state.done:
+            if time.monotonic() > deadline:
+                return fail("sweep did not complete within 300s")
+            if survivor.poll() is not None:
+                return fail(f"survivor exited early ({survivor.returncode})")
+            time.sleep(0.1)
+        if survivor.wait(timeout=60) != 0:
+            return fail(f"survivor exit code {survivor.returncode}")
+    finally:
+        if survivor is not None and survivor.poll() is None:
+            survivor.kill()
+
+    rows_per_job = coordinator.run()
+    table = ResultTable()
+    for rows in rows_per_job:
+        table.extend(rows)
+    if table.to_json() != reference:
+        return fail("distributed table differs from the local reference")
+
+    counters = state.counters
+    print(f"# counters: {json.dumps(counters, sort_keys=True)}",
+          file=sys.stderr)
+    if counters["units_completed"] != len(jobs):
+        return fail(f"expected {len(jobs)} units, "
+                    f"got {counters['units_completed']}")
+    if counters["lease_expirations"] < 1:
+        return fail("the victim's lease never expired — failover untested")
+    if state.snapshot()["redispatches"] < 1:
+        return fail("no unit was re-dispatched after the SIGKILL")
+    print("OK: SIGKILL failover complete, rows byte-identical to local run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

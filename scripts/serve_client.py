@@ -60,6 +60,11 @@ def main(argv=None) -> int:
     parser.add_argument("--port", type=int, default=8787)
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-event progress on stderr")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="resubmit up to N times after a 429/503 "
+                             "rejection, backing off exponentially with "
+                             "jitter around the server's Retry-After "
+                             "(default: fail fast)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("sweep", help="submit a sweep job")
@@ -108,10 +113,11 @@ def main(argv=None) -> int:
             job["chunk_requests"] = args.chunk_requests
 
     try:
-        result = client.run(job, on_event=None if args.quiet else _progress)
+        result = client.run(job, on_event=None if args.quiet else _progress,
+                            retries=max(0, args.retries))
     except ServiceRejected as rejected:
-        print(f"rejected: saturated, retry after {rejected.retry_after}s",
-              file=sys.stderr)
+        print(f"rejected (HTTP {rejected.status}): retry after "
+              f"{rejected.retry_after}s", file=sys.stderr)
         return 2
     except ServiceJobError as error:
         print(f"job failed: {error}", file=sys.stderr)

@@ -17,6 +17,8 @@ Gives downstream users the paper's experiments without writing code:
   HTTP/NDJSON job API: coalescing, admission control, streamed partial
   results, ``/metrics``; drains gracefully on SIGTERM, checkpointing
   long pipeline flights for the next instance to resume);
+* ``work`` — join a ``sweep --distributed`` run as a remote worker
+  (lease/heartbeat protocol; results are bit-identical to local runs);
 * ``demo`` — the functional end-to-end secure inference.
 """
 
@@ -38,6 +40,63 @@ def _scheme(name: str):
         return build_scheme(name)
     except KeyError:
         raise SystemExit(f"unknown scheme {name!r}; choose from {', '.join(list_schemes())}")
+
+
+# argparse `type=` validators: a nonsensical duration or counter should
+# die at the option parser with the flag's name in the message, not ten
+# frames deep in the service with a bare ValueError
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be zero or a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds, got {text}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be zero or a positive number of seconds, got {text}")
+    return value
+
+
+def _host_port(text: str):
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT (e.g. 0.0.0.0:8790), got {text!r}")
+    return host or "127.0.0.1", int(port)
 
 
 def cmd_simulate(args) -> int:
@@ -98,18 +157,29 @@ def cmd_sweep(args) -> int:
     cache = None
     if not args.no_cache:
         cache = experiments.ResultCache(args.cache_dir)
-    try:
-        runner = experiments.Runner(workers=args.workers, cache=cache)
-    except ValueError as error:
-        # a malformed REPRO_SWEEP_WORKERS is a configuration error, not a bug
-        raise SystemExit(f"error: {error}")
-    if spec is None:
-        table = experiments.run_sweep(args.preset, runner=runner)
-    else:
-        table = runner.run(spec.jobs())
-        if "np" in spec.schemes:
-            # normalized execution time needs the NP baseline in the grid
+    if args.distributed:
+        definition = experiments.get_sweep(args.preset) if spec is None else None
+        jobs = definition.jobs() if spec is None else spec.jobs()
+        columns = definition.columns if definition is not None else None
+        table = _run_distributed_sweep(jobs, cache, columns, args)
+        if definition is not None and definition.post is not None:
+            table = definition.post(table)
+        elif spec is not None and "np" in spec.schemes:
             table = table.with_normalized()
+        runner = None
+    else:
+        try:
+            runner = experiments.Runner(workers=args.workers, cache=cache)
+        except ValueError as error:
+            # a malformed REPRO_SWEEP_WORKERS is a configuration error, not a bug
+            raise SystemExit(f"error: {error}")
+        if spec is None:
+            table = experiments.run_sweep(args.preset, runner=runner)
+        else:
+            table = runner.run(spec.jobs())
+            if "np" in spec.schemes:
+                # normalized execution time needs the NP baseline in the grid
+                table = table.with_normalized()
 
     if args.format == "markdown":
         output = table.to_markdown()
@@ -123,10 +193,48 @@ def cmd_sweep(args) -> int:
         print(f"wrote {len(table)} rows to {args.out}", file=sys.stderr)
     else:
         print(output)
-    print(f"# {title}: {n_jobs} jobs -> {len(table)} rows, "
-          f"workers={runner.workers}, "
+    where = "distributed" if runner is None else f"workers={runner.workers}"
+    print(f"# {title}: {n_jobs} jobs -> {len(table)} rows, {where}, "
           f"cache={'off' if cache is None else cache.stats}", file=sys.stderr)
     return 0
+
+
+def _run_distributed_sweep(jobs, cache, columns, args):
+    """Drive a job list through the distributed coordinator (with the
+    local pool as the zero-worker fallback) and assemble the same
+    ResultTable a local run would."""
+    from repro.distributed import SweepCoordinator
+    from repro.experiments.table import ResultTable
+
+    host, port = args.listen
+    coordinator = SweepCoordinator(
+        jobs, cache=cache, local_workers=args.workers,
+        host=host, port=port, unit_jobs=args.unit_jobs,
+        lease_seconds=args.lease_seconds,
+        straggler_factor=args.straggler_factor,
+        wait_workers=args.wait_workers)
+    if coordinator.url:
+        print(f"# coordinator listening at {coordinator.url} — join with: "
+              f"repro work {coordinator.url}", file=sys.stderr)
+    rows_per_job = coordinator.run()
+    table = ResultTable(columns=columns)
+    for rows in rows_per_job:
+        table.extend(rows)
+    return table
+
+
+def cmd_work(args) -> int:
+    """Turn this machine into a sweep worker pointed at a coordinator."""
+    from repro.distributed import Worker, WorkerConfig
+
+    config = WorkerConfig(
+        url=args.url, name=args.name or "", workers=args.workers,
+        chunk_timeout=args.chunk_timeout, chunk_retries=args.chunk_retries,
+        reconnect_timeout=args.reconnect_timeout)
+    try:
+        return Worker(config).run()
+    except KeyboardInterrupt:
+        return 130
 
 
 def cmd_figure3(args) -> int:
@@ -345,9 +453,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated batch sizes (default: 1)")
     p.add_argument("--modes", default=None,
                    help="comma-separated modes (default: inference)")
-    p.add_argument("--workers", type=int, default=None,
+    p.add_argument("--workers", type=_positive_int, default=None,
                    help="process-parallel workers (default: "
                         "REPRO_SWEEP_WORKERS or cpu count, capped at 8)")
+    p.add_argument("--distributed", action="store_true",
+                   help="shard the sweep across remote `repro work` "
+                        "machines (local pool is the zero-worker fallback)")
+    p.add_argument("--listen", type=_host_port, default=("127.0.0.1", 0),
+                   metavar="HOST:PORT",
+                   help="coordinator bind address for --distributed "
+                        "(default: 127.0.0.1 on an ephemeral port)")
+    p.add_argument("--unit-jobs", type=_positive_int, default=None,
+                   help="jobs per distributed work unit (default: "
+                        "auto, ~32 units per sweep)")
+    p.add_argument("--lease-seconds", type=_positive_float, default=10.0,
+                   help="lease term for distributed units; a worker "
+                        "silent this long forfeits its unit")
+    p.add_argument("--wait-workers", type=_nonneg_float, default=0.0,
+                   metavar="SECS",
+                   help="grace period to wait for remote workers before "
+                        "the local pool starts taking units")
+    p.add_argument("--straggler-factor", type=_positive_float, default=None,
+                   help="duplicate-dispatch a unit outstanding longer than "
+                        "FACTOR x the EWMA unit time (first result wins)")
     p.add_argument("--format", default="markdown", choices=("markdown", "csv", "json"))
     p.add_argument("--out", help="write the table to a file instead of stdout")
     p.add_argument("--no-cache", action="store_true",
@@ -396,7 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schemes", default=None,
                    help="comma-separated scheme names "
                         "(default: np,guardnn-c,guardnn-ci,bp)")
-    p.add_argument("--chunk-requests", type=int, default=None,
+    p.add_argument("--chunk-requests", type=_positive_int, default=None,
                    help="requests per streamed chunk")
     p.add_argument("--params", default=None,
                    help="extra trace-spec params as a JSON object, e.g. "
@@ -404,7 +532,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, metavar="PATH",
                    help="checkpoint file; written atomically, deleted on "
                         "successful completion")
-    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+    p.add_argument("--checkpoint-every", type=_nonneg_int, default=0,
+                   metavar="N",
                    help="write a checkpoint every N chunks (requires "
                         "--checkpoint)")
     p.add_argument("--resume", action="store_true",
@@ -419,15 +548,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8787,
                    help="TCP port (0 = ephemeral; the bound address is "
                         "printed to stderr)")
-    p.add_argument("--workers", type=int, default=None,
+    p.add_argument("--workers", type=_positive_int, default=None,
                    help="sweep process-pool width (default: "
                         "REPRO_SWEEP_WORKERS or cpu count, capped at 8)")
-    p.add_argument("--max-running", type=int, default=2,
+    p.add_argument("--max-running", type=_positive_int, default=2,
                    help="concurrent executing jobs (occupancy capacity)")
-    p.add_argument("--max-queued", type=int, default=8,
+    p.add_argument("--max-queued", type=_nonneg_int, default=8,
                    help="admitted jobs allowed to wait; beyond this the "
                         "service sheds load with 429 + Retry-After")
-    p.add_argument("--stream-jobs", type=int, default=None,
+    p.add_argument("--stream-jobs", type=_positive_int, default=None,
                    help="sweep jobs per streamed partial-rows event "
                         "(default: 2x pool width)")
     p.add_argument("--no-cache", action="store_true",
@@ -437,18 +566,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-dir", default=None,
                    help="directory for pipeline flight checkpoints; enables "
                         "drain-time checkpointing and restart resume")
-    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+    p.add_argument("--checkpoint-every", type=_nonneg_int, default=0,
+                   metavar="N",
                    help="checkpoint pipeline flights every N chunks "
                         "(0 = only when draining)")
-    p.add_argument("--drain-grace", type=float, default=10.0, metavar="SECS",
+    p.add_argument("--drain-grace", type=_nonneg_float, default=10.0,
+                   metavar="SECS",
                    help="grace period for in-flight work after SIGTERM/"
                         "SIGINT before forced shutdown")
-    p.add_argument("--chunk-timeout", type=float, default=None, metavar="SECS",
+    p.add_argument("--chunk-timeout", type=_positive_float, default=None,
+                   metavar="SECS",
                    help="per-chunk sweep timeout; a chunk exceeding it marks "
                         "the worker pool lost and triggers redispatch")
-    p.add_argument("--chunk-retries", type=int, default=2,
+    p.add_argument("--chunk-retries", type=_nonneg_int, default=2,
                    help="redispatch budget for lost sweep chunks")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("work", help="join a distributed sweep as a worker "
+                                    "(point at a `repro sweep --distributed` "
+                                    "coordinator URL)")
+    p.add_argument("url", help="coordinator URL, e.g. http://10.0.0.5:8790")
+    p.add_argument("--name", default=None,
+                   help="worker name (shows up in coordinator ids/logs)")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="local process-pool width for unit execution "
+                        "(default: REPRO_SWEEP_WORKERS or cpu count, "
+                        "capped at 8)")
+    p.add_argument("--chunk-timeout", type=_positive_float, default=None,
+                   metavar="SECS",
+                   help="per-chunk timeout inside a unit (local recovery)")
+    p.add_argument("--chunk-retries", type=_nonneg_int, default=2,
+                   help="redispatch budget for lost chunks inside a unit")
+    p.add_argument("--reconnect-timeout", type=_positive_float, default=30.0,
+                   metavar="SECS",
+                   help="give up after the coordinator has been "
+                        "unreachable this long (backoff with jitter "
+                        "in between)")
+    p.set_defaults(func=cmd_work)
 
     p = sub.add_parser("demo", help="functional end-to-end secure inference")
     p.add_argument("--seed", type=int, default=0)

@@ -1,0 +1,34 @@
+"""Distributed sweep execution: coordinator/worker lease protocol.
+
+See :mod:`repro.distributed.protocol` for the wire contract,
+:mod:`repro.distributed.coordinator` for the lease/commit state
+machine and the ``repro sweep --distributed`` driver, and
+:mod:`repro.distributed.worker` for the ``repro work`` loop.
+"""
+
+from .client import Backoff, CoordinatorClient, CoordinatorUnreachable
+from .coordinator import (
+    LOCAL_WORKER,
+    CoordinatorServer,
+    CoordinatorState,
+    SweepCoordinator,
+    default_unit_jobs,
+)
+from .protocol import WIRE_VERSION, rows_digest, unit_key
+from .worker import Worker, WorkerConfig
+
+__all__ = [
+    "Backoff",
+    "CoordinatorClient",
+    "CoordinatorUnreachable",
+    "CoordinatorServer",
+    "CoordinatorState",
+    "SweepCoordinator",
+    "LOCAL_WORKER",
+    "default_unit_jobs",
+    "WIRE_VERSION",
+    "rows_digest",
+    "unit_key",
+    "Worker",
+    "WorkerConfig",
+]

@@ -1,0 +1,195 @@
+"""Worker-side HTTP client for the sweep coordinator.
+
+Plain ``http.client`` over a fresh connection per request — worker
+traffic is a handful of small messages per lease term, so connection
+reuse buys nothing and a fresh socket makes every request independently
+retryable (no half-dead keepalive state to reason about).
+
+Every POST passes through the fault harness before and after the send
+(:func:`repro.testing.faults.check` on the ``dist.*`` sites), giving
+chaos tests message-level control of the network without a proxy:
+
+* ``drop``  — the request is never delivered (raise before sending);
+* ``sever`` — the request *is* delivered but the response is lost
+  (send, then raise) — the lost-ack case that forces at-least-once
+  delivery and makes the coordinator's duplicate detection observable;
+* ``delay`` — delivered late (sleep ``fault_delay`` before sending);
+* ``duplicate`` — delivered twice back-to-back.
+
+Sites are checked under the worker-scoped alias ``<site>@<name>``
+first, then the bare site, so one plan can partition a single worker
+among several sharing the process.
+
+Reconnect policy is decorrelated jitter (``sleep = min(cap,
+uniform(base, prev * 3))``): a fleet of workers that all lost the same
+coordinator comes back spread out instead of in lockstep.
+"""
+
+from __future__ import annotations
+
+import http.client
+import random
+import time
+from typing import Callable, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.testing import faults
+
+from .protocol import ProtocolError, decode_event, encode_event, rows_to_wire
+
+
+class CoordinatorUnreachable(RuntimeError):
+    """A request to the coordinator could not be delivered, or its
+    response never arrived (includes injected drop/sever faults)."""
+
+
+class Backoff:
+    """Decorrelated-jitter backoff (the AWS "decorrelated" variant):
+    each sleep is drawn uniformly from ``[base, prev * 3]``, capped.
+    Successive failures spread a reconnecting fleet apart instead of
+    synchronizing it the way pure exponential doubling does."""
+
+    def __init__(self, base: float = 0.1, cap: float = 5.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.base = base
+        self.cap = cap
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        self._prev = base
+
+    def reset(self) -> None:
+        self._prev = self.base
+
+    def next_delay(self) -> float:
+        self._prev = min(self.cap,
+                         self._rng.uniform(self.base, self._prev * 3))
+        return self._prev
+
+    def wait(self) -> float:
+        delay = self.next_delay()
+        self._sleep(delay)
+        return delay
+
+
+def _fault_site(site: str, name: Optional[str],
+                counters: Dict[str, int]) -> Optional[str]:
+    """Consult the fault plan for this message: scoped alias first so a
+    plan can single out one named worker, then the generic site. Each
+    site keeps its own message index."""
+    if not faults.enabled():
+        return None
+    index = counters.get(site, 0)
+    counters[site] = index + 1
+    action = None
+    if name:
+        action = faults.check(f"{site}@{name}", index)
+    if action is None:
+        action = faults.check(site, index)
+    return action
+
+
+class CoordinatorClient:
+    """Typed wrapper over the coordinator's four POST endpoints.
+
+    ``name`` scopes fault-site lookups (``dist.lease@<name>`` …);
+    ``fault_delay`` is how long an injected ``delay`` action holds a
+    message — tests tune it against the coordinator's lease term.
+    """
+
+    def __init__(self, url: str, name: Optional[str] = None,
+                 timeout: float = 10.0, fault_delay: float = 0.1):
+        if "//" not in url:
+            url = "http://" + url
+        parts = urlsplit(url)
+        if not parts.hostname or not parts.port:
+            raise ValueError(f"coordinator URL needs host:port, got {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port
+        self.name = name
+        self.timeout = timeout
+        self.fault_delay = fault_delay
+        self._site_counters: Dict[str, int] = {}
+
+    # -- transport ---------------------------------------------------------
+
+    def _send(self, path: str, payload: dict) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = encode_event(payload)
+            conn.request("POST", path, body=body,
+                         headers={"Content-Type": "application/x-ndjson",
+                                  "Content-Length": str(len(body))})
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                raise CoordinatorUnreachable(
+                    f"coordinator returned HTTP {response.status} for {path}: "
+                    f"{data[:200].decode(errors='replace')}")
+            return decode_event(data)
+        except (OSError, http.client.HTTPException) as exc:
+            raise CoordinatorUnreachable(
+                f"coordinator at {self.host}:{self.port} unreachable "
+                f"({path}): {exc}") from exc
+        finally:
+            conn.close()
+
+    def _post(self, site: str, path: str, payload: dict) -> dict:
+        action = _fault_site(site, self.name, self._site_counters)
+        if action == "drop":
+            raise CoordinatorUnreachable(
+                f"injected network fault: {site} request dropped")
+        if action == "delay":
+            time.sleep(self.fault_delay)
+        result = self._send(path, payload)
+        if action == "duplicate":
+            result = self._send(path, payload)
+        if action == "sever":
+            # delivered, response lost — the caller sees a network error
+            # even though the coordinator processed the message
+            raise CoordinatorUnreachable(
+                f"injected network fault: {site} response severed")
+        return result
+
+    # -- endpoints ---------------------------------------------------------
+
+    def register(self, name: str = "", workers: int = 1) -> dict:
+        return self._send("/v1/register", {"event": "register", "name": name,
+                                           "workers": workers})
+
+    def lease(self, worker: str) -> dict:
+        reply = self._post("dist.lease", "/v1/lease",
+                           {"event": "lease", "worker": worker})
+        if reply.get("event") not in ("lease", "wait", "done", "error"):
+            raise ProtocolError(f"unexpected lease reply {reply!r}")
+        return reply
+
+    def heartbeat(self, worker: str, leases: List[str]) -> dict:
+        return self._post("dist.heartbeat", "/v1/heartbeat",
+                          {"event": "heartbeat", "worker": worker,
+                           "leases": list(leases)})
+
+    def result(self, worker: str, unit: int, key: str, lease: Optional[str],
+               rows: Optional[List[List[dict]]] = None,
+               error: Optional[dict] = None) -> dict:
+        payload: dict = {"event": "result", "worker": worker, "unit": unit,
+                         "key": key, "lease": lease}
+        if error is not None:
+            payload["error"] = error
+        else:
+            payload["rows"] = rows_to_wire(rows if rows is not None else [])
+        return self._post("dist.result", "/v1/result", payload)
+
+    def metrics(self) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            return decode_event(response.read())
+        except (OSError, http.client.HTTPException) as exc:
+            raise CoordinatorUnreachable(
+                f"coordinator metrics unreachable: {exc}") from exc
+        finally:
+            conn.close()

@@ -1,0 +1,599 @@
+"""The sweep coordinator: lease/heartbeat/idempotent-commit state machine.
+
+Three layers, separable for testing:
+
+* :class:`CoordinatorState` — the pure protocol state machine (no
+  sockets, injectable clock). Every correctness property lives here:
+  lease expiry and re-dispatch, at-least-once commits made idempotent
+  by digest comparison, EWMA straggler duplicate-dispatch, implicit
+  re-registration of workers the coordinator forgot.
+* :class:`CoordinatorServer` — a ThreadingHTTPServer skin mapping the
+  ``/v1/*`` endpoints onto the state machine with the service tier's
+  NDJSON framing.
+* :class:`SweepCoordinator` — the driver ``repro sweep --distributed``
+  uses: pre-filters cache hits through the same two-level lookup a
+  local run uses, shards the misses into content-addressed units,
+  serves them to workers, and **falls back to the local pool** through
+  the identical lease/commit path when no live remote worker exists —
+  a coordinator with zero workers degrades to exactly `Runner.run`,
+  it never strands the sweep.
+
+Correctness argument (the reason distribution is unobservable in the
+output): units are pure functions of their job list — the same
+contract that makes the runner's chunk re-dispatch safe. A lease can
+expire and the unit run twice, a result can arrive after its lease
+died, a worker can answer a request the coordinator already forgot —
+in every interleaving the *first structurally valid* result is
+committed and all later ones are verified byte-equal (``rows_digest``)
+and dropped. Rows are committed per job through
+:func:`repro.experiments.runner.remember_rows`, the single cache
+commit path, and reassembled in job order, so the resulting table is
+bit-identical to a local run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import ResultCache, code_fingerprint
+from repro.experiments.jobs import Job
+from repro.experiments.runner import (
+    JobExecutionError,
+    Runner,
+    recall_rows,
+    remember_rows,
+)
+from repro.service.metrics import StreamingHistogram
+
+from . import protocol
+from .protocol import ProtocolError, encode_event, unit_key
+
+#: sentinel worker id for the coordinator's own local-pool fallback —
+#: it leases and commits through the same state machine as any remote
+#: worker, but never counts as "live" for degradation decisions
+LOCAL_WORKER = "local"
+
+
+class _Unit:
+    __slots__ = ("index", "key", "jobs", "rows", "digest", "leases",
+                 "dispatches", "first_dispatch")
+
+    def __init__(self, index: int, key: str, jobs: List[Job]):
+        self.index = index
+        self.key = key
+        self.jobs = jobs
+        self.rows: Optional[List[List[dict]]] = None
+        self.digest: Optional[str] = None
+        #: lease_id -> (worker, deadline)
+        self.leases: Dict[str, Tuple[str, float]] = {}
+        self.dispatches = 0
+        self.first_dispatch: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.rows is not None
+
+
+class CoordinatorState:
+    """Thread-safe lease/commit state machine over a fixed unit list.
+
+    ``clock`` is injectable (monotonic seconds) so expiry tests run in
+    virtual time; ``on_commit(unit_index, jobs, rows_per_job)`` fires
+    exactly once per unit, under no lock contention hazards (called
+    inside the state lock — keep it cheap; the SweepCoordinator uses it
+    to write the result cache).
+    """
+
+    def __init__(self, units_jobs: Sequence[Sequence[Job]],
+                 fingerprint: str = "",
+                 lease_seconds: float = 10.0,
+                 straggler_factor: Optional[float] = None,
+                 poll: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_commit: Optional[Callable[[int, List[Job], List[List[dict]]], None]] = None):
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.lease_seconds = float(lease_seconds)
+        self.straggler_factor = straggler_factor
+        self.poll = float(poll)
+        self.clock = clock
+        self.on_commit = on_commit
+        self.fingerprint = fingerprint
+        self._lock = threading.Lock()
+        self._units = [
+            _Unit(i, unit_key(jobs, fingerprint), list(jobs))
+            for i, jobs in enumerate(units_jobs)
+        ]
+        #: worker id -> last_seen clock reading
+        self._workers: Dict[str, float] = {}
+        self._remaining = len(self._units)
+        self.failure: Optional[dict] = None
+        self.unit_seconds = StreamingHistogram(floor=1e-3)
+        self._ewma: Optional[float] = None
+        self.counters: Dict[str, int] = {
+            "workers_registered": 0,
+            "lease_requests_total": 0,
+            "leases_granted": 0,
+            "lease_renewals": 0,
+            "lease_expirations": 0,
+            "heartbeats_total": 0,
+            "results_total": 0,
+            "units_completed": 0,
+            "units_local": 0,
+            "duplicate_results_dropped": 0,
+            "duplicate_result_mismatches": 0,
+            "invalid_results": 0,
+            "expired_lease_commits": 0,
+            "straggler_duplicates": 0,
+            "unit_failures": 0,
+        }
+
+    # -- bookkeeping (call with lock held) ---------------------------------
+
+    def _touch(self, worker: str, now: float) -> None:
+        if worker not in self._workers:
+            # implicit registration: a worker the coordinator never saw
+            # (or forgot across a coordinator restart) is simply adopted —
+            # the protocol carries enough state in each message
+            self.counters["workers_registered"] += 1
+        self._workers[worker] = now
+
+    def _expire(self, now: float) -> None:
+        """Lazily reap expired leases — no timer thread; expiry is
+        observed at the next state transition, which is the only time
+        it can matter."""
+        for unit in self._units:
+            if unit.done or not unit.leases:
+                continue
+            dead = [lid for lid, (_, deadline) in unit.leases.items()
+                    if deadline <= now]
+            for lid in dead:
+                del unit.leases[lid]
+                self.counters["lease_expirations"] += 1
+
+    def _grant(self, unit: _Unit, worker: str, now: float) -> dict:
+        lease_id = uuid.uuid4().hex
+        unit.leases[lease_id] = (worker, now + self.lease_seconds)
+        unit.dispatches += 1
+        if unit.first_dispatch is None:
+            unit.first_dispatch = now
+        self.counters["leases_granted"] += 1
+        return {
+            "event": "lease",
+            "unit": unit.index,
+            "key": unit.key,
+            "jobs": protocol.jobs_to_wire(unit.jobs),
+            "lease": lease_id,
+            "lease_seconds": self.lease_seconds,
+        }
+
+    # -- protocol verbs ----------------------------------------------------
+
+    def register(self, name: str = "", workers: int = 1) -> dict:
+        now = self.clock()
+        with self._lock:
+            worker_id = f"{name or 'worker'}-{uuid.uuid4().hex[:8]}"
+            self._touch(worker_id, now)
+        return {"event": "registered", "worker": worker_id,
+                "lease_seconds": self.lease_seconds, "poll": self.poll}
+
+    def lease(self, worker: str) -> dict:
+        now = self.clock()
+        with self._lock:
+            self.counters["lease_requests_total"] += 1
+            self._touch(worker, now)
+            self._expire(now)
+            if self.failure is not None or self._remaining == 0:
+                return {"event": "done"}
+            for unit in self._units:
+                if not unit.done and not unit.leases:
+                    return self._grant(unit, worker, now)
+            straggler = self._pick_straggler(worker, now)
+            if straggler is not None:
+                self.counters["straggler_duplicates"] += 1
+                return self._grant(straggler, worker, now)
+            return {"event": "wait", "poll": self.poll}
+
+    def _pick_straggler(self, worker: str, now: float) -> Optional[_Unit]:
+        """The cross-machine analogue of the runner's straggler
+        duplicates: when everything is leased but a unit has been
+        outstanding longer than ``factor ×`` the EWMA of completed-unit
+        durations, dispatch a second copy (never to the current holder,
+        never more than two leases). First result wins; the loser is a
+        verified duplicate."""
+        if self.straggler_factor is None or self._ewma is None:
+            return None
+        candidate: Optional[_Unit] = None
+        candidate_age = 0.0
+        for unit in self._units:
+            if unit.done or len(unit.leases) != 1:
+                continue
+            if any(holder == worker for holder, _ in unit.leases.values()):
+                continue
+            first = unit.first_dispatch if unit.first_dispatch is not None else now
+            age = now - first
+            if age > self.straggler_factor * self._ewma and age > candidate_age:
+                candidate, candidate_age = unit, age
+        return candidate
+
+    def heartbeat(self, worker: str, lease_ids: Sequence[str]) -> dict:
+        now = self.clock()
+        with self._lock:
+            self.counters["heartbeats_total"] += 1
+            self._touch(worker, now)
+            self._expire(now)
+            renewed, lost = [], []
+            wanted = set(lease_ids)
+            for unit in self._units:
+                if unit.done:
+                    continue
+                for lid in list(unit.leases):
+                    if lid in wanted:
+                        holder, _ = unit.leases[lid]
+                        unit.leases[lid] = (holder, now + self.lease_seconds)
+                        renewed.append(lid)
+                        wanted.discard(lid)
+            lost = sorted(wanted)  # expired (and possibly re-dispatched)
+            self.counters["lease_renewals"] += len(renewed)
+        return {"event": "heartbeat", "renewed": renewed, "lost": lost}
+
+    def commit(self, worker: str, unit_index: int, key: str,
+               lease_id: Optional[str],
+               rows_per_job: List[List[dict]]) -> dict:
+        now = self.clock()
+        with self._lock:
+            self.counters["results_total"] += 1
+            self._touch(worker, now)
+            self._expire(now)
+            if not 0 <= unit_index < len(self._units):
+                self.counters["invalid_results"] += 1
+                raise ProtocolError(f"unknown unit index {unit_index}")
+            unit = self._units[unit_index]
+            if key != unit.key:
+                # a worker computed against different code/jobs — its
+                # rows are not this unit's rows, whatever it believes
+                self.counters["invalid_results"] += 1
+                raise ProtocolError(
+                    f"unit {unit_index} key mismatch (stale worker?)")
+            if len(rows_per_job) != len(unit.jobs):
+                self.counters["invalid_results"] += 1
+                raise ProtocolError(
+                    f"unit {unit_index} expects {len(unit.jobs)} row lists, "
+                    f"got {len(rows_per_job)}")
+            digest = protocol.rows_digest(rows_per_job)
+            if unit.done:
+                # at-least-once made safe: the unit is a pure function
+                # of its (content-addressed) jobs, so a second result is
+                # either byte-identical — dropped — or evidence of a
+                # broken worker, counted and *still* dropped (first
+                # valid result won)
+                if digest == unit.digest:
+                    self.counters["duplicate_results_dropped"] += 1
+                else:
+                    self.counters["duplicate_result_mismatches"] += 1
+                return {"event": "duplicate", "unit": unit_index}
+            if lease_id is None or lease_id not in unit.leases:
+                # the lease expired (or the commit raced expiry) but the
+                # rows are valid for this key — committing them is
+                # strictly better than recomputing
+                self.counters["expired_lease_commits"] += 1
+            unit.rows = rows_per_job
+            unit.digest = digest
+            unit.leases.clear()
+            self._remaining -= 1
+            self.counters["units_completed"] += 1
+            if worker == LOCAL_WORKER:
+                self.counters["units_local"] += 1
+            if unit.first_dispatch is not None:
+                elapsed = max(1e-6, now - unit.first_dispatch)
+                self.unit_seconds.observe(elapsed)
+                self._ewma = (elapsed if self._ewma is None
+                              else 0.7 * self._ewma + 0.3 * elapsed)
+            if self.on_commit is not None:
+                self.on_commit(unit_index, unit.jobs, rows_per_job)
+        return {"event": "committed", "unit": unit_index}
+
+    def fail(self, worker: str, unit_index: int, key: str,
+             error: dict) -> dict:
+        """A worker reports a *deterministic* job failure (the job
+        itself raised — not a worker death). Re-dispatching would fail
+        identically, so the sweep fails fast, exactly as a local run
+        would."""
+        now = self.clock()
+        with self._lock:
+            self.counters["results_total"] += 1
+            self.counters["unit_failures"] += 1
+            self._touch(worker, now)
+            if self.failure is None:
+                self.failure = dict(error)
+        return {"event": "failed", "unit": unit_index}
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._remaining == 0 or self.failure is not None
+
+    def live_remote_workers(self, now: Optional[float] = None) -> int:
+        """Workers seen recently enough to plausibly still hold the
+        coordinator in view — within two lease terms (floor 3 s so
+        sub-second test leases don't flap). The local fallback sentinel
+        never counts: it must not suppress itself."""
+        if now is None:
+            now = self.clock()
+        horizon = max(2.0 * self.lease_seconds, 3.0)
+        with self._lock:
+            return sum(1 for worker, seen in self._workers.items()
+                       if worker != LOCAL_WORKER and now - seen <= horizon)
+
+    def results(self) -> List[List[List[dict]]]:
+        """Per-unit rows-per-job, in unit order; raises if incomplete."""
+        with self._lock:
+            missing = [u.index for u in self._units if not u.done]
+            if missing:
+                raise RuntimeError(f"units not complete: {missing}")
+            return [u.rows for u in self._units]  # type: ignore[misc]
+
+    def snapshot(self) -> dict:
+        now = self.clock()
+        live = self.live_remote_workers(now)
+        with self._lock:
+            outstanding = sum(len(u.leases) for u in self._units)
+            snap = {
+                "counters": dict(self.counters),
+                "units_total": len(self._units),
+                "units_remaining": self._remaining,
+                "leases_outstanding": outstanding,
+                "live_workers": live,
+                "redispatches": max(
+                    0, self.counters["leases_granted"] - len(self._units)),
+                "unit_seconds": {
+                    "count": self.unit_seconds.count,
+                    "p50": self.unit_seconds.percentile(0.5),
+                    "p99": self.unit_seconds.percentile(0.99),
+                    "max": self.unit_seconds.max,
+                },
+                "failed": self.failure is not None,
+            }
+        return snap
+
+
+# -- HTTP skin -------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-coordinator/1"
+
+    def log_message(self, *args):  # noqa: D102 — silence per-request lines
+        pass
+
+    def _reply(self, status: int, event: dict) -> None:
+        body = encode_event(event)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        return protocol.decode_event(raw)
+
+    def do_GET(self):  # noqa: N802 — http.server API
+        state: CoordinatorState = self.server.state  # type: ignore[attr-defined]
+        if self.path == "/metrics":
+            self._reply(200, {"event": "metrics", **state.snapshot()})
+        elif self.path == "/healthz":
+            self._reply(200, {"event": "ok", "done": state.done})
+        else:
+            self._reply(404, {"event": "error", "error": "unknown path"})
+
+    def do_POST(self):  # noqa: N802 — http.server API
+        state: CoordinatorState = self.server.state  # type: ignore[attr-defined]
+        try:
+            body = self._read_body()
+            if self.path == "/v1/register":
+                req = protocol.parse_register(body)
+                self._reply(200, state.register(req["name"], req["workers"]))
+            elif self.path == "/v1/lease":
+                worker = protocol.parse_lease_request(body)
+                self._reply(200, state.lease(worker))
+            elif self.path == "/v1/heartbeat":
+                worker, leases = protocol.parse_heartbeat(body)
+                self._reply(200, state.heartbeat(worker, leases))
+            elif self.path == "/v1/result":
+                req = protocol.parse_result(body)
+                if req["error"] is not None:
+                    self._reply(200, state.fail(
+                        req["worker"], req["unit"], req["key"], req["error"]))
+                else:
+                    self._reply(200, state.commit(
+                        req["worker"], req["unit"], req["key"],
+                        req["lease"], req["rows"]))
+            else:
+                self._reply(404, {"event": "error", "error": "unknown path"})
+        except ProtocolError as exc:
+            self._reply(400, {"event": "error", "error": str(exc)})
+        except Exception as exc:  # pragma: no cover — defensive
+            self._reply(500, {"event": "error", "error": str(exc)})
+
+
+class CoordinatorServer:
+    """A :class:`CoordinatorState` behind a threaded HTTP listener."""
+
+    def __init__(self, state: CoordinatorState, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.state = state
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.state = state  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-coordinator", daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- the sweep driver ------------------------------------------------------
+
+
+def default_unit_jobs(n_jobs: int) -> int:
+    """Unit granularity: aim for ~32 units (enough slices that losing a
+    worker loses little work and stragglers can be duplicated), but
+    never fewer than 1 job or more than 16 per unit."""
+    if n_jobs <= 0:
+        return 1
+    return max(1, min(16, -(-n_jobs // 32)))
+
+
+class SweepCoordinator:
+    """Drives one sweep's job list to completion over remote workers,
+    with the local pool as the degradation floor.
+
+    The flow mirrors :meth:`Runner.run` exactly: cache hits are served
+    through the same two-level lookup and never dispatched; only misses
+    are sharded into units; every committed row goes through
+    :func:`remember_rows` (both cache levels); the final rows-per-job
+    list is assembled in job order. Distribution is unobservable in the
+    output by construction.
+    """
+
+    def __init__(self, jobs: Sequence[Job],
+                 cache: Optional[ResultCache] = None,
+                 local_workers: Optional[int] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unit_jobs: Optional[int] = None,
+                 lease_seconds: float = 10.0,
+                 straggler_factor: Optional[float] = None,
+                 wait_workers: float = 0.0,
+                 poll: float = 0.2):
+        self.jobs = list(jobs)
+        self.cache = cache
+        self.local_workers = local_workers
+        self.wait_workers = float(wait_workers)
+        self.poll = float(poll)
+
+        self._hit_rows: Dict[int, List[dict]] = {}
+        miss_indices: List[int] = []
+        for i, job in enumerate(self.jobs):
+            rows = recall_rows(job, cache)
+            if rows is None:
+                miss_indices.append(i)
+            else:
+                self._hit_rows[i] = rows
+        self._miss_indices = miss_indices
+
+        fingerprint = cache.fingerprint if cache is not None else code_fingerprint()
+        size = unit_jobs or default_unit_jobs(len(miss_indices))
+        self._unit_indices: List[List[int]] = [
+            miss_indices[i:i + size]
+            for i in range(0, len(miss_indices), size)
+        ]
+        units = [[self.jobs[i] for i in chunk] for chunk in self._unit_indices]
+        self.state = CoordinatorState(
+            units, fingerprint=fingerprint, lease_seconds=lease_seconds,
+            straggler_factor=straggler_factor, poll=poll,
+            on_commit=self._on_commit)
+        self.server: Optional[CoordinatorServer] = None
+        if units:
+            self.server = CoordinatorServer(self.state, host=host, port=port)
+
+    def _on_commit(self, unit_index: int, jobs: List[Job],
+                   rows_per_job: List[List[dict]]) -> None:
+        for job, rows in zip(jobs, rows_per_job):
+            remember_rows(job, rows, self.cache)
+
+    @property
+    def url(self) -> Optional[str]:
+        return self.server.url if self.server is not None else None
+
+    def run(self) -> List[List[dict]]:
+        """Block until every unit is committed; returns rows per job in
+        job order. Raises :class:`JobExecutionError` if any job failed
+        deterministically (mirroring the local runner)."""
+        try:
+            if self._unit_indices:
+                self._drive()
+        finally:
+            self.close()
+        if self.state.failure is not None:
+            err = self.state.failure
+            raise JobExecutionError(err.get("executor", "?"),
+                                    err.get("params", "{}"),
+                                    err.get("cause", "remote job failed"))
+        if self._unit_indices:
+            per_unit = self.state.results()
+            for chunk, unit_rows in zip(self._unit_indices, per_unit):
+                for job_index, rows in zip(chunk, unit_rows):
+                    self._hit_rows[job_index] = rows
+        return [self._hit_rows[i] for i in range(len(self.jobs))]
+
+    def _drive(self) -> None:
+        """The degradation loop: while remote workers are live, just
+        wait for commits; when none are (and the ``wait_workers`` grace
+        has passed), lease units to the local pool through the very
+        same state machine — first valid result wins either way, so a
+        worker that reappears mid-fallback is harmless."""
+        start = time.monotonic()
+        runner: Optional[Runner] = None
+        try:
+            while not self.state.done:
+                grace_over = time.monotonic() - start >= self.wait_workers
+                if self.state.live_remote_workers() > 0 or not grace_over:
+                    time.sleep(self.poll)
+                    continue
+                reply = self.state.lease(LOCAL_WORKER)
+                if reply["event"] == "done":
+                    break
+                if reply["event"] != "lease":
+                    time.sleep(self.poll)
+                    continue
+                if runner is None:
+                    runner = Runner(workers=self.local_workers, cache=None)
+                unit_jobs = protocol.jobs_from_wire(reply["jobs"])
+                try:
+                    rows = runner.compute_rows(unit_jobs)
+                except JobExecutionError as exc:
+                    self.state.fail(LOCAL_WORKER, reply["unit"], reply["key"],
+                                    {"executor": exc.job.executor,
+                                     "params": exc.job.params_json,
+                                     "cause": exc.cause})
+                    break
+                self.state.commit(LOCAL_WORKER, reply["unit"], reply["key"],
+                                  reply["lease"], rows)
+        finally:
+            if runner is not None:
+                runner.close()
+
+    def close(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+
+    def __enter__(self) -> "SweepCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,205 @@
+"""The distributed sweep worker: ``repro work`` points one of these at
+a coordinator URL and the machine joins the sweep.
+
+Loop shape::
+
+    register -> (lease -> heartbeat || execute -> submit)* -> done
+
+* the worker executes a leased unit on its **local process pool** via
+  :meth:`Runner.compute_rows` — the full PR-7 recovery machinery
+  (chunk timeouts, pool rebuilds, straggler duplicates) runs *inside*
+  each unit, so a worker surviving its own child's death is invisible
+  to the coordinator;
+* while a unit runs, a daemon heartbeat thread renews the lease every
+  ``lease_seconds / 3`` — three misses before expiry, so one dropped
+  heartbeat never loses a lease. Heartbeat errors are swallowed: a
+  partition is indistinguishable from a slow network, and the *lease*
+  mechanism (not the heartbeat) is what decides the worker is gone;
+* result submission is **at-least-once**: a network error after the
+  coordinator processed the commit (the lost-ack case) just means the
+  retry is answered with ``duplicate`` — which the worker treats as
+  success, because it is;
+* every coordinator failure backs off with decorrelated jitter and
+  counts against a rolling ``reconnect_timeout`` budget (reset by any
+  successful exchange); a coordinator that stays dark past the budget
+  means the worker exits 1 rather than spinning forever.
+
+Fault sites fire here and in the client: ``dist.unit`` (``raise``
+models the worker dying mid-lease), ``dist.lease`` / ``dist.heartbeat``
+/ ``dist.result`` (network message faults, worker-scopable as
+``<site>@<name>``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.runner import JobExecutionError, Runner
+from repro.testing import faults
+
+from .client import Backoff, CoordinatorClient, CoordinatorUnreachable
+from .protocol import ProtocolError, jobs_from_wire
+
+
+@dataclass
+class WorkerConfig:
+    url: str
+    name: str = ""
+    workers: Optional[int] = None
+    chunk_timeout: Optional[float] = None
+    chunk_retries: int = 2
+    reconnect_timeout: float = 30.0
+    fault_delay: float = 0.1
+    log: bool = True
+
+
+class Worker:
+    """One machine's membership in a distributed sweep."""
+
+    def __init__(self, config: WorkerConfig):
+        self.config = config
+        self.client = CoordinatorClient(config.url, name=config.name or None,
+                                        fault_delay=config.fault_delay)
+        self.worker_id: Optional[str] = None
+        self.units_done = 0
+        self._unit_index = 0  # fault-site index for dist.unit
+        self._runner: Optional[Runner] = None
+
+    def _log(self, message: str) -> None:
+        if self.config.log:
+            print(f"[repro-work] {message}", flush=True)
+
+    def _register(self) -> None:
+        reply = self.client.register(self.config.name,
+                                     self.config.workers or 1)
+        self.worker_id = reply["worker"]
+        self.lease_seconds = float(reply.get("lease_seconds", 10.0))
+        self.poll = float(reply.get("poll", 0.5))
+        self._log(f"registered as {self.worker_id} "
+                  f"(lease {self.lease_seconds:g}s)")
+
+    def _heartbeat_loop(self, lease_id: str, stop: threading.Event) -> None:
+        interval = max(0.05, self.lease_seconds / 3.0)
+        while not stop.wait(interval):
+            try:
+                self.client.heartbeat(self.worker_id, [lease_id])
+            except (CoordinatorUnreachable, ProtocolError):
+                # swallowed by design: the lease term decides liveness,
+                # not any single heartbeat — see module docstring
+                pass
+
+    def _fire_unit_fault(self) -> None:
+        index = self._unit_index
+        self._unit_index += 1
+        if not faults.enabled():
+            return
+        if self.config.name:
+            faults.fire(f"dist.unit@{self.config.name}", index)
+        faults.fire("dist.unit", index)
+
+    def _run_unit(self, lease: dict) -> None:
+        # the fault fires *before* the heartbeat thread starts, so a
+        # "raise" here models a worker that died holding a fresh lease —
+        # nothing renews it and it expires on schedule
+        self._fire_unit_fault()
+        jobs = jobs_from_wire(lease["jobs"])
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(lease["lease"], stop),
+            name="repro-work-heartbeat", daemon=True)
+        beat.start()
+        try:
+            if self._runner is None:
+                self._runner = Runner(workers=self.config.workers,
+                                      cache=None,
+                                      chunk_timeout=self.config.chunk_timeout,
+                                      chunk_retries=self.config.chunk_retries)
+            error = None
+            rows = None
+            try:
+                rows = self._runner.compute_rows(jobs)
+            except JobExecutionError as exc:
+                error = {"executor": exc.job.executor,
+                         "params": exc.job.params_json,
+                         "cause": exc.cause}
+        finally:
+            stop.set()
+        beat.join(timeout=2.0)
+        self._submit(lease, rows, error)
+
+    def _submit(self, lease: dict, rows, error) -> None:
+        """At-least-once result delivery: retry until the coordinator
+        acknowledges or stays dark past the reconnect budget.
+        ``duplicate`` is an acknowledgement — the rows landed (possibly
+        via our own severed first attempt, possibly from another
+        worker; either way the unit is committed)."""
+        import time as _time
+
+        backoff = Backoff()
+        deadline = _time.monotonic() + self.config.reconnect_timeout
+        while True:
+            try:
+                reply = self.client.result(
+                    self.worker_id, lease["unit"], lease["key"],
+                    lease["lease"], rows=rows, error=error)
+            except CoordinatorUnreachable as exc:
+                if _time.monotonic() >= deadline:
+                    raise
+                self._log(f"result submit failed ({exc}); retrying")
+                backoff.wait()
+                continue
+            event = reply.get("event")
+            if event in ("committed", "duplicate", "failed"):
+                if event != "failed":
+                    self.units_done += 1
+                self._log(f"unit {lease['unit']}: {event}")
+                return
+            raise ProtocolError(f"unexpected result reply {reply!r}")
+
+    def run(self) -> int:
+        """Work until the coordinator says ``done`` (exit 0) or stays
+        unreachable past ``reconnect_timeout`` (exit 1)."""
+        import time as _time
+
+        backoff = Backoff()
+        deadline = _time.monotonic() + self.config.reconnect_timeout
+        while True:
+            try:
+                if self.worker_id is None:
+                    self._register()
+                reply = self.client.lease(self.worker_id)
+            except (CoordinatorUnreachable, ProtocolError) as exc:
+                if _time.monotonic() >= deadline:
+                    self._log(f"coordinator unreachable past "
+                              f"{self.config.reconnect_timeout:g}s budget "
+                              f"({exc}); giving up")
+                    self._close_runner()
+                    return 1
+                backoff.wait()
+                continue
+            backoff.reset()
+            deadline = _time.monotonic() + self.config.reconnect_timeout
+            event = reply.get("event")
+            if event == "done":
+                self._log(f"sweep complete ({self.units_done} unit(s) here)")
+                self._close_runner()
+                return 0
+            if event == "wait":
+                _time.sleep(float(reply.get("poll", 0.5)))
+                continue
+            if event == "error":
+                # the coordinator rejected us (likely restarted and
+                # forgot our id) — re-register and carry on
+                self.worker_id = None
+                continue
+            if event == "lease":
+                self._run_unit(reply)
+                continue
+            raise ProtocolError(f"unexpected lease reply {reply!r}")
+
+    def _close_runner(self) -> None:
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None

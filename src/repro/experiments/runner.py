@@ -170,6 +170,29 @@ def _memory_put(job: Job, rows: List[dict]) -> None:
     _MEMORY_CACHE[job] = _copy_rows(rows)
 
 
+def recall_rows(job: Job, cache: Optional[ResultCache] = None) -> Optional[List[dict]]:
+    """Two-level cache lookup for one job (memory first, then disk,
+    promoting disk hits into memory) — the same path :meth:`Runner.run`
+    serves hits from, shared with the distributed coordinator so a
+    distributed sweep sees exactly the cache state a local one would."""
+    rows = _memory_get(job)
+    if rows is None and cache is not None:
+        rows = cache.get(job)
+        if rows is not None:
+            _memory_put(job, rows)
+    return rows
+
+
+def remember_rows(job: Job, rows: List[dict],
+                  cache: Optional[ResultCache] = None) -> None:
+    """Commit one job's rows through both cache levels (memory always,
+    disk when a cache is given) — the single commit path for locally
+    computed, recovered, and remotely committed results."""
+    _memory_put(job, rows)
+    if cache is not None:
+        cache.put(job, rows)
+
+
 # -- SoA chunk payloads ----------------------------------------------------
 
 
@@ -449,6 +472,14 @@ class Runner:
             raise JobExecutionError(*failure, completed=completed)
         return [rows for _, rows in completed]
 
+    def compute_rows(self, jobs: Sequence[Job]) -> List[List[dict]]:
+        """Execute ``jobs`` (no cache interaction) and return each job's
+        rows, in job order. This is the raw execution engine — chunked
+        over the worker pool with the full lost-worker recovery
+        machinery — exposed for callers that manage caching themselves
+        (the distributed worker and the coordinator's local fallback)."""
+        return self._execute_batch(list(jobs))
+
     def run(self, jobs: Union[SweepSpec, Iterable[Job]],
             columns: Optional[Sequence[str]] = None) -> ResultTable:
         if isinstance(jobs, SweepSpec):
@@ -458,11 +489,7 @@ class Runner:
         rows_by_index: dict = {}
         miss_indices: List[int] = []
         for i, job in enumerate(jobs):
-            cached = _memory_get(job)
-            if cached is None and self.cache is not None:
-                cached = self.cache.get(job)
-                if cached is not None:
-                    _memory_put(job, cached)
+            cached = recall_rows(job, self.cache)
             if cached is None:
                 miss_indices.append(i)
             else:
@@ -474,15 +501,10 @@ class Runner:
             # jobs that completed before the failure are not recomputed
             # on retry: persist them through both cache levels first
             for position, rows in error.completed:
-                job = jobs[miss_indices[position]]
-                _memory_put(job, rows)
-                if self.cache is not None:
-                    self.cache.put(job, rows)
+                remember_rows(jobs[miss_indices[position]], rows, self.cache)
             raise
         for i, rows in zip(miss_indices, computed):
-            _memory_put(jobs[i], rows)
-            if self.cache is not None:
-                self.cache.put(jobs[i], rows)
+            remember_rows(jobs[i], rows, self.cache)
             rows_by_index[i] = rows
 
         table = ResultTable(columns=columns)

@@ -10,21 +10,41 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Dict, Iterator, Optional
 
 from repro.service.protocol import decode_event
 
 
-class ServiceRejected(RuntimeError):
-    """The service shed this submission (HTTP 429): back off
-    ``retry_after`` seconds and resubmit."""
+def retry_delay(hint: float, attempt: int,
+                rng: Optional[random.Random] = None,
+                cap: float = 60.0) -> float:
+    """Backoff around the server's ``Retry-After`` hint: exponential in
+    the attempt number, then jittered by ±50%. The jitter is the point —
+    a fleet of clients shed at the same instant and sleeping the exact
+    hint would wake in lockstep and be shed again together (thundering
+    herd); spreading each wake-up over ``[0.5, 1.5] ×`` the backoff
+    de-synchronizes them."""
+    if rng is None:
+        rng = random
+    base = min(cap, max(0.05, float(hint)) * (2 ** max(0, attempt)))
+    return base * rng.uniform(0.5, 1.5)
 
-    def __init__(self, retry_after: int, body: Optional[dict] = None):
+
+class ServiceRejected(RuntimeError):
+    """The service shed this submission (HTTP 429 saturated / HTTP 503
+    draining): back off around ``retry_after`` seconds — with jitter,
+    see :func:`retry_delay` — and resubmit."""
+
+    def __init__(self, retry_after: int, body: Optional[dict] = None,
+                 status: int = 429):
         self.retry_after = retry_after
         self.body = body or {}
-        super().__init__(f"service saturated; retry after {retry_after}s "
-                         f"({self.body})")
+        self.status = status
+        reason = self.body.get("error", "saturated")
+        super().__init__(f"service rejected (HTTP {status}, {reason}); "
+                         f"retry after {retry_after}s ({self.body})")
 
 
 class ServiceJobError(RuntimeError):
@@ -90,18 +110,20 @@ class ServiceClient:
 
     def submit(self, job: Dict[str, object]) -> Iterator[dict]:
         """Submit one job; yield its event stream. Raises
-        :class:`ServiceRejected` on 429 and ``RuntimeError`` on any
-        other non-200. Close the iterator to cancel interest."""
+        :class:`ServiceRejected` on 429 (saturated) and 503 (draining),
+        ``RuntimeError`` on any other non-200. Close the iterator to
+        cancel interest."""
         conn = self._connect()
         try:
             conn.request("POST", "/v1/jobs", body=json.dumps(job),
                          headers={"Content-Type": "application/json"})
             response = conn.getresponse()
-            if response.status == 429:
+            if response.status in (429, 503):
                 body = json.loads(response.read().decode() or "{}")
                 retry_after = int(response.getheader(
                     "Retry-After", body.get("retry_after", 1)))
-                raise ServiceRejected(retry_after, body)
+                raise ServiceRejected(retry_after, body,
+                                      status=response.status)
             if response.status != 200:
                 raise RuntimeError(
                     f"POST /v1/jobs -> {response.status}: "
@@ -124,13 +146,33 @@ class ServiceClient:
         finally:
             conn.close()
 
-    def run(self, job: Dict[str, object],
-            on_event=None) -> dict:
+    def run(self, job: Dict[str, object], on_event=None,
+            retries: int = 0,
+            rng: Optional[random.Random] = None,
+            sleep=time.sleep) -> dict:
         """Submit and drain to the terminal event; return the ``result``
         event. ``on_event`` (if given) sees every event as it arrives.
+
+        ``retries`` > 0 resubmits after a :class:`ServiceRejected`
+        (429 saturated / 503 draining), sleeping :func:`retry_delay`
+        between attempts — jittered exponential backoff seeded by the
+        server's ``Retry-After`` hint. The last rejection propagates
+        once the budget is spent.
+
         Raises :class:`ServiceJobError` / :class:`ServiceCancelled` on
         the other terminal events, and ``RuntimeError`` if the stream
         ends without one (server died mid-flight)."""
+        attempt = 0
+        while True:
+            try:
+                return self._run_once(job, on_event)
+            except ServiceRejected as rejected:
+                if attempt >= retries:
+                    raise
+                sleep(retry_delay(rejected.retry_after, attempt, rng))
+                attempt += 1
+
+    def _run_once(self, job: Dict[str, object], on_event=None) -> dict:
         for event in self.submit(job):
             if on_event is not None:
                 on_event(event)

@@ -562,7 +562,21 @@ class ReproService:
             path = os.path.join(directory, name)
             try:
                 state = load_checkpoint(path, kind="trace-pipeline")
-            except CheckpointError:
+            except CheckpointError as error:
+                # quarantine rather than skip: a corrupt/truncated/
+                # future-version envelope left in place would be
+                # re-parsed (and re-logged) on every restart, and a
+                # writer crash mid-publish must never look like "no
+                # checkpoint" silently — the .corrupt file preserves
+                # the evidence
+                quarantined = path + ".corrupt"
+                try:
+                    os.replace(path, quarantined)
+                except OSError:
+                    quarantined = path
+                print(f"repro serve: quarantined unreadable checkpoint "
+                      f"{name} -> {os.path.basename(quarantined)} ({error})",
+                      file=sys.stderr, flush=True)
                 continue
             meta = state.get("meta") or {}
             job_meta = meta.get("job") if isinstance(meta, dict) else None

@@ -23,13 +23,29 @@ Sites instrumented in this repo:
                       (action ``drop`` severs the client connection)
 ``service.flight``    a service flight about to start (index = flight
                       sequence number)
+``dist.lease``        a distributed worker sending lease request *index*
+                      (:mod:`repro.distributed.client`)
+``dist.heartbeat``    a distributed worker sending heartbeat *index*
+``dist.result``       a distributed worker submitting result *index*
+``dist.unit``         a distributed worker about to execute leased unit
+                      *index* (action ``raise`` models the worker dying
+                      mid-lease)
 ===================  =====================================================
 
+The ``dist.*`` sites model the *network*, so their data actions are
+message-level: ``drop`` (request never delivered), ``sever`` (request
+delivered, response lost — the lost-ack case that makes at-least-once
+delivery observable), ``delay`` (delivered late), ``duplicate``
+(delivered twice). Each distributed site is also checked under a
+worker-scoped alias ``<site>@<worker-name>``, so a plan can partition
+one worker of many in the same process.
+
 Actions ``raise`` / ``kill`` (SIGKILL self) / ``sigterm`` (SIGTERM
-self) are executed *by* :func:`fire`; data-corruption actions
-(``corrupt``, ``truncate``, ``drop``) are returned by :func:`check`
-for the call site to apply — damaging a JSON file is the cache's
-business, not this module's.
+self) are executed *by* :func:`fire`; data actions (``corrupt``,
+``truncate``, ``drop``, ``delay``, ``duplicate``, ``sever``) are
+returned by :func:`check` for the call site to apply — damaging a JSON
+file is the cache's business, and losing a message is the network
+client's, not this module's.
 
 Plan format (JSON-serializable)::
 
@@ -70,8 +86,10 @@ ENV_VAR = "REPRO_FAULT_PLAN"
 
 #: actions fire() executes itself
 _EXEC_ACTIONS = ("raise", "kill", "sigterm")
-#: actions the call site applies to its own data
-_DATA_ACTIONS = ("corrupt", "truncate", "drop")
+#: actions the call site applies to its own data (the last four are
+#: message-level network faults for the ``dist.*`` sites)
+_DATA_ACTIONS = ("corrupt", "truncate", "drop", "delay", "duplicate",
+                 "sever")
 
 
 class FaultInjected(RuntimeError):

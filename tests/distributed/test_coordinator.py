@@ -1,0 +1,218 @@
+"""CoordinatorState machine semantics in virtual time: lease grant,
+expiry and re-dispatch, heartbeat renewal, idempotent commit, straggler
+duplicate-dispatch, and failure fast-path — no sockets, no sleeping."""
+
+import pytest
+
+from repro.distributed import CoordinatorState, LOCAL_WORKER
+from repro.distributed.protocol import ProtocolError, rows_digest
+from repro.experiments.jobs import Job
+
+
+def make_jobs(n):
+    return [Job("simulate", f'{{"i": {i}}}') for i in range(n)]
+
+
+def make_rows(jobs, tag="r"):
+    return [[{"job": job.params_json, "tag": tag}] for job in jobs]
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_state(n_units=2, unit_jobs=2, **kwargs):
+    clock = Clock()
+    units = [make_jobs(unit_jobs) for _ in range(n_units)]
+    state = CoordinatorState(units, fingerprint="fp", lease_seconds=10.0,
+                             clock=clock, **kwargs)
+    return state, units, clock
+
+
+class TestLeaseLifecycle:
+    def test_grant_then_wait_then_done(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        assert lease["event"] == "lease"
+        assert lease["lease_seconds"] == 10.0
+        # everything leased: a second worker waits
+        assert state.lease("w2")["event"] == "wait"
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"],
+                     make_rows(units[0]))
+        assert state.lease("w1")["event"] == "done"
+        assert state.done
+
+    def test_expired_lease_redispatches_unit(self):
+        state, units, clock = make_state(n_units=1)
+        first = state.lease("w1")
+        clock.advance(10.1)  # past the lease term, no heartbeat
+        second = state.lease("w2")
+        assert second["event"] == "lease"
+        assert second["unit"] == first["unit"]
+        assert second["lease"] != first["lease"]
+        assert state.counters["lease_expirations"] == 1
+        snap = state.snapshot()
+        assert snap["redispatches"] == 1
+
+    def test_heartbeat_extends_lease(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        for _ in range(5):
+            clock.advance(6.0)  # under the 10s term each step
+            reply = state.heartbeat("w1", [lease["lease"]])
+            assert reply["renewed"] == [lease["lease"]]
+            assert reply["lost"] == []
+        # 30s elapsed, lease still live: nothing to re-dispatch
+        assert state.lease("w2")["event"] == "wait"
+        assert state.counters["lease_renewals"] == 5
+
+    def test_heartbeat_reports_lost_lease(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        clock.advance(11.0)
+        reply = state.heartbeat("w1", [lease["lease"]])
+        assert reply["renewed"] == []
+        assert reply["lost"] == [lease["lease"]]
+
+    def test_unknown_worker_implicitly_registered(self):
+        state, _, _ = make_state()
+        state.lease("never-registered")
+        assert state.counters["workers_registered"] == 1
+
+
+class TestIdempotentCommit:
+    def test_duplicate_equal_result_dropped_with_metric(self):
+        """The lease-expired-then-returned worker: both copies answer;
+        the second is verified byte-equal and dropped."""
+        state, units, clock = make_state(n_units=1)
+        first = state.lease("w1")
+        clock.advance(10.5)
+        second = state.lease("w2")  # re-dispatch after expiry
+        rows = make_rows(units[0])
+        reply = state.commit("w2", second["unit"], second["key"],
+                             second["lease"], rows)
+        assert reply["event"] == "committed"
+        # w1 returns from the dead with the same (pure-function) rows
+        late = state.commit("w1", first["unit"], first["key"],
+                            first["lease"], make_rows(units[0]))
+        assert late["event"] == "duplicate"
+        assert state.counters["duplicate_results_dropped"] == 1
+        assert state.counters["units_completed"] == 1
+
+    def test_duplicate_mismatch_counted_first_result_kept(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        good = make_rows(units[0], tag="good")
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"], good)
+        bad = make_rows(units[0], tag="evil")
+        reply = state.commit("w2", lease["unit"], lease["key"], None, bad)
+        assert reply["event"] == "duplicate"
+        assert state.counters["duplicate_result_mismatches"] == 1
+        assert state.results()[0] == good
+
+    def test_commit_after_expiry_still_lands(self):
+        """A valid result with a dead lease is committed, not wasted —
+        recomputing bits we already hold helps no one."""
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        clock.advance(60.0)
+        reply = state.commit("w1", lease["unit"], lease["key"],
+                             lease["lease"], make_rows(units[0]))
+        assert reply["event"] == "committed"
+        assert state.counters["expired_lease_commits"] == 1
+
+    def test_wrong_key_rejected(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        with pytest.raises(ProtocolError):
+            state.commit("w1", lease["unit"], "stale-key", lease["lease"],
+                         make_rows(units[0]))
+        assert state.counters["invalid_results"] == 1
+        assert not state.done
+
+    def test_wrong_row_count_rejected(self):
+        state, units, clock = make_state(n_units=1, unit_jobs=2)
+        lease = state.lease("w1")
+        with pytest.raises(ProtocolError):
+            state.commit("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_rows(units[0][:1]))
+        assert state.counters["invalid_results"] == 1
+
+    def test_commit_digest_matches_rows_digest(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        rows = make_rows(units[0])
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"], rows)
+        assert state._units[0].digest == rows_digest(rows)
+
+
+class TestStragglerDuplicates:
+    def test_slow_unit_gets_second_lease(self):
+        state, units, clock = make_state(n_units=2, straggler_factor=3.0)
+        slow = state.lease("slow")
+        fast = state.lease("fast")
+        # fast commits quickly -> EWMA ~1s
+        clock.advance(1.0)
+        state.commit("fast", fast["unit"], fast["key"], fast["lease"],
+                     make_rows(units[fast["unit"]]))
+        # slow's unit is now 4x the EWMA old; keep its lease alive
+        clock.advance(3.0)
+        state.heartbeat("slow", [slow["lease"]])
+        dup = state.lease("fast")
+        assert dup["event"] == "lease"
+        assert dup["unit"] == slow["unit"]
+        assert state.counters["straggler_duplicates"] == 1
+        # never a third copy, and never to the current holder
+        assert state.lease("fast")["event"] == "wait"
+        assert state.lease("other")["event"] == "wait"
+
+    def test_no_duplicate_without_factor_or_ewma(self):
+        state, units, clock = make_state(n_units=1, straggler_factor=None)
+        state.lease("w1")
+        clock.advance(5.0)
+        assert state.lease("w2")["event"] == "wait"
+
+
+class TestFailureAndObservation:
+    def test_deterministic_failure_fails_fast(self):
+        state, units, clock = make_state(n_units=2)
+        lease = state.lease("w1")
+        state.fail("w1", lease["unit"], lease["key"],
+                   {"executor": "e", "params": "{}", "cause": "boom"})
+        assert state.done
+        assert state.failure["cause"] == "boom"
+        # everyone is told to disperse
+        assert state.lease("w2")["event"] == "done"
+        assert state.counters["unit_failures"] == 1
+
+    def test_live_workers_excludes_local_and_stale(self):
+        state, units, clock = make_state()
+        state.lease("remote")
+        state.lease(LOCAL_WORKER)
+        assert state.live_remote_workers() == 1
+        clock.advance(100.0)  # > 2 lease terms
+        assert state.live_remote_workers() == 0
+
+    def test_snapshot_shape(self):
+        state, units, clock = make_state(n_units=2)
+        lease = state.lease("w1")
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"],
+                     make_rows(units[lease["unit"]]))
+        snap = state.snapshot()
+        assert snap["units_total"] == 2
+        assert snap["units_remaining"] == 1
+        assert snap["live_workers"] == 1
+        assert snap["unit_seconds"]["count"] == 1
+        assert snap["counters"]["units_completed"] == 1
+
+    def test_results_raise_until_complete(self):
+        state, units, clock = make_state(n_units=1)
+        with pytest.raises(RuntimeError):
+            state.results()

@@ -181,3 +181,29 @@ def test_stale_checkpoint_from_other_fingerprint_is_dropped(tmp_path):
     finally:
         service.request_shutdown()
         thread.join(15)
+
+
+def test_unreadable_checkpoint_is_quarantined_at_startup(tmp_path):
+    """A corrupt/truncated/future-version checkpoint in the scan
+    directory is renamed to ``.corrupt`` at startup — preserved as
+    evidence, never re-parsed on the next restart, and never partially
+    resumed — while the daemon comes up healthy."""
+    ckpt_dir = str(tmp_path)
+    torn = os.path.join(ckpt_dir, "a" * 64 + ".ckpt")
+    with open(torn, "w") as handle:
+        handle.write('{"version": 1, "kind": "trace-pip')  # torn write
+    future = os.path.join(ckpt_dir, "b" * 64 + ".ckpt")
+    with open(future, "w") as handle:
+        handle.write('{"version": 999, "kind": "trace-pipeline", "state": {}}')
+
+    service, client, thread = start_service(checkpoint_dir=ckpt_dir)
+    try:
+        assert client.health()
+        assert os.path.exists(torn + ".corrupt")
+        assert os.path.exists(future + ".corrupt")
+        assert not os.path.exists(torn)
+        assert not os.path.exists(future)
+        assert client.metrics()["counters"]["flights_resumed_total"] == 0
+    finally:
+        service.request_shutdown()
+        thread.join(15)

@@ -183,6 +183,57 @@ def test_checkpoint_envelope_validation(tmp_path):
     assert load_checkpoint(wrong_kind)["kind"] == "something-else"
 
 
+def test_checkpoint_rejects_any_future_version(tmp_path):
+    """Forward compatibility is refusal, not best-effort parsing: an
+    envelope stamped by *any* newer writer — next version or far
+    future — must be rejected with a clear error naming the version,
+    never partially loaded."""
+    for future in (CHECKPOINT_VERSION + 1, CHECKPOINT_VERSION + 7, 999999):
+        path = tmp_path / f"future-{future}.ckpt"
+        path.write_text(json.dumps({
+            "version": future, "kind": "trace-pipeline",
+            "state": {"cursor": 3, "from": "a newer writer"}}))
+        with pytest.raises(CheckpointError) as error:
+            load_checkpoint(str(path), kind="trace-pipeline")
+        assert str(future) in str(error.value) or "version" in str(error.value)
+
+
+def test_checkpoint_truncated_at_every_prefix_rejected(tmp_path):
+    """A torn write (host crash mid-publish without the fsync+rename
+    discipline) must never half-load: every strict byte prefix of a
+    valid envelope raises CheckpointError — there is no prefix length
+    at which a partial checkpoint silently parses as a shorter one."""
+    path = str(tmp_path / "whole.ckpt")
+    save_checkpoint(path, {"kind": "trace-pipeline",
+                           "state": {"cursor": 5, "rows": [1, 2, 3]}})
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    truncated = str(tmp_path / "torn.ckpt")
+    for cut in range(len(payload)):
+        with open(truncated, "wb") as handle:
+            handle.write(payload[:cut])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(truncated, kind="trace-pipeline")
+    # sanity: the full payload still loads
+    with open(truncated, "wb") as handle:
+        handle.write(payload)
+    assert load_checkpoint(truncated)["state"]["cursor"] == 5
+
+
+def test_checkpoint_unknown_fields_at_current_version_ok(tmp_path):
+    """Same-version envelopes with *extra* fields (a same-version
+    writer recording more) load fine — versioning gates structure
+    changes, not additive metadata."""
+    path = str(tmp_path / "extra.ckpt")
+    save_checkpoint(path, {"kind": "trace-pipeline",
+                           "state": {"cursor": 2},
+                           "novel_field": {"nested": True},
+                           "another": [1, 2]})
+    loaded = load_checkpoint(path, kind="trace-pipeline")
+    assert loaded["state"]["cursor"] == 2
+    assert loaded["novel_field"] == {"nested": True}
+
+
 def test_save_checkpoint_is_atomic(tmp_path):
     """Publishing a new checkpoint over an old one leaves no temp
     debris and the file always parses (the tmp+rename discipline)."""
