@@ -1,20 +1,21 @@
 #!/usr/bin/env python
-"""Distributed-execution smoke: coordinator + two real worker
-processes, one SIGKILLed mid-lease, byte-compared against a local run.
+"""Distributed-execution smoke: real worker processes, real signals,
+byte-compared against local runs.
 
-The scenario (the CI distributed-smoke job):
+Three phases (the CI distributed-smoke job):
 
-1. compute the reference table with a plain local ``Runner.run``;
-2. start a coordinator (in this process) over the same job list;
-3. start worker #1 ("victim") as a real ``repro work`` subprocess with
-   a fault plan that SIGKILLs it the moment it holds its first lease —
-   it dies mid-sweep, holding a unit;
-4. wait for the victim's corpse (exit by signal 9), then start worker
-   #2 ("survivor"), which waits out the dead lease, takes over the
-   forfeited unit, and finishes the sweep;
-5. assert the assembled distributed table is **byte-identical** to the
-   local reference and that the coordinator observed the failover
-   (a lease expired and the unit was re-dispatched).
+1. **Sweep failover** — coordinator + two ``repro work`` subprocesses,
+   one SIGKILLed the moment it holds its first lease; the survivor
+   waits out the dead lease and finishes; the assembled table must be
+   byte-identical to a local ``Runner.run``.
+2. **Pipeline failover** — a pipeline unit with checkpoint migration:
+   the victim uploads one envelope then is SIGKILLed at the next seam;
+   the survivor resumes *mid-unit* from the migrated envelope
+   (``resumed_units`` ≥ 1) and the rows must be byte-identical to a
+   local uninterrupted ``pipeline_rows``.
+3. **Warm re-run** — a fresh coordinator over the same pipeline job
+   and the same shared cache directory serves the unit at lease time
+   without dispatching anything (``cache_served_units`` > 0).
 
 Exit code 0 on success, 1 with a diagnostic on any deviation.
 """
@@ -24,6 +25,7 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -31,9 +33,15 @@ SRC = os.path.join(ROOT, "src")
 sys.path.insert(0, SRC)
 
 from repro.distributed import SweepCoordinator  # noqa: E402
+from repro.experiments.cache import ResultCache  # noqa: E402
+from repro.experiments.executors import pipeline_rows  # noqa: E402
+from repro.experiments.jobs import Job, canonical_json  # noqa: E402
 from repro.experiments.runner import Runner, _MEMORY_CACHE  # noqa: E402
 from repro.experiments.spec import SweepSpec  # noqa: E402
 from repro.experiments.table import ResultTable  # noqa: E402
+
+PIPELINE_PARAMS = {"workload": "streaming", "nbytes": 1 << 16,
+                   "chunk_requests": 32, "schemes": ["np", "bp"]}
 
 
 def fail(message: str) -> int:
@@ -44,23 +52,46 @@ def fail(message: str) -> int:
 def worker_env(extra_plan=None) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULT_PLAN", None)
     if extra_plan is not None:
         env["REPRO_FAULT_PLAN"] = json.dumps(extra_plan)
     return env
 
 
-def start_worker(url: str, name: str, env: dict) -> subprocess.Popen:
+def start_worker(url: str, name: str, env: dict,
+                 workers: int = 2) -> subprocess.Popen:
     return subprocess.Popen(
         [sys.executable, "-m", "repro", "work", url, "--name", name,
-         "--workers", "2"],
+         "--workers", str(workers), "--no-cache"],
         env=env, stdout=sys.stderr, stderr=sys.stderr)
 
 
-def main() -> int:
+def drive_with_survivor(coordinator, survivor_name: str):
+    """Start a survivor worker, block until the coordinator is done,
+    and return (rows_per_job, survivor_exit) — or (None, reason)."""
+    state = coordinator.state
+    survivor = start_worker(coordinator.url, survivor_name, worker_env())
+    try:
+        deadline = time.monotonic() + 300.0
+        while not state.done:
+            if time.monotonic() > deadline:
+                return None, "did not complete within 300s"
+            if survivor.poll() is not None:
+                return None, f"survivor exited early ({survivor.returncode})"
+            time.sleep(0.1)
+        if survivor.wait(timeout=60) != 0:
+            return None, f"survivor exit code {survivor.returncode}"
+    finally:
+        if survivor.poll() is None:
+            survivor.kill()
+    return coordinator.run(), 0
+
+
+def phase_sweep_failover() -> int:
     spec = SweepSpec(models=("alexnet", "mobilenet"), schemes=("np", "bp"))
     jobs = spec.jobs()
 
-    print(f"# local reference: {len(jobs)} jobs", file=sys.stderr)
+    print(f"# phase 1: local reference, {len(jobs)} jobs", file=sys.stderr)
     with Runner(workers=2, cache=None) as runner:
         reference = runner.run(jobs).to_json()
     _MEMORY_CACHE.clear()
@@ -71,39 +102,26 @@ def main() -> int:
     state = coordinator.state
     print(f"# coordinator at {coordinator.url}", file=sys.stderr)
 
-    survivor = None
+    # victim: SIGKILLs itself (via the fault harness) the moment it
+    # holds its first lease — a real process dying mid-sweep
+    victim = start_worker(coordinator.url, "victim", worker_env(
+        {"points": [{"site": "dist.unit@victim", "at": 0,
+                     "action": "kill"}]}))
     try:
-        # victim: SIGKILLs itself (via the fault harness) the moment it
-        # holds its first lease — a real process dying mid-sweep
-        victim = start_worker(coordinator.url, "victim", worker_env(
-            {"points": [{"site": "dist.unit@victim", "at": 0,
-                         "action": "kill"}]}))
-        try:
-            code = victim.wait(timeout=120)
-        finally:
-            if victim.poll() is None:
-                victim.kill()
-        if code != -signal.SIGKILL:
-            return fail(f"victim exited {code}, expected SIGKILL (-9)")
-        if state.counters["leases_granted"] < 1:
-            return fail("victim died without ever holding a lease")
-        print("# victim SIGKILLed mid-lease", file=sys.stderr)
-
-        survivor = start_worker(coordinator.url, "survivor", worker_env())
-        deadline = time.monotonic() + 300.0
-        while not state.done:
-            if time.monotonic() > deadline:
-                return fail("sweep did not complete within 300s")
-            if survivor.poll() is not None:
-                return fail(f"survivor exited early ({survivor.returncode})")
-            time.sleep(0.1)
-        if survivor.wait(timeout=60) != 0:
-            return fail(f"survivor exit code {survivor.returncode}")
+        code = victim.wait(timeout=120)
     finally:
-        if survivor is not None and survivor.poll() is None:
-            survivor.kill()
+        if victim.poll() is None:
+            victim.kill()
+    if code != -signal.SIGKILL:
+        return fail(f"victim exited {code}, expected SIGKILL (-9)")
+    if state.counters["leases_granted"] < 1:
+        return fail("victim died without ever holding a lease")
+    print("# victim SIGKILLed mid-lease", file=sys.stderr)
 
-    rows_per_job = coordinator.run()
+    rows_per_job, status = drive_with_survivor(coordinator, "survivor")
+    if rows_per_job is None:
+        return fail(f"sweep phase: {status}")
+
     table = ResultTable()
     for rows in rows_per_job:
         table.extend(rows)
@@ -121,6 +139,90 @@ def main() -> int:
     if state.snapshot()["redispatches"] < 1:
         return fail("no unit was re-dispatched after the SIGKILL")
     print("OK: SIGKILL failover complete, rows byte-identical to local run")
+    return 0
+
+
+def phase_pipeline_failover(cache_dir: str, reference) -> int:
+    print("# phase 2: pipeline unit, SIGKILL at a checkpoint seam",
+          file=sys.stderr)
+    _MEMORY_CACHE.clear()
+    job = Job("pipeline_run", canonical_json(PIPELINE_PARAMS))
+    coordinator = SweepCoordinator([job], cache=ResultCache(cache_dir),
+                                   lease_seconds=2.0, wait_workers=300.0,
+                                   checkpoint_every=2)
+    state = coordinator.state
+    print(f"# coordinator at {coordinator.url}", file=sys.stderr)
+
+    # the victim's second envelope upload SIGKILLs it: exactly one
+    # envelope migrated before the process died holding the lease
+    victim = start_worker(coordinator.url, "victim", worker_env(
+        {"points": [{"site": "dist.checkpoint@victim", "at": 1,
+                     "action": "kill"}]}), workers=1)
+    try:
+        code = victim.wait(timeout=120)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+    if code != -signal.SIGKILL:
+        return fail(f"pipeline victim exited {code}, expected SIGKILL (-9)")
+    if state.counters["checkpoints_migrated"] < 1:
+        return fail("victim died before any envelope migrated")
+    print("# victim SIGKILLed mid-unit, one envelope migrated",
+          file=sys.stderr)
+
+    rows_per_job, status = drive_with_survivor(coordinator, "survivor")
+    if rows_per_job is None:
+        return fail(f"pipeline phase: {status}")
+    if rows_per_job[0] != reference:
+        return fail("resumed pipeline rows differ from the local run")
+
+    counters = state.counters
+    print(f"# counters: {json.dumps(counters, sort_keys=True)}",
+          file=sys.stderr)
+    if counters["resumed_units"] < 1:
+        return fail("the survivor never resumed from the migrated envelope")
+    if counters["checkpoint_rejects"] != 0:
+        return fail("a valid envelope was rejected")
+    print("OK: mid-unit failover complete, rows byte-identical to local run")
+    return 0
+
+
+def phase_warm_rerun(cache_dir: str, reference) -> int:
+    print("# phase 3: warm re-run against the shared cache",
+          file=sys.stderr)
+    _MEMORY_CACHE.clear()
+    job = Job("pipeline_run", canonical_json(PIPELINE_PARAMS))
+    warm = SweepCoordinator([job], cache=ResultCache(cache_dir),
+                            wait_workers=0.0)
+    rows_per_job = warm.run()
+    if rows_per_job[0] != reference:
+        return fail("cache-served pipeline rows differ from the local run")
+    counters = warm.state.counters
+    print(f"# counters: {json.dumps(counters, sort_keys=True)}",
+          file=sys.stderr)
+    if counters["cache_served_units"] < 1:
+        return fail("warm re-run did not serve the unit from the cache")
+    if counters["leases_granted"] != 0:
+        return fail("warm re-run dispatched work despite a full cache")
+    print("OK: warm re-run served from the shared cache, nothing dispatched")
+    return 0
+
+
+def main() -> int:
+    code = phase_sweep_failover()
+    if code:
+        return code
+
+    print(f"# pipeline reference: {json.dumps(PIPELINE_PARAMS)}",
+          file=sys.stderr)
+    reference = pipeline_rows(dict(PIPELINE_PARAMS))
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cache-") as cache_dir:
+        code = phase_pipeline_failover(cache_dir, reference)
+        if code:
+            return code
+        code = phase_warm_rerun(cache_dir, reference)
+        if code:
+            return code
     return 0
 
 

@@ -55,10 +55,43 @@ def fsync_directory(path: str) -> None:
         os.close(fd)
 
 
-def save_checkpoint(path: str, state: Dict[str, object]) -> None:
-    """Atomically write ``state`` (adding the version field) to ``path``."""
+def seal_envelope(state: Dict[str, object]) -> Dict[str, object]:
+    """A copy of ``state`` stamped with this build's envelope version —
+    the exact payload :func:`save_checkpoint` persists. Callers that
+    ship an envelope somewhere other than disk (the distributed tier
+    migrates them to the coordinator over HTTP) seal it the same way so
+    every envelope, wherever it travels, validates identically."""
     payload = dict(state)
     payload["version"] = CHECKPOINT_VERSION
+    return payload
+
+
+def validate_envelope(state: object, kind: Optional[str] = None,
+                      source: str = "checkpoint") -> Dict[str, object]:
+    """Envelope-validate an already-parsed checkpoint payload: it must
+    be an object, speak this build's version, and (when ``kind`` is
+    given) be the right kind of checkpoint. Returns the state; raises
+    :class:`CheckpointError` otherwise. Shared by :func:`load_checkpoint`
+    and the distributed coordinator's ``/v1/checkpoint`` endpoint, so an
+    envelope corrupted in flight is rejected with the same rules as one
+    corrupted on disk."""
+    if not isinstance(state, dict):
+        raise CheckpointError(f"corrupt {source}: not an object")
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{source} has version {version!r}; this build reads "
+            f"version {CHECKPOINT_VERSION}")
+    if kind is not None and state.get("kind") != kind:
+        raise CheckpointError(
+            f"{source} is a {state.get('kind')!r} checkpoint, "
+            f"expected {kind!r}")
+    return state
+
+
+def save_checkpoint(path: str, state: Dict[str, object]) -> None:
+    """Atomically write ``state`` (adding the version field) to ``path``."""
+    payload = seal_envelope(state)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -88,15 +121,4 @@ def load_checkpoint(path: str, kind: Optional[str] = None) -> Dict[str, object]:
         raise CheckpointError(f"cannot read checkpoint {path}: {error}") from None
     except ValueError as error:
         raise CheckpointError(f"corrupt checkpoint {path}: {error}") from None
-    if not isinstance(state, dict):
-        raise CheckpointError(f"corrupt checkpoint {path}: not an object")
-    version = state.get("version")
-    if version != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"checkpoint {path} has version {version!r}; this build reads "
-            f"version {CHECKPOINT_VERSION}")
-    if kind is not None and state.get("kind") != kind:
-        raise CheckpointError(
-            f"checkpoint {path} is a {state.get('kind')!r} checkpoint, "
-            f"expected {kind!r}")
-    return state
+    return validate_envelope(state, kind=kind, source=f"checkpoint {path}")

@@ -225,16 +225,33 @@ def _run_distributed_sweep(jobs, cache, columns, args):
 
 def cmd_work(args) -> int:
     """Turn this machine into a sweep worker pointed at a coordinator."""
+    import signal
+
     from repro.distributed import Worker, WorkerConfig
 
+    cache_dir = None
+    if not args.no_cache:
+        from repro.experiments.cache import default_cache_dir
+
+        cache_dir = args.cache_dir or default_cache_dir()
     config = WorkerConfig(
         url=args.url, name=args.name or "", workers=args.workers,
         chunk_timeout=args.chunk_timeout, chunk_retries=args.chunk_retries,
-        reconnect_timeout=args.reconnect_timeout)
+        reconnect_timeout=args.reconnect_timeout, cache_dir=cache_dir)
+    worker = Worker(config)
+
+    # graceful drain: SIGTERM finishes (or checkpoint-parks) the current
+    # lease, deregisters, and exits 0 — SIGINT stays the hard stop
+    def _on_sigterm(signum, frame):
+        worker.drain()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
-        return Worker(config).run()
+        return worker.run()
     except KeyboardInterrupt:
         return 130
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def cmd_figure3(args) -> int:
@@ -329,7 +346,10 @@ def cmd_bench(args) -> int:
 def cmd_pipeline(args) -> int:
     """One streaming TracePipeline run: the `pipeline_run` executor's
     rows, printed as JSON, with the checkpoint/resume surface exposed
-    (this is the crash_resume_smoke harness's entry point)."""
+    (this is the crash_resume_smoke harness's entry point). With
+    ``--distributed`` the run becomes a leased work unit served to
+    `repro work` machines, with chunk-seam checkpoint migration as the
+    failover mechanism and the shared result cache answering repeats."""
     import json
     import os
 
@@ -350,6 +370,13 @@ def cmd_pipeline(args) -> int:
         except ValueError as error:
             raise SystemExit(f"error: invalid --params: {error}")
         params.update(extra)
+
+    if args.distributed:
+        if args.checkpoint or args.resume:
+            raise SystemExit("error: --distributed migrates checkpoints to "
+                             "the coordinator; --checkpoint/--resume apply "
+                             "to local runs only")
+        return _run_distributed_pipeline(params, args)
 
     if (args.checkpoint_every or args.resume) and not args.checkpoint:
         raise SystemExit("error: --checkpoint-every/--resume need "
@@ -373,6 +400,46 @@ def cmd_pipeline(args) -> int:
     if args.checkpoint and os.path.exists(args.checkpoint):
         os.unlink(args.checkpoint)  # completed: the checkpoint is spent
     print(json.dumps(rows, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_distributed_pipeline(params, args) -> int:
+    """Serve one ``pipeline_run`` job as a leased, checkpoint-migratable
+    unit: workers upload chunk-seam envelopes, a SIGKILLed worker's
+    successor resumes mid-unit, and a warm coordinator answers the whole
+    unit from the shared result cache without dispatching it."""
+    import json
+
+    import repro.experiments as experiments
+    from repro.distributed import DEFAULT_CHECKPOINT_EVERY, SweepCoordinator
+    from repro.experiments.jobs import Job, canonical_json
+
+    cache = None
+    if not args.no_cache:
+        cache = experiments.ResultCache(args.cache_dir)
+    host, port = args.listen
+    job = Job("pipeline_run", canonical_json(params))
+    coordinator = SweepCoordinator(
+        [job], cache=cache, host=host, port=port,
+        lease_seconds=args.lease_seconds,
+        wait_workers=args.wait_workers,
+        checkpoint_every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY)
+    if coordinator.url:
+        print(f"# coordinator listening at {coordinator.url} — join with: "
+              f"repro work {coordinator.url}", file=sys.stderr)
+    from repro.experiments.runner import JobExecutionError
+
+    try:
+        rows_per_job = coordinator.run()
+    except JobExecutionError as error:
+        raise SystemExit(f"error: {error}")
+    snap = coordinator.state.snapshot()
+    counters = snap["counters"]
+    print(f"# units={snap['units_total']} "
+          f"resumed={counters['resumed_units']} "
+          f"migrated_checkpoints={counters['checkpoints_migrated']} "
+          f"cache_served={counters['cache_served_units']}", file=sys.stderr)
+    print(json.dumps(rows_per_job[0], indent=2, sort_keys=True))
     return 0
 
 
@@ -535,10 +602,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=_nonneg_int, default=0,
                    metavar="N",
                    help="write a checkpoint every N chunks (requires "
-                        "--checkpoint)")
+                        "--checkpoint; with --distributed: chunk-seam "
+                        "migration cadence, default 4)")
     p.add_argument("--resume", action="store_true",
                    help="resume from --checkpoint if it exists (bit-"
                         "identical to an uninterrupted run)")
+    p.add_argument("--distributed", action="store_true",
+                   help="serve the run as a leased work unit to `repro "
+                        "work` machines, with chunk-seam checkpoint "
+                        "migration as the failover path (local pool is "
+                        "the zero-worker fallback)")
+    p.add_argument("--listen", type=_host_port, default=("127.0.0.1", 0),
+                   metavar="HOST:PORT",
+                   help="coordinator bind address for --distributed "
+                        "(default: 127.0.0.1 on an ephemeral port)")
+    p.add_argument("--lease-seconds", type=_positive_float, default=10.0,
+                   help="lease term for --distributed; a worker silent "
+                        "this long forfeits the unit and its latest "
+                        "migrated checkpoint rides the re-grant")
+    p.add_argument("--wait-workers", type=_nonneg_float, default=0.0,
+                   metavar="SECS",
+                   help="grace period to wait for remote workers before "
+                        "the local pool takes the unit")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the shared result cache for --distributed")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory for --distributed "
+                        "(default: ~/.cache/repro/sweeps)")
     p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("serve", help="simulation-as-a-service daemon "
@@ -582,9 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="redispatch budget for lost sweep chunks")
     p.set_defaults(func=cmd_serve)
 
-    p = sub.add_parser("work", help="join a distributed sweep as a worker "
-                                    "(point at a `repro sweep --distributed` "
-                                    "coordinator URL)")
+    p = sub.add_parser("work", help="join a distributed run as a worker "
+                                    "(point at a `repro sweep|pipeline "
+                                    "--distributed` coordinator URL)")
     p.add_argument("url", help="coordinator URL, e.g. http://10.0.0.5:8790")
     p.add_argument("--name", default=None,
                    help="worker name (shows up in coordinator ids/logs)")
@@ -602,6 +692,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="give up after the coordinator has been "
                         "unreachable this long (backoff with jitter "
                         "in between)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the local result cache (units are always "
+                        "recomputed, never answered or remembered here)")
+    p.add_argument("--cache-dir", default=None,
+                   help="local result-cache directory "
+                        "(default: ~/.cache/repro/sweeps)")
     p.set_defaults(func=cmd_work)
 
     p = sub.add_parser("demo", help="functional end-to-end secure inference")

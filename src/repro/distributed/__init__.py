@@ -1,14 +1,20 @@
-"""Distributed sweep execution: coordinator/worker lease protocol.
+"""Distributed sweep and pipeline execution: coordinator/worker lease
+protocol with checkpoint migration and a coordinator-served result
+cache.
 
 See :mod:`repro.distributed.protocol` for the wire contract,
 :mod:`repro.distributed.coordinator` for the lease/commit state
-machine and the ``repro sweep --distributed`` driver, and
-:mod:`repro.distributed.worker` for the ``repro work`` loop.
+machine (including ``/v1/checkpoint`` envelope migration) and the
+``repro sweep --distributed`` / ``repro pipeline --distributed``
+driver, and :mod:`repro.distributed.worker` for the ``repro work``
+loop (pipeline units, local-cache provenance, graceful drain).
 """
 
 from .client import Backoff, CoordinatorClient, CoordinatorUnreachable
 from .coordinator import (
+    DEFAULT_CHECKPOINT_EVERY,
     LOCAL_WORKER,
+    PIPELINE_EXECUTOR,
     CoordinatorServer,
     CoordinatorState,
     SweepCoordinator,
@@ -25,6 +31,8 @@ __all__ = [
     "CoordinatorState",
     "SweepCoordinator",
     "LOCAL_WORKER",
+    "PIPELINE_EXECUTOR",
+    "DEFAULT_CHECKPOINT_EVERY",
     "default_unit_jobs",
     "WIRE_VERSION",
     "rows_digest",

@@ -14,7 +14,11 @@ chaos tests message-level control of the network without a proxy:
   (send, then raise) — the lost-ack case that forces at-least-once
   delivery and makes the coordinator's duplicate detection observable;
 * ``delay`` — delivered late (sleep ``fault_delay`` before sending);
-* ``duplicate`` — delivered twice back-to-back.
+* ``duplicate`` — delivered twice back-to-back;
+* ``corrupt`` — delivered *damaged*: the payload is mutated in flight
+  (only on sites that declare a corruptor, e.g. ``dist.checkpoint``
+  scrambles the envelope) — exercising the coordinator's validate-
+  before-store rejection path.
 
 Sites are checked under the worker-scoped alias ``<site>@<name>``
 first, then the bare site, so one plan can partition a single worker
@@ -90,7 +94,7 @@ def _fault_site(site: str, name: Optional[str],
 
 
 class CoordinatorClient:
-    """Typed wrapper over the coordinator's four POST endpoints.
+    """Typed wrapper over the coordinator's POST endpoints.
 
     ``name`` scopes fault-site lookups (``dist.lease@<name>`` …);
     ``fault_delay`` is how long an injected ``delay`` action holds a
@@ -135,13 +139,16 @@ class CoordinatorClient:
         finally:
             conn.close()
 
-    def _post(self, site: str, path: str, payload: dict) -> dict:
+    def _post(self, site: str, path: str, payload: dict,
+              corruptor: Optional[Callable[[dict], dict]] = None) -> dict:
         action = _fault_site(site, self.name, self._site_counters)
         if action == "drop":
             raise CoordinatorUnreachable(
                 f"injected network fault: {site} request dropped")
         if action == "delay":
             time.sleep(self.fault_delay)
+        if action == "corrupt" and corruptor is not None:
+            payload = corruptor(dict(payload))
         result = self._send(path, payload)
         if action == "duplicate":
             result = self._send(path, payload)
@@ -172,14 +179,37 @@ class CoordinatorClient:
 
     def result(self, worker: str, unit: int, key: str, lease: Optional[str],
                rows: Optional[List[List[dict]]] = None,
-               error: Optional[dict] = None) -> dict:
+               error: Optional[dict] = None,
+               provenance: str = "computed") -> dict:
         payload: dict = {"event": "result", "worker": worker, "unit": unit,
-                         "key": key, "lease": lease}
+                         "key": key, "lease": lease, "provenance": provenance}
         if error is not None:
             payload["error"] = error
         else:
             payload["rows"] = rows_to_wire(rows if rows is not None else [])
         return self._post("dist.result", "/v1/result", payload)
+
+    @staticmethod
+    def _corrupt_envelope(payload: dict) -> dict:
+        # in-flight bit rot for the fault harness: the envelope arrives
+        # but no longer validates (version scrambled, cursor poisoned)
+        state = dict(payload.get("state") or {})
+        state["version"] = "\x00garbage\x00"
+        state["cursor"] = -1
+        payload["state"] = state
+        return payload
+
+    def checkpoint(self, worker: str, unit: int, key: str, lease: str,
+                   state: dict) -> dict:
+        return self._post("dist.checkpoint", "/v1/checkpoint",
+                          {"event": "checkpoint", "worker": worker,
+                           "unit": unit, "key": key, "lease": lease,
+                           "state": state},
+                          corruptor=self._corrupt_envelope)
+
+    def deregister(self, worker: str) -> dict:
+        return self._post("dist.deregister", "/v1/deregister",
+                          {"event": "deregister", "worker": worker})
 
     def metrics(self) -> dict:
         conn = http.client.HTTPConnection(self.host, self.port,

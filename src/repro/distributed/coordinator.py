@@ -11,12 +11,28 @@ Three layers, separable for testing:
   ``/v1/*`` endpoints onto the state machine with the service tier's
   NDJSON framing.
 * :class:`SweepCoordinator` — the driver ``repro sweep --distributed``
-  uses: pre-filters cache hits through the same two-level lookup a
-  local run uses, shards the misses into content-addressed units,
-  serves them to workers, and **falls back to the local pool** through
-  the identical lease/commit path when no live remote worker exists —
-  a coordinator with zero workers degrades to exactly `Runner.run`,
-  it never strands the sweep.
+  and ``repro pipeline --distributed`` use: shards the job list into
+  content-addressed units (pipeline jobs become singleton units so a
+  checkpoint envelope maps 1:1 to a unit), serves them to workers, and
+  **falls back to the local pool** through the identical lease/commit
+  path when no live remote worker exists — a coordinator with zero
+  workers degrades to exactly `Runner.run`, it never strands the sweep.
+
+Two robustness layers ride on the lease machinery:
+
+* **Checkpoint migration** — a worker running a pipeline unit uploads
+  each chunk-seam envelope (``/v1/checkpoint``); the envelope is
+  validated (version, kind, fingerprint) and the latest one rides
+  along on the unit's next lease grant, so the successor of a
+  SIGKILLed worker resumes mid-unit via ``resume_from=`` instead of
+  recomputing — bit-identical by the pipeline's checkpoint contract.
+  A rejected (corrupt/stale) upload stores nothing: the successor
+  falls back to unit start, never wrong rows.
+* **Coordinator-served result cache** — before dispatching a unit the
+  coordinator probes its own two-level result cache (once per unit);
+  a whole-unit hit is committed internally and never leased, so a
+  restarted sweep or a second fleet member re-pays nothing the fleet
+  already computed (``cache_served_units`` on ``/metrics``).
 
 Correctness argument (the reason distribution is unobservable in the
 output): units are pure functions of their job list — the same
@@ -33,14 +49,16 @@ bit-identical to a local run.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.checkpoint import CheckpointError, save_checkpoint, validate_envelope
 from repro.experiments.cache import ResultCache, code_fingerprint
-from repro.experiments.jobs import Job
+from repro.experiments.jobs import Job, canonical_json
 from repro.experiments.runner import (
     JobExecutionError,
     Runner,
@@ -52,6 +70,15 @@ from repro.service.metrics import StreamingHistogram
 from . import protocol
 from .protocol import ProtocolError, encode_event, unit_key
 
+#: checkpoint kind pipeline units migrate (see repro.mem.pipeline)
+PIPELINE_CHECKPOINT_KIND = "trace-pipeline"
+
+#: executor whose jobs become singleton, checkpoint-migratable units
+PIPELINE_EXECUTOR = "pipeline_run"
+
+#: default chunk interval between checkpoint uploads for pipeline units
+DEFAULT_CHECKPOINT_EVERY = 4
+
 #: sentinel worker id for the coordinator's own local-pool fallback —
 #: it leases and commits through the same state machine as any remote
 #: worker, but never counts as "live" for degradation decisions
@@ -60,9 +87,11 @@ LOCAL_WORKER = "local"
 
 class _Unit:
     __slots__ = ("index", "key", "jobs", "rows", "digest", "leases",
-                 "dispatches", "first_dispatch")
+                 "dispatches", "first_dispatch", "fingerprint",
+                 "checkpoint", "checkpoint_cursor", "cache_probed")
 
-    def __init__(self, index: int, key: str, jobs: List[Job]):
+    def __init__(self, index: int, key: str, jobs: List[Job],
+                 fingerprint: Optional[dict] = None):
         self.index = index
         self.key = key
         self.jobs = jobs
@@ -72,10 +101,20 @@ class _Unit:
         self.leases: Dict[str, Tuple[str, float]] = {}
         self.dispatches = 0
         self.first_dispatch: Optional[float] = None
+        #: expected pipeline fingerprint; None ⇒ not a pipeline unit
+        self.fingerprint = fingerprint
+        #: latest validated migrated envelope (cleared on commit)
+        self.checkpoint: Optional[dict] = None
+        self.checkpoint_cursor = -1
+        self.cache_probed = False
 
     @property
     def done(self) -> bool:
         return self.rows is not None
+
+    @property
+    def pipeline(self) -> bool:
+        return self.fingerprint is not None
 
 
 class CoordinatorState:
@@ -94,7 +133,12 @@ class CoordinatorState:
                  straggler_factor: Optional[float] = None,
                  poll: float = 0.5,
                  clock: Callable[[], float] = time.monotonic,
-                 on_commit: Optional[Callable[[int, List[Job], List[List[dict]]], None]] = None):
+                 on_commit: Optional[Callable[[int, List[Job], List[List[dict]]], None]] = None,
+                 unit_fingerprints: Optional[Sequence[Optional[dict]]] = None,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 checkpoint_dir: Optional[str] = None,
+                 cache_lookup: Optional[Callable[[int], Optional[List[List[dict]]]]] = None,
+                 cache_counters: Optional[Callable[[], Dict[str, int]]] = None):
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
         self.lease_seconds = float(lease_seconds)
@@ -103,10 +147,18 @@ class CoordinatorState:
         self.clock = clock
         self.on_commit = on_commit
         self.fingerprint = fingerprint
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_dir = checkpoint_dir
+        self.cache_lookup = cache_lookup
+        self.cache_counters = cache_counters
         self._lock = threading.Lock()
+        if unit_fingerprints is None:
+            unit_fingerprints = [None] * len(units_jobs)
+        if len(unit_fingerprints) != len(units_jobs):
+            raise ValueError("unit_fingerprints must parallel units_jobs")
         self._units = [
-            _Unit(i, unit_key(jobs, fingerprint), list(jobs))
-            for i, jobs in enumerate(units_jobs)
+            _Unit(i, unit_key(jobs, fingerprint), list(jobs), fp)
+            for i, (jobs, fp) in enumerate(zip(units_jobs, unit_fingerprints))
         ]
         #: worker id -> last_seen clock reading
         self._workers: Dict[str, float] = {}
@@ -116,10 +168,12 @@ class CoordinatorState:
         self._ewma: Optional[float] = None
         self.counters: Dict[str, int] = {
             "workers_registered": 0,
+            "workers_deregistered": 0,
             "lease_requests_total": 0,
             "leases_granted": 0,
             "lease_renewals": 0,
             "lease_expirations": 0,
+            "leases_released": 0,
             "heartbeats_total": 0,
             "results_total": 0,
             "units_completed": 0,
@@ -130,6 +184,12 @@ class CoordinatorState:
             "expired_lease_commits": 0,
             "straggler_duplicates": 0,
             "unit_failures": 0,
+            "checkpoints_total": 0,
+            "checkpoints_migrated": 0,
+            "checkpoint_rejects": 0,
+            "resumed_units": 0,
+            "cache_served_units": 0,
+            "worker_cache_commits": 0,
         }
 
     # -- bookkeeping (call with lock held) ---------------------------------
@@ -162,7 +222,7 @@ class CoordinatorState:
         if unit.first_dispatch is None:
             unit.first_dispatch = now
         self.counters["leases_granted"] += 1
-        return {
+        reply = {
             "event": "lease",
             "unit": unit.index,
             "key": unit.key,
@@ -170,6 +230,34 @@ class CoordinatorState:
             "lease": lease_id,
             "lease_seconds": self.lease_seconds,
         }
+        if unit.pipeline:
+            reply["pipeline"] = True
+            reply["checkpoint_every"] = self.checkpoint_every
+            if unit.checkpoint is not None:
+                # mid-unit failover: the grant carries the latest
+                # migrated envelope; the holder resumes via resume_from=
+                reply["checkpoint"] = unit.checkpoint
+                self.counters["resumed_units"] += 1
+        return reply
+
+    def _serve_cached_locked(self) -> None:
+        """Answer whole-unit cache hits before dispatching anything:
+        each unprobed unit is looked up once through the coordinator's
+        result cache hook and, on a hit, committed internally — it is
+        never leased, so a warm restart re-pays nothing."""
+        if self.cache_lookup is None:
+            return
+        for unit in self._units:
+            if unit.done or unit.cache_probed:
+                continue
+            unit.cache_probed = True
+            rows_per_job = self.cache_lookup(unit.index)
+            if rows_per_job is None or len(rows_per_job) != len(unit.jobs):
+                continue
+            self._complete_locked(unit, "cache",
+                                  [list(rows) for rows in rows_per_job],
+                                  protocol.rows_digest(rows_per_job),
+                                  self.clock(), cached=True)
 
     # -- protocol verbs ----------------------------------------------------
 
@@ -187,6 +275,7 @@ class CoordinatorState:
             self.counters["lease_requests_total"] += 1
             self._touch(worker, now)
             self._expire(now)
+            self._serve_cached_locked()
             if self.failure is not None or self._remaining == 0:
                 return {"event": "done"}
             for unit in self._units:
@@ -241,9 +330,37 @@ class CoordinatorState:
             self.counters["lease_renewals"] += len(renewed)
         return {"event": "heartbeat", "renewed": renewed, "lost": lost}
 
+    def _complete_locked(self, unit: _Unit, worker: str,
+                         rows_per_job: List[List[dict]], digest: str,
+                         now: float, cached: bool = False) -> None:
+        """The single unit-completion path (call with lock held): set
+        the rows, clear leases and any migrated envelope, and account.
+        Cache-served completions skip the EWMA (no dispatch happened)
+        and the ``on_commit`` hook (the rows came *from* the cache —
+        rewriting them would be pure amplification)."""
+        unit.rows = rows_per_job
+        unit.digest = digest
+        unit.leases.clear()
+        unit.checkpoint = None
+        self._remaining -= 1
+        self.counters["units_completed"] += 1
+        if worker == LOCAL_WORKER:
+            self.counters["units_local"] += 1
+        if cached:
+            self.counters["cache_served_units"] += 1
+            return
+        if unit.first_dispatch is not None:
+            elapsed = max(1e-6, now - unit.first_dispatch)
+            self.unit_seconds.observe(elapsed)
+            self._ewma = (elapsed if self._ewma is None
+                          else 0.7 * self._ewma + 0.3 * elapsed)
+        if self.on_commit is not None:
+            self.on_commit(unit.index, unit.jobs, rows_per_job)
+
     def commit(self, worker: str, unit_index: int, key: str,
                lease_id: Optional[str],
-               rows_per_job: List[List[dict]]) -> dict:
+               rows_per_job: List[List[dict]],
+               provenance: str = "computed") -> dict:
         now = self.clock()
         with self._lock:
             self.counters["results_total"] += 1
@@ -281,21 +398,95 @@ class CoordinatorState:
                 # rows are valid for this key — committing them is
                 # strictly better than recomputing
                 self.counters["expired_lease_commits"] += 1
-            unit.rows = rows_per_job
-            unit.digest = digest
-            unit.leases.clear()
-            self._remaining -= 1
-            self.counters["units_completed"] += 1
-            if worker == LOCAL_WORKER:
-                self.counters["units_local"] += 1
-            if unit.first_dispatch is not None:
-                elapsed = max(1e-6, now - unit.first_dispatch)
-                self.unit_seconds.observe(elapsed)
-                self._ewma = (elapsed if self._ewma is None
-                              else 0.7 * self._ewma + 0.3 * elapsed)
-            if self.on_commit is not None:
-                self.on_commit(unit_index, unit.jobs, rows_per_job)
+            if provenance == "cache_hit":
+                self.counters["worker_cache_commits"] += 1
+            self._complete_locked(unit, worker, rows_per_job, digest, now)
         return {"event": "committed", "unit": unit_index}
+
+    def checkpoint(self, worker: str, unit_index: int, key: str,
+                   lease_id: str, state: dict) -> dict:
+        """Migrate a pipeline unit's chunk-seam envelope. The envelope
+        must validate (version, kind, fingerprint-vs-unit, integer
+        cursor) before it is stored — a corrupt upload is rejected with
+        a :class:`ProtocolError` and stores *nothing*, so a successor
+        falls back to unit start rather than resuming poison. Stored
+        envelopes advance monotonically by cursor (a straggler's older
+        seam never overwrites a fresher one) and an accepted upload
+        renews the uploading lease: the upload itself proves liveness."""
+        now = self.clock()
+        with self._lock:
+            self.counters["checkpoints_total"] += 1
+            self._touch(worker, now)
+            self._expire(now)
+            if not 0 <= unit_index < len(self._units):
+                self.counters["checkpoint_rejects"] += 1
+                raise ProtocolError(f"unknown unit index {unit_index}")
+            unit = self._units[unit_index]
+            if key != unit.key:
+                self.counters["checkpoint_rejects"] += 1
+                raise ProtocolError(
+                    f"unit {unit_index} key mismatch (stale worker?)")
+            if unit.done:
+                # the unit already committed; the envelope is useless
+                return {"event": "stale", "unit": unit_index}
+            if not unit.pipeline:
+                self.counters["checkpoint_rejects"] += 1
+                raise ProtocolError(
+                    f"unit {unit_index} is not a pipeline unit")
+            try:
+                validate_envelope(state, kind=PIPELINE_CHECKPOINT_KIND,
+                                  source="migrated checkpoint")
+            except CheckpointError as exc:
+                self.counters["checkpoint_rejects"] += 1
+                raise ProtocolError(str(exc)) from None
+            if canonical_json(state.get("fingerprint")) != canonical_json(unit.fingerprint):
+                self.counters["checkpoint_rejects"] += 1
+                raise ProtocolError(
+                    f"migrated checkpoint fingerprint does not match "
+                    f"unit {unit_index}")
+            cursor = state.get("cursor")
+            if not isinstance(cursor, int) or cursor < 0:
+                self.counters["checkpoint_rejects"] += 1
+                raise ProtocolError(
+                    "migrated checkpoint has no usable cursor")
+            if cursor <= unit.checkpoint_cursor:
+                return {"event": "stale", "unit": unit_index,
+                        "cursor": unit.checkpoint_cursor}
+            unit.checkpoint = dict(state)
+            unit.checkpoint_cursor = cursor
+            self.counters["checkpoints_migrated"] += 1
+            if self.checkpoint_dir is not None:
+                # crash-atomic persistence: a coordinator restart can
+                # hand the envelope to tooling (same discipline as the
+                # pipeline's own on-disk checkpoints)
+                save_checkpoint(
+                    os.path.join(self.checkpoint_dir,
+                                 f"unit-{unit_index:05d}.json"), state)
+            if lease_id in unit.leases:
+                holder, _ = unit.leases[lease_id]
+                unit.leases[lease_id] = (holder, now + self.lease_seconds)
+        return {"event": "checkpointed", "unit": unit_index,
+                "cursor": cursor}
+
+    def deregister(self, worker: str) -> dict:
+        """Graceful drain: release every lease the worker still holds
+        (immediate re-dispatch, no waiting out the term) and forget its
+        heartbeat, so ``live_remote_workers`` drops right away."""
+        with self._lock:
+            released = 0
+            for unit in self._units:
+                if unit.done:
+                    continue
+                held = [lid for lid, (holder, _) in unit.leases.items()
+                        if holder == worker]
+                for lid in held:
+                    del unit.leases[lid]
+                    released += 1
+            self.counters["leases_released"] += released
+            self.counters["workers_deregistered"] += 1
+            self._workers.pop(worker, None)
+        return {"event": "deregistered", "worker": worker,
+                "released": released}
 
     def fail(self, worker: str, unit_index: int, key: str,
              error: dict) -> dict:
@@ -344,12 +535,25 @@ class CoordinatorState:
         live = self.live_remote_workers(now)
         with self._lock:
             outstanding = sum(len(u.leases) for u in self._units)
+            held: Dict[str, int] = {}
+            for unit in self._units:
+                for holder, _ in unit.leases.values():
+                    held[holder] = held.get(holder, 0) + 1
             snap = {
                 "counters": dict(self.counters),
                 "units_total": len(self._units),
                 "units_remaining": self._remaining,
                 "leases_outstanding": outstanding,
                 "live_workers": live,
+                # per-worker health: a partitioned worker shows a large
+                # heartbeat age *while still holding leases*; an idle
+                # one shows a small age and zero leases
+                "workers": [
+                    {"worker": worker,
+                     "last_seen_age_seconds": round(max(0.0, now - seen), 3),
+                     "held_leases": held.get(worker, 0)}
+                    for worker, seen in sorted(self._workers.items())
+                ],
                 "redispatches": max(
                     0, self.counters["leases_granted"] - len(self._units)),
                 "unit_seconds": {
@@ -360,6 +564,8 @@ class CoordinatorState:
                 },
                 "failed": self.failure is not None,
             }
+            if self.cache_counters is not None:
+                snap["cache"] = dict(self.cache_counters())
         return snap
 
 
@@ -416,7 +622,15 @@ class _Handler(BaseHTTPRequestHandler):
                 else:
                     self._reply(200, state.commit(
                         req["worker"], req["unit"], req["key"],
-                        req["lease"], req["rows"]))
+                        req["lease"], req["rows"], req["provenance"]))
+            elif self.path == "/v1/checkpoint":
+                req = protocol.parse_checkpoint(body)
+                self._reply(200, state.checkpoint(
+                    req["worker"], req["unit"], req["key"],
+                    req["lease"], req["state"]))
+            elif self.path == "/v1/deregister":
+                worker = protocol.parse_deregister(body)
+                self._reply(200, state.deregister(worker))
             else:
                 self._reply(404, {"event": "error", "error": "unknown path"})
         except ProtocolError as exc:
@@ -472,12 +686,14 @@ class SweepCoordinator:
     """Drives one sweep's job list to completion over remote workers,
     with the local pool as the degradation floor.
 
-    The flow mirrors :meth:`Runner.run` exactly: cache hits are served
-    through the same two-level lookup and never dispatched; only misses
-    are sharded into units; every committed row goes through
-    :func:`remember_rows` (both cache levels); the final rows-per-job
-    list is assembled in job order. Distribution is unobservable in the
-    output by construction.
+    The flow mirrors :meth:`Runner.run` exactly: every job is sharded
+    into a content-addressed unit (``pipeline_run`` jobs as singleton,
+    checkpoint-migratable units); whole-unit cache hits are answered by
+    the coordinator at lease time through the same two-level lookup a
+    local run uses and never dispatched; every committed row goes
+    through :func:`remember_rows` (both cache levels); the final
+    rows-per-job list is assembled in job order. Distribution is
+    unobservable in the output by construction.
     """
 
     def __init__(self, jobs: Sequence[Job],
@@ -488,7 +704,9 @@ class SweepCoordinator:
                  lease_seconds: float = 10.0,
                  straggler_factor: Optional[float] = None,
                  wait_workers: float = 0.0,
-                 poll: float = 0.2):
+                 poll: float = 0.2,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 checkpoint_dir: Optional[str] = None):
         self.jobs = list(jobs)
         self.cache = cache
         self.local_workers = local_workers
@@ -496,29 +714,62 @@ class SweepCoordinator:
         self.poll = float(poll)
 
         self._hit_rows: Dict[int, List[dict]] = {}
-        miss_indices: List[int] = []
-        for i, job in enumerate(self.jobs):
-            rows = recall_rows(job, cache)
-            if rows is None:
-                miss_indices.append(i)
-            else:
-                self._hit_rows[i] = rows
-        self._miss_indices = miss_indices
 
         fingerprint = cache.fingerprint if cache is not None else code_fingerprint()
-        size = unit_jobs or default_unit_jobs(len(miss_indices))
-        self._unit_indices: List[List[int]] = [
-            miss_indices[i:i + size]
-            for i in range(0, len(miss_indices), size)
-        ]
+        size = unit_jobs or default_unit_jobs(len(self.jobs))
+        # shard in job order; a pipeline job always gets its own unit so
+        # a checkpoint envelope (one pipeline per envelope) maps 1:1
+        self._unit_indices: List[List[int]] = []
+        batch: List[int] = []
+        for i, job in enumerate(self.jobs):
+            if job.executor == PIPELINE_EXECUTOR:
+                if batch:
+                    self._unit_indices.append(batch)
+                    batch = []
+                self._unit_indices.append([i])
+            else:
+                batch.append(i)
+                if len(batch) >= size:
+                    self._unit_indices.append(batch)
+                    batch = []
+        if batch:
+            self._unit_indices.append(batch)
+
         units = [[self.jobs[i] for i in chunk] for chunk in self._unit_indices]
+        unit_fingerprints = [
+            self._pipeline_unit_fingerprint(unit) for unit in units]
         self.state = CoordinatorState(
             units, fingerprint=fingerprint, lease_seconds=lease_seconds,
             straggler_factor=straggler_factor, poll=poll,
-            on_commit=self._on_commit)
+            on_commit=self._on_commit,
+            unit_fingerprints=unit_fingerprints,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            cache_lookup=self._recall_unit,
+            cache_counters=(lambda: cache.counters) if cache is not None else None)
         self.server: Optional[CoordinatorServer] = None
         if units:
             self.server = CoordinatorServer(self.state, host=host, port=port)
+
+    @staticmethod
+    def _pipeline_unit_fingerprint(unit_jobs: List[Job]) -> Optional[dict]:
+        if len(unit_jobs) != 1 or unit_jobs[0].executor != PIPELINE_EXECUTOR:
+            return None
+        from repro.experiments.executors import pipeline_fingerprint
+
+        return pipeline_fingerprint(unit_jobs[0].params)
+
+    def _recall_unit(self, unit_index: int) -> Optional[List[List[dict]]]:
+        """All-or-nothing unit recall through the two-level cache; any
+        per-job miss means the unit must be dispatched (workers still
+        get per-job hits from their own caches)."""
+        rows_per_job = []
+        for i in self._unit_indices[unit_index]:
+            rows = recall_rows(self.jobs[i], self.cache)
+            if rows is None:
+                return None
+            rows_per_job.append(rows)
+        return rows_per_job
 
     def _on_commit(self, unit_index: int, jobs: List[Job],
                    rows_per_job: List[List[dict]]) -> None:
@@ -571,7 +822,9 @@ class SweepCoordinator:
                     time.sleep(self.poll)
                     continue
                 if runner is None:
-                    runner = Runner(workers=self.local_workers, cache=None)
+                    # the local pool shares the coordinator's cache so a
+                    # partially-cached unit only recomputes its misses
+                    runner = Runner(workers=self.local_workers, cache=self.cache)
                 unit_jobs = protocol.jobs_from_wire(reply["jobs"])
                 try:
                     rows = runner.compute_rows(unit_jobs)

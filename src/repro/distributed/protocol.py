@@ -24,7 +24,18 @@ Endpoints (coordinator side)
   "lease": id, "rows": <rows_to_wire(...)>}`` commits a unit
   (idempotent — see below; rows use the order-preserving schema-table
   encoding of :func:`rows_to_wire`), or carries ``"error"`` instead of
-  ``"rows"`` to report a deterministic job failure;
+  ``"rows"`` to report a deterministic job failure; an optional
+  ``"provenance"`` field records whether the rows were ``computed`` or
+  answered from the worker's local result cache (``cache_hit``);
+* ``POST /v1/checkpoint`` — ``{"worker": id, "unit": i, "key": ...,
+  "lease": id, "state": <envelope>}`` migrates a pipeline unit's
+  chunk-seam checkpoint envelope to the coordinator; the envelope is
+  validated (version, kind, fingerprint) before it is stored, and the
+  latest stored envelope rides along on the unit's next lease grant so
+  a successor resumes mid-unit;
+* ``POST /v1/deregister`` — ``{"worker": id}`` announces a graceful
+  drain: held leases are released for immediate re-dispatch and the
+  worker stops counting as live;
 * ``GET /metrics`` / ``GET /healthz`` — the same observability surface
   every other daemon in this repo exposes.
 
@@ -212,5 +223,34 @@ def parse_result(obj: object) -> Dict[str, object]:
                  and isinstance(error.get("params"), str)
                  and isinstance(error.get("cause"), str),
                  "'error' must carry executor/params/cause strings")
+    provenance = obj.get("provenance", "computed")
+    _require(provenance in ("computed", "cache_hit"),
+             "'provenance' must be 'computed' or 'cache_hit'")
     return {"worker": worker, "unit": unit, "key": key, "lease": lease,
-            "rows": rows, "error": error}
+            "rows": rows, "error": error, "provenance": provenance}
+
+
+def parse_checkpoint(obj: object) -> Dict[str, object]:
+    """Validate a checkpoint migration; returns worker/unit/key/lease
+    plus the (syntactically object-shaped) envelope ``state``. Semantic
+    envelope validation — version, kind, fingerprint — is the
+    coordinator's job, because it owns the unit's expected fingerprint."""
+    _require(isinstance(obj, dict), "checkpoint body must be a JSON object")
+    worker = _worker_id(obj)
+    unit = obj.get("unit")
+    _require(isinstance(unit, int) and unit >= 0,
+             "'unit' must be a non-negative unit index")
+    key = obj.get("key")
+    _require(isinstance(key, str) and bool(key), "'key' must be the unit key")
+    lease = obj.get("lease")
+    _require(isinstance(lease, str) and bool(lease),
+             "'lease' must be the holding lease id")
+    state = obj.get("state")
+    _require(isinstance(state, dict), "'state' must be a checkpoint envelope")
+    return {"worker": worker, "unit": unit, "key": key, "lease": lease,
+            "state": state}
+
+
+def parse_deregister(obj: object) -> str:
+    _require(isinstance(obj, dict), "deregister body must be a JSON object")
+    return _worker_id(obj)

@@ -10,6 +10,22 @@ Loop shape::
   (chunk timeouts, pool rebuilds, straggler duplicates) runs *inside*
   each unit, so a worker surviving its own child's death is invisible
   to the coordinator;
+* a **pipeline unit** (``"pipeline": true`` on the lease) runs inline
+  through :func:`repro.experiments.executors.pipeline_rows` with
+  ``checkpoint_every=`` wired to an upload hook: every chunk-seam
+  envelope migrates to the coordinator (``/v1/checkpoint``,
+  best-effort — an upload failure costs recovery granularity, never
+  correctness). A lease that arrives carrying an envelope resumes
+  from it (``resume_from=``); an envelope this build cannot validate
+  falls back to unit start — wrong rows are impossible either way;
+* with a local result cache configured the worker consults it before
+  computing: a whole-unit hit is submitted with ``cache_hit``
+  provenance, and computed pipeline rows are remembered so *this*
+  machine never re-pays them;
+* **graceful drain** (SIGTERM via :meth:`Worker.drain`): a running
+  pipeline unit parks at the next chunk seam (final envelope
+  uploaded), the worker deregisters — releasing its leases for
+  immediate re-dispatch — and exits 0;
 * while a unit runs, a daemon heartbeat thread renews the lease every
   ``lease_seconds / 3`` — three misses before expiry, so one dropped
   heartbeat never loses a lease. Heartbeat errors are swallowed: a
@@ -26,17 +42,28 @@ Loop shape::
 
 Fault sites fire here and in the client: ``dist.unit`` (``raise``
 models the worker dying mid-lease), ``dist.lease`` / ``dist.heartbeat``
-/ ``dist.result`` (network message faults, worker-scopable as
-``<site>@<name>``).
+/ ``dist.result`` / ``dist.checkpoint`` / ``dist.deregister`` (network
+message faults, worker-scopable as ``<site>@<name>``; ``kill`` on
+``dist.checkpoint`` models a worker dying at a chunk seam *after* some
+envelopes migrated, ``corrupt`` damages the envelope in flight).
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
-from repro.experiments.runner import JobExecutionError, Runner
+from repro.checkpoint import CheckpointError
+from repro.experiments.cache import ResultCache
+from repro.experiments.jobs import Job
+from repro.experiments.runner import (
+    JobExecutionError,
+    Runner,
+    recall_rows,
+    remember_rows,
+)
+from repro.mem.pipeline import PipelineCheckpointed
 from repro.testing import faults
 
 from .client import Backoff, CoordinatorClient, CoordinatorUnreachable
@@ -53,6 +80,9 @@ class WorkerConfig:
     reconnect_timeout: float = 30.0
     fault_delay: float = 0.1
     log: bool = True
+    #: directory for the worker's local result cache (None = no disk
+    #: cache; the in-process memory level still applies)
+    cache_dir: Optional[str] = None
 
 
 class Worker:
@@ -64,8 +94,18 @@ class Worker:
                                         fault_delay=config.fault_delay)
         self.worker_id: Optional[str] = None
         self.units_done = 0
+        self.units_resumed = 0
         self._unit_index = 0  # fault-site index for dist.unit
         self._runner: Optional[Runner] = None
+        self._cache = ResultCache(config.cache_dir) if config.cache_dir else None
+        self._drain = threading.Event()
+
+    def drain(self) -> None:
+        """Request a graceful exit (signal-safe): the current lease is
+        finished — a pipeline unit parks at its next chunk seam and
+        uploads a final envelope — then the worker deregisters and
+        :meth:`run` returns 0."""
+        self._drain.set()
 
     def _log(self, message: str) -> None:
         if self.config.log:
@@ -99,37 +139,118 @@ class Worker:
             faults.fire(f"dist.unit@{self.config.name}", index)
         faults.fire("dist.unit", index)
 
+    def _recall_unit(self, jobs: List[Job]) -> Optional[List[List[dict]]]:
+        """All-or-nothing local-cache recall: every job of the unit must
+        hit (two-level — memory, then this worker's disk cache) for the
+        unit to be answered without compute."""
+        rows_per_job = []
+        for job in jobs:
+            rows = recall_rows(job, self._cache)
+            if rows is None:
+                return None
+            rows_per_job.append(rows)
+        return rows_per_job
+
     def _run_unit(self, lease: dict) -> None:
         # the fault fires *before* the heartbeat thread starts, so a
         # "raise" here models a worker that died holding a fresh lease —
         # nothing renews it and it expires on schedule
         self._fire_unit_fault()
         jobs = jobs_from_wire(lease["jobs"])
+        cached = self._recall_unit(jobs)
+        if cached is not None:
+            self._log(f"unit {lease['unit']}: local cache hit")
+            self._submit(lease, cached, None, provenance="cache_hit")
+            return
         stop = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop, args=(lease["lease"], stop),
             name="repro-work-heartbeat", daemon=True)
         beat.start()
+        drained = False
         try:
-            if self._runner is None:
-                self._runner = Runner(workers=self.config.workers,
-                                      cache=None,
-                                      chunk_timeout=self.config.chunk_timeout,
-                                      chunk_retries=self.config.chunk_retries)
             error = None
             rows = None
-            try:
-                rows = self._runner.compute_rows(jobs)
-            except JobExecutionError as exc:
-                error = {"executor": exc.job.executor,
-                         "params": exc.job.params_json,
-                         "cause": exc.cause}
+            if lease.get("pipeline"):
+                rows, error, drained = self._run_pipeline(lease, jobs)
+            else:
+                if self._runner is None:
+                    self._runner = Runner(workers=self.config.workers,
+                                          cache=self._cache,
+                                          chunk_timeout=self.config.chunk_timeout,
+                                          chunk_retries=self.config.chunk_retries)
+                try:
+                    rows = self._runner.compute_rows(jobs)
+                except JobExecutionError as exc:
+                    error = {"executor": exc.job.executor,
+                             "params": exc.job.params_json,
+                             "cause": exc.cause}
         finally:
             stop.set()
         beat.join(timeout=2.0)
+        if drained:
+            # the final envelope is migrated; the lease is released by
+            # the deregister that follows in run() — nothing to submit
+            return
         self._submit(lease, rows, error)
 
-    def _submit(self, lease: dict, rows, error) -> None:
+    def _run_pipeline(self, lease: dict, jobs: List[Job]):
+        """Execute a singleton pipeline unit inline, migrating every
+        chunk-seam envelope to the coordinator and resuming from the
+        envelope the lease carried (if any). Returns
+        ``(rows, error, drained)``."""
+        from repro.experiments.executors import pipeline_rows
+
+        job = jobs[0]
+        checkpoint_every = int(lease.get("checkpoint_every", 0))
+        resume_state = lease.get("checkpoint")
+
+        def upload(state: dict, chunks: int, requests_done: int) -> None:
+            # best-effort: a lost/rejected upload only means a successor
+            # resumes from an older seam (or unit start), never bad rows
+            try:
+                self.client.checkpoint(self.worker_id, lease["unit"],
+                                       lease["key"], lease["lease"], state)
+            except (CoordinatorUnreachable, ProtocolError) as exc:
+                self._log(f"checkpoint upload failed ({exc}); continuing")
+
+        def attempt(resume_from):
+            return pipeline_rows(
+                job.params,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
+                on_checkpoint_state=upload,
+                checkpoint_request=self._drain.is_set)
+
+        try:
+            try:
+                if resume_state is not None:
+                    self._log(f"unit {lease['unit']}: resuming from "
+                              f"migrated checkpoint "
+                              f"(cursor {resume_state.get('cursor')})")
+                    rows = attempt(dict(resume_state))
+                    self.units_resumed += 1
+                else:
+                    rows = attempt(None)
+            except CheckpointError as exc:
+                # the migrated envelope does not validate against this
+                # build/unit — recompute from unit start instead
+                self._log(f"migrated checkpoint rejected ({exc}); "
+                          f"restarting unit {lease['unit']} from scratch")
+                rows = attempt(None)
+        except PipelineCheckpointed as exc:
+            self._log(f"unit {lease['unit']}: drained at chunk seam "
+                      f"({exc.requests_done} requests done)")
+            return None, None, True
+        except Exception as exc:  # deterministic executor failure
+            return None, {"executor": job.executor,
+                          "params": job.params_json,
+                          "cause": f"{type(exc).__name__}: {exc}"}, False
+        remember_rows(job, rows, self._cache)
+        return [rows], None, False
+
+    def _submit(self, lease: dict, rows, error,
+                provenance: str = "computed") -> None:
         """At-least-once result delivery: retry until the coordinator
         acknowledges or stays dark past the reconnect budget.
         ``duplicate`` is an acknowledgement — the rows landed (possibly
@@ -143,7 +264,8 @@ class Worker:
             try:
                 reply = self.client.result(
                     self.worker_id, lease["unit"], lease["key"],
-                    lease["lease"], rows=rows, error=error)
+                    lease["lease"], rows=rows, error=error,
+                    provenance=provenance)
             except CoordinatorUnreachable as exc:
                 if _time.monotonic() >= deadline:
                     raise
@@ -159,13 +281,20 @@ class Worker:
             raise ProtocolError(f"unexpected result reply {reply!r}")
 
     def run(self) -> int:
-        """Work until the coordinator says ``done`` (exit 0) or stays
-        unreachable past ``reconnect_timeout`` (exit 1)."""
+        """Work until the coordinator says ``done`` (exit 0), a drain is
+        requested (finish/park the current lease, deregister, exit 0),
+        or the coordinator stays unreachable past ``reconnect_timeout``
+        (exit 1)."""
         import time as _time
 
         backoff = Backoff()
         deadline = _time.monotonic() + self.config.reconnect_timeout
         while True:
+            if self._drain.is_set():
+                self._log("drain requested; deregistering")
+                self._deregister()
+                self._close_runner()
+                return 0
             try:
                 if self.worker_id is None:
                     self._register()
@@ -187,7 +316,8 @@ class Worker:
                 self._close_runner()
                 return 0
             if event == "wait":
-                _time.sleep(float(reply.get("poll", 0.5)))
+                # interruptible by drain: wait() returns early when set
+                self._drain.wait(float(reply.get("poll", 0.5)))
                 continue
             if event == "error":
                 # the coordinator rejected us (likely restarted and
@@ -198,6 +328,16 @@ class Worker:
                 self._run_unit(reply)
                 continue
             raise ProtocolError(f"unexpected lease reply {reply!r}")
+
+    def _deregister(self) -> None:
+        """Best-effort: a deregister that never arrives just means the
+        coordinator waits out the lease term, exactly as for a crash."""
+        if self.worker_id is None:
+            return
+        try:
+            self.client.deregister(self.worker_id)
+        except (CoordinatorUnreachable, ProtocolError) as exc:
+            self._log(f"deregister failed ({exc}); leases will expire")
 
     def _close_runner(self) -> None:
         if self._runner is not None:

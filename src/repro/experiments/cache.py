@@ -158,6 +158,14 @@ class ResultCache:
                 f.truncate(max(1, size // 2))
 
     @property
+    def counters(self) -> Dict[str, int]:
+        """Machine-readable lookup/store ledger — the distributed
+        coordinator re-exports this on ``/metrics`` so operators can see
+        how much of a fleet's work the shared cache absorbed."""
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt, "puts": self._puts}
+
+    @property
     def stats(self) -> str:
         return (f"{self.hits} hits, {self.misses} misses, "
                 f"{self.corrupt} corrupt ({self.directory})")

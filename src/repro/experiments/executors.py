@@ -355,11 +355,45 @@ def pipeline_run(params: Dict[str, object]) -> List[Dict[str, object]]:
     return pipeline_rows(params)
 
 
+def _pipeline_config(params: Dict[str, object]):
+    """Resolve a ``pipeline_run`` params dict to (workload, schemes,
+    chunk_requests, spec) — the single parse shared by execution and
+    fingerprinting, so the two can never disagree about what a job
+    means."""
+    from repro.mem.pipeline import DEFAULT_CHUNK_REQUESTS
+    from repro.workloads import build_trace_spec
+
+    workload = str(params["workload"])
+    schemes = tuple(params.get("schemes", ("np", "guardnn-c", "guardnn-ci", "bp")))
+    chunk_requests = int(params.get("chunk_requests", DEFAULT_CHUNK_REQUESTS))
+    spec_params = {key: value for key, value in params.items()
+                   if key not in ("workload", "schemes", "chunk_requests")}
+    spec = build_trace_spec(workload, **spec_params)
+    return workload, schemes, chunk_requests, spec
+
+
+def pipeline_fingerprint(params: Dict[str, object]) -> Dict[str, object]:
+    """The :meth:`~repro.mem.pipeline.TracePipeline.fingerprint` a
+    ``pipeline_run`` job with these params will compute — without
+    building rewriters or controllers. The distributed coordinator uses
+    it to validate migrated checkpoint envelopes against the unit that
+    claims them (``pipeline_run`` never passes rewriter params, so every
+    scheme's params entry is ``{}``; pinned against the real pipeline by
+    ``tests/distributed/test_pipeline_units.py``)."""
+    _, schemes, chunk_requests, spec = _pipeline_config(params)
+    return {
+        "spec": spec.state_dict(),
+        "schemes": list(schemes),
+        "scheme_params": {name: {} for name in schemes},
+        "chunk_requests": chunk_requests,
+    }
+
+
 def pipeline_rows(params: Dict[str, object], on_chunk=None,
                   should_stop=None, checkpoint_path=None, checkpoint_every=0,
                   checkpoint_request=None, resume_from=None,
-                  on_checkpoint=None,
-                  checkpoint_meta=None) -> List[Dict[str, object]]:
+                  on_checkpoint=None, checkpoint_meta=None,
+                  on_checkpoint_state=None) -> List[Dict[str, object]]:
     """The :func:`pipeline_run` body, with the pipeline's streaming
     hooks exposed: ``repro serve`` calls this directly so one code path
     produces both the cached executor rows and the per-chunk progress
@@ -370,15 +404,9 @@ def pipeline_rows(params: Dict[str, object], on_chunk=None,
     (or the CLI) can checkpoint and resume without a second code path —
     the checkpoint fingerprint is derived from the same params dict that
     keys the result cache."""
-    from repro.mem.pipeline import DEFAULT_CHUNK_REQUESTS, TracePipeline
-    from repro.workloads import build_trace_spec
+    from repro.mem.pipeline import TracePipeline
 
-    workload = str(params["workload"])
-    schemes = tuple(params.get("schemes", ("np", "guardnn-c", "guardnn-ci", "bp")))
-    chunk_requests = int(params.get("chunk_requests", DEFAULT_CHUNK_REQUESTS))
-    spec_params = {key: value for key, value in params.items()
-                   if key not in ("workload", "schemes", "chunk_requests")}
-    spec = build_trace_spec(workload, **spec_params)
+    workload, schemes, chunk_requests, spec = _pipeline_config(params)
     results = TracePipeline(spec, schemes=schemes,
                             chunk_requests=chunk_requests).run(
                                 on_chunk=on_chunk, should_stop=should_stop,
@@ -387,7 +415,8 @@ def pipeline_rows(params: Dict[str, object], on_chunk=None,
                                 checkpoint_request=checkpoint_request,
                                 resume_from=resume_from,
                                 on_checkpoint=on_checkpoint,
-                                checkpoint_meta=checkpoint_meta)
+                                checkpoint_meta=checkpoint_meta,
+                                on_checkpoint_state=on_checkpoint_state)
     baseline = results.get("np")
     rows = []
     for name in schemes:

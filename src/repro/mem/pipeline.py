@@ -34,7 +34,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from repro.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    seal_envelope,
+)
 from repro.mem.controller import ControllerResult, MemoryController
 from repro.testing import faults
 
@@ -168,6 +174,12 @@ class TracePipeline:
         if state.get("kind") != "trace-pipeline":
             raise CheckpointError(
                 f"not a trace-pipeline checkpoint: {state.get('kind')!r}")
+        if "version" in state and state["version"] != CHECKPOINT_VERSION:
+            # dict-form envelopes (a checkpoint migrated over the wire)
+            # carry the version too; a file went through load_checkpoint
+            raise CheckpointError(
+                f"checkpoint has version {state['version']!r}; this build "
+                f"reads version {CHECKPOINT_VERSION}")
         fingerprint = self.fingerprint()
         if state.get("fingerprint") != fingerprint:
             raise CheckpointError(
@@ -191,7 +203,8 @@ class TracePipeline:
     def run(self, on_chunk=None, should_stop=None, checkpoint_path=None,
             checkpoint_every: int = 0, checkpoint_request=None,
             resume_from=None, on_checkpoint=None,
-            checkpoint_meta=None) -> Dict[str, PipelineResult]:
+            checkpoint_meta=None,
+            on_checkpoint_state=None) -> Dict[str, PipelineResult]:
         """Stream the whole source through every scheme; one generation
         pass, per-scheme results keyed by scheme name (input order).
 
@@ -217,6 +230,13 @@ class TracePipeline:
         ``on_checkpoint(path, chunks, requests_done)`` fires after every
         successful write; ``checkpoint_meta`` (JSON-able) rides along in
         the envelope, letting a daemon store the originating job.
+        ``on_checkpoint_state(envelope, chunks, requests_done)`` receives
+        the *sealed envelope dict itself* (version-stamped, exactly what
+        ``save_checkpoint`` would persist) at every checkpoint event —
+        the migration hook: a distributed worker ships the envelope to
+        its coordinator instead of (or as well as) a local file, so
+        checkpointing works with ``checkpoint_path=None`` as long as
+        this hook is given.
 
         One-shot: the rewriters' metadata state and the controllers'
         DRAM state are consumed by the run, so a second call would
@@ -227,8 +247,10 @@ class TracePipeline:
                                "state are consumed — build a new TracePipeline")
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
-        if (checkpoint_every or checkpoint_request) and checkpoint_path is None:
-            raise ValueError("checkpointing requested without checkpoint_path")
+        if ((checkpoint_every or checkpoint_request)
+                and checkpoint_path is None and on_checkpoint_state is None):
+            raise ValueError("checkpointing requested without a "
+                             "checkpoint_path or on_checkpoint_state hook")
         self._ran = True
         sessions = {name: self.controllers[name].session()
                     for name in self.schemes}
@@ -239,8 +261,13 @@ class TracePipeline:
             chunks, requests_done = self._restore(sessions, resume_from)
 
         def write_checkpoint() -> None:
-            save_checkpoint(checkpoint_path, self._capture(
-                sessions, chunks, requests_done, checkpoint_meta))
+            state = self._capture(sessions, chunks, requests_done,
+                                  checkpoint_meta)
+            if checkpoint_path is not None:
+                save_checkpoint(checkpoint_path, state)
+            if on_checkpoint_state is not None:
+                on_checkpoint_state(seal_envelope(state), chunks,
+                                    requests_done)
             if on_checkpoint is not None:
                 on_checkpoint(checkpoint_path, chunks, requests_done)
 

@@ -30,6 +30,12 @@ Sites instrumented in this repo:
 ``dist.unit``         a distributed worker about to execute leased unit
                       *index* (action ``raise`` models the worker dying
                       mid-lease)
+``dist.checkpoint``   a distributed worker uploading chunk-seam
+                      checkpoint envelope *index* (``corrupt`` damages
+                      the envelope in flight — the coordinator must
+                      reject it; ``kill`` models dying at a seam after
+                      earlier envelopes migrated)
+``dist.deregister``   a distributed worker announcing a graceful drain
 ===================  =====================================================
 
 The ``dist.*`` sites model the *network*, so their data actions are

@@ -1,9 +1,11 @@
 """CoordinatorState machine semantics in virtual time: lease grant,
 expiry and re-dispatch, heartbeat renewal, idempotent commit, straggler
-duplicate-dispatch, and failure fast-path — no sockets, no sleeping."""
+duplicate-dispatch, checkpoint migration, graceful deregistration,
+cache-served units, and failure fast-path — no sockets, no sleeping."""
 
 import pytest
 
+from repro.checkpoint import CHECKPOINT_VERSION
 from repro.distributed import CoordinatorState, LOCAL_WORKER
 from repro.distributed.protocol import ProtocolError, rows_digest
 from repro.experiments.jobs import Job
@@ -180,6 +182,188 @@ class TestStragglerDuplicates:
         assert state.lease("w2")["event"] == "wait"
 
 
+FINGERPRINT = {"spec": {"type": "streaming", "nbytes": 4096},
+               "schemes": ["np", "bp"], "scheme_params": {"np": {}, "bp": {}},
+               "chunk_requests": 64}
+
+
+def make_pipeline_state(**kwargs):
+    clock = Clock()
+    units = [[Job("pipeline_run", '{"workload": "streaming"}')]]
+    state = CoordinatorState(units, fingerprint="fp", lease_seconds=10.0,
+                             clock=clock, unit_fingerprints=[FINGERPRINT],
+                             checkpoint_every=2, **kwargs)
+    return state, units, clock
+
+
+def make_envelope(cursor=128, fingerprint=None, **overrides):
+    chunks = cursor // 64 if isinstance(cursor, int) else 0
+    envelope = {"version": CHECKPOINT_VERSION, "kind": "trace-pipeline",
+                "fingerprint": FINGERPRINT if fingerprint is None else fingerprint,
+                "meta": {}, "cursor": cursor, "chunks": chunks,
+                "schemes": {}}
+    envelope.update(overrides)
+    return envelope
+
+
+class TestCheckpointMigration:
+    def test_pipeline_lease_advertises_checkpointing(self):
+        state, units, clock = make_pipeline_state()
+        lease = state.lease("w1")
+        assert lease["pipeline"] is True
+        assert lease["checkpoint_every"] == 2
+        assert "checkpoint" not in lease  # nothing migrated yet
+
+    def test_regrant_carries_latest_envelope_and_counts_resume(self):
+        state, units, clock = make_pipeline_state()
+        lease = state.lease("w1")
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope(cursor=64))
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope(cursor=128))
+        clock.advance(11.0)  # w1 dies; lease expires
+        regrant = state.lease("w2")
+        assert regrant["event"] == "lease"
+        assert regrant["checkpoint"]["cursor"] == 128
+        assert state.counters["checkpoints_migrated"] == 2
+        assert state.counters["resumed_units"] == 1
+
+    def test_upload_renews_the_lease(self):
+        state, units, clock = make_pipeline_state()
+        lease = state.lease("w1")
+        clock.advance(8.0)  # near expiry, no heartbeat
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope(cursor=64))
+        clock.advance(8.0)  # 16s since grant, 8s since upload: still live
+        assert state.lease("w2")["event"] == "wait"
+        assert state.counters["lease_expirations"] == 0
+
+    def test_stale_cursor_never_overwrites_fresher_envelope(self):
+        state, units, clock = make_pipeline_state()
+        lease = state.lease("w1")
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope(cursor=128))
+        reply = state.checkpoint("w1", lease["unit"], lease["key"],
+                                 lease["lease"], make_envelope(cursor=64))
+        assert reply["event"] == "stale"
+        assert state._units[0].checkpoint["cursor"] == 128
+        assert state.counters["checkpoints_migrated"] == 1
+
+    @pytest.mark.parametrize("envelope", [
+        make_envelope(version="\x00garbage\x00"),   # corrupt version
+        make_envelope(kind="sweep"),                # wrong kind
+        make_envelope(fingerprint={"spec": "other"}),  # different computation
+        make_envelope(cursor="not-an-int"),         # unusable cursor
+        make_envelope(cursor=-3),
+    ], ids=["version", "kind", "fingerprint", "cursor-type", "cursor-neg"])
+    def test_invalid_envelope_rejected_and_stores_nothing(self, envelope):
+        state, units, clock = make_pipeline_state()
+        lease = state.lease("w1")
+        with pytest.raises(ProtocolError):
+            state.checkpoint("w1", lease["unit"], lease["key"],
+                             lease["lease"], envelope)
+        assert state.counters["checkpoint_rejects"] == 1
+        assert state._units[0].checkpoint is None
+        # the successor gets a plain grant: falls back to unit start
+        clock.advance(11.0)
+        assert "checkpoint" not in state.lease("w2")
+
+    def test_checkpoint_for_non_pipeline_unit_rejected(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        with pytest.raises(ProtocolError):
+            state.checkpoint("w1", lease["unit"], lease["key"],
+                             lease["lease"], make_envelope())
+
+    def test_checkpoint_after_commit_is_stale(self):
+        state, units, clock = make_pipeline_state()
+        lease = state.lease("w1")
+        rows = [[{"scheme": "np"}]]
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"], rows)
+        reply = state.checkpoint("w1", lease["unit"], lease["key"],
+                                 lease["lease"], make_envelope())
+        assert reply["event"] == "stale"
+
+    def test_commit_clears_migrated_envelope(self):
+        state, units, clock = make_pipeline_state()
+        lease = state.lease("w1")
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope())
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"],
+                     [[{"scheme": "np"}]])
+        assert state._units[0].checkpoint is None
+
+    def test_envelope_persisted_crash_atomically(self, tmp_path):
+        state, units, clock = make_pipeline_state(
+            checkpoint_dir=str(tmp_path))
+        lease = state.lease("w1")
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope(cursor=64))
+        from repro.checkpoint import load_checkpoint
+
+        stored = load_checkpoint(str(tmp_path / "unit-00000.json"),
+                                 kind="trace-pipeline")
+        assert stored["cursor"] == 64
+
+
+class TestDeregister:
+    def test_deregister_releases_leases_for_immediate_redispatch(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease("w1")
+        reply = state.deregister("w1")
+        assert reply["released"] == 1
+        # no clock advance needed: the unit is grantable right now
+        regrant = state.lease("w2")
+        assert regrant["event"] == "lease"
+        assert regrant["unit"] == lease["unit"]
+        assert state.counters["leases_released"] == 1
+        assert state.counters["workers_deregistered"] == 1
+
+    def test_deregister_drops_live_count_immediately(self):
+        state, units, clock = make_state()
+        state.lease("w1")
+        assert state.live_remote_workers() == 1
+        state.deregister("w1")
+        assert state.live_remote_workers() == 0
+
+
+class TestCacheServedUnits:
+    def test_whole_unit_hit_served_without_dispatch(self):
+        hits = {0: [[{"cached": True}], [{"cached": True}]]}
+        state, units, clock = make_state(
+            n_units=2, unit_jobs=2, cache_lookup=hits.get)
+        lease = state.lease("w1")
+        # unit 0 was answered from the cache; only unit 1 is leased
+        assert lease["event"] == "lease"
+        assert lease["unit"] == 1
+        assert state.counters["cache_served_units"] == 1
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"],
+                     make_rows(units[1]))
+        assert state.done
+        assert state.results()[0] == hits[0]
+
+    def test_probe_happens_once_per_unit(self):
+        calls = []
+
+        def lookup(index):
+            calls.append(index)
+            return None
+
+        state, units, clock = make_state(n_units=2, cache_lookup=lookup)
+        state.lease("w1")
+        state.lease("w2")
+        assert sorted(calls) == [0, 1]  # not re-probed on the second lease
+
+    def test_commit_skipped_for_cache_served_units(self):
+        committed = []
+        state, units, clock = make_state(
+            n_units=1, unit_jobs=2,
+            cache_lookup=lambda i: [[{"c": 1}], [{"c": 2}]],
+            on_commit=lambda *args: committed.append(args))
+        assert state.lease("w1")["event"] == "done"
+        assert committed == []  # rows came *from* the cache; no rewrite
+
+
 class TestFailureAndObservation:
     def test_deterministic_failure_fails_fast(self):
         state, units, clock = make_state(n_units=2)
@@ -211,6 +395,22 @@ class TestFailureAndObservation:
         assert snap["live_workers"] == 1
         assert snap["unit_seconds"]["count"] == 1
         assert snap["counters"]["units_completed"] == 1
+
+    def test_snapshot_per_worker_health(self):
+        """Operators can tell a partitioned worker (stale heartbeat,
+        leases still held) from an idle one (fresh heartbeat, none)."""
+        state, units, clock = make_state(n_units=2)
+        holding = state.lease("holding")
+        assert holding["event"] == "lease"
+        clock.advance(8.0)  # silent since its grant, lease still live
+        state.lease(LOCAL_WORKER)
+        state.heartbeat("idle", [])
+        workers = {w["worker"]: w for w in state.snapshot()["workers"]}
+        assert workers["holding"]["held_leases"] == 1
+        assert workers["holding"]["last_seen_age_seconds"] == pytest.approx(8.0)
+        assert workers["idle"]["held_leases"] == 0
+        assert workers["idle"]["last_seen_age_seconds"] == pytest.approx(0.0)
+        assert LOCAL_WORKER in workers  # the fallback is visible too
 
     def test_results_raise_until_complete(self):
         state, units, clock = make_state(n_units=1)
