@@ -2,7 +2,7 @@
 """Distributed-execution smoke: real worker processes, real signals,
 byte-compared against local runs.
 
-Three phases (the CI distributed-smoke job):
+Five phases (the CI distributed-smoke job):
 
 1. **Sweep failover** — coordinator + two ``repro work`` subprocesses,
    one SIGKILLed the moment it holds its first lease; the survivor
@@ -16,13 +16,26 @@ Three phases (the CI distributed-smoke job):
 3. **Warm re-run** — a fresh coordinator over the same pipeline job
    and the same shared cache directory serves the unit at lease time
    without dispatching anything (``cache_served_units`` > 0).
+4. **Coordinator kill + journal restart** — the *coordinator* itself
+   (a real ``repro sweep --distributed --journal`` process) is
+   SIGKILLed mid-run by the ``dist.journal`` fault after exactly one
+   commit is durable; its ``--reconnect-timeout 0`` workers must
+   survive the outage, a restart against the same ``--journal`` must
+   announce ``epoch`` ≥ 1 and ``replayed_units`` ≥ 1, and the final
+   table must be byte-identical to a local run.
+5. **serve --distributed** — a real ``repro serve --distributed``
+   daemon answers one flight through a parked ``repro work`` process
+   and one through the local-pool fallback (zero live workers), both
+   byte-identical to the direct APIs.
 
 Exit code 0 on success, 1 with a diagnostic on any deviation.
 """
 
 import json
 import os
+import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -58,12 +71,30 @@ def worker_env(extra_plan=None) -> dict:
     return env
 
 
-def start_worker(url: str, name: str, env: dict,
-                 workers: int = 2) -> subprocess.Popen:
-    return subprocess.Popen(
-        [sys.executable, "-m", "repro", "work", url, "--name", name,
-         "--workers", str(workers), "--no-cache"],
-        env=env, stdout=sys.stderr, stderr=sys.stderr)
+def start_worker(url: str, name: str, env: dict, workers: int = 2,
+                 reconnect: float = None,
+                 capture=None) -> subprocess.Popen:
+    argv = [sys.executable, "-m", "repro", "work", url, "--name", name,
+            "--workers", str(workers), "--no-cache"]
+    if reconnect is not None:
+        argv += ["--reconnect-timeout", str(reconnect)]
+    sink = capture if capture is not None else sys.stderr
+    return subprocess.Popen(argv, env=env, stdout=sink, stderr=sink)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def kill_all(*procs) -> None:
+    for proc in procs:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+    for proc in procs:
+        if proc is not None:
+            proc.wait(timeout=30)
 
 
 def drive_with_survivor(coordinator, survivor_name: str):
@@ -208,6 +239,164 @@ def phase_warm_rerun(cache_dir: str, reference) -> int:
     return 0
 
 
+def phase_coordinator_restart() -> int:
+    """SIGKILL the *coordinator* mid-run; restart it against the same
+    write-ahead journal; the parked workers must survive and rejoin."""
+    print("# phase 4: coordinator SIGKILL + journal restart",
+          file=sys.stderr)
+    spec = SweepSpec(models=("alexnet", "mobilenet"), schemes=("np", "bp"))
+    jobs = spec.jobs()
+    with Runner(workers=2, cache=None) as runner:
+        reference = runner.run(jobs).with_normalized().to_json()
+    _MEMORY_CACHE.clear()
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-wal-") as tmp:
+        port = free_port()
+        journal = os.path.join(tmp, "sweep.journal")
+        out_path = os.path.join(tmp, "table.json")
+        argv = [sys.executable, "-m", "repro", "sweep",
+                "--models", "alexnet,mobilenet", "--schemes", "np,bp",
+                "--distributed", "--listen", f"127.0.0.1:{port}",
+                "--unit-jobs", "1", "--wait-workers", "600",
+                "--workers", "1", "--no-cache", "--format", "json",
+                "--out", out_path, "--journal", journal]
+        url = f"http://127.0.0.1:{port}"
+        # append 0 is the journal header, append 1 the first commit;
+        # the coordinator dies before commit #2 can land
+        env_kill = worker_env({"points": [
+            {"site": "dist.journal", "at": 2, "action": "kill"}]})
+
+        coordinator = subprocess.Popen(argv, env=env_kill,
+                                       stdout=sys.stderr, stderr=sys.stderr)
+        workers = [start_worker(url, "w1", worker_env(), workers=1,
+                                reconnect=0),
+                   start_worker(url, "w2", worker_env(), workers=1,
+                                reconnect=0)]
+        try:
+            code = coordinator.wait(timeout=300)
+            if code != -signal.SIGKILL:
+                return fail(f"coordinator exited {code}, "
+                            f"expected SIGKILL (-9)")
+            print("# coordinator SIGKILLed at journal append #2",
+                  file=sys.stderr)
+            time.sleep(1.0)
+            if any(worker.poll() is not None for worker in workers):
+                return fail("a worker exited when the coordinator died "
+                            "(--reconnect-timeout 0 must park forever)")
+
+            err_path = os.path.join(tmp, "restart.err")
+            with open(err_path, "wb") as err:
+                coordinator = subprocess.Popen(argv, env=worker_env(),
+                                               stdout=err, stderr=err)
+                code = coordinator.wait(timeout=300)
+            stderr_text = open(err_path).read()
+            sys.stderr.write(stderr_text)
+            if code != 0:
+                return fail(f"restarted coordinator exited {code}")
+
+            match = re.search(r"# journal .+ epoch=(\d+) "
+                              r"replayed_units=(\d+)", stderr_text)
+            if not match:
+                return fail("restart never announced its journal state")
+            epoch, replayed = int(match.group(1)), int(match.group(2))
+            if epoch < 1:
+                return fail(f"restart epoch {epoch}, expected >= 1")
+            if replayed < 1:
+                return fail("restart replayed no units — the pre-crash "
+                            "commit was lost")
+            if open(out_path).read() != reference + "\n":
+                return fail("recovered table differs from the local run")
+            if os.path.exists(journal):
+                return fail("spent journal was not discarded")
+        finally:
+            kill_all(coordinator, *workers)
+    print(f"OK: coordinator restart recovered (epoch={epoch}, "
+          f"replayed_units={replayed}), rows byte-identical to local run")
+    return 0
+
+
+def phase_serve_distributed(reference) -> int:
+    """One serve --distributed flight through a real worker, one
+    through the local-pool fallback; both byte-identical."""
+    from repro.service import ServiceClient
+
+    print("# phase 5: serve --distributed (worker + local fallback)",
+          file=sys.stderr)
+    spec = SweepSpec(models=("alexnet", "mobilenet"), schemes=("np", "bp"))
+    with Runner(workers=2, cache=None) as runner:
+        sweep_rows = runner.run(spec.jobs()).rows
+    _MEMORY_CACHE.clear()
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-serve-") as tmp:
+        port, dist_port = free_port(), free_port()
+        serve = worker = None
+        worker_log = os.path.join(tmp, "worker.log")
+        try:
+            serve = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--port", str(port),
+                 "--dist-listen", f"127.0.0.1:{dist_port}",
+                 "--distributed", "--dist-wait-workers", "20",
+                 "--workers", "2", "--no-cache",
+                 "--checkpoint-dir", tmp],
+                env=worker_env(), stdout=sys.stderr, stderr=sys.stderr)
+            with open(worker_log, "wb") as log:
+                worker = start_worker(f"http://127.0.0.1:{dist_port}",
+                                      "fleet", worker_env(), workers=2,
+                                      reconnect=0, capture=log)
+
+            deadline = time.monotonic() + 30.0
+            while True:
+                try:
+                    socket.create_connection(("127.0.0.1", port),
+                                             timeout=1.0).close()
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        return fail("serve daemon never came up")
+                    time.sleep(0.2)
+            client = ServiceClient("127.0.0.1", port, timeout=300)
+
+            # flight 1: the parked worker joins the flight's
+            # coordinator and serves its units
+            result = client.run({"kind": "sweep",
+                                 "spec": {"models": list(spec.models),
+                                          "schemes": list(spec.schemes)}})
+            if result["table"]["rows"] != sweep_rows:
+                return fail("worker-served flight differs from local run")
+            log_text = open(worker_log).read()
+            if "committed" not in log_text:
+                return fail("the parked worker never committed a unit — "
+                            "the flight was not served remotely")
+            print("# flight 1 served by the parked worker",
+                  file=sys.stderr)
+
+            # flight 2: no live workers — after --dist-wait-workers the
+            # local pool takes the units
+            kill_all(worker)
+            worker = None
+            result = client.run({
+                "kind": "pipeline",
+                "workload": PIPELINE_PARAMS["workload"],
+                "schemes": PIPELINE_PARAMS["schemes"],
+                "chunk_requests": PIPELINE_PARAMS["chunk_requests"],
+                "params": {"nbytes": PIPELINE_PARAMS["nbytes"]}})
+            if result["rows"] != reference:
+                return fail("local-fallback flight differs from local run")
+            print("# flight 2 served by the local-pool fallback",
+                  file=sys.stderr)
+        finally:
+            if serve is not None and serve.poll() is None:
+                serve.send_signal(signal.SIGTERM)
+                try:
+                    serve.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    pass
+            kill_all(serve, worker)
+    print("OK: serve --distributed answered both flights byte-identically")
+    return 0
+
+
 def main() -> int:
     code = phase_sweep_failover()
     if code:
@@ -223,7 +412,10 @@ def main() -> int:
         code = phase_warm_rerun(cache_dir, reference)
         if code:
             return code
-    return 0
+    code = phase_coordinator_restart()
+    if code:
+        return code
+    return phase_serve_distributed(reference)
 
 
 if __name__ == "__main__":

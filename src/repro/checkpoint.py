@@ -89,15 +89,18 @@ def validate_envelope(state: object, kind: Optional[str] = None,
     return state
 
 
-def save_checkpoint(path: str, state: Dict[str, object]) -> None:
-    """Atomically write ``state`` (adding the version field) to ``path``."""
-    payload = seal_envelope(state)
+def atomic_write_text(path: str, data: str) -> None:
+    """Crash-atomically publish ``data`` at ``path``: temp file in the
+    target directory, flush + fsync, ``os.replace``, directory fsync.
+    The shared discipline behind checkpoints, the result cache, and the
+    distributed coordinator's journal compaction — a crash at any point
+    leaves either the old file or the new one, never a hybrid."""
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -108,6 +111,11 @@ def save_checkpoint(path: str, state: Dict[str, object]) -> None:
         except OSError:
             pass
         raise
+
+
+def save_checkpoint(path: str, state: Dict[str, object]) -> None:
+    """Atomically write ``state`` (adding the version field) to ``path``."""
+    atomic_write_text(path, json.dumps(seal_envelope(state)))
 
 
 def load_checkpoint(path: str, kind: Optional[str] = None) -> Dict[str, object]:

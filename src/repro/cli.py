@@ -99,6 +99,29 @@ def _host_port(text: str):
     return host or "127.0.0.1", int(port)
 
 
+def _journal_path(text: str) -> str:
+    """Validate a ``--journal PATH`` before any work starts: the
+    coordinator must be able to create/append the file, so a directory,
+    an empty string, or a missing parent directory should die at the
+    parser with the flag's name — not as an OSError mid-sweep."""
+    import os
+
+    if not text.strip():
+        raise argparse.ArgumentTypeError(
+            "--journal needs a file path, got an empty string")
+    path = os.path.abspath(text)
+    if os.path.isdir(path):
+        raise argparse.ArgumentTypeError(
+            f"--journal must name a file, {text!r} is a directory")
+    parent = os.path.dirname(path)
+    if not os.path.isdir(parent):
+        raise argparse.ArgumentTypeError(
+            f"--journal parent directory does not exist: {parent!r} "
+            f"(create it first — the journal must be durable from "
+            f"record one)")
+    return path
+
+
 def cmd_simulate(args) -> int:
     model = build_model(args.network)
     accel = AcceleratorModel(TPU_V1_CONFIG)
@@ -154,6 +177,10 @@ def cmd_sweep(args) -> int:
     except (KeyError, ValueError) as error:
         raise SystemExit(f"error: {error.args[0] if error.args else error}")
 
+    if args.journal and not args.distributed:
+        raise SystemExit("error: --journal records the distributed "
+                         "coordinator's write-ahead state; it requires "
+                         "--distributed")
     cache = None
     if not args.no_cache:
         cache = experiments.ResultCache(args.cache_dir)
@@ -203,24 +230,40 @@ def _run_distributed_sweep(jobs, cache, columns, args):
     """Drive a job list through the distributed coordinator (with the
     local pool as the zero-worker fallback) and assemble the same
     ResultTable a local run would."""
-    from repro.distributed import SweepCoordinator
+    from repro.distributed import JournalError, SweepCoordinator
     from repro.experiments.table import ResultTable
 
     host, port = args.listen
-    coordinator = SweepCoordinator(
-        jobs, cache=cache, local_workers=args.workers,
-        host=host, port=port, unit_jobs=args.unit_jobs,
-        lease_seconds=args.lease_seconds,
-        straggler_factor=args.straggler_factor,
-        wait_workers=args.wait_workers)
-    if coordinator.url:
-        print(f"# coordinator listening at {coordinator.url} — join with: "
-              f"repro work {coordinator.url}", file=sys.stderr)
+    try:
+        coordinator = SweepCoordinator(
+            jobs, cache=cache, local_workers=args.workers,
+            host=host, port=port, unit_jobs=args.unit_jobs,
+            lease_seconds=args.lease_seconds,
+            straggler_factor=args.straggler_factor,
+            wait_workers=args.wait_workers,
+            journal_path=args.journal)
+    except JournalError as error:
+        raise SystemExit(f"error: {error}")
+    _announce_coordinator(coordinator, args)
     rows_per_job = coordinator.run()
+    coordinator.discard_journal()  # results delivered — the WAL is spent
     table = ResultTable(columns=columns)
     for rows in rows_per_job:
         table.extend(rows)
     return table
+
+
+def _announce_coordinator(coordinator, args) -> None:
+    if coordinator.url:
+        print(f"# coordinator listening at {coordinator.url} — join with: "
+              f"repro work {coordinator.url}", file=sys.stderr)
+    if args.journal:
+        state = coordinator.state
+        replayed = state.counters["journal_replayed_units"]
+        print(f"# journal {args.journal} epoch={state.epoch} "
+              f"replayed_units={replayed} "
+              f"truncated={state.counters['journal_truncated']}",
+              file=sys.stderr)
 
 
 def cmd_work(args) -> int:
@@ -377,6 +420,10 @@ def cmd_pipeline(args) -> int:
                              "the coordinator; --checkpoint/--resume apply "
                              "to local runs only")
         return _run_distributed_pipeline(params, args)
+    if args.journal:
+        raise SystemExit("error: --journal records the distributed "
+                         "coordinator's write-ahead state; it requires "
+                         "--distributed")
 
     if (args.checkpoint_every or args.resume) and not args.checkpoint:
         raise SystemExit("error: --checkpoint-every/--resume need "
@@ -411,7 +458,11 @@ def _run_distributed_pipeline(params, args) -> int:
     import json
 
     import repro.experiments as experiments
-    from repro.distributed import DEFAULT_CHECKPOINT_EVERY, SweepCoordinator
+    from repro.distributed import (
+        DEFAULT_CHECKPOINT_EVERY,
+        JournalError,
+        SweepCoordinator,
+    )
     from repro.experiments.jobs import Job, canonical_json
 
     cache = None
@@ -419,20 +470,23 @@ def _run_distributed_pipeline(params, args) -> int:
         cache = experiments.ResultCache(args.cache_dir)
     host, port = args.listen
     job = Job("pipeline_run", canonical_json(params))
-    coordinator = SweepCoordinator(
-        [job], cache=cache, host=host, port=port,
-        lease_seconds=args.lease_seconds,
-        wait_workers=args.wait_workers,
-        checkpoint_every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY)
-    if coordinator.url:
-        print(f"# coordinator listening at {coordinator.url} — join with: "
-              f"repro work {coordinator.url}", file=sys.stderr)
+    try:
+        coordinator = SweepCoordinator(
+            [job], cache=cache, host=host, port=port,
+            lease_seconds=args.lease_seconds,
+            wait_workers=args.wait_workers,
+            checkpoint_every=args.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+            journal_path=args.journal)
+    except JournalError as error:
+        raise SystemExit(f"error: {error}")
+    _announce_coordinator(coordinator, args)
     from repro.experiments.runner import JobExecutionError
 
     try:
         rows_per_job = coordinator.run()
     except JobExecutionError as error:
         raise SystemExit(f"error: {error}")
+    coordinator.discard_journal()  # results delivered — the WAL is spent
     snap = coordinator.state.snapshot()
     counters = snap["counters"]
     print(f"# units={snap['units_total']} "
@@ -458,7 +512,12 @@ def cmd_serve(args) -> int:
             checkpoint_every=args.checkpoint_every,
             drain_grace=args.drain_grace,
             chunk_timeout=args.chunk_timeout,
-            chunk_retries=args.chunk_retries)
+            chunk_retries=args.chunk_retries,
+            distributed=args.distributed,
+            dist_host=args.dist_listen[0],
+            dist_port=args.dist_listen[1],
+            dist_lease_seconds=args.dist_lease_seconds,
+            dist_wait_workers=args.dist_wait_workers)
     except ValueError as error:
         raise SystemExit(f"error: {error}")
     try:
@@ -543,6 +602,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--straggler-factor", type=_positive_float, default=None,
                    help="duplicate-dispatch a unit outstanding longer than "
                         "FACTOR x the EWMA unit time (first result wins)")
+    p.add_argument("--journal", type=_journal_path, default=None,
+                   metavar="PATH",
+                   help="write-ahead journal for --distributed: every "
+                        "commit is fsync'd before it is acknowledged, so "
+                        "a killed coordinator restarted with the same "
+                        "--journal resumes exactly where it died "
+                        "(deleted on successful completion)")
     p.add_argument("--format", default="markdown", choices=("markdown", "csv", "json"))
     p.add_argument("--out", help="write the table to a file instead of stdout")
     p.add_argument("--no-cache", action="store_true",
@@ -629,6 +695,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result-cache directory for --distributed "
                         "(default: ~/.cache/repro/sweeps)")
+    p.add_argument("--journal", type=_journal_path, default=None,
+                   metavar="PATH",
+                   help="write-ahead journal for --distributed: commits "
+                        "and migrated checkpoint envelopes are fsync'd "
+                        "before acknowledgement, so a killed coordinator "
+                        "restarted with the same --journal re-offers the "
+                        "unit with its latest envelope riding the "
+                        "re-grant (deleted on successful completion)")
     p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("serve", help="simulation-as-a-service daemon "
@@ -670,6 +744,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "the worker pool lost and triggers redispatch")
     p.add_argument("--chunk-retries", type=_nonneg_int, default=2,
                    help="redispatch budget for lost sweep chunks")
+    p.add_argument("--distributed", action="store_true",
+                   help="fan sweep/pipeline flights out to `repro work` "
+                        "machines through an embedded coordinator; with "
+                        "zero live workers a flight falls back to the "
+                        "local pool. With --checkpoint-dir each flight "
+                        "keeps a write-ahead journal there, so a killed "
+                        "daemon resumes its flights on restart")
+    p.add_argument("--dist-listen", type=_host_port,
+                   default=("127.0.0.1", 8790), metavar="HOST:PORT",
+                   help="coordinator bind address for --distributed "
+                        "(fixed so parked workers can rejoin between "
+                        "flights; default 127.0.0.1:8790)")
+    p.add_argument("--dist-lease-seconds", type=_positive_float,
+                   default=10.0, metavar="SECS",
+                   help="lease term for --distributed flight units")
+    p.add_argument("--dist-wait-workers", type=_nonneg_float, default=0.0,
+                   metavar="SECS",
+                   help="grace period each flight waits for remote "
+                        "workers before the local pool takes its units")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("work", help="join a distributed run as a worker "
@@ -687,11 +780,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-chunk timeout inside a unit (local recovery)")
     p.add_argument("--chunk-retries", type=_nonneg_int, default=2,
                    help="redispatch budget for lost chunks inside a unit")
-    p.add_argument("--reconnect-timeout", type=_positive_float, default=30.0,
+    p.add_argument("--reconnect-timeout", type=_nonneg_float, default=30.0,
                    metavar="SECS",
                    help="give up after the coordinator has been "
-                        "unreachable this long (backoff with jitter "
-                        "in between)")
+                        "unreachable this long (backoff with jitter in "
+                        "between; the budget restarts on every answered "
+                        "exchange, including a 409 re-registration after "
+                        "a coordinator restart). 0 = never give up — "
+                        "keep backing off forever")
     p.add_argument("--no-cache", action="store_true",
                    help="skip the local result cache (units are always "
                         "recomputed, never answered or remembered here)")

@@ -1,25 +1,36 @@
 """Distributed sweep and pipeline execution: coordinator/worker lease
-protocol with checkpoint migration and a coordinator-served result
-cache.
+protocol with checkpoint migration, a coordinator-served result cache,
+and a crash-recoverable control plane (write-ahead journal + epoch-
+fenced worker re-registration).
 
 See :mod:`repro.distributed.protocol` for the wire contract,
 :mod:`repro.distributed.coordinator` for the lease/commit state
 machine (including ``/v1/checkpoint`` envelope migration) and the
 ``repro sweep --distributed`` / ``repro pipeline --distributed``
-driver, and :mod:`repro.distributed.worker` for the ``repro work``
-loop (pipeline units, local-cache provenance, graceful drain).
+driver, :mod:`repro.distributed.journal` for the coordinator's
+durable write-ahead journal (``--journal``), and
+:mod:`repro.distributed.worker` for the ``repro work`` loop (pipeline
+units, local-cache provenance, graceful drain, 409-driven
+re-registration across coordinator restarts).
 """
 
-from .client import Backoff, CoordinatorClient, CoordinatorUnreachable
+from .client import (
+    Backoff,
+    CoordinatorClient,
+    CoordinatorUnreachable,
+    WorkerRejected,
+)
 from .coordinator import (
     DEFAULT_CHECKPOINT_EVERY,
     LOCAL_WORKER,
     PIPELINE_EXECUTOR,
     CoordinatorServer,
     CoordinatorState,
+    StaleWorkerError,
     SweepCoordinator,
     default_unit_jobs,
 )
+from .journal import JOURNAL_VERSION, Journal, JournalError, journal_meta, replay
 from .protocol import WIRE_VERSION, rows_digest, unit_key
 from .worker import Worker, WorkerConfig
 
@@ -27,13 +38,20 @@ __all__ = [
     "Backoff",
     "CoordinatorClient",
     "CoordinatorUnreachable",
+    "WorkerRejected",
     "CoordinatorServer",
     "CoordinatorState",
+    "StaleWorkerError",
     "SweepCoordinator",
     "LOCAL_WORKER",
     "PIPELINE_EXECUTOR",
     "DEFAULT_CHECKPOINT_EVERY",
     "default_unit_jobs",
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalError",
+    "journal_meta",
+    "replay",
     "WIRE_VERSION",
     "rows_digest",
     "unit_key",

@@ -47,6 +47,19 @@ class CoordinatorUnreachable(RuntimeError):
     response never arrived (includes injected drop/sever faults)."""
 
 
+class WorkerRejected(RuntimeError):
+    """The coordinator answered — it is alive — but refused this worker
+    id (HTTP 409 ``unknown_worker``): a restarted coordinator does not
+    know ids minted by its previous incarnation. Deliberately *not* a
+    :class:`CoordinatorUnreachable`: retrying the same request verbatim
+    can never succeed; the remedy is to re-register and resume under
+    the new id/epoch."""
+
+    def __init__(self, message: str, epoch: int = 0):
+        super().__init__(message)
+        self.epoch = epoch
+
+
 class Backoff:
     """Decorrelated-jitter backoff (the AWS "decorrelated" variant):
     each sleep is drawn uniformly from ``[base, prev * 3]``, capped.
@@ -127,6 +140,18 @@ class CoordinatorClient:
                                   "Content-Length": str(len(body))})
             response = conn.getresponse()
             data = response.read()
+            if response.status == 409:
+                event: dict = {}
+                try:
+                    event = decode_event(data)
+                except ProtocolError:
+                    pass
+                if event.get("error") == "unknown_worker":
+                    epoch = event.get("epoch")
+                    raise WorkerRejected(
+                        f"coordinator (epoch {epoch}) does not know this "
+                        f"worker id — re-register",
+                        epoch=epoch if isinstance(epoch, int) else 0)
             if response.status != 200:
                 raise CoordinatorUnreachable(
                     f"coordinator returned HTTP {response.status} for {path}: "
@@ -172,10 +197,12 @@ class CoordinatorClient:
             raise ProtocolError(f"unexpected lease reply {reply!r}")
         return reply
 
-    def heartbeat(self, worker: str, leases: List[str]) -> dict:
+    def heartbeat(self, worker: str, leases: List[str],
+                  failures: int = 0) -> dict:
         return self._post("dist.heartbeat", "/v1/heartbeat",
                           {"event": "heartbeat", "worker": worker,
-                           "leases": list(leases)})
+                           "leases": list(leases),
+                           "failures": int(failures)})
 
     def result(self, worker: str, unit: int, key: str, lease: Optional[str],
                rows: Optional[List[List[dict]]] = None,

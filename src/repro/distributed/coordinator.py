@@ -5,8 +5,8 @@ Three layers, separable for testing:
 * :class:`CoordinatorState` — the pure protocol state machine (no
   sockets, injectable clock). Every correctness property lives here:
   lease expiry and re-dispatch, at-least-once commits made idempotent
-  by digest comparison, EWMA straggler duplicate-dispatch, implicit
-  re-registration of workers the coordinator forgot.
+  by digest comparison, EWMA straggler duplicate-dispatch, epoch-fenced
+  rejection of workers the coordinator does not know.
 * :class:`CoordinatorServer` — a ThreadingHTTPServer skin mapping the
   ``/v1/*`` endpoints onto the state machine with the service tier's
   NDJSON framing.
@@ -33,6 +33,19 @@ Two robustness layers ride on the lease machinery:
   a whole-unit hit is committed internally and never leased, so a
   restarted sweep or a second fleet member re-pays nothing the fleet
   already computed (``cache_served_units`` on ``/metrics``).
+* **Write-ahead journal + epochs** — with ``journal_path`` set, every
+  durable transition (unit commit, accepted envelope, cache-served
+  unit) is fsync'd to an append-only journal *before* the reply that
+  acknowledges it (:mod:`repro.distributed.journal`). A restarted
+  coordinator replays the journal — refusing a fingerprint or
+  unit-key mismatch — marks journaled units done, restores the latest
+  envelope per pending unit so successors still resume mid-unit, and
+  bumps an **epoch** stamped on every reply. Workers from the previous
+  epoch are unknown to the new incarnation: their first message is
+  answered with HTTP 409 ``{"error": "unknown_worker", "epoch": N}``
+  (:class:`StaleWorkerError`), which tells them to re-register rather
+  than guess — implicit adoption would silently resurrect leases the
+  recovery just voided.
 
 Correctness argument (the reason distribution is unobservable in the
 output): units are pure functions of their job list — the same
@@ -68,6 +81,7 @@ from repro.experiments.runner import (
 from repro.service.metrics import StreamingHistogram
 
 from . import protocol
+from .journal import Journal
 from .protocol import ProtocolError, encode_event, unit_key
 
 #: checkpoint kind pipeline units migrate (see repro.mem.pipeline)
@@ -83,6 +97,19 @@ DEFAULT_CHECKPOINT_EVERY = 4
 #: it leases and commits through the same state machine as any remote
 #: worker, but never counts as "live" for degradation decisions
 LOCAL_WORKER = "local"
+
+
+class StaleWorkerError(ProtocolError):
+    """A lease/heartbeat/commit/checkpoint arrived under a worker id
+    this coordinator incarnation does not know — typically a worker
+    from before a crash/restart. Carries the current epoch so the HTTP
+    skin can answer the structured 409 that tells the worker to
+    re-register instead of dying."""
+
+    def __init__(self, worker: str, epoch: int):
+        super().__init__(f"unknown worker {worker!r} (epoch {epoch})")
+        self.worker = worker
+        self.epoch = epoch
 
 
 class _Unit:
@@ -138,7 +165,9 @@ class CoordinatorState:
                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
                  checkpoint_dir: Optional[str] = None,
                  cache_lookup: Optional[Callable[[int], Optional[List[List[dict]]]]] = None,
-                 cache_counters: Optional[Callable[[], Dict[str, int]]] = None):
+                 cache_counters: Optional[Callable[[], Dict[str, int]]] = None,
+                 journal_path: Optional[str] = None,
+                 journal_meta: Optional[dict] = None):
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
         self.lease_seconds = float(lease_seconds)
@@ -162,6 +191,8 @@ class CoordinatorState:
         ]
         #: worker id -> last_seen clock reading
         self._workers: Dict[str, float] = {}
+        #: worker id -> cumulative heartbeat failures it has reported
+        self._heartbeat_failures: Dict[str, int] = {}
         self._remaining = len(self._units)
         self.failure: Optional[dict] = None
         self.unit_seconds = StreamingHistogram(floor=1e-3)
@@ -190,17 +221,66 @@ class CoordinatorState:
             "resumed_units": 0,
             "cache_served_units": 0,
             "worker_cache_commits": 0,
+            "stale_worker_rejects": 0,
+            "journal_truncated": 0,
+            "journal_replayed_units": 0,
         }
+        self.epoch = 0
+        self._journal: Optional[Journal] = None
+        if journal_path is not None:
+            self._recover(journal_path, journal_meta)
+
+    def _recover(self, journal_path: str,
+                 journal_meta: Optional[dict]) -> None:
+        """Open (or replay) the write-ahead journal. Journaled commits
+        become done units — their workers were already acknowledged, so
+        ``on_commit`` is *not* re-fired (the cache write it performs
+        already happened in the previous incarnation; replaying it
+        would only amplify I/O). Journaled envelopes are restored so
+        the next lease grant still resumes mid-unit. In-flight leases
+        are implicitly voided: this incarnation knows no workers until
+        they re-register under the bumped epoch."""
+        self._journal, replayed = Journal.recover(
+            journal_path, fingerprint=self.fingerprint,
+            unit_keys=[u.key for u in self._units],
+            meta=journal_meta)
+        self.epoch = self._journal.epoch
+        for key in ("journal_truncated", "journal_replayed_units"):
+            self.counters[key] = self._journal.counters[key]
+        if replayed is None:
+            return
+        for index, commit in replayed.commits.items():
+            unit = self._units[index]
+            unit.rows = protocol.rows_from_wire(commit["rows"])
+            unit.digest = commit["digest"]
+            unit.cache_probed = True
+            self._remaining -= 1
+        for index, envelope in replayed.checkpoints.items():
+            unit = self._units[index]
+            if unit.done:
+                continue
+            cursor = envelope.get("cursor")
+            unit.checkpoint = dict(envelope)
+            unit.checkpoint_cursor = cursor if isinstance(cursor, int) else -1
 
     # -- bookkeeping (call with lock held) ---------------------------------
 
     def _touch(self, worker: str, now: float) -> None:
-        if worker not in self._workers:
-            # implicit registration: a worker the coordinator never saw
-            # (or forgot across a coordinator restart) is simply adopted —
-            # the protocol carries enough state in each message
-            self.counters["workers_registered"] += 1
         self._workers[worker] = now
+
+    def _require_known(self, worker: str) -> None:
+        """Epoch fence: only ids minted by *this* incarnation (plus the
+        local-fallback sentinel) may lease, renew, commit, or upload.
+        A stale id gets a structured rejection telling it the current
+        epoch — re-registering is the worker's move, adoption is not
+        ours: the recovery voided its leases on purpose."""
+        if worker != LOCAL_WORKER and worker not in self._workers:
+            self.counters["stale_worker_rejects"] += 1
+            raise StaleWorkerError(worker, self.epoch)
+
+    def _stamp(self, reply: dict) -> dict:
+        reply["epoch"] = self.epoch
+        return reply
 
     def _expire(self, now: float) -> None:
         """Lazily reap expired leases — no timer thread; expiry is
@@ -265,27 +345,30 @@ class CoordinatorState:
         now = self.clock()
         with self._lock:
             worker_id = f"{name or 'worker'}-{uuid.uuid4().hex[:8]}"
+            self.counters["workers_registered"] += 1
             self._touch(worker_id, now)
-        return {"event": "registered", "worker": worker_id,
-                "lease_seconds": self.lease_seconds, "poll": self.poll}
+            return self._stamp({"event": "registered", "worker": worker_id,
+                                "lease_seconds": self.lease_seconds,
+                                "poll": self.poll})
 
     def lease(self, worker: str) -> dict:
         now = self.clock()
         with self._lock:
             self.counters["lease_requests_total"] += 1
+            self._require_known(worker)
             self._touch(worker, now)
             self._expire(now)
             self._serve_cached_locked()
             if self.failure is not None or self._remaining == 0:
-                return {"event": "done"}
+                return self._stamp({"event": "done"})
             for unit in self._units:
                 if not unit.done and not unit.leases:
-                    return self._grant(unit, worker, now)
+                    return self._stamp(self._grant(unit, worker, now))
             straggler = self._pick_straggler(worker, now)
             if straggler is not None:
                 self.counters["straggler_duplicates"] += 1
-                return self._grant(straggler, worker, now)
-            return {"event": "wait", "poll": self.poll}
+                return self._stamp(self._grant(straggler, worker, now))
+            return self._stamp({"event": "wait", "poll": self.poll})
 
     def _pick_straggler(self, worker: str, now: float) -> Optional[_Unit]:
         """The cross-machine analogue of the runner's straggler
@@ -309,11 +392,18 @@ class CoordinatorState:
                 candidate, candidate_age = unit, age
         return candidate
 
-    def heartbeat(self, worker: str, lease_ids: Sequence[str]) -> dict:
+    def heartbeat(self, worker: str, lease_ids: Sequence[str],
+                  failures: int = 0) -> dict:
         now = self.clock()
         with self._lock:
             self.counters["heartbeats_total"] += 1
+            self._require_known(worker)
             self._touch(worker, now)
+            if failures:
+                # the worker self-reports its cumulative heartbeat-thread
+                # error count; surfaced per worker in snapshot() so a
+                # flaky link is visible from the coordinator side too
+                self._heartbeat_failures[worker] = int(failures)
             self._expire(now)
             renewed, lost = [], []
             wanted = set(lease_ids)
@@ -328,7 +418,8 @@ class CoordinatorState:
                         wanted.discard(lid)
             lost = sorted(wanted)  # expired (and possibly re-dispatched)
             self.counters["lease_renewals"] += len(renewed)
-        return {"event": "heartbeat", "renewed": renewed, "lost": lost}
+            return self._stamp({"event": "heartbeat", "renewed": renewed,
+                                "lost": lost})
 
     def _complete_locked(self, unit: _Unit, worker: str,
                          rows_per_job: List[List[dict]], digest: str,
@@ -337,7 +428,16 @@ class CoordinatorState:
         the rows, clear leases and any migrated envelope, and account.
         Cache-served completions skip the EWMA (no dispatch happened)
         and the ``on_commit`` hook (the rows came *from* the cache —
-        rewriting them would be pure amplification)."""
+        rewriting them would be pure amplification).
+
+        With a journal configured the commit record is fsync'd *before*
+        any in-memory state flips: once the caller's reply leaves this
+        machine the commit is guaranteed to survive a coordinator
+        restart — write-ahead, not write-behind."""
+        if self._journal is not None:
+            self._journal.append_commit(
+                unit.index, protocol.rows_to_wire(rows_per_job), digest,
+                worker, cached=cached)
         unit.rows = rows_per_job
         unit.digest = digest
         unit.leases.clear()
@@ -364,6 +464,7 @@ class CoordinatorState:
         now = self.clock()
         with self._lock:
             self.counters["results_total"] += 1
+            self._require_known(worker)
             self._touch(worker, now)
             self._expire(now)
             if not 0 <= unit_index < len(self._units):
@@ -392,7 +493,8 @@ class CoordinatorState:
                     self.counters["duplicate_results_dropped"] += 1
                 else:
                     self.counters["duplicate_result_mismatches"] += 1
-                return {"event": "duplicate", "unit": unit_index}
+                return self._stamp({"event": "duplicate",
+                                    "unit": unit_index})
             if lease_id is None or lease_id not in unit.leases:
                 # the lease expired (or the commit raced expiry) but the
                 # rows are valid for this key — committing them is
@@ -401,7 +503,7 @@ class CoordinatorState:
             if provenance == "cache_hit":
                 self.counters["worker_cache_commits"] += 1
             self._complete_locked(unit, worker, rows_per_job, digest, now)
-        return {"event": "committed", "unit": unit_index}
+            return self._stamp({"event": "committed", "unit": unit_index})
 
     def checkpoint(self, worker: str, unit_index: int, key: str,
                    lease_id: str, state: dict) -> dict:
@@ -416,6 +518,7 @@ class CoordinatorState:
         now = self.clock()
         with self._lock:
             self.counters["checkpoints_total"] += 1
+            self._require_known(worker)
             self._touch(worker, now)
             self._expire(now)
             if not 0 <= unit_index < len(self._units):
@@ -428,7 +531,7 @@ class CoordinatorState:
                     f"unit {unit_index} key mismatch (stale worker?)")
             if unit.done:
                 # the unit already committed; the envelope is useless
-                return {"event": "stale", "unit": unit_index}
+                return self._stamp({"event": "stale", "unit": unit_index})
             if not unit.pipeline:
                 self.counters["checkpoint_rejects"] += 1
                 raise ProtocolError(
@@ -450,8 +553,14 @@ class CoordinatorState:
                 raise ProtocolError(
                     "migrated checkpoint has no usable cursor")
             if cursor <= unit.checkpoint_cursor:
-                return {"event": "stale", "unit": unit_index,
-                        "cursor": unit.checkpoint_cursor}
+                return self._stamp({"event": "stale", "unit": unit_index,
+                                    "cursor": unit.checkpoint_cursor})
+            if self._journal is not None:
+                # durable before accepted: a restart re-offers this unit
+                # with this envelope riding the re-grant, so the chunks
+                # behind the seam are never recomputed
+                self._journal.append_checkpoint(unit_index, cursor,
+                                                dict(state))
             unit.checkpoint = dict(state)
             unit.checkpoint_cursor = cursor
             self.counters["checkpoints_migrated"] += 1
@@ -465,8 +574,8 @@ class CoordinatorState:
             if lease_id in unit.leases:
                 holder, _ = unit.leases[lease_id]
                 unit.leases[lease_id] = (holder, now + self.lease_seconds)
-        return {"event": "checkpointed", "unit": unit_index,
-                "cursor": cursor}
+            return self._stamp({"event": "checkpointed", "unit": unit_index,
+                                "cursor": cursor})
 
     def deregister(self, worker: str) -> dict:
         """Graceful drain: release every lease the worker still holds
@@ -485,8 +594,8 @@ class CoordinatorState:
             self.counters["leases_released"] += released
             self.counters["workers_deregistered"] += 1
             self._workers.pop(worker, None)
-        return {"event": "deregistered", "worker": worker,
-                "released": released}
+            return self._stamp({"event": "deregistered", "worker": worker,
+                                "released": released})
 
     def fail(self, worker: str, unit_index: int, key: str,
              error: dict) -> dict:
@@ -501,7 +610,7 @@ class CoordinatorState:
             self._touch(worker, now)
             if self.failure is None:
                 self.failure = dict(error)
-        return {"event": "failed", "unit": unit_index}
+            return self._stamp({"event": "failed", "unit": unit_index})
 
     # -- observation -------------------------------------------------------
 
@@ -541,6 +650,7 @@ class CoordinatorState:
                     held[holder] = held.get(holder, 0) + 1
             snap = {
                 "counters": dict(self.counters),
+                "epoch": self.epoch,
                 "units_total": len(self._units),
                 "units_remaining": self._remaining,
                 "leases_outstanding": outstanding,
@@ -551,7 +661,9 @@ class CoordinatorState:
                 "workers": [
                     {"worker": worker,
                      "last_seen_age_seconds": round(max(0.0, now - seen), 3),
-                     "held_leases": held.get(worker, 0)}
+                     "held_leases": held.get(worker, 0),
+                     "heartbeat_failures":
+                         self._heartbeat_failures.get(worker, 0)}
                     for worker, seen in sorted(self._workers.items())
                 ],
                 "redispatches": max(
@@ -567,6 +679,14 @@ class CoordinatorState:
             if self.cache_counters is not None:
                 snap["cache"] = dict(self.cache_counters())
         return snap
+
+    def close(self) -> None:
+        """Release the journal handle (final fsync included). The file
+        itself is left in place — deleting it is the *caller's* call,
+        made only after the results have actually been delivered."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
 
 # -- HTTP skin -------------------------------------------------------------
@@ -612,8 +732,8 @@ class _Handler(BaseHTTPRequestHandler):
                 worker = protocol.parse_lease_request(body)
                 self._reply(200, state.lease(worker))
             elif self.path == "/v1/heartbeat":
-                worker, leases = protocol.parse_heartbeat(body)
-                self._reply(200, state.heartbeat(worker, leases))
+                worker, leases, failures = protocol.parse_heartbeat(body)
+                self._reply(200, state.heartbeat(worker, leases, failures))
             elif self.path == "/v1/result":
                 req = protocol.parse_result(body)
                 if req["error"] is not None:
@@ -633,6 +753,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, state.deregister(worker))
             else:
                 self._reply(404, {"event": "error", "error": "unknown path"})
+        except StaleWorkerError as exc:
+            # structured, machine-actionable: 409 + the current epoch
+            # tells a worker from a previous incarnation to re-register
+            # rather than die on an opaque protocol error
+            self._reply(409, {"event": "error", "error": "unknown_worker",
+                              "worker": exc.worker, "epoch": exc.epoch})
         except ProtocolError as exc:
             self._reply(400, {"event": "error", "error": str(exc)})
         except Exception as exc:  # pragma: no cover — defensive
@@ -706,10 +832,18 @@ class SweepCoordinator:
                  wait_workers: float = 0.0,
                  poll: float = 0.2,
                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
-                 checkpoint_dir: Optional[str] = None):
+                 checkpoint_dir: Optional[str] = None,
+                 journal_path: Optional[str] = None,
+                 journal_meta: Optional[dict] = None,
+                 pool_manager=None):
         self.jobs = list(jobs)
+        self.journal_path = journal_path
         self.cache = cache
         self.local_workers = local_workers
+        #: borrowed WorkerPoolManager for the local-fallback runner (the
+        #: service lends its shared, fd-safe pool; Runner.close leaves
+        #: borrowed managers untouched)
+        self.pool_manager = pool_manager
         self.wait_workers = float(wait_workers)
         self.poll = float(poll)
 
@@ -746,7 +880,9 @@ class SweepCoordinator:
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
             cache_lookup=self._recall_unit,
-            cache_counters=(lambda: cache.counters) if cache is not None else None)
+            cache_counters=(lambda: cache.counters) if cache is not None else None,
+            journal_path=journal_path,
+            journal_meta=journal_meta)
         self.server: Optional[CoordinatorServer] = None
         if units:
             self.server = CoordinatorServer(self.state, host=host, port=port)
@@ -824,7 +960,8 @@ class SweepCoordinator:
                 if runner is None:
                     # the local pool shares the coordinator's cache so a
                     # partially-cached unit only recomputes its misses
-                    runner = Runner(workers=self.local_workers, cache=self.cache)
+                    runner = Runner(workers=self.local_workers, cache=self.cache,
+                                    pool_manager=self.pool_manager)
                 unit_jobs = protocol.jobs_from_wire(reply["jobs"])
                 try:
                     rows = runner.compute_rows(unit_jobs)
@@ -844,6 +981,18 @@ class SweepCoordinator:
         if self.server is not None:
             self.server.close()
             self.server = None
+        self.state.close()
+
+    def discard_journal(self) -> None:
+        """Delete the journal after the results have been delivered —
+        the sweep is over, so durable re-offerable state would only
+        confuse (or mis-resume) an unrelated future run at this path."""
+        self.state.close()
+        if self.journal_path is not None:
+            try:
+                os.unlink(self.journal_path)
+            except FileNotFoundError:
+                pass
 
     def __enter__(self) -> "SweepCoordinator":
         return self

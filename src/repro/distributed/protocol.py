@@ -19,7 +19,10 @@ Endpoints (coordinator side)
   or ``{"event": "done"}`` (sweep finished — disperse);
 * ``POST /v1/heartbeat`` — ``{"worker": id, "leases": [...]}`` renews
   the named leases; the response lists which renewed and which were
-  already ``lost`` (expired and re-dispatched);
+  already ``lost`` (expired and re-dispatched); an optional
+  ``"failures"`` integer self-reports the worker's cumulative
+  heartbeat-thread error count so the coordinator's ``snapshot()``
+  can surface a flaky link per worker;
 * ``POST /v1/result`` — ``{"worker": id, "unit": i, "key": ...,
   "lease": id, "rows": <rows_to_wire(...)>}`` commits a unit
   (idempotent — see below; rows use the order-preserving schema-table
@@ -38,6 +41,14 @@ Endpoints (coordinator side)
   worker stops counting as live;
 * ``GET /metrics`` / ``GET /healthz`` — the same observability surface
   every other daemon in this repo exposes.
+
+Every coordinator reply carries an ``"epoch"`` integer — the journal
+incarnation counter (0 for a never-restarted coordinator, +1 per
+recovery). A lease/heartbeat/result/checkpoint from a worker id the
+current incarnation never minted is answered ``HTTP 409`` with
+``{"event": "error", "error": "unknown_worker", "epoch": N}``: the
+structured signal that the worker must re-register (its old leases
+were voided by recovery) rather than treat the coordinator as down.
 
 Work-unit identity
 ------------------
@@ -190,14 +201,17 @@ def parse_lease_request(obj: object) -> str:
     return _worker_id(obj)
 
 
-def parse_heartbeat(obj: object) -> Tuple[str, List[str]]:
+def parse_heartbeat(obj: object) -> Tuple[str, List[str], int]:
     _require(isinstance(obj, dict), "heartbeat body must be a JSON object")
     worker = _worker_id(obj)
     leases = obj.get("leases", [])
     _require(isinstance(leases, list)
              and all(isinstance(entry, str) for entry in leases),
              "'leases' must be a list of lease ids")
-    return worker, leases
+    failures = obj.get("failures", 0)
+    _require(isinstance(failures, int) and failures >= 0,
+             "'failures' must be a non-negative integer")
+    return worker, leases, failures
 
 
 def parse_result(obj: object) -> Dict[str, object]:

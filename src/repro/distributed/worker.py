@@ -28,17 +28,31 @@ Loop shape::
   immediate re-dispatch — and exits 0;
 * while a unit runs, a daemon heartbeat thread renews the lease every
   ``lease_seconds / 3`` — three misses before expiry, so one dropped
-  heartbeat never loses a lease. Heartbeat errors are swallowed: a
-  partition is indistinguishable from a slow network, and the *lease*
-  mechanism (not the heartbeat) is what decides the worker is gone;
+  heartbeat never loses a lease. Heartbeat errors never interrupt the
+  unit (a partition is indistinguishable from a slow network, and the
+  *lease* mechanism — not the heartbeat — decides the worker is gone)
+  but they are **counted**: ``heartbeat_failures`` rides on every
+  heartbeat, shows in the coordinator's per-worker ``snapshot()``
+  block, and is printed in the worker's exit line, so a flaky link is
+  diagnosable instead of silent;
 * result submission is **at-least-once**: a network error after the
   coordinator processed the commit (the lost-ack case) just means the
   retry is answered with ``duplicate`` — which the worker treats as
   success, because it is;
+* a **coordinator restart** is survivable: a recovered coordinator
+  answers the old worker id with HTTP 409 ``unknown_worker`` (plus its
+  new epoch), which the worker treats as "alive but amnesiac" — it
+  re-registers under the same decorrelated-jitter backoff and, if it
+  was holding a finished result across the outage, re-submits it under
+  the new id (safe: commits are idempotent first-write-wins);
 * every coordinator failure backs off with decorrelated jitter and
-  counts against a rolling ``reconnect_timeout`` budget (reset by any
-  successful exchange); a coordinator that stays dark past the budget
-  means the worker exits 1 rather than spinning forever.
+  counts against a rolling ``reconnect_timeout`` budget — the budget
+  is per attempt-chain, reset by any successful (or even rejected-
+  but-answered) exchange. A coordinator that stays dark past the
+  budget means the worker exits 1 rather than spinning forever;
+  ``reconnect_timeout=0`` disables the budget entirely — wait forever,
+  the right setting for a fleet parked against a service daemon that
+  only periodically runs flights.
 
 Fault sites fire here and in the client: ``dist.unit`` (``raise``
 models the worker dying mid-lease), ``dist.lease`` / ``dist.heartbeat``
@@ -66,7 +80,12 @@ from repro.experiments.runner import (
 from repro.mem.pipeline import PipelineCheckpointed
 from repro.testing import faults
 
-from .client import Backoff, CoordinatorClient, CoordinatorUnreachable
+from .client import (
+    Backoff,
+    CoordinatorClient,
+    CoordinatorUnreachable,
+    WorkerRejected,
+)
 from .protocol import ProtocolError, jobs_from_wire
 
 
@@ -77,6 +96,8 @@ class WorkerConfig:
     workers: Optional[int] = None
     chunk_timeout: Optional[float] = None
     chunk_retries: int = 2
+    #: seconds the coordinator may stay dark before the worker exits 1;
+    #: reset by every answered exchange. 0 = no budget, wait forever.
     reconnect_timeout: float = 30.0
     fault_delay: float = 0.1
     log: bool = True
@@ -95,6 +116,11 @@ class Worker:
         self.worker_id: Optional[str] = None
         self.units_done = 0
         self.units_resumed = 0
+        self.reregistrations = 0
+        #: cumulative heartbeat-thread errors — never fatal, always
+        #: counted (satellite of the silent-swallow policy: the lease
+        #: decides liveness, but the operator deserves the number)
+        self.heartbeat_failures = 0
         self._unit_index = 0  # fault-site index for dist.unit
         self._runner: Optional[Runner] = None
         self._cache = ResultCache(config.cache_dir) if config.cache_dir else None
@@ -112,23 +138,46 @@ class Worker:
             print(f"[repro-work] {message}", flush=True)
 
     def _register(self) -> None:
+        if self.worker_id is not None:
+            self.reregistrations += 1
         reply = self.client.register(self.config.name,
                                      self.config.workers or 1)
         self.worker_id = reply["worker"]
         self.lease_seconds = float(reply.get("lease_seconds", 10.0))
         self.poll = float(reply.get("poll", 0.5))
+        epoch = reply.get("epoch", 0)
         self._log(f"registered as {self.worker_id} "
-                  f"(lease {self.lease_seconds:g}s)")
+                  f"(lease {self.lease_seconds:g}s, epoch {epoch})")
+
+    def _budget_deadline(self) -> Optional[float]:
+        """Start (or restart) the reconnect budget: ``None`` when the
+        budget is disabled (``reconnect_timeout=0`` — wait forever)."""
+        import time as _time
+
+        if self.config.reconnect_timeout <= 0:
+            return None
+        return _time.monotonic() + self.config.reconnect_timeout
+
+    @staticmethod
+    def _budget_spent(deadline: Optional[float]) -> bool:
+        import time as _time
+
+        return deadline is not None and _time.monotonic() >= deadline
 
     def _heartbeat_loop(self, lease_id: str, stop: threading.Event) -> None:
         interval = max(0.05, self.lease_seconds / 3.0)
         while not stop.wait(interval):
             try:
-                self.client.heartbeat(self.worker_id, [lease_id])
-            except (CoordinatorUnreachable, ProtocolError):
-                # swallowed by design: the lease term decides liveness,
-                # not any single heartbeat — see module docstring
-                pass
+                self.client.heartbeat(self.worker_id, [lease_id],
+                                      failures=self.heartbeat_failures)
+            except (CoordinatorUnreachable, WorkerRejected,
+                    ProtocolError):
+                # never fatal — the lease term decides liveness, not any
+                # single heartbeat; a 409 here just means the main loop
+                # is about to discover the restart itself — but counted,
+                # so a flaky link shows up in the exit line and in the
+                # coordinator's per-worker snapshot
+                self.heartbeat_failures += 1
 
     def _fire_unit_fault(self) -> None:
         index = self._unit_index
@@ -211,6 +260,22 @@ class Worker:
             try:
                 self.client.checkpoint(self.worker_id, lease["unit"],
                                        lease["key"], lease["lease"], state)
+            except WorkerRejected as exc:
+                # coordinator restarted mid-unit: re-register and retry
+                # once so the seam still migrates under the new epoch
+                # (the old lease id is gone — the commit path tolerates
+                # that; the envelope is what matters here)
+                self._log(f"checkpoint upload rejected (epoch "
+                          f"{exc.epoch}); re-registering")
+                try:
+                    self._register()
+                    self.client.checkpoint(self.worker_id, lease["unit"],
+                                           lease["key"], lease["lease"],
+                                           state)
+                except (CoordinatorUnreachable, WorkerRejected,
+                        ProtocolError) as retry_exc:
+                    self._log(f"checkpoint upload failed after "
+                              f"re-register ({retry_exc}); continuing")
             except (CoordinatorUnreachable, ProtocolError) as exc:
                 self._log(f"checkpoint upload failed ({exc}); continuing")
 
@@ -255,19 +320,32 @@ class Worker:
         acknowledges or stays dark past the reconnect budget.
         ``duplicate`` is an acknowledgement — the rows landed (possibly
         via our own severed first attempt, possibly from another
-        worker; either way the unit is committed)."""
-        import time as _time
-
+        worker; either way the unit is committed). A 409 rejection
+        mid-retry means the coordinator restarted while we held the
+        result: re-register and submit under the new id — the journal
+        replay marked nothing for this unit, so these rows are exactly
+        what the recovered sweep is waiting for (and if another worker
+        beat us to it, idempotency answers ``duplicate``)."""
         backoff = Backoff()
-        deadline = _time.monotonic() + self.config.reconnect_timeout
+        deadline = self._budget_deadline()
         while True:
             try:
                 reply = self.client.result(
                     self.worker_id, lease["unit"], lease["key"],
                     lease["lease"], rows=rows, error=error,
                     provenance=provenance)
+            except WorkerRejected as exc:
+                self._log(f"result for unit {lease['unit']} rejected "
+                          f"(coordinator epoch {exc.epoch}); "
+                          f"re-registering to re-submit")
+                deadline = self._budget_deadline()  # answered = alive
+                try:
+                    self._register()
+                except (CoordinatorUnreachable, ProtocolError):
+                    backoff.wait()
+                continue
             except CoordinatorUnreachable as exc:
-                if _time.monotonic() >= deadline:
+                if self._budget_spent(deadline):
                     raise
                 self._log(f"result submit failed ({exc}); retrying")
                 backoff.wait()
@@ -280,18 +358,24 @@ class Worker:
                 return
             raise ProtocolError(f"unexpected result reply {reply!r}")
 
+    def _exit_stats(self) -> str:
+        return (f"{self.units_done} unit(s) here, "
+                f"{self.heartbeat_failures} heartbeat failure(s), "
+                f"{self.reregistrations} re-registration(s)")
+
     def run(self) -> int:
         """Work until the coordinator says ``done`` (exit 0), a drain is
         requested (finish/park the current lease, deregister, exit 0),
         or the coordinator stays unreachable past ``reconnect_timeout``
-        (exit 1)."""
-        import time as _time
-
+        (exit 1; a zero timeout waits forever). A coordinator that
+        *restarted* — 409 ``unknown_worker`` — is not an outage: the
+        worker re-registers under the new epoch and keeps working."""
         backoff = Backoff()
-        deadline = _time.monotonic() + self.config.reconnect_timeout
+        deadline = self._budget_deadline()
         while True:
             if self._drain.is_set():
-                self._log("drain requested; deregistering")
+                self._log(f"drain requested; deregistering "
+                          f"({self._exit_stats()})")
                 self._deregister()
                 self._close_runner()
                 return 0
@@ -299,20 +383,30 @@ class Worker:
                 if self.worker_id is None:
                     self._register()
                 reply = self.client.lease(self.worker_id)
+            except WorkerRejected as exc:
+                # the coordinator is alive but restarted: our id (and
+                # every lease it anchored) died with the old epoch.
+                # Re-register — through the same backoff'd loop — and
+                # reset the budget: an answer is proof of liveness
+                self._log(f"worker id rejected (coordinator epoch "
+                          f"{exc.epoch}); re-registering")
+                self.worker_id = None
+                deadline = self._budget_deadline()
+                continue
             except (CoordinatorUnreachable, ProtocolError) as exc:
-                if _time.monotonic() >= deadline:
+                if self._budget_spent(deadline):
                     self._log(f"coordinator unreachable past "
                               f"{self.config.reconnect_timeout:g}s budget "
-                              f"({exc}); giving up")
+                              f"({exc}); giving up ({self._exit_stats()})")
                     self._close_runner()
                     return 1
                 backoff.wait()
                 continue
             backoff.reset()
-            deadline = _time.monotonic() + self.config.reconnect_timeout
+            deadline = self._budget_deadline()
             event = reply.get("event")
             if event == "done":
-                self._log(f"sweep complete ({self.units_done} unit(s) here)")
+                self._log(f"sweep complete ({self._exit_stats()})")
                 self._close_runner()
                 return 0
             if event == "wait":
@@ -336,6 +430,8 @@ class Worker:
             return
         try:
             self.client.deregister(self.worker_id)
+        except WorkerRejected:
+            pass  # a restarted coordinator already forgot us — done
         except (CoordinatorUnreachable, ProtocolError) as exc:
             self._log(f"deregister failed ({exc}); leases will expire")
 

@@ -102,7 +102,10 @@ COUNTERS = (
     "worker_restarts_total",   # pool rebuilds after a lost/hung worker
     "chunk_retries_total",     # sweep chunks re-dispatched after a loss
     "checkpoints_written_total",  # pipeline checkpoints persisted
-    "flights_resumed_total",   # flights resumed from a checkpoint
+    "flights_resumed_total",   # flights resumed from a checkpoint/journal
+    "distributed_flights_total",     # flights fanned through a coordinator
+    "journal_units_replayed_total",  # units recovered from a journal replay
+    "journals_quarantined_total",    # unusable journals set aside (.corrupt)
 )
 
 

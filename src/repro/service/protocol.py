@@ -115,6 +115,23 @@ class JobRequest:
             out["workload"] = self.params.get("workload")
         return out
 
+    def resubmit_body(self) -> Dict[str, object]:
+        """A ``POST /v1/jobs`` body that parses back to this request —
+        the durable form a restarted daemon rebuilds a flight from
+        (stored in the coordinator journal's header metadata).
+        Round-trip invariant: ``parse_job_request(r.resubmit_body())``
+        yields a request with the same key as ``r``."""
+        if self.kind == "sweep":
+            if self.preset is not None:
+                return {"kind": "sweep", "preset": self.preset}
+            return {"kind": "sweep", "spec": self.spec}
+        params = dict(self.params or {})
+        return {"kind": "pipeline",
+                "workload": params.pop("workload"),
+                "schemes": params.pop("schemes"),
+                "chunk_requests": params.pop("chunk_requests"),
+                "params": params}
+
 
 def _parse_sweep(obj: Dict[str, object]) -> JobRequest:
     from repro.experiments import SweepSpec, get_sweep

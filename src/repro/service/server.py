@@ -117,6 +117,20 @@ class ServeConfig:
     #: redispatch budget for lost/hung workers
     chunk_timeout: Optional[float] = None
     chunk_retries: int = 2
+    #: fan flights out through a SweepCoordinator (``repro work``
+    #: workers join at dist_host:dist_port); the local pool remains the
+    #: degradation floor when no workers are live
+    distributed: bool = False
+    dist_host: str = "127.0.0.1"
+    #: fixed (not ephemeral) so parked workers with
+    #: ``--reconnect-timeout 0`` rejoin between flights and across
+    #: daemon restarts
+    dist_port: int = 8790
+    dist_lease_seconds: float = 10.0
+    #: seconds to hold work for remote workers before the local
+    #: fallback starts leasing (0 = fall back immediately when none
+    #: are live)
+    dist_wait_workers: float = 0.0
 
 
 class ReproService:
@@ -144,6 +158,10 @@ class ReproService:
         self._connections: set = set()  # live client-connection tasks
         self._flight_seq = 0   # fault-site index for service.flight
         self._stream_seq = 0   # fault-site index for service.stream
+        # one CoordinatorServer owns the fixed dist_port at a time, so
+        # distributed flights execute serially (coalescing and caches
+        # still make concurrent identical submissions cheap)
+        self._dist_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -170,7 +188,14 @@ class ReproService:
               f"max_queued={self.config.max_queued}, "
               f"cache={'on' if self.cache else 'off'})",
               file=sys.stderr, flush=True)
+        if self.config.distributed:
+            print(f"repro serve: distributed mode — workers join at "
+                  f"http://{self.config.dist_host}:{self.config.dist_port} "
+                  f"during flights (local-pool fallback after "
+                  f"{self.config.dist_wait_workers:g}s without workers)",
+                  file=sys.stderr, flush=True)
         self._resume_checkpointed_flights()
+        self._resume_journaled_flights()
         if ready is not None:
             ready.set()
         async with server:
@@ -298,6 +323,7 @@ class ReproService:
         gauges = {**self.admission.gauges(), **self.coalescer.gauges(),
                   "pool_workers": self.pool_manager.active_workers,
                   "sweep_workers": self.workers,
+                  "distributed": self.config.distributed,
                   "draining": self._draining}
         snapshot = self.metrics.snapshot(gauges)
         snapshot["protocol_version"] = 1
@@ -463,18 +489,22 @@ class ReproService:
         request = flight.request
         jobs = request.jobs()
         definition = get_sweep(request.preset) if request.preset else None
-        runner = Runner(workers=self.workers, cache=self.cache,
-                        pool_manager=self.pool_manager,
-                        chunk_timeout=self.config.chunk_timeout,
-                        chunk_retries=self.config.chunk_retries)
-        stride = self.config.stream_jobs or max(4, runner.workers * 2)
-        rows = []
-        for start in range(0, len(jobs), stride):
-            self._check_cancel(flight)
-            slice_rows = runner.run(jobs[start:start + stride]).rows
-            self._emit(flight, {"event": "rows", "index": start,
-                                "rows": slice_rows})
-            rows.extend(slice_rows)
+        if self.config.distributed:
+            rows_per_job = self._run_distributed(flight, jobs)
+            rows = [row for job_rows in rows_per_job for row in job_rows]
+        else:
+            runner = Runner(workers=self.workers, cache=self.cache,
+                            pool_manager=self.pool_manager,
+                            chunk_timeout=self.config.chunk_timeout,
+                            chunk_retries=self.config.chunk_retries)
+            stride = self.config.stream_jobs or max(4, runner.workers * 2)
+            rows = []
+            for start in range(0, len(jobs), stride):
+                self._check_cancel(flight)
+                slice_rows = runner.run(jobs[start:start + stride]).rows
+                self._emit(flight, {"event": "rows", "index": start,
+                                    "rows": slice_rows})
+                rows.extend(slice_rows)
         table = ResultTable(
             rows, columns=definition.columns if definition else None)
         if definition is not None and definition.post is not None:
@@ -496,7 +526,15 @@ class ReproService:
             cached = rows is not None
             if rows is not None:
                 runner_module._memory_put(job, rows)
-        if rows is None:
+        if rows is None and self.config.distributed:
+            # the coordinator's checkpoint migration + journal replace
+            # the local checkpoint file for durability; completed rows
+            # land in both cache levels exactly as the local path's do
+            rows = self._run_distributed(flight, [job])[0]
+            runner_module._memory_put(job, rows)
+            if self.cache is not None:
+                self.cache.put(job, rows)
+        elif rows is None:
             def on_chunk(chunk, requests_done, total_requests):
                 self._check_cancel(flight)
                 self._emit(flight, {"event": "progress", "chunk": chunk,
@@ -545,7 +583,133 @@ class ReproService:
         return {"event": "result", "kind": "pipeline", "cached": cached,
                 "rows": rows}
 
+    # -- distributed execution ----------------------------------------------
+
+    def _journal_path(self, key: str) -> Optional[str]:
+        if not self.config.checkpoint_dir:
+            return None
+        return os.path.join(self.config.checkpoint_dir, key + ".journal")
+
+    def _spawn_coordinator(self, flight: Flight, jobs,
+                           journal_path: Optional[str]):
+        # imported here, not at module top: repro.distributed's wire
+        # protocol reuses repro.service.protocol's framing, so a
+        # module-level import would be circular
+        from repro.distributed import JournalError, SweepCoordinator
+
+        kwargs = dict(
+            cache=self.cache, local_workers=self.workers,
+            host=self.config.dist_host, port=self.config.dist_port,
+            lease_seconds=self.config.dist_lease_seconds,
+            wait_workers=self.config.dist_wait_workers,
+            pool_manager=self.pool_manager,
+            journal_path=journal_path,
+            # the request rides in the journal header so a restarted
+            # daemon can rebuild this flight without a client attached
+            journal_meta={"request": flight.request.resubmit_body()})
+        try:
+            return SweepCoordinator(jobs, **kwargs)
+        except JournalError as error:
+            # an unusable journal must not wedge this flight key
+            # forever: quarantine the evidence, restart from scratch
+            self.metrics.incr("journals_quarantined_total")
+            quarantined = journal_path + ".corrupt"
+            os.replace(journal_path, quarantined)
+            print(f"repro serve: quarantined unusable journal "
+                  f"{os.path.basename(journal_path)} -> "
+                  f"{os.path.basename(quarantined)} ({error})",
+                  file=sys.stderr, flush=True)
+            return SweepCoordinator(jobs, **kwargs)
+
+    def _run_distributed(self, flight: Flight, jobs) -> list:
+        """Execute one flight's jobs through a :class:`SweepCoordinator`
+        bound to the fixed distributed port, journaled under the
+        checkpoint directory so a daemon crash mid-flight resumes from
+        committed units instead of recomputing. Returns rows per job in
+        job order — bit-identical to the local path by the coordinator's
+        construction."""
+        self._check_cancel(flight)
+        journal_path = self._journal_path(flight.key)
+        with self._dist_lock:
+            coordinator = self._spawn_coordinator(flight, jobs, journal_path)
+            self.metrics.incr("distributed_flights_total")
+            replayed = coordinator.state.counters["journal_replayed_units"]
+            if replayed:
+                self.metrics.incr("journal_units_replayed_total", replayed)
+            self._emit(flight, {"event": "distributed",
+                                "url": coordinator.url,
+                                "epoch": coordinator.state.epoch,
+                                "replayed_units": replayed})
+            rows_per_job = coordinator.run()
+            # only after the rows are in hand (and, via on_commit, in
+            # the shared caches) is the durable state safe to drop; on
+            # any failure above the journal stays for the next attempt
+            coordinator.discard_journal()
+            return rows_per_job
+
     # -- restart recovery ---------------------------------------------------
+
+    def _resume_journaled_flights(self) -> None:
+        """Distributed counterpart of checkpoint resume: a journal left
+        in the checkpoint directory belongs to a flight a previous
+        daemon instance died inside. Rebuild the request from the
+        journal header's metadata and re-dispatch it — the coordinator's
+        recovery marks journaled units done, so only the remainder is
+        recomputed. Like checkpoint resume, the flight has no
+        subscribers; its rows land in the shared caches."""
+        directory = self.config.checkpoint_dir
+        if (not self.config.distributed or not directory
+                or not os.path.isdir(directory)):
+            return
+        from repro.distributed import JournalError
+        from repro.distributed.journal import journal_meta as read_journal_meta
+
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".journal"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                meta = read_journal_meta(path)
+            except JournalError as error:
+                self.metrics.incr("journals_quarantined_total")
+                quarantined = path + ".corrupt"
+                try:
+                    os.replace(path, quarantined)
+                except OSError:
+                    quarantined = path
+                print(f"repro serve: quarantined unreadable journal "
+                      f"{name} -> {os.path.basename(quarantined)} ({error})",
+                      file=sys.stderr, flush=True)
+                continue
+            body = meta.get("request") if isinstance(meta, dict) else None
+            if not isinstance(body, dict):
+                continue
+            try:
+                request = parse_job_request(body)
+            except ProtocolError:
+                continue
+            key = request.key(self._fingerprint)
+            if key + ".journal" != name:
+                # journaled under a different code fingerprint: recovery
+                # would refuse the replay anyway — drop it
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            if self.coalescer.peek(key) is not None:
+                continue
+            decision = self.admission.try_admit(
+                self.metrics.expected_flight_seconds)
+            if not decision.admitted:
+                break  # capacity full; the rest resume on client demand
+            self.metrics.incr("admitted_total")
+            self.metrics.incr("flights_resumed_total")
+            flight = self.coalescer.create(key, request)
+            print(f"repro serve: resuming journaled flight {key[:12]}… "
+                  f"({request.kind})", file=sys.stderr, flush=True)
+            self._loop.run_in_executor(self._flight_executor,
+                                       self._run_flight, flight)
 
     def _resume_checkpointed_flights(self) -> None:
         """Scan the checkpoint directory at startup and re-dispatch

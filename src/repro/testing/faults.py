@@ -36,6 +36,14 @@ Sites instrumented in this repo:
                       reject it; ``kill`` models dying at a seam after
                       earlier envelopes migrated)
 ``dist.deregister``   a distributed worker announcing a graceful drain
+``dist.journal``      the coordinator about to append journal record
+                      *index* (:mod:`repro.distributed.journal`).
+                      ``kill`` crashes the coordinator *before* the
+                      record lands — the acknowledged-at-N-1 /
+                      dead-before-N case; ``truncate`` writes half the
+                      record, fsyncs the torn bytes, then SIGKILLs —
+                      manufacturing a torn journal tail exactly as a
+                      crash mid-``write(2)`` would
 ===================  =====================================================
 
 The ``dist.*`` sites model the *network*, so their data actions are

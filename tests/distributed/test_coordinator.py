@@ -1,12 +1,13 @@
 """CoordinatorState machine semantics in virtual time: lease grant,
 expiry and re-dispatch, heartbeat renewal, idempotent commit, straggler
 duplicate-dispatch, checkpoint migration, graceful deregistration,
-cache-served units, and failure fast-path — no sockets, no sleeping."""
+cache-served units, epoch fencing, and failure fast-path — no sockets,
+no sleeping."""
 
 import pytest
 
 from repro.checkpoint import CHECKPOINT_VERSION
-from repro.distributed import CoordinatorState, LOCAL_WORKER
+from repro.distributed import CoordinatorState, LOCAL_WORKER, StaleWorkerError
 from repro.distributed.protocol import ProtocolError, rows_digest
 from repro.experiments.jobs import Job
 
@@ -38,9 +39,19 @@ def make_state(n_units=2, unit_jobs=2, **kwargs):
     return state, units, clock
 
 
+def admit(state, *workers):
+    """Seed fixed worker ids as if they had registered. Most tests here
+    predate epoch fencing and speak readable ids like ``"w1"``;
+    ``register()`` mints unique ids, so admit the fixed ones directly."""
+    now = state.clock()
+    for worker in workers:
+        state._workers[worker] = now
+
+
 class TestLeaseLifecycle:
     def test_grant_then_wait_then_done(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         assert lease["event"] == "lease"
         assert lease["lease_seconds"] == 10.0
@@ -53,6 +64,7 @@ class TestLeaseLifecycle:
 
     def test_expired_lease_redispatches_unit(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1", "w2")
         first = state.lease("w1")
         clock.advance(10.1)  # past the lease term, no heartbeat
         second = state.lease("w2")
@@ -65,6 +77,7 @@ class TestLeaseLifecycle:
 
     def test_heartbeat_extends_lease(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         for _ in range(5):
             clock.advance(6.0)  # under the 10s term each step
@@ -77,16 +90,72 @@ class TestLeaseLifecycle:
 
     def test_heartbeat_reports_lost_lease(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1")
         lease = state.lease("w1")
         clock.advance(11.0)
         reply = state.heartbeat("w1", [lease["lease"]])
         assert reply["renewed"] == []
         assert reply["lost"] == [lease["lease"]]
 
-    def test_unknown_worker_implicitly_registered(self):
+
+class TestEpochFence:
+    """Only ids minted by this coordinator incarnation may lease, renew,
+    commit, or upload — a stale id is rejected with the current epoch so
+    the worker knows to re-register, not retry."""
+
+    def test_unknown_worker_rejected_with_epoch(self):
         state, _, _ = make_state()
-        state.lease("never-registered")
+        with pytest.raises(StaleWorkerError) as excinfo:
+            state.lease("never-registered")
+        assert excinfo.value.worker == "never-registered"
+        assert excinfo.value.epoch == 0
+        assert state.counters["stale_worker_rejects"] == 1
+        assert state.counters["workers_registered"] == 0
+
+    def test_all_fenced_verbs_reject_unknown_ids(self):
+        state, units, clock = make_pipeline_state()
+        with pytest.raises(StaleWorkerError):
+            state.heartbeat("ghost", [])
+        with pytest.raises(StaleWorkerError):
+            state.commit("ghost", 0, "key", "lease", [[{"r": 1}]])
+        with pytest.raises(StaleWorkerError):
+            state.checkpoint("ghost", 0, "key", "lease", make_envelope())
+        assert state.counters["stale_worker_rejects"] == 3
+
+    def test_fail_and_deregister_stay_lenient(self):
+        """A failure report or a drain from a stale id is information,
+        not a request for work — rejecting it would only hide signal."""
+        state, units, clock = make_state(n_units=1)
+        assert state.deregister("ghost")["released"] == 0
+        state.fail("ghost", 0, state._units[0].key,
+                   {"executor": "e", "params": "{}", "cause": "boom"})
+        assert state.done
+
+    def test_local_worker_exempt_from_fence(self):
+        state, units, clock = make_state(n_units=1)
+        lease = state.lease(LOCAL_WORKER)
+        assert lease["event"] == "lease"
+
+    def test_register_mints_usable_id(self):
+        state, _, _ = make_state()
+        reply = state.register("crunch")
+        assert reply["event"] == "registered"
+        assert reply["worker"].startswith("crunch-")
         assert state.counters["workers_registered"] == 1
+        assert state.lease(reply["worker"])["event"] == "lease"
+
+    def test_every_reply_carries_the_epoch(self):
+        state, units, clock = make_state(n_units=1)
+        registered = state.register("w")
+        worker = registered["worker"]
+        assert registered["epoch"] == 0
+        lease = state.lease(worker)
+        assert lease["epoch"] == 0
+        assert state.heartbeat(worker, [lease["lease"]])["epoch"] == 0
+        commit = state.commit(worker, lease["unit"], lease["key"],
+                              lease["lease"], make_rows(units[0]))
+        assert commit["epoch"] == 0
+        assert state.lease(worker)["epoch"] == 0  # the "done" reply too
 
 
 class TestIdempotentCommit:
@@ -94,6 +163,7 @@ class TestIdempotentCommit:
         """The lease-expired-then-returned worker: both copies answer;
         the second is verified byte-equal and dropped."""
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1", "w2")
         first = state.lease("w1")
         clock.advance(10.5)
         second = state.lease("w2")  # re-dispatch after expiry
@@ -110,6 +180,7 @@ class TestIdempotentCommit:
 
     def test_duplicate_mismatch_counted_first_result_kept(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         good = make_rows(units[0], tag="good")
         state.commit("w1", lease["unit"], lease["key"], lease["lease"], good)
@@ -123,6 +194,7 @@ class TestIdempotentCommit:
         """A valid result with a dead lease is committed, not wasted —
         recomputing bits we already hold helps no one."""
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1")
         lease = state.lease("w1")
         clock.advance(60.0)
         reply = state.commit("w1", lease["unit"], lease["key"],
@@ -132,6 +204,7 @@ class TestIdempotentCommit:
 
     def test_wrong_key_rejected(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1")
         lease = state.lease("w1")
         with pytest.raises(ProtocolError):
             state.commit("w1", lease["unit"], "stale-key", lease["lease"],
@@ -141,6 +214,7 @@ class TestIdempotentCommit:
 
     def test_wrong_row_count_rejected(self):
         state, units, clock = make_state(n_units=1, unit_jobs=2)
+        admit(state, "w1")
         lease = state.lease("w1")
         with pytest.raises(ProtocolError):
             state.commit("w1", lease["unit"], lease["key"], lease["lease"],
@@ -149,6 +223,7 @@ class TestIdempotentCommit:
 
     def test_commit_digest_matches_rows_digest(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1")
         lease = state.lease("w1")
         rows = make_rows(units[0])
         state.commit("w1", lease["unit"], lease["key"], lease["lease"], rows)
@@ -158,6 +233,7 @@ class TestIdempotentCommit:
 class TestStragglerDuplicates:
     def test_slow_unit_gets_second_lease(self):
         state, units, clock = make_state(n_units=2, straggler_factor=3.0)
+        admit(state, "slow", "fast", "other")
         slow = state.lease("slow")
         fast = state.lease("fast")
         # fast commits quickly -> EWMA ~1s
@@ -177,6 +253,7 @@ class TestStragglerDuplicates:
 
     def test_no_duplicate_without_factor_or_ewma(self):
         state, units, clock = make_state(n_units=1, straggler_factor=None)
+        admit(state, "w1", "w2")
         state.lease("w1")
         clock.advance(5.0)
         assert state.lease("w2")["event"] == "wait"
@@ -209,6 +286,7 @@ def make_envelope(cursor=128, fingerprint=None, **overrides):
 class TestCheckpointMigration:
     def test_pipeline_lease_advertises_checkpointing(self):
         state, units, clock = make_pipeline_state()
+        admit(state, "w1")
         lease = state.lease("w1")
         assert lease["pipeline"] is True
         assert lease["checkpoint_every"] == 2
@@ -216,6 +294,7 @@ class TestCheckpointMigration:
 
     def test_regrant_carries_latest_envelope_and_counts_resume(self):
         state, units, clock = make_pipeline_state()
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
                          make_envelope(cursor=64))
@@ -230,6 +309,7 @@ class TestCheckpointMigration:
 
     def test_upload_renews_the_lease(self):
         state, units, clock = make_pipeline_state()
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         clock.advance(8.0)  # near expiry, no heartbeat
         state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
@@ -240,6 +320,7 @@ class TestCheckpointMigration:
 
     def test_stale_cursor_never_overwrites_fresher_envelope(self):
         state, units, clock = make_pipeline_state()
+        admit(state, "w1")
         lease = state.lease("w1")
         state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
                          make_envelope(cursor=128))
@@ -258,6 +339,7 @@ class TestCheckpointMigration:
     ], ids=["version", "kind", "fingerprint", "cursor-type", "cursor-neg"])
     def test_invalid_envelope_rejected_and_stores_nothing(self, envelope):
         state, units, clock = make_pipeline_state()
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         with pytest.raises(ProtocolError):
             state.checkpoint("w1", lease["unit"], lease["key"],
@@ -270,6 +352,7 @@ class TestCheckpointMigration:
 
     def test_checkpoint_for_non_pipeline_unit_rejected(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1")
         lease = state.lease("w1")
         with pytest.raises(ProtocolError):
             state.checkpoint("w1", lease["unit"], lease["key"],
@@ -277,6 +360,7 @@ class TestCheckpointMigration:
 
     def test_checkpoint_after_commit_is_stale(self):
         state, units, clock = make_pipeline_state()
+        admit(state, "w1")
         lease = state.lease("w1")
         rows = [[{"scheme": "np"}]]
         state.commit("w1", lease["unit"], lease["key"], lease["lease"], rows)
@@ -286,6 +370,7 @@ class TestCheckpointMigration:
 
     def test_commit_clears_migrated_envelope(self):
         state, units, clock = make_pipeline_state()
+        admit(state, "w1")
         lease = state.lease("w1")
         state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
                          make_envelope())
@@ -296,6 +381,7 @@ class TestCheckpointMigration:
     def test_envelope_persisted_crash_atomically(self, tmp_path):
         state, units, clock = make_pipeline_state(
             checkpoint_dir=str(tmp_path))
+        admit(state, "w1")
         lease = state.lease("w1")
         state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
                          make_envelope(cursor=64))
@@ -309,6 +395,7 @@ class TestCheckpointMigration:
 class TestDeregister:
     def test_deregister_releases_leases_for_immediate_redispatch(self):
         state, units, clock = make_state(n_units=1)
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         reply = state.deregister("w1")
         assert reply["released"] == 1
@@ -321,6 +408,7 @@ class TestDeregister:
 
     def test_deregister_drops_live_count_immediately(self):
         state, units, clock = make_state()
+        admit(state, "w1")
         state.lease("w1")
         assert state.live_remote_workers() == 1
         state.deregister("w1")
@@ -332,6 +420,7 @@ class TestCacheServedUnits:
         hits = {0: [[{"cached": True}], [{"cached": True}]]}
         state, units, clock = make_state(
             n_units=2, unit_jobs=2, cache_lookup=hits.get)
+        admit(state, "w1")
         lease = state.lease("w1")
         # unit 0 was answered from the cache; only unit 1 is leased
         assert lease["event"] == "lease"
@@ -350,6 +439,7 @@ class TestCacheServedUnits:
             return None
 
         state, units, clock = make_state(n_units=2, cache_lookup=lookup)
+        admit(state, "w1", "w2")
         state.lease("w1")
         state.lease("w2")
         assert sorted(calls) == [0, 1]  # not re-probed on the second lease
@@ -360,6 +450,7 @@ class TestCacheServedUnits:
             n_units=1, unit_jobs=2,
             cache_lookup=lambda i: [[{"c": 1}], [{"c": 2}]],
             on_commit=lambda *args: committed.append(args))
+        admit(state, "w1")
         assert state.lease("w1")["event"] == "done"
         assert committed == []  # rows came *from* the cache; no rewrite
 
@@ -367,6 +458,7 @@ class TestCacheServedUnits:
 class TestFailureAndObservation:
     def test_deterministic_failure_fails_fast(self):
         state, units, clock = make_state(n_units=2)
+        admit(state, "w1", "w2")
         lease = state.lease("w1")
         state.fail("w1", lease["unit"], lease["key"],
                    {"executor": "e", "params": "{}", "cause": "boom"})
@@ -378,6 +470,7 @@ class TestFailureAndObservation:
 
     def test_live_workers_excludes_local_and_stale(self):
         state, units, clock = make_state()
+        admit(state, "remote")
         state.lease("remote")
         state.lease(LOCAL_WORKER)
         assert state.live_remote_workers() == 1
@@ -386,6 +479,7 @@ class TestFailureAndObservation:
 
     def test_snapshot_shape(self):
         state, units, clock = make_state(n_units=2)
+        admit(state, "w1")
         lease = state.lease("w1")
         state.commit("w1", lease["unit"], lease["key"], lease["lease"],
                      make_rows(units[lease["unit"]]))
@@ -393,6 +487,7 @@ class TestFailureAndObservation:
         assert snap["units_total"] == 2
         assert snap["units_remaining"] == 1
         assert snap["live_workers"] == 1
+        assert snap["epoch"] == 0
         assert snap["unit_seconds"]["count"] == 1
         assert snap["counters"]["units_completed"] == 1
 
@@ -400,6 +495,7 @@ class TestFailureAndObservation:
         """Operators can tell a partitioned worker (stale heartbeat,
         leases still held) from an idle one (fresh heartbeat, none)."""
         state, units, clock = make_state(n_units=2)
+        admit(state, "holding", "idle")
         holding = state.lease("holding")
         assert holding["event"] == "lease"
         clock.advance(8.0)  # silent since its grant, lease still live
@@ -411,6 +507,18 @@ class TestFailureAndObservation:
         assert workers["idle"]["held_leases"] == 0
         assert workers["idle"]["last_seen_age_seconds"] == pytest.approx(0.0)
         assert LOCAL_WORKER in workers  # the fallback is visible too
+
+    def test_snapshot_surfaces_heartbeat_failures(self):
+        """A worker self-reports its heartbeat-thread error count; the
+        coordinator pins it to the worker row so a flaky link is visible
+        from this side too."""
+        state, units, clock = make_state()
+        admit(state, "flaky", "healthy")
+        state.heartbeat("flaky", [], failures=3)
+        state.heartbeat("healthy", [])
+        workers = {w["worker"]: w for w in state.snapshot()["workers"]}
+        assert workers["flaky"]["heartbeat_failures"] == 3
+        assert workers["healthy"]["heartbeat_failures"] == 0
 
     def test_results_raise_until_complete(self):
         state, units, clock = make_state(n_units=1)

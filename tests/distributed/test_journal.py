@@ -1,0 +1,334 @@
+"""Write-ahead journal semantics: durable header, append/replay
+round-trip, torn-tail truncation, mid-file corruption refusal,
+identity pinning, epoch-bumping compaction — plus the coordinator's
+recovery (journaled units done, envelopes re-granted, no cache-write
+amplification) and the structured 409 a stale worker receives over
+HTTP after a restart."""
+
+import json
+import os
+
+import pytest
+
+from repro.distributed import (
+    CoordinatorClient,
+    CoordinatorServer,
+    CoordinatorState,
+    Journal,
+    JournalError,
+    WorkerRejected,
+    journal_meta,
+    replay,
+)
+from repro.distributed import protocol
+from repro.experiments.jobs import Job
+
+
+def make_jobs(n, tag=0):
+    return [Job("simulate", f'{{"i": {i}, "tag": {tag}}}') for i in range(n)]
+
+
+def make_rows(jobs, tag="r"):
+    return [[{"job": job.params_json, "tag": tag}] for job in jobs]
+
+
+def make_state(path=None, n_units=2, unit_jobs=2, meta=None, **kwargs):
+    units = [make_jobs(unit_jobs, tag=u) for u in range(n_units)]
+    return CoordinatorState(units, fingerprint="fp", lease_seconds=10.0,
+                            journal_path=path, journal_meta=meta,
+                            **kwargs), units
+
+
+def admit(state, *workers):
+    for worker in workers:
+        state._workers[worker] = state.clock()
+
+
+def keys_of(state):
+    return [u.key for u in state._units]
+
+
+class TestJournalFile:
+    def test_fresh_journal_writes_durable_header(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        journal, state = Journal.recover(path, "fp", ["k1", "k2"],
+                                         meta={"who": "test"})
+        assert state is None
+        assert journal.epoch == 0
+        journal.close()
+        # the header is already durable: a crash right here recovers it
+        replayed = replay(path)
+        assert replayed.fingerprint == "fp"
+        assert replayed.unit_keys == ["k1", "k2"]
+        assert replayed.epoch == 0
+        assert journal_meta(path) == {"who": "test"}
+
+    def test_append_replay_round_trip_and_epoch_bump(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        rows = [[{"a": 1}], [{"a": 2}]]
+        wire = protocol.rows_to_wire(rows)
+        digest = protocol.rows_digest(rows)
+        with Journal.recover(path, "fp", ["k1", "k2"])[0] as journal:
+            journal.append_commit(0, wire, digest, "w-1")
+            journal.append_checkpoint(1, 64, {"cursor": 64, "x": "a"})
+            journal.append_checkpoint(1, 128, {"cursor": 128, "x": "b"})
+        journal, state = Journal.recover(path, "fp", ["k1", "k2"])
+        journal.close()
+        assert state.epoch == 1          # one recovery = one bump
+        assert journal.epoch == 1
+        assert state.commits[0]["digest"] == digest
+        assert protocol.rows_from_wire(state.commits[0]["rows"]) == rows
+        # latest-cursor-wins for envelopes
+        assert state.checkpoints[1]["x"] == "b"
+        assert journal.counters["journal_replayed_units"] == 1
+
+    def test_compaction_drops_history_keeps_state(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        rows = [[{"a": 1}]]
+        wire, digest = protocol.rows_to_wire(rows), protocol.rows_digest(rows)
+        with Journal.recover(path, "fp", ["k1"])[0] as journal:
+            for cursor in (64, 128, 192):
+                journal.append_checkpoint(0, cursor, {"cursor": cursor})
+            journal.append_commit(0, wire, digest, "w-1")
+        journal, _ = Journal.recover(path, "fp", ["k1"])
+        journal.close()
+        with open(path) as handle:
+            records = [json.loads(line) for line in handle]
+        # snapshot form: header + the commit; a committed unit's
+        # envelopes are dead weight and every superseded cursor is gone
+        assert [r["type"] for r in records] == ["header", "commit"]
+        assert records[0]["epoch"] == 1
+
+    def test_torn_tail_truncated_and_counted(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with Journal.recover(path, "fp", ["k1"])[0] as journal:
+            pass
+        size_before = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "commit", "unit": 0, "dig')  # torn
+        journal, state = Journal.recover(path, "fp", ["k1"])
+        journal.close()
+        assert journal.counters["journal_truncated"] == 1
+        assert state.commits == {}
+        # the torn bytes are physically gone, not just skipped
+        assert os.path.getsize(path) >= size_before  # compacted snapshot
+        assert replay(path).truncated == 0
+
+    def test_unparseable_final_full_line_is_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with Journal.recover(path, "fp", ["k1"])[0] as journal:
+            pass
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "commit", garbage}\n')  # has newline
+        journal, state = Journal.recover(path, "fp", ["k1"])
+        journal.close()
+        assert journal.counters["journal_truncated"] == 1
+
+    def test_empty_and_header_torn_files_recover_fresh(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        open(path, "wb").close()
+        assert replay(path) is None
+        with open(path, "wb") as handle:
+            handle.write(b'{"type": "header", "jour')  # torn header
+        journal, state = Journal.recover(path, "fp", ["k1"])
+        journal.close()
+        assert state is None       # nothing durable ever existed
+        assert journal.epoch == 0
+
+    def test_midfile_corruption_refused(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        rows = [[{"a": 1}]]
+        with Journal.recover(path, "fp", ["k1"])[0] as journal:
+            journal.append_commit(0, protocol.rows_to_wire(rows),
+                                  protocol.rows_digest(rows), "w-1")
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:  # flip bytes in the *header*
+            handle.write(b"garbage-not-json\n" + raw.split(b"\n", 1)[1])
+        with pytest.raises(JournalError):
+            replay(path)
+
+    def test_digest_mismatch_is_midfile_corruption(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        rows = [[{"a": 1}]]
+        with Journal.recover(path, "fp", ["k1"])[0] as journal:
+            journal.append_commit(0, protocol.rows_to_wire(rows),
+                                  protocol.rows_digest([[{"a": 2}]]), "w-1")
+            # a trailing record keeps the bad commit off the final line
+            journal.append_checkpoint(0, 64, {"cursor": 64})
+        with pytest.raises(JournalError, match="rows_digest"):
+            replay(path)
+
+    def test_identity_mismatch_refused_with_remedy(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        Journal.recover(path, "fp", ["k1"])[0].close()
+        with pytest.raises(JournalError, match="delete the journal"):
+            Journal.recover(path, "other-fp", ["k1"])
+        with pytest.raises(JournalError, match="delete the journal"):
+            Journal.recover(path, "fp", ["k1", "k2"])
+
+    def test_second_header_refused(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with Journal.recover(path, "fp", ["k1"])[0] as journal:
+            journal._write_header("fp", ["k1"], 0, {})
+        with pytest.raises(JournalError, match="second header"):
+            replay(path)
+
+
+class TestCoordinatorRecovery:
+    def test_journaled_commit_survives_restart_bit_identical(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        state, units = make_state(path, n_units=2)
+        admit(state, "w1")
+        lease = state.lease("w1")
+        rows = make_rows(units[lease["unit"]])
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"], rows)
+        state.close()   # release the handle; the process "dies" here
+
+        revived, _ = make_state(path, n_units=2)
+        assert revived.epoch == 1
+        assert revived._units[lease["unit"]].done
+        assert revived._units[lease["unit"]].rows == rows
+        assert revived._units[lease["unit"]].digest == \
+            protocol.rows_digest(rows)
+        # replay is not completion: the metric counts live commits only
+        assert revived.counters["units_completed"] == 0
+        assert revived.counters["journal_replayed_units"] == 1
+        revived.close()
+
+    def test_restart_voids_leases_and_reoffers_remainder(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        state, units = make_state(path, n_units=2)
+        admit(state, "w1", "w2")
+        done = state.lease("w1")
+        state.commit("w1", done["unit"], done["key"], done["lease"],
+                     make_rows(units[done["unit"]]))
+        state.lease("w2")   # in flight at crash time; never committed
+        state.close()
+
+        revived, _ = make_state(path, n_units=2)
+        admit(revived, "w3")
+        regrant = revived.lease("w3")   # no expiry wait: leases are soft
+        assert regrant["event"] == "lease"
+        assert regrant["unit"] != done["unit"]
+        revived.close()
+
+    def test_replay_skips_on_commit_no_cache_amplification(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        committed = []
+        state, units = make_state(
+            path, n_units=1,
+            on_commit=lambda *args: committed.append(args))
+        admit(state, "w1")
+        lease = state.lease("w1")
+        state.commit("w1", lease["unit"], lease["key"], lease["lease"],
+                     make_rows(units[0]))
+        assert len(committed) == 1
+        state.close()
+
+        replays = []
+        revived, _ = make_state(
+            path, n_units=1,
+            on_commit=lambda *args: replays.append(args))
+        assert revived._units[0].done
+        assert replays == []    # rows came *from* the journal; no rewrite
+        revived.close()
+
+    def test_latest_envelope_rides_the_regrant(self, tmp_path):
+        from tests.distributed.test_coordinator import (
+            FINGERPRINT,
+            make_envelope,
+        )
+
+        path = str(tmp_path / "wal.jsonl")
+        units = [[Job("pipeline_run", '{"workload": "streaming"}')]]
+
+        def build():
+            return CoordinatorState(
+                units, fingerprint="fp", lease_seconds=10.0,
+                unit_fingerprints=[FINGERPRINT], checkpoint_every=2,
+                journal_path=path)
+
+        state = build()
+        admit(state, "w1")
+        lease = state.lease("w1")
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope(cursor=64))
+        state.checkpoint("w1", lease["unit"], lease["key"], lease["lease"],
+                         make_envelope(cursor=128))
+        state.close()
+
+        revived = build()
+        admit(revived, "w2")
+        regrant = revived.lease("w2")
+        assert regrant["event"] == "lease"
+        assert regrant["checkpoint"]["cursor"] == 128   # mid-unit resume
+        assert revived.counters["resumed_units"] == 1
+        revived.close()
+
+    def test_double_restart_double_bump(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        for expected_epoch in (0, 1, 2):
+            state, _ = make_state(path, n_units=1)
+            assert state.epoch == expected_epoch
+            state.close()
+
+
+class TestStaleWorkerOverHttp:
+    """Satellite contract: a worker id from a previous incarnation gets
+    HTTP 409 with ``{"event": "error", "error": "unknown_worker",
+    "epoch": N}`` on every fenced verb, and the client surfaces it as
+    :class:`WorkerRejected` (not a retryable transport error)."""
+
+    @pytest.fixture
+    def server(self):
+        state, units = make_state(n_units=1)
+        server = CoordinatorServer(state, host="127.0.0.1", port=0)
+        yield server, state, units
+        server.close()
+
+    def _raw_post(self, server, path, payload):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            body = json.dumps(payload).encode()
+            conn.request("POST", path, body=body,
+                         headers={"Content-Length": str(len(body))})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    @pytest.mark.parametrize("path,payload", [
+        ("/v1/lease", {"event": "lease", "worker": "stale-1"}),
+        ("/v1/heartbeat", {"event": "heartbeat", "worker": "stale-1",
+                           "leases": []}),
+        ("/v1/result", {"event": "result", "worker": "stale-1", "unit": 0,
+                        "key": "k", "lease": "l",
+                        "rows": [[[["a"]], [[0, [1]]]]]}),
+        ("/v1/checkpoint", {"event": "checkpoint", "worker": "stale-1",
+                            "unit": 0, "key": "k", "lease": "l",
+                            "state": {"cursor": 0}}),
+    ], ids=["lease", "heartbeat", "commit", "checkpoint"])
+    def test_reply_shape_is_exactly_the_contract(self, server, path, payload):
+        server, state, _ = server
+        status, event = self._raw_post(server, path, payload)
+        assert status == 409
+        assert event == {"event": "error", "error": "unknown_worker",
+                         "worker": "stale-1", "epoch": 0}
+        assert state.counters["stale_worker_rejects"] >= 1
+
+    def test_client_raises_worker_rejected_with_epoch(self, server):
+        server, state, _ = server
+        client = CoordinatorClient(server.url)
+        with pytest.raises(WorkerRejected) as excinfo:
+            client.lease("stale-9")
+        assert excinfo.value.epoch == 0
+        # a *registered* id sails through the same client
+        worker = client.register("ok")["worker"]
+        assert client.lease(worker)["event"] == "lease"
+
+    def test_registered_reply_advertises_epoch(self, server):
+        server, state, _ = server
+        client = CoordinatorClient(server.url)
+        assert client.register("w")["epoch"] == state.epoch

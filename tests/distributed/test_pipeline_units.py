@@ -233,14 +233,24 @@ class TestGracefulDrain:
                                        checkpoint_every=1)
         worker = Worker(WorkerConfig(url=coordinator.url, name="drainee",
                                      log=False, reconnect_timeout=15.0))
+        # drain the moment the first envelope lands — hooked into the
+        # upload itself so the flag is already set when the worker
+        # reaches the next seam (draining from this thread after
+        # polling the counter would race a fast unit to completion)
+        upload = worker.client.checkpoint
+
+        def drain_after_upload(*args, **kwargs):
+            reply = upload(*args, **kwargs)
+            worker.drain()
+            return reply
+
+        worker.client.checkpoint = drain_after_upload
         results = {}
         thread = threading.Thread(
             target=lambda: results.update(code=worker.run()), daemon=True)
         thread.start()
-        # drain as soon as the first envelope lands (mid-unit, for sure)
         assert _wait(lambda: coordinator.state.counters
                      ["checkpoints_migrated"] >= 1)
-        worker.drain()
         thread.join(timeout=10.0)
         assert results.get("code") == 0
         counters = coordinator.state.counters

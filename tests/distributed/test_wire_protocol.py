@@ -85,10 +85,16 @@ class TestRequestValidation:
         assert parse_lease_request({"worker": "w-1"}) == "w-1"
         with pytest.raises(ProtocolError):
             parse_lease_request({"worker": ""})
-        worker, leases = parse_heartbeat({"worker": "w", "leases": ["l1"]})
-        assert (worker, leases) == ("w", ["l1"])
+        worker, leases, failures = parse_heartbeat(
+            {"worker": "w", "leases": ["l1"]})
+        assert (worker, leases, failures) == ("w", ["l1"], 0)
+        _, _, failures = parse_heartbeat(
+            {"worker": "w", "leases": [], "failures": 2})
+        assert failures == 2
         with pytest.raises(ProtocolError):
             parse_heartbeat({"worker": "w", "leases": [1]})
+        with pytest.raises(ProtocolError):
+            parse_heartbeat({"worker": "w", "leases": [], "failures": -1})
 
     def test_result_requires_rows_or_error(self):
         parsed = parse_result({"worker": "w", "unit": 0, "key": "k",
